@@ -1,0 +1,95 @@
+// Figure 6 — the exponential lower bound on automata for ¬L_w(q).
+//
+// The paper exhibits a pattern q with n wildcards whose complement NTA needs
+// at least 2^n states: the automaton must remember which of the last n
+// levels could still complete a match.  We reproduce the phenomenon on two
+// instruments:
+//   * the minimal *word* DFA that watches for q along a path
+//     (q = a/*^n/b: classical 2^n blowup), and
+//   * the number of states the lazy deterministic TPQ automaton
+//     materializes while reading the paths that exercise all profiles.
+// The wildcard-free control family stays linear, matching Observation
+// 6.2(1): complements of PQ(/,//) languages have small automata.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "automata/path_word.h"
+#include "automata/tpq_det.h"
+#include "base/label.h"
+#include "pattern/tpq_parser.h"
+
+namespace tpc {
+namespace {
+
+Tpq Figure6Pattern(int32_t n, bool wildcards, LabelPool* pool) {
+  std::string src = "a";
+  for (int32_t i = 0; i < n; ++i) src += wildcards ? "/*" : "/a";
+  src += "/b";
+  return MustParseTpq(src, pool);
+}
+
+void BM_WatchDfaWildcards(benchmark::State& state) {
+  int32_t n = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  std::vector<LabelId> sigma = {pool.Intern("a"), pool.Intern("b")};
+  Tpq q = Figure6Pattern(n, /*wildcards=*/true, &pool);
+  int32_t states = 0;
+  for (auto _ : state) {
+    states = MinimalWatchDfaSize(q, sigma);
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["n"] = n;
+  state.counters["min_dfa_states"] = states;
+}
+BENCHMARK(BM_WatchDfaWildcards)->DenseRange(1, 14);
+
+void BM_WatchDfaNoWildcards(benchmark::State& state) {
+  int32_t n = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  std::vector<LabelId> sigma = {pool.Intern("a"), pool.Intern("b")};
+  Tpq q = Figure6Pattern(n, /*wildcards=*/false, &pool);
+  int32_t states = 0;
+  for (auto _ : state) {
+    states = MinimalWatchDfaSize(q, sigma);
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["n"] = n;
+  state.counters["min_dfa_states"] = states;
+}
+BENCHMARK(BM_WatchDfaNoWildcards)->DenseRange(1, 14);
+
+/// Feeds every {a,b}-labelled path of length n+3 to the lazy deterministic
+/// TPQ automaton and reports how many states materialize: the tree-automata
+/// face of the same 2^n lower bound.
+void BM_TpqDetMaterialization(benchmark::State& state) {
+  int32_t n = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  LabelId a = pool.Intern("a");
+  LabelId b = pool.Intern("b");
+  Tpq q = Figure6Pattern(n, /*wildcards=*/true, &pool);
+  int32_t materialized = 0;
+  for (auto _ : state) {
+    TpqDetAutomaton det(q);
+    // Enumerate all label sequences of length n+3 and run them bottom-up.
+    int32_t len = n + 3;
+    for (int64_t mask = 0; mask < (int64_t{1} << len); ++mask) {
+      TpqDetAutomaton::StateId s = det.StateFor((mask & 1) ? a : b, {});
+      for (int32_t i = 1; i < len; ++i) {
+        s = det.StateFor(((mask >> i) & 1) ? a : b, {s});
+      }
+      benchmark::DoNotOptimize(s);
+    }
+    materialized = det.num_materialized();
+  }
+  state.counters["n"] = n;
+  state.counters["det_states"] = materialized;
+}
+BENCHMARK(BM_TpqDetMaterialization)->DenseRange(1, 10);
+
+}  // namespace
+}  // namespace tpc
+
+BENCHMARK_MAIN();

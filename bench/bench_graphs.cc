@@ -1,0 +1,134 @@
+// Section 7 — tree patterns over graphs.
+//
+// Proposition 7.1 says containment over graphs IS containment over trees,
+// so evaluation is where graphs differ operationally: matching uses
+// reachability instead of ancestorship.  This benchmark measures
+//   * TPQ evaluation on random graphs of growing size (polynomial),
+//   * the unfolding-based route (tree matcher on Unfold(G)) against direct
+//     graph matching, and
+//   * nodes-only DTD validation including the NP-hard unordered-membership
+//     core on adversarial content models.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "gen/random_instances.h"
+#include "graphdb/graph.h"
+#include "graphdb/graph_dtd.h"
+#include "graphdb/graph_match.h"
+#include "match/embedding.h"
+#include "pattern/tpq_parser.h"
+#include "regex/regex.h"
+
+namespace tpc {
+namespace {
+
+Graph MakeRandomGraph(const std::vector<LabelId>& labels, int32_t nodes,
+                      double edge_prob, std::mt19937* rng) {
+  Graph g;
+  std::uniform_int_distribution<size_t> pick(0, labels.size() - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int32_t i = 0; i < nodes; ++i) g.AddNode(labels[pick(*rng)]);
+  for (NodeId u = 0; u < nodes; ++u) {
+    for (NodeId v = 0; v < nodes; ++v) {
+      if (u != v && coin(*rng) < edge_prob) g.AddEdge(u, v);
+    }
+  }
+  g.SetRoot(0);
+  return g;
+}
+
+void BM_GraphMatching(benchmark::State& state) {
+  int32_t nodes = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  std::mt19937 rng(51 + nodes);
+  std::vector<LabelId> labels = MakeLabels(3, &pool);
+  Graph g = MakeRandomGraph(labels, nodes, 4.0 / nodes, &rng);
+  RandomTpqOptions qopts;
+  qopts.labels = labels;
+  qopts.fragment = fragments::kTpqFull;
+  qopts.size = 6;
+  std::vector<Tpq> qs;
+  for (int i = 0; i < 16; ++i) qs.push_back(RandomTpq(qopts, &rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatchesWeakGraph(qs[i % qs.size()], g));
+    ++i;
+  }
+  state.counters["graph_nodes"] = nodes;
+}
+BENCHMARK(BM_GraphMatching)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GraphVsUnfolding(benchmark::State& state) {
+  // Matching directly on the graph vs. on its (pruned, bounded) unfolding:
+  // the graph route avoids the size explosion of the unfolding.
+  int32_t nodes = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  std::mt19937 rng(53 + nodes);
+  std::vector<LabelId> labels = MakeLabels(3, &pool);
+  Graph g = MakeRandomGraph(labels, nodes, 1.5 / nodes, &rng);
+  Tpq q = MustParseTpq("l0//l1//l2", &pool);
+  Tree unfolding = g.Unfold(g.root(), 3 * q.size());
+  for (auto _ : state) {
+    bool on_graph = MatchesStrongGraph(q, g);
+    bool on_tree = MatchesStrong(q, unfolding);
+    benchmark::DoNotOptimize(on_graph);
+    benchmark::DoNotOptimize(on_tree);
+    if (on_graph != on_tree) {
+      state.SkipWithError("unfolding disagrees with graph matching");
+      return;
+    }
+  }
+  state.counters["graph_nodes"] = nodes;
+  state.counters["unfolding_nodes"] = unfolding.size();
+}
+BENCHMARK(BM_GraphVsUnfolding)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_NodesOnlyDtdValidation(benchmark::State& state) {
+  // Benign content models: unordered membership resolves quickly.
+  int32_t nodes = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  std::mt19937 rng(57);
+  Dtd d = MustParseDtd("root: p; p -> (p | m)*; m -> eps;", &pool);
+  std::vector<LabelId> labels = {pool.Find("p"), pool.Find("m")};
+  Graph g = MakeRandomGraph(labels, nodes, 3.0 / nodes, &rng);
+  // Patch types so every node's rule exists; root must be p.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GraphSatisfiesDtdNodesOnly(g, d));
+  }
+  state.counters["graph_nodes"] = nodes;
+}
+BENCHMARK(BM_NodesOnlyDtdValidation)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_UnorderedMembershipHardCore(benchmark::State& state) {
+  // The NP-complete core [30]: one occurrence of each of k letters against
+  // a product of random two-letter alternatives — the memoized search must
+  // explore subsets of the remaining multiset.
+  int32_t k = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  std::mt19937 rng(97);
+  std::vector<LabelId> letters = MakeLabels(k, &pool);
+  std::uniform_int_distribution<int32_t> pick(0, k - 1);
+  std::vector<Regex> parts;
+  for (int32_t i = 0; i < k; ++i) {
+    parts.push_back(Regex::Union({Regex::Letter(letters[pick(rng)]),
+                                  Regex::Letter(letters[pick(rng)])}));
+  }
+  Nfa nfa = Nfa::FromRegex(Regex::Concat(std::move(parts)));
+  std::vector<Symbol> word(letters.begin(), letters.end());
+  for (auto _ : state) {
+    bool ok = UnorderedAccepts(nfa, word);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["k"] = k;
+}
+BENCHMARK(BM_UnorderedMembershipHardCore)
+    ->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+}  // namespace
+}  // namespace tpc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,209 @@
+// Table 2 — satisfiability of TPQ fragments w.r.t. a DTD.
+//
+// Polynomial cells:
+//   * PQ (any features) w.r.t. an input DTD — Theorem 4.1(1); decided both
+//     by the generic engine and by the tree-automata product.
+//   * TPQ(//,*) w.r.t. a fixed DTD — Theorem 4.1(2) (engine, fixed DTD).
+// NP-complete cells:
+//   * TPQ(/) w.r.t. an input DTD — Theorem 4.2(1), Wood's construction:
+//     instances whose regex forces a set-cover style choice.
+//   * TPQ(/) w.r.t. a *fixed* DTD — Theorem 4.2(2): 4-PARTITION instances
+//     over the fixed binary DTD (pattern structure of Figure 3).
+// The Figure 3 series reports the doubly exponential growth of |T_i| that
+// makes the reduction polynomial.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "gen/random_instances.h"
+#include "reductions/hardness_families.h"
+#include "reductions/partition.h"
+#include "schema/schema_engine.h"
+
+namespace tpc {
+namespace {
+
+// ----------------------------------------------------------------- P cells
+
+void BM_P_PathSatisfiability(benchmark::State& state) {
+  int32_t size = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  std::mt19937 rng(7 + size);
+  std::vector<LabelId> labels = MakeLabels(6, &pool);
+  RandomDtdOptions dopts;
+  dopts.labels = labels;
+  Dtd dtd = RandomDtd(dopts, &rng);
+  while (dtd.IsEmptyLanguage()) dtd = RandomDtd(dopts, &rng);
+  RandomTpqOptions popts;
+  popts.labels = labels;
+  popts.fragment = fragments::kPqFull;
+  popts.size = size;
+  std::vector<Tpq> ps;
+  for (int i = 0; i < 16; ++i) ps.push_back(RandomTpq(popts, &rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    SchemaDecision r =
+        SatisfiablePathWithDtd(ps[i % ps.size()], Mode::kWeak, dtd);
+    benchmark::DoNotOptimize(r.yes);
+    ++i;
+  }
+  state.counters["pattern_nodes"] = size;
+}
+BENCHMARK(BM_P_PathSatisfiability)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_P_PathSatisfiabilityEngine(benchmark::State& state) {
+  int32_t size = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  std::mt19937 rng(7 + size);
+  std::vector<LabelId> labels = MakeLabels(6, &pool);
+  RandomDtdOptions dopts;
+  dopts.labels = labels;
+  Dtd dtd = RandomDtd(dopts, &rng);
+  while (dtd.IsEmptyLanguage()) dtd = RandomDtd(dopts, &rng);
+  RandomTpqOptions popts;
+  popts.labels = labels;
+  popts.fragment = fragments::kPqFull;
+  popts.size = size;
+  std::vector<Tpq> ps;
+  for (int i = 0; i < 16; ++i) ps.push_back(RandomTpq(popts, &rng));
+  size_t i = 0;
+  int64_t configs = 0;
+  for (auto _ : state) {
+    SchemaDecision r = SatisfiableWithDtd(ps[i % ps.size()], Mode::kWeak, dtd);
+    benchmark::DoNotOptimize(r.yes);
+    configs = r.configurations;
+    ++i;
+  }
+  state.counters["pattern_nodes"] = size;
+  state.counters["engine_configs"] = static_cast<double>(configs);
+}
+BENCHMARK(BM_P_PathSatisfiabilityEngine)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_P_ChildFreeFixedDtd(benchmark::State& state) {
+  // Theorem 4.1(2): TPQ(//,*) with a fixed DTD.
+  int32_t size = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  Dtd dtd = MustParseDtd(
+      "root: l0; l0 -> l1 l2*; l1 -> l2 | l0; l2 -> l1?;", &pool);
+  std::mt19937 rng(13 + size);
+  RandomTpqOptions popts;
+  popts.labels = MakeLabels(3, &pool);
+  popts.fragment = fragments::kTpqDescStar;
+  popts.size = size;
+  std::vector<Tpq> ps;
+  for (int i = 0; i < 16; ++i) ps.push_back(RandomTpq(popts, &rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    SchemaDecision r = SatisfiableWithDtd(ps[i % ps.size()], Mode::kWeak, dtd);
+    benchmark::DoNotOptimize(r.yes);
+    ++i;
+  }
+  state.counters["pattern_nodes"] = size;
+}
+BENCHMARK(BM_P_ChildFreeFixedDtd)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// ---------------------------------------------------------------- NP cells
+
+void BM_NP_WoodInstances(benchmark::State& state) {
+  // Theorem 4.2(1): "does some word of e use all letters?" as TPQ(/)
+  // satisfiability; the regex pairs letters so the engine must search.
+  int32_t k = static_cast<int32_t>(state.range(0));  // number of letters
+  LabelPool pool;
+  std::vector<LabelId> sigma = MakeLabels(k, &pool);
+  LabelId root = pool.Intern("r");
+  // e = (l0 l1 | l1 l2 | ... | l_{k-1} l0)*: consecutive pairs; a word with
+  // all letters exists but requires chaining the right pairs.
+  std::vector<Regex> pairs;
+  for (int32_t i = 0; i < k; ++i) {
+    pairs.push_back(Regex::Concat({Regex::Letter(sigma[i]),
+                                   Regex::Letter(sigma[(i + 1) % k])}));
+  }
+  Regex e = Regex::Star(Regex::Union(std::move(pairs)));
+  WoodInstance w = BuildWoodInstance(e, sigma, root, &pool);
+  for (auto _ : state) {
+    SchemaDecision r = SatisfiableWithDtd(w.p, Mode::kWeak, w.dtd);
+    benchmark::DoNotOptimize(r.yes);
+    if (!r.yes) {
+      state.SkipWithError("cyclic pair regex always covers all letters");
+      return;
+    }
+  }
+  state.counters["letters"] = k;
+}
+BENCHMARK(BM_NP_WoodInstances)->Arg(3)->Arg(5)->Arg(7)->Arg(9)->Arg(11);
+
+void BM_NP_PartitionFixedDtd(benchmark::State& state) {
+  // Theorem 4.2(2): 4-PARTITION instances over the fixed binary DTD.  The
+  // argument selects K (groups sum to 2^K); instances use 2^{K} unit
+  // weights per group so solvability is guaranteed and cost growth is
+  // attributable to the instance size.
+  int32_t k = static_cast<int32_t>(state.range(0));
+  FourPartitionInstance inst;
+  inst.log_target = k;
+  inst.log_groups4 = 0;  // one group of four numbers summing to 2^K
+  int64_t target = int64_t{1} << k;
+  inst.numbers = {target / 4, target / 4, target / 4, target / 4};
+  LabelPool pool;
+  PartitionSatInstance sat = BuildPartitionReduction(inst, &pool);
+  int64_t configs = 0;
+  for (auto _ : state) {
+    SchemaDecision r = SatisfiableWithDtd(sat.p, Mode::kStrong, sat.dtd);
+    benchmark::DoNotOptimize(r.yes);
+    if (!r.yes) {
+      state.SkipWithError("balanced instance must be satisfiable");
+      return;
+    }
+    configs = r.configurations;
+  }
+  state.counters["pattern_nodes"] = sat.p.size();
+  state.counters["engine_configs"] = static_cast<double>(configs);
+}
+BENCHMARK(BM_NP_PartitionFixedDtd)->Arg(2)->Arg(3)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NP_PartitionUnsolvable(benchmark::State& state) {
+  // The expensive side: certifying unsatisfiability requires exhausting the
+  // engine's configuration space.
+  FourPartitionInstance inst;
+  inst.log_target = 2;
+  inst.log_groups4 = 1;
+  inst.numbers = {3, 3, 2, 0, 0, 0, 0, 0};
+  LabelPool pool;
+  PartitionSatInstance sat = BuildPartitionReduction(inst, &pool);
+  int64_t configs = 0;
+  for (auto _ : state) {
+    SchemaDecision r = SatisfiableWithDtd(sat.p, Mode::kStrong, sat.dtd);
+    benchmark::DoNotOptimize(r.yes);
+    configs = r.configurations;
+  }
+  state.counters["pattern_nodes"] = sat.p.size();
+  state.counters["engine_configs"] = static_cast<double>(configs);
+}
+BENCHMARK(BM_NP_PartitionUnsolvable)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// ------------------------------------------------------- Figure 3 series
+
+void BM_Fig3_BalancedTreeSets(benchmark::State& state) {
+  // |T_0| = 4, |T_{i+1}| = |T_i|(|T_i|-1)/2: enumerate `count` trees and
+  // report the depth M needed — doubly exponential capacity growth.
+  int64_t count = state.range(0);
+  for (auto _ : state) {
+    LabelPool pool;
+    std::vector<Tree> trees = EnumerateBalancedTrees(count, &pool);
+    benchmark::DoNotOptimize(trees.size());
+    state.counters["tree_depth_M"] = trees.front().depth();
+  }
+  state.counters["trees"] = static_cast<double>(count);
+}
+BENCHMARK(BM_Fig3_BalancedTreeSets)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace tpc
+
+BENCHMARK_MAIN();

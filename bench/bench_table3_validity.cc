@@ -1,0 +1,166 @@
+// Table 3 — validity of TPQ fragments w.r.t. a DTD.
+//
+// Polynomial cells (Theorem 5.1): validity of PQ(/,//), PQ(//,*) and
+// strong validity of TPQ(/,//) — the engine decides these with polynomially
+// many configurations because the pattern automaton stays small without
+// wildcards (Observation 6.2).
+//
+// EXPTIME-complete cell (Theorem 5.2): weak validity of TPQ(/,//,*).  The
+// witness family is Figure-6-shaped: q_n = top//a/*^n/b over a recursive
+// DTD; the deterministic pattern automaton must track which of the last n
+// levels carried an `a`, and the engine's configuration count grows
+// exponentially in n.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "gen/random_instances.h"
+#include "pattern/tpq_parser.h"
+#include "schema/schema_engine.h"
+
+namespace tpc {
+namespace {
+
+void BM_P_ValidityPqChildDesc(benchmark::State& state) {
+  int32_t size = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  std::mt19937 rng(31 + size);
+  std::vector<LabelId> labels = MakeLabels(4, &pool);
+  RandomDtdOptions dopts;
+  dopts.labels = labels;
+  Dtd dtd = RandomDtd(dopts, &rng);
+  while (dtd.IsEmptyLanguage()) dtd = RandomDtd(dopts, &rng);
+  RandomTpqOptions qopts;
+  qopts.labels = labels;
+  qopts.fragment = fragments::kPqChild;  // wildcard-free paths
+  qopts.size = size;
+  std::vector<Tpq> qs;
+  for (int i = 0; i < 16; ++i) qs.push_back(RandomTpq(qopts, &rng));
+  size_t i = 0;
+  int64_t configs = 0;
+  for (auto _ : state) {
+    SchemaDecision r = ValidWithDtd(qs[i % qs.size()], Mode::kWeak, dtd);
+    benchmark::DoNotOptimize(r.yes);
+    configs = r.configurations;
+    ++i;
+  }
+  state.counters["pattern_nodes"] = size;
+  state.counters["engine_configs"] = static_cast<double>(configs);
+}
+BENCHMARK(BM_P_ValidityPqChildDesc)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_P_StrongValidityTpqChildDesc(benchmark::State& state) {
+  int32_t size = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  std::mt19937 rng(37 + size);
+  std::vector<LabelId> labels = MakeLabels(4, &pool);
+  RandomDtdOptions dopts;
+  dopts.labels = labels;
+  Dtd dtd = RandomDtd(dopts, &rng);
+  while (dtd.IsEmptyLanguage()) dtd = RandomDtd(dopts, &rng);
+  RandomTpqOptions qopts;
+  qopts.labels = labels;
+  qopts.fragment = fragments::kTpqChildDesc;  // wildcard-free TPQs
+  qopts.size = size;
+  std::vector<Tpq> qs;
+  for (int i = 0; i < 16; ++i) qs.push_back(RandomTpq(qopts, &rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    SchemaDecision r = ValidWithDtd(qs[i % qs.size()], Mode::kStrong, dtd);
+    benchmark::DoNotOptimize(r.yes);
+    ++i;
+  }
+  state.counters["pattern_nodes"] = size;
+}
+BENCHMARK(BM_P_StrongValidityTpqChildDesc)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+/// The EXPTIME cell.  The DTD forces a witness chain a y_1 ... y_n b below
+/// every `a` and lets binary z-branching build arbitrary multisets of
+/// a-depths, so
+///   * q_n = r//a/*^n/b is VALID (every tree matches — certifying this
+///     requires exhausting the reachable configuration space), and
+///   * the deterministic pattern automaton must track which of the last
+///     n+1 depths can still complete a match: the reachable profiles, and
+///     hence the engine's configurations, grow exponentially in n.
+Dtd WitnessChainDtd(int32_t n, LabelPool* pool) {
+  // The root always owns one forced witness a y_1 ... y_n b (so q_n is
+  // valid); the z-part freely combines subtrees in which b occurs at
+  // arbitrary depths (w -> w | b), realizing exponentially many
+  // "which-depths-can-complete-a-match" profiles.
+  std::string src =
+      "root: r; r -> a z; z -> z z | w | a; w -> w | b; b -> eps;";
+  if (n == 0) {
+    src += "a -> b;";
+  } else {
+    src += "a -> y1;";
+    for (int32_t i = 1; i < n; ++i) {
+      src += "y" + std::to_string(i) + " -> y" + std::to_string(i + 1) + ";";
+    }
+    src += "y" + std::to_string(n) + " -> b;";
+  }
+  return MustParseDtd(src, pool);
+}
+
+void BM_EXPTIME_WeakValidityWildcards(benchmark::State& state) {
+  int32_t n = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  Dtd dtd = WitnessChainDtd(n, &pool);
+  std::string src = "r//a";
+  for (int32_t i = 0; i < n; ++i) src += "/*";
+  src += "/b";
+  Tpq q = MustParseTpq(src, &pool);
+  EngineLimits limits;
+  limits.max_configurations = 500'000;
+  int64_t configs = 0;
+  bool decided = true;
+  bool valid = false;
+  for (auto _ : state) {
+    SchemaDecision r = ValidWithDtd(q, Mode::kWeak, dtd, limits);
+    benchmark::DoNotOptimize(r.yes);
+    configs = r.configurations;
+    decided = r.decided;
+    valid = r.yes;
+  }
+  if (decided && !valid) {
+    state.SkipWithError("family is valid by construction");
+    return;
+  }
+  state.counters["n"] = n;
+  state.counters["engine_configs"] = static_cast<double>(configs);
+  state.counters["decided"] = decided ? 1 : 0;
+}
+BENCHMARK(BM_EXPTIME_WeakValidityWildcards)
+    ->DenseRange(1, 9)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+/// Control series: the same shape without wildcards stays polynomial.
+void BM_Control_WeakValidityNoWildcards(benchmark::State& state) {
+  int32_t n = static_cast<int32_t>(state.range(0));
+  LabelPool pool;
+  Dtd dtd = WitnessChainDtd(n, &pool);
+  std::string src = "r//a";
+  for (int32_t i = 1; i <= n; ++i) src += "/y" + std::to_string(i);
+  src += "/b";
+  Tpq q = MustParseTpq(src, &pool);
+  int64_t configs = 0;
+  for (auto _ : state) {
+    SchemaDecision r = ValidWithDtd(q, Mode::kWeak, dtd);
+    benchmark::DoNotOptimize(r.yes);
+    configs = r.configurations;
+    if (!r.yes) {
+      state.SkipWithError("control family is valid by construction");
+      return;
+    }
+  }
+  state.counters["n"] = n;
+  state.counters["engine_configs"] = static_cast<double>(configs);
+}
+BENCHMARK(BM_Control_WeakValidityNoWildcards)->DenseRange(1, 9);
+
+}  // namespace
+}  // namespace tpc
+
+BENCHMARK_MAIN();

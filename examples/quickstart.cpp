@@ -1,0 +1,77 @@
+// Quickstart: parse tree patterns, evaluate them on trees, and decide
+// containment with and without schema information.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "base/label.h"
+#include "contain/containment.h"
+#include "dtd/dtd.h"
+#include "match/embedding.h"
+#include "pattern/tpq_parser.h"
+#include "schema/schema_engine.h"
+#include "tree/tree_parser.h"
+
+using namespace tpc;
+
+int main() {
+  LabelPool pool;
+
+  // --- Evaluate a pattern on a tree (Definition 2.1 / Figure 1). ---------
+  Tree t = MustParseTree("a(b,a(b,d(c)))", &pool);
+  Tpq q = MustParseTpq("a[b]//c", &pool);
+  std::printf("tree    t = %s\n", t.ToString(pool).c_str());
+  std::printf("pattern q = %s\n", q.ToString(pool).c_str());
+  std::printf("t in L_w(q): %s, t in L_s(q): %s\n\n",
+              MatchesWeak(q, t) ? "yes" : "no",
+              MatchesStrong(q, t) ? "yes" : "no");
+
+  // --- Containment without schema (Section 3). ---------------------------
+  struct {
+    const char* p;
+    const char* q;
+  } pairs[] = {
+      {"a/b", "a//b"},        // child edge implies descendant edge
+      {"a//b", "a/b"},        // ... but not vice versa
+      {"a/*//b", "a//*/b"},   // equivalent, yet no homomorphism exists
+      {"a[b]/c", "a/c"},      // dropping a branch weakens the pattern
+  };
+  for (const auto& pair : pairs) {
+    Tpq p = MustParseTpq(pair.p, &pool);
+    Tpq r = MustParseTpq(pair.q, &pool);
+    ContainmentResult res = Contains(p, r, Mode::kWeak, &pool);
+    std::printf("L_w(%-8s) ⊆ L_w(%-8s)?  %-3s", pair.p, pair.q,
+                res.contained ? "yes" : "no");
+    if (res.counterexample.has_value()) {
+      std::printf("   counterexample: %s",
+                  res.counterexample->ToString(pool).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // --- Containment with a DTD (Section 6). --------------------------------
+  // Under this schema every <a> has a <b> child, so a//c ⊆ a/b holds even
+  // though it fails without the schema.
+  Dtd d = MustParseDtd("root: a; a -> b c?; b -> eps; c -> eps;", &pool);
+  Tpq p = MustParseTpq("a//c", &pool);
+  Tpq r = MustParseTpq("a/b", &pool);
+  std::printf("\nwith DTD {a -> b c?}:\n");
+  std::printf("  schema-free: a//c ⊆ a/b?  %s\n",
+              Contains(p, r, Mode::kWeak, &pool).contained ? "yes" : "no");
+  std::printf("  with schema: a//c ⊆ a/b?  %s\n",
+              ContainedWithDtd(p, r, Mode::kWeak, d).yes ? "yes" : "no");
+
+  // --- Satisfiability and validity (Sections 4, 5). -----------------------
+  SchemaDecision sat =
+      SatisfiableWithDtd(MustParseTpq("a[b][c]", &pool), Mode::kWeak, d);
+  std::printf("\na[b][c] satisfiable w.r.t. the DTD? %s",
+              sat.yes ? "yes" : "no");
+  if (sat.witness.has_value()) {
+    std::printf("   witness: %s", sat.witness->ToString(pool).c_str());
+  }
+  SchemaDecision valid =
+      ValidWithDtd(MustParseTpq("a/b", &pool), Mode::kStrong, d);
+  std::printf("\na/b valid w.r.t. the DTD? %s\n", valid.yes ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Schema linter: given a DTD and a workload of tree pattern queries, report
+// for each query whether it is satisfiable, valid, and which other queries
+// it is contained in — the Sections 4-6 decision problems as a tool.
+//
+// Usage:  ./build/examples/schema_lint
+// (Runs on a built-in document-management schema; edit below to experiment.)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/label.h"
+#include "contain/minimize.h"
+#include "dtd/dtd.h"
+#include "pattern/tpq_parser.h"
+#include "schema/schema_engine.h"
+
+using namespace tpc;
+
+int main() {
+  LabelPool pool;
+  // A small document-management DTD: articles with sections, sections with
+  // titles and paragraphs, optional appendix; notes may nest.
+  Dtd dtd = MustParseDtd(
+      "root: article;"
+      "article -> meta section section* appendix?;"
+      "meta -> author author* date;"
+      "section -> title par* note*;"
+      "note -> par note?;"
+      "appendix -> section*;"
+      "author -> eps; date -> eps; title -> eps; par -> eps;",
+      &pool);
+  std::printf("Schema:\n%s\n", dtd.ToString(pool).c_str());
+
+  std::vector<std::string> queries = {
+      "article/section/title",      // valid: every article has a section
+      "article//par",               // satisfiable, not valid
+      "article/meta/date",          // valid
+      "article//note//note",        // nested notes
+      "section/note/par",           // satisfiable
+      "article/par",                // unsatisfiable: par is never a child
+      "note[par]//par",             // redundancy: par branch implied
+      "article//title",             // valid
+      "appendix//title",            // weakly satisfiable only
+  };
+
+  std::printf("%-24s %5s %5s %6s   notes\n", "query", "sat?", "valid",
+              "min");
+  for (const std::string& src : queries) {
+    Tpq q = MustParseTpq(src, &pool);
+    SchemaDecision sat = SatisfiableWithDtd(q, Mode::kWeak, dtd);
+    SchemaDecision valid = ValidWithDtd(q, Mode::kWeak, dtd);
+    Tpq min = MinimizeTpq(q, Mode::kWeak, &pool);
+    std::string note;
+    if (!sat.yes) {
+      note = "dead query (never matches any document)";
+    } else if (valid.yes) {
+      note = "tautology (matches every document)";
+    } else if (sat.witness.has_value()) {
+      note = "e.g. " + sat.witness->ToString(pool);
+    }
+    std::printf("%-24s %5s %5s %3d/%-3d  %s\n", src.c_str(),
+                sat.yes ? "yes" : "no", valid.yes ? "yes" : "no", min.size(),
+                q.size(), note.c_str());
+  }
+
+  // Pairwise containment report (with schema): which queries subsume which?
+  std::printf("\nContainment matrix w.r.t. the schema "
+              "(row ⊆ column = 'Y'):\n    ");
+  for (size_t j = 0; j < queries.size(); ++j) std::printf("%2zu ", j);
+  std::printf("\n");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Tpq p = MustParseTpq(queries[i], &pool);
+    std::printf("%2zu  ", i);
+    for (size_t j = 0; j < queries.size(); ++j) {
+      Tpq q = MustParseTpq(queries[j], &pool);
+      bool contained = ContainedWithDtd(p, q, Mode::kWeak, dtd).yes;
+      std::printf("%2s ", contained ? "Y" : ".");
+    }
+    std::printf("  %s\n", queries[i].c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Command-line front end to the library's decision procedures.
+//
+// Usage:
+//   tpc_cli contain  <p> <q> [weak|strong]
+//   tpc_cli contain  <p> <q> <dtd> [weak|strong]
+//   tpc_cli sat      <p> <dtd> [weak|strong]
+//   tpc_cli valid    <q> <dtd> [weak|strong]
+//   tpc_cli minimize <q>
+//   tpc_cli match    <q> <tree> [weak|strong]
+//
+// Patterns use XPath-like syntax (a/b//*[c]); trees use term syntax
+// (a(b,c(d))); DTDs use clause syntax ("root: a; a -> b c*; b -> eps;").
+//
+// Examples:
+//   tpc_cli contain 'a/b' 'a//b'
+//   tpc_cli contain 'a//c' 'a/b' 'root: a; a -> b c?; b -> eps; c -> eps;'
+//   tpc_cli sat 'a[b][c]' 'root: a; a -> b | c;'
+//   tpc_cli minimize 'a[b][b/c]'
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "base/label.h"
+#include "contain/containment.h"
+#include "contain/minimize.h"
+#include "dtd/dtd.h"
+#include "match/embedding.h"
+#include "pattern/tpq_parser.h"
+#include "schema/schema_engine.h"
+#include "tree/tree_parser.h"
+
+using namespace tpc;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tpc_cli contain  <p> <q> [<dtd>] [weak|strong]\n"
+               "  tpc_cli sat      <p> <dtd> [weak|strong]\n"
+               "  tpc_cli valid    <q> <dtd> [weak|strong]\n"
+               "  tpc_cli minimize <q>\n"
+               "  tpc_cli match    <q> <tree> [weak|strong]\n");
+  return 2;
+}
+
+Mode ParseMode(const char* arg) {
+  return std::strcmp(arg, "strong") == 0 ? Mode::kStrong : Mode::kWeak;
+}
+
+bool IsModeWord(const char* arg) {
+  return std::strcmp(arg, "weak") == 0 || std::strcmp(arg, "strong") == 0;
+}
+
+Tpq ParsePatternOrDie(const char* src, LabelPool* pool) {
+  ParseResult<Tpq> r = ParseTpq(src, pool);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bad pattern '%s': %s (offset %zu)\n", src,
+                 r.error().c_str(), r.error_offset());
+    std::exit(2);
+  }
+  return std::move(r.value());
+}
+
+Dtd ParseDtdOrDie(const char* src, LabelPool* pool) {
+  ParseResult<Dtd> r = ParseDtd(src, pool);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bad DTD: %s (offset %zu)\n", r.error().c_str(),
+                 r.error_offset());
+    std::exit(2);
+  }
+  return std::move(r.value());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  LabelPool pool;
+  std::string command = argv[1];
+
+  if (command == "contain") {
+    if (argc < 4) return Usage();
+    Tpq p = ParsePatternOrDie(argv[2], &pool);
+    Tpq q = ParsePatternOrDie(argv[3], &pool);
+    Mode mode = Mode::kWeak;
+    const char* dtd_src = nullptr;
+    for (int i = 4; i < argc; ++i) {
+      if (IsModeWord(argv[i])) {
+        mode = ParseMode(argv[i]);
+      } else {
+        dtd_src = argv[i];
+      }
+    }
+    if (dtd_src == nullptr) {
+      ContainmentResult r = Contains(p, q, mode, &pool);
+      std::printf("%s\n", r.contained ? "contained" : "NOT contained");
+      if (r.counterexample.has_value()) {
+        std::printf("counterexample: %s\n",
+                    r.counterexample->ToString(pool).c_str());
+      }
+      return r.contained ? 0 : 1;
+    }
+    Dtd d = ParseDtdOrDie(dtd_src, &pool);
+    SchemaDecision r = ContainedWithDtd(p, q, mode, d);
+    std::printf("%s (w.r.t. the DTD)\n",
+                r.yes ? "contained" : "NOT contained");
+    if (r.witness.has_value()) {
+      std::printf("counterexample: %s\n", r.witness->ToString(pool).c_str());
+    }
+    return r.yes ? 0 : 1;
+  }
+
+  if (command == "sat" || command == "valid") {
+    if (argc < 4) return Usage();
+    Tpq q = ParsePatternOrDie(argv[2], &pool);
+    Dtd d = ParseDtdOrDie(argv[3], &pool);
+    Mode mode = argc > 4 && IsModeWord(argv[4]) ? ParseMode(argv[4])
+                                                : Mode::kWeak;
+    SchemaDecision r = command == "sat" ? SatisfiableWithDtd(q, mode, d)
+                                        : ValidWithDtd(q, mode, d);
+    std::printf("%s\n", command == "sat"
+                            ? (r.yes ? "satisfiable" : "NOT satisfiable")
+                            : (r.yes ? "valid" : "NOT valid"));
+    if (r.witness.has_value()) {
+      std::printf("%s: %s\n", command == "sat" ? "witness" : "counterexample",
+                  r.witness->ToString(pool).c_str());
+    }
+    return r.yes ? 0 : 1;
+  }
+
+  if (command == "minimize") {
+    Tpq q = ParsePatternOrDie(argv[2], &pool);
+    Tpq min = MinimizeTpq(q, Mode::kWeak, &pool);
+    std::printf("%s\n", min.ToString(pool).c_str());
+    return 0;
+  }
+
+  if (command == "match") {
+    if (argc < 4) return Usage();
+    Tpq q = ParsePatternOrDie(argv[2], &pool);
+    ParseResult<Tree> t = ParseTree(argv[3], &pool);
+    if (!t.ok()) {
+      std::fprintf(stderr, "bad tree '%s': %s\n", argv[3],
+                   t.error().c_str());
+      return 2;
+    }
+    Mode mode = argc > 4 && IsModeWord(argv[4]) ? ParseMode(argv[4])
+                                                : Mode::kWeak;
+    bool matches = mode == Mode::kStrong ? MatchesStrong(q, t.value())
+                                         : MatchesWeak(q, t.value());
+    std::printf("%s\n", matches ? "match" : "no match");
+    return matches ? 0 : 1;
+  }
+  return Usage();
+}

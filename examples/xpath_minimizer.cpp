@@ -1,0 +1,52 @@
+// XPath/tree-pattern minimizer: removes redundant branches from patterns
+// using containment tests (the Related Work application of [21, 29]).
+//
+// Usage:  ./build/examples/xpath_minimizer ['pattern' ...]
+// With no arguments, a demonstration set is minimized.
+
+#include <cstdio>
+#include <vector>
+
+#include "base/label.h"
+#include "contain/minimize.h"
+#include "pattern/tpq_parser.h"
+
+using namespace tpc;
+
+namespace {
+
+void Minimize(const char* source, LabelPool* pool) {
+  ParseResult<Tpq> parsed = ParseTpq(source, pool);
+  if (!parsed.ok()) {
+    std::printf("%-28s  parse error: %s\n", source, parsed.error().c_str());
+    return;
+  }
+  const Tpq& q = parsed.value();
+  Tpq min = MinimizeTpq(q, Mode::kWeak, pool);
+  std::printf("%-28s  ->  %-20s (%d -> %d nodes)%s\n", source,
+              min.ToString(*pool).c_str(), q.size(), min.size(),
+              min.size() == q.size() ? "   [already minimal]" : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LabelPool pool;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) Minimize(argv[i], &pool);
+    return 0;
+  }
+  const char* demos[] = {
+      "a[b][b/c]",             // b is implied by b/c
+      "a[*]/b",                // the wildcard branch is witnessed by b
+      "a[//b][//c//b]",        // //b is implied by //c//b
+      "a[b][c]//d",            // already minimal
+      "r[a/*][a/b]//c",        // a/* subsumed by a/b
+      "x[*//y][//y]",          // //y subsumed by *//y
+      "a[b[c][*]][b/c]/d",     // nested redundancy
+  };
+  std::printf("Tree pattern minimization via containment "
+              "(weak semantics):\n\n");
+  for (const char* demo : demos) Minimize(demo, &pool);
+  return 0;
+}

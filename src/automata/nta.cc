@@ -1,0 +1,354 @@
+#include "automata/nta.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace tpc {
+
+namespace {
+
+constexpr int64_t kInfCost = std::numeric_limits<int64_t>::max() / 4;
+
+/// True iff `nfa` accepts some word whose symbols all satisfy `ok`.
+template <typename Pred>
+bool AcceptsSomeWordWhere(const Nfa& nfa, Pred ok) {
+  std::vector<bool> visited(nfa.num_states, false);
+  std::vector<int32_t> stack = {nfa.initial};
+  visited[nfa.initial] = true;
+  while (!stack.empty()) {
+    int32_t q = stack.back();
+    stack.pop_back();
+    if (nfa.accepting[q]) return true;
+    for (const auto& [s, t] : nfa.transitions[q]) {
+      if (!visited[t] && ok(s)) {
+        visited[t] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+  return false;
+}
+
+/// NFA accepting `pad* mid pad*` (or `pad*` if mid < 0).
+Nfa PaddedOne(Symbol pad, int64_t mid) {
+  Nfa nfa;
+  if (mid < 0) {
+    nfa.num_states = 1;
+    nfa.initial = 0;
+    nfa.accepting = {true};
+    nfa.transitions.resize(1);
+    nfa.transitions[0].emplace_back(pad, 0);
+    return nfa;
+  }
+  nfa.num_states = 2;
+  nfa.initial = 0;
+  nfa.accepting = {false, true};
+  nfa.transitions.resize(2);
+  nfa.transitions[0].emplace_back(pad, 0);
+  nfa.transitions[0].emplace_back(static_cast<Symbol>(mid), 1);
+  nfa.transitions[1].emplace_back(pad, 1);
+  return nfa;
+}
+
+}  // namespace
+
+int32_t Nta::AddState(bool is_final) {
+  final_.push_back(is_final);
+  return num_states_++;
+}
+
+void Nta::AddTransition(int32_t state, LabelId label, Nfa horizontal) {
+  assert(state >= 0 && state < num_states_);
+  if (label != kWildcard) AddAlphabetLabel(label);
+  transitions_.push_back({state, label, std::move(horizontal)});
+}
+
+void Nta::AddAlphabetLabel(LabelId label) {
+  auto it = std::lower_bound(alphabet_.begin(), alphabet_.end(), label);
+  if (it == alphabet_.end() || *it != label) alphabet_.insert(it, label);
+}
+
+std::vector<std::vector<bool>> Nta::RunSets(const Tree& t) const {
+  std::vector<std::vector<bool>> states(t.size(),
+                                        std::vector<bool>(num_states_, false));
+  for (NodeId v = t.size() - 1; v >= 0; --v) {
+    std::vector<NodeId> children = t.Children(v);
+    for (const Transition& tr : transitions_) {
+      if (tr.label != kWildcard && tr.label != t.Label(v)) continue;
+      if (states[v][tr.state]) continue;
+      // Does some choice of child states form a word in tr.horizontal?
+      std::vector<bool> current(tr.horizontal.num_states, false);
+      current[tr.horizontal.initial] = true;
+      for (NodeId c : children) {
+        std::vector<bool> next(tr.horizontal.num_states, false);
+        for (int32_t h = 0; h < tr.horizontal.num_states; ++h) {
+          if (!current[h]) continue;
+          for (const auto& [s, h2] : tr.horizontal.transitions[h]) {
+            if (s < static_cast<Symbol>(num_states_) && states[c][s]) {
+              next[h2] = true;
+            }
+          }
+        }
+        current = std::move(next);
+      }
+      for (int32_t h = 0; h < tr.horizontal.num_states; ++h) {
+        if (current[h] && tr.horizontal.accepting[h]) {
+          states[v][tr.state] = true;
+          break;
+        }
+      }
+    }
+  }
+  return states;
+}
+
+bool Nta::Accepts(const Tree& t) const {
+  if (t.empty()) return false;
+  std::vector<std::vector<bool>> states = RunSets(t);
+  for (int32_t q = 0; q < num_states_; ++q) {
+    if (final_[q] && states[0][q]) return true;
+  }
+  return false;
+}
+
+bool Nta::IsEmpty() const {
+  std::vector<bool> nonempty(num_states_, false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Transition& tr : transitions_) {
+      if (nonempty[tr.state]) continue;
+      if (AcceptsSomeWordWhere(tr.horizontal, [&](Symbol s) {
+            return s < static_cast<Symbol>(num_states_) && nonempty[s];
+          })) {
+        nonempty[tr.state] = true;
+        changed = true;
+      }
+    }
+  }
+  for (int32_t q = 0; q < num_states_; ++q) {
+    if (final_[q] && nonempty[q]) return false;
+  }
+  return true;
+}
+
+std::optional<Tree> Nta::SmallestWitness() const {
+  // cost[q] = size of the smallest tree admitting a run ending in q.
+  std::vector<int64_t> cost(num_states_, kInfCost);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Transition& tr : transitions_) {
+      // Cheapest accepting word of tr.horizontal, weights = cost of states.
+      const Nfa& h = tr.horizontal;
+      std::vector<int64_t> dist(h.num_states, kInfCost);
+      dist[h.initial] = 0;
+      using Entry = std::pair<int64_t, int32_t>;
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+      pq.emplace(0, h.initial);
+      int64_t best = kInfCost;
+      while (!pq.empty()) {
+        auto [d, s] = pq.top();
+        pq.pop();
+        if (d > dist[s]) continue;
+        if (h.accepting[s]) best = std::min(best, d);
+        for (const auto& [sym, s2] : h.transitions[s]) {
+          if (sym >= static_cast<Symbol>(num_states_)) continue;
+          int64_t w = cost[sym];
+          if (w >= kInfCost) continue;
+          if (d + w < dist[s2]) {
+            dist[s2] = d + w;
+            pq.emplace(dist[s2], s2);
+          }
+        }
+      }
+      if (best < kInfCost && best + 1 < cost[tr.state]) {
+        cost[tr.state] = best + 1;
+        changed = true;
+      }
+    }
+  }
+  int32_t root_state = -1;
+  for (int32_t q = 0; q < num_states_; ++q) {
+    if (final_[q] && cost[q] < kInfCost &&
+        (root_state < 0 || cost[q] < cost[root_state])) {
+      root_state = q;
+    }
+  }
+  if (root_state < 0) return std::nullopt;
+
+  // Expand: for each state, find the transition and children word realizing
+  // its cost; materialize recursively.
+  LabelId wildcard_label = alphabet_.empty() ? kWildcard : alphabet_[0];
+  Tree t;
+  // Worklist of (tree parent, state to realize); root first.
+  std::vector<std::pair<NodeId, int32_t>> work = {{kNoNode, root_state}};
+  while (!work.empty()) {
+    auto [parent, state] = work.back();
+    work.pop_back();
+    // Find a transition realizing cost[state].
+    const Transition* chosen = nullptr;
+    std::vector<int32_t> word;
+    for (const Transition& tr : transitions_) {
+      if (tr.state != state) continue;
+      const Nfa& h = tr.horizontal;
+      std::vector<int64_t> dist(h.num_states, kInfCost);
+      std::vector<std::pair<int32_t, int32_t>> parent_ptr(h.num_states,
+                                                          {-1, -1});
+      dist[h.initial] = 0;
+      using Entry = std::pair<int64_t, int32_t>;
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+      pq.emplace(0, h.initial);
+      int32_t best_state = -1;
+      int64_t best = kInfCost;
+      while (!pq.empty()) {
+        auto [d, s] = pq.top();
+        pq.pop();
+        if (d > dist[s]) continue;
+        if (h.accepting[s] && d < best) {
+          best = d;
+          best_state = s;
+        }
+        for (const auto& [sym, s2] : h.transitions[s]) {
+          if (sym >= static_cast<Symbol>(num_states_)) continue;
+          int64_t w = cost[sym];
+          if (w >= kInfCost) continue;
+          if (d + w < dist[s2]) {
+            dist[s2] = d + w;
+            parent_ptr[s2] = {s, static_cast<int32_t>(sym)};
+            pq.emplace(dist[s2], s2);
+          }
+        }
+      }
+      if (best + 1 == cost[state]) {
+        chosen = &tr;
+        for (int32_t s = best_state; parent_ptr[s].first >= 0;
+             s = parent_ptr[s].first) {
+          word.push_back(parent_ptr[s].second);
+        }
+        std::reverse(word.begin(), word.end());
+        break;
+      }
+    }
+    assert(chosen != nullptr && "cost fixpoint inconsistent");
+    LabelId label =
+        chosen->label == kWildcard ? wildcard_label : chosen->label;
+    NodeId node = parent == kNoNode ? t.AddRoot(label)
+                                    : t.AddChild(parent, label);
+    // Push children in reverse so they are expanded left-to-right.
+    for (auto it = word.rbegin(); it != word.rend(); ++it) {
+      work.emplace_back(node, *it);
+    }
+  }
+  return t;
+}
+
+Nta Nta::Intersect(const Nta& a, const Nta& b) {
+  Nta out;
+  int32_t nb = b.num_states_;
+  for (int32_t qa = 0; qa < a.num_states_; ++qa) {
+    for (int32_t qb = 0; qb < nb; ++qb) {
+      out.AddState(a.final_[qa] && b.final_[qb]);
+    }
+  }
+  for (LabelId l : a.alphabet_) out.AddAlphabetLabel(l);
+  for (LabelId l : b.alphabet_) out.AddAlphabetLabel(l);
+  for (const Transition& ta : a.transitions_) {
+    for (const Transition& tb : b.transitions_) {
+      LabelId label;
+      if (ta.label == kWildcard) {
+        label = tb.label;
+      } else if (tb.label == kWildcard || tb.label == ta.label) {
+        label = ta.label;
+      } else {
+        continue;
+      }
+      // Horizontal product over pair symbols (sa * nb + sb).
+      const Nfa& ha = ta.horizontal;
+      const Nfa& hb = tb.horizontal;
+      Nfa h;
+      h.num_states = ha.num_states * hb.num_states;
+      h.initial = ha.initial * hb.num_states + hb.initial;
+      h.accepting.assign(h.num_states, false);
+      h.transitions.resize(h.num_states);
+      for (int32_t sa = 0; sa < ha.num_states; ++sa) {
+        for (int32_t sb = 0; sb < hb.num_states; ++sb) {
+          int32_t s = sa * hb.num_states + sb;
+          h.accepting[s] = ha.accepting[sa] && hb.accepting[sb];
+          for (const auto& [syma, ta2] : ha.transitions[sa]) {
+            if (syma >= static_cast<Symbol>(a.num_states_)) continue;
+            for (const auto& [symb, tb2] : hb.transitions[sb]) {
+              if (symb >= static_cast<Symbol>(b.num_states_)) continue;
+              Symbol pair_sym = syma * nb + symb;
+              h.transitions[s].emplace_back(pair_sym,
+                                            ta2 * hb.num_states + tb2);
+            }
+          }
+        }
+      }
+      out.transitions_.push_back({ta.state * nb + tb.state, label,
+                                  std::move(h)});
+    }
+  }
+  return out;
+}
+
+Nta Nta::FromDtd(const Dtd& dtd) {
+  Nta out;
+  const std::vector<LabelId>& sigma = dtd.alphabet();
+  // State i corresponds to sigma[i].
+  for (LabelId a : sigma) out.AddState(dtd.IsStart(a));
+  auto index_of = [&](LabelId l) {
+    return static_cast<int32_t>(
+        std::lower_bound(sigma.begin(), sigma.end(), l) - sigma.begin());
+  };
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    const Nfa& rule = dtd.RuleNfa(sigma[i]);
+    Nfa h = rule;
+    // Remap symbols from label ids to state ids.
+    for (auto& ts : h.transitions) {
+      for (auto& [sym, tgt] : ts) {
+        sym = static_cast<Symbol>(index_of(sym));
+      }
+    }
+    out.AddTransition(static_cast<int32_t>(i), sigma[i], std::move(h));
+  }
+  return out;
+}
+
+Nta Nta::FromPathQuery(const Tpq& p, bool strong) {
+  assert(IsPathQuery(p));
+  int32_t m = p.size();  // nodes are v_0..v_{m-1} in a chain
+  Nta out;
+  // State layout: 0 = Top; 1..m = S_i (subpath from v_i strongly embeds
+  // here); m+1..2m = G_i (subpath from v_i embeds here or below).
+  int32_t top = out.AddState(false);
+  std::vector<int32_t> s_state(m), g_state(m);
+  for (int32_t i = 0; i < m; ++i) s_state[i] = out.AddState(false);
+  for (int32_t i = 0; i < m; ++i) g_state[i] = out.AddState(false);
+  out.SetFinal(strong ? s_state[0] : g_state[0], true);
+
+  // Top: any label, all children Top.
+  out.AddTransition(top, kWildcard, PaddedOne(top, -1));
+  for (int32_t i = 0; i < m; ++i) {
+    LabelId label = p.IsWildcard(i) ? kWildcard : p.Label(i);
+    Nfa h;
+    if (i + 1 == m) {
+      h = PaddedOne(top, -1);
+    } else if (p.Edge(i + 1) == EdgeKind::kChild) {
+      h = PaddedOne(top, s_state[i + 1]);
+    } else {
+      h = PaddedOne(top, g_state[i + 1]);
+    }
+    out.AddTransition(s_state[i], label, h);
+    out.AddTransition(g_state[i], label, std::move(h));
+    // G_i also holds if some child has G_i, regardless of the label.
+    out.AddTransition(g_state[i], kWildcard, PaddedOne(top, g_state[i]));
+  }
+  return out;
+}
+
+}  // namespace tpc

@@ -1,0 +1,84 @@
+// Nondeterministic unranked tree automata (NTAs).
+//
+// An NTA has vertical states 0..num_states-1; a transition (q, a, H) says a
+// node labelled `a` may be assigned state `q` if the left-to-right word of
+// its children's states belongs to the horizontal language H (an NFA over
+// state ids).  A tree is accepted if some run assigns a final state to the
+// root.  A transition whose label is `kWildcard` applies to every label.
+//
+// The paper uses NTAs for DTDs, for (complements of) pattern languages
+// (Observation 6.2), and as the common currency of the P upper bounds in
+// Section 6 (product + emptiness).
+
+#ifndef TPC_AUTOMATA_NTA_H_
+#define TPC_AUTOMATA_NTA_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "pattern/tpq.h"
+#include "regex/nfa.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+/// A nondeterministic unranked tree automaton.
+class Nta {
+ public:
+  struct Transition {
+    int32_t state;
+    LabelId label;  // kWildcard = applies to any label
+    Nfa horizontal;
+  };
+
+  int32_t num_states() const { return num_states_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  const std::vector<bool>& final_states() const { return final_; }
+
+  int32_t AddState(bool is_final = false);
+  void SetFinal(int32_t state, bool is_final) { final_[state] = is_final; }
+  void AddTransition(int32_t state, LabelId label, Nfa horizontal);
+
+  /// Declares `label` part of the label universe (used to materialize
+  /// witnesses for wildcard transitions).
+  void AddAlphabetLabel(LabelId label);
+  const std::vector<LabelId>& alphabet() const { return alphabet_; }
+
+  /// True iff some run assigns a final state to the root of `t`.
+  bool Accepts(const Tree& t) const;
+
+  /// True iff the accepted language is empty.  Polynomial time.
+  bool IsEmpty() const;
+
+  /// A smallest accepted tree, or nullopt if the language is empty.
+  /// Wildcard transitions are materialized with the first alphabet label
+  /// (a fresh one must be registered by the caller if needed).
+  std::optional<Tree> SmallestWitness() const;
+
+  /// Product automaton accepting the intersection of the two languages.
+  static Nta Intersect(const Nta& a, const Nta& b);
+
+  /// The NTA of a DTD: states are alphabet symbols, horizontal languages are
+  /// the content models, final states are the start symbols.
+  static Nta FromDtd(const Dtd& dtd);
+
+  /// A polynomial-size NTA for L_s(p) (`strong`) or L_w(p) of a *path* query
+  /// p ∈ PQ(/,//,*).  Precondition: IsPathQuery(p).
+  static Nta FromPathQuery(const Tpq& p, bool strong);
+
+ private:
+  /// States of `t`'s node `v` under all runs (bottom-up simulation).
+  std::vector<std::vector<bool>> RunSets(const Tree& t) const;
+
+  int32_t num_states_ = 0;
+  std::vector<bool> final_;
+  std::vector<Transition> transitions_;
+  std::vector<LabelId> alphabet_;  // sorted
+};
+
+}  // namespace tpc
+
+#endif  // TPC_AUTOMATA_NTA_H_

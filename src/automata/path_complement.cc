@@ -1,0 +1,117 @@
+#include "automata/path_complement.h"
+
+#include <cassert>
+#include <set>
+
+namespace tpc {
+
+namespace {
+
+/// Word NFA of a path query: `anchored` matches from the first letter
+/// (strong semantics), otherwise a Σ* prefix is allowed (weak semantics).
+Nfa PathWordNfa(const Tpq& q, const std::vector<LabelId>& sigma,
+                bool anchored) {
+  assert(IsPathQuery(q));
+  int32_t m = q.size();
+  Nfa nfa;
+  nfa.num_states = m + 1;
+  nfa.initial = 0;
+  nfa.accepting.assign(m + 1, false);
+  nfa.accepting[m] = true;
+  nfa.transitions.resize(m + 1);
+  if (!anchored) {
+    for (LabelId s : sigma) nfa.transitions[0].emplace_back(s, 0);
+  }
+  for (NodeId v = 0; v < m; ++v) {
+    if (q.IsWildcard(v)) {
+      for (LabelId s : sigma) nfa.transitions[v].emplace_back(s, v + 1);
+    } else {
+      nfa.transitions[v].emplace_back(q.Label(v), v + 1);
+    }
+    if (v >= 1 && q.Edge(v) == EdgeKind::kDescendant) {
+      for (LabelId s : sigma) nfa.transitions[v].emplace_back(s, v);
+    }
+  }
+  return nfa;
+}
+
+/// One-state NFA accepting (symbol)*.
+Nfa StarOf(Symbol symbol) {
+  Nfa nfa;
+  nfa.num_states = 1;
+  nfa.initial = 0;
+  nfa.accepting = {true};
+  nfa.transitions.resize(1);
+  nfa.transitions[0].emplace_back(symbol, 0);
+  return nfa;
+}
+
+}  // namespace
+
+Nta ComplementOfPathQueryNta(const Tpq& q, const std::vector<LabelId>& sigma,
+                             Mode mode) {
+  Nfa word_nfa = PathWordNfa(q, sigma, mode == Mode::kStrong);
+  std::vector<Symbol> extra(sigma.begin(), sigma.end());
+  Dfa dfa = Dfa::Determinize(word_nfa, extra);
+  // Lemma E.1: a run assigns each node the DFA state above it; the state
+  // after reading the node's label must be non-accepting and is passed to
+  // all children.
+  Nta out;
+  for (int32_t s = 0; s < dfa.num_states; ++s) {
+    out.AddState(s == dfa.initial);
+  }
+  for (LabelId a : sigma) out.AddAlphabetLabel(a);
+  for (int32_t s = 0; s < dfa.num_states; ++s) {
+    for (LabelId a : sigma) {
+      int32_t next = dfa.StepState(s, a);
+      if (dfa.accepting[next]) continue;  // an accepted path would complete
+      out.AddTransition(s, a, StarOf(static_cast<Symbol>(next)));
+    }
+  }
+  return out;
+}
+
+AutomataContainmentResult ContainedPathInPathViaAutomata(const Tpq& p,
+                                                         const Tpq& q,
+                                                         Mode mode,
+                                                         const Dtd& dtd) {
+  assert(IsPathQuery(p) && IsPathQuery(q));
+  std::set<LabelId> sigma_set(dtd.alphabet().begin(), dtd.alphabet().end());
+  for (NodeId v = 0; v < q.size(); ++v) {
+    if (!q.IsWildcard(v)) sigma_set.insert(q.Label(v));
+  }
+  for (NodeId v = 0; v < p.size(); ++v) {
+    if (!p.IsWildcard(v)) sigma_set.insert(p.Label(v));
+  }
+  std::vector<LabelId> sigma(sigma_set.begin(), sigma_set.end());
+  Nta product = Nta::Intersect(
+      Nta::Intersect(Nta::FromDtd(dtd),
+                     Nta::FromPathQuery(p, mode == Mode::kStrong)),
+      ComplementOfPathQueryNta(q, sigma, mode));
+  AutomataContainmentResult out;
+  out.product_states = product.num_states();
+  std::optional<Tree> witness = product.SmallestWitness();
+  out.contained = !witness.has_value();
+  out.counterexample = std::move(witness);
+  return out;
+}
+
+AutomataContainmentResult ValidPathViaAutomata(const Tpq& q, Mode mode,
+                                               const Dtd& dtd) {
+  assert(IsPathQuery(q));
+  std::set<LabelId> sigma_set(dtd.alphabet().begin(), dtd.alphabet().end());
+  for (NodeId v = 0; v < q.size(); ++v) {
+    if (!q.IsWildcard(v)) sigma_set.insert(q.Label(v));
+  }
+  std::vector<LabelId> sigma(sigma_set.begin(), sigma_set.end());
+  Nta product = Nta::Intersect(Nta::FromDtd(dtd),
+                               ComplementOfPathQueryNta(q, sigma, mode));
+  AutomataContainmentResult out;
+  out.product_states = product.num_states();
+  std::optional<Tree> witness = product.SmallestWitness();
+  out.contained = !witness.has_value();  // valid iff no counterexample
+  out.counterexample = std::move(witness);
+  return out;
+}
+
+}  // namespace tpc

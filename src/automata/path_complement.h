@@ -1,0 +1,59 @@
+// Complement automata for path-query languages (Observation 6.2(1) and
+// Lemma E.1 of the paper).
+//
+// For a path query q, membership of a tree in L_s(q) (resp. L_w(q)) only
+// depends on its root-to-node label paths: t ∈ L_s(q) iff some root path
+// lies in the word language W(q) (with `//` = gaps, `*` = any letter), and
+// t ∈ L_w(q) iff some root path lies in Σ*·W(q).  Lemma E.1 turns the DFA
+// for that word language into a polynomial NTA for the trees with *no*
+// accepted path: a run labels every node with the DFA state reached above
+// it, requires the successor state to be non-accepting, and passes it to
+// all children.
+//
+// For wildcard-free q the DFA is small and the whole pipeline is the
+// polynomial upper-bound machinery of Theorems 5.1/6.1(1); with wildcards
+// the determinization can blow up exponentially — which is exactly the
+// Figure 6 lower bound.
+
+#ifndef TPC_AUTOMATA_PATH_COMPLEMENT_H_
+#define TPC_AUTOMATA_PATH_COMPLEMENT_H_
+
+#include <vector>
+
+#include "automata/nta.h"
+#include "base/label.h"
+#include "contain/containment.h"  // Mode
+#include "dtd/dtd.h"
+#include "pattern/tpq.h"
+
+namespace tpc {
+
+/// The NTA accepting { t over `sigma` : t ∉ L_s(q) } (or L_w with
+/// Mode::kWeak).  Precondition: IsPathQuery(q); `sigma` must contain every
+/// letter of q.  Polynomial for wildcard-free q; worst-case exponential in
+/// the wildcard chains of q (Figure 6).
+Nta ComplementOfPathQueryNta(const Tpq& q, const std::vector<LabelId>& sigma,
+                             Mode mode);
+
+/// Theorem 6.1(1) via automata: decides L(p) ∩ L(d) ⊆ L(q) for path
+/// queries p, q by emptiness of d ∩ p ∩ ¬q.  Returns the decision and a
+/// counterexample tree when containment fails.
+struct AutomataContainmentResult {
+  bool contained = false;
+  std::optional<Tree> counterexample;
+  int32_t product_states = 0;
+};
+
+AutomataContainmentResult ContainedPathInPathViaAutomata(const Tpq& p,
+                                                         const Tpq& q,
+                                                         Mode mode,
+                                                         const Dtd& dtd);
+
+/// Validity of a path query w.r.t. a DTD via ¬q ∩ d emptiness
+/// (the Theorem 5.1 cases for paths).
+AutomataContainmentResult ValidPathViaAutomata(const Tpq& q, Mode mode,
+                                               const Dtd& dtd);
+
+}  // namespace tpc
+
+#endif  // TPC_AUTOMATA_PATH_COMPLEMENT_H_

@@ -1,0 +1,43 @@
+#include "automata/path_word.h"
+
+#include <cassert>
+
+namespace tpc {
+
+Nfa PathQueryWordNfa(const Tpq& q, const std::vector<LabelId>& sigma) {
+  assert(IsPathQuery(q));
+  // States 0..m: state i = "the first i pattern nodes are matched"; the
+  // initial state loops on Σ (the Σ* prefix); descendant edges add a
+  // skipping loop before consuming the next pattern node.
+  int32_t m = q.size();
+  Nfa nfa;
+  nfa.num_states = m + 1;
+  nfa.initial = 0;
+  nfa.accepting.assign(m + 1, false);
+  nfa.accepting[m] = true;
+  nfa.transitions.resize(m + 1);
+  for (LabelId s : sigma) nfa.transitions[0].emplace_back(s, 0);
+  for (NodeId v = 0; v < m; ++v) {
+    // Consume node v: from state v to state v+1.
+    if (q.IsWildcard(v)) {
+      for (LabelId s : sigma) nfa.transitions[v].emplace_back(s, v + 1);
+    } else {
+      nfa.transitions[v].emplace_back(q.Label(v), v + 1);
+    }
+    // A descendant edge to node v (v >= 1) allows extra letters before it:
+    // loop on the state *preceding* the consumption of v.
+    if (v >= 1 && q.Edge(v) == EdgeKind::kDescendant) {
+      for (LabelId s : sigma) nfa.transitions[v].emplace_back(s, v);
+    }
+  }
+  return nfa;
+}
+
+int32_t MinimalWatchDfaSize(const Tpq& q, const std::vector<LabelId>& sigma) {
+  Nfa nfa = PathQueryWordNfa(q, sigma);
+  std::vector<Symbol> extra(sigma.begin(), sigma.end());
+  Dfa dfa = Dfa::Determinize(nfa, extra);
+  return dfa.Minimize().num_states;
+}
+
+}  // namespace tpc

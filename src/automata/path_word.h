@@ -1,0 +1,37 @@
+// Word automata of path queries, used by the Figure 6 reproduction.
+//
+// Interpreted over a single downward path, a path query q ∈ PQ(/,//,*)
+// denotes a word language W(q) over Σ: letters must match, `*` matches any
+// letter and `//` skips one or more letters.  A tree weakly matches q iff
+// some root-to-node label sequence has a suffix... more precisely, iff some
+// root-to-node prefix of the tree lies in Σ* · W(q).
+//
+// Figure 6 of the paper exhibits q_n = a/*^{2n-?}-style patterns whose
+// complement automaton requires exponentially many states; the benchmark
+// reproduces this as the minimal-DFA size of Σ* · W(q) for the family
+// q = a/*^n/b, which is the classical "a exactly n+1 positions before the
+// end-marker b" language with 2^n states after minimization.
+
+#ifndef TPC_AUTOMATA_PATH_WORD_H_
+#define TPC_AUTOMATA_PATH_WORD_H_
+
+#include <vector>
+
+#include "base/label.h"
+#include "pattern/tpq.h"
+#include "regex/nfa.h"
+
+namespace tpc {
+
+/// Builds the NFA for Σ* · W(q) over the alphabet `sigma` (which must
+/// include every letter of q).  Precondition: IsPathQuery(q).
+Nfa PathQueryWordNfa(const Tpq& q, const std::vector<LabelId>& sigma);
+
+/// Number of states of the minimal complete DFA for Σ* · W(q) — the cost of
+/// deterministically "watching" for q along a path, and a lower bound on
+/// any deterministic automaton for the complement of L_w(q).
+int32_t MinimalWatchDfaSize(const Tpq& q, const std::vector<LabelId>& sigma);
+
+}  // namespace tpc
+
+#endif  // TPC_AUTOMATA_PATH_WORD_H_

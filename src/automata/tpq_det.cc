@@ -1,0 +1,47 @@
+#include "automata/tpq_det.h"
+
+namespace tpc {
+
+TpqDetAutomaton::TpqDetAutomaton(const Tpq& q) : q_(q) {}
+
+TpqDetAutomaton::StateId TpqDetAutomaton::Intern(State state) {
+  auto key = std::make_pair(state.sat, state.below);
+  auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  StateId id = static_cast<StateId>(states_.size());
+  states_.push_back(std::move(state));
+  ids_.emplace(std::move(key), id);
+  return id;
+}
+
+TpqDetAutomaton::StateId TpqDetAutomaton::StateFor(
+    LabelId label, const std::vector<StateId>& children) {
+  NodeBitset sat_union(q_.size());
+  NodeBitset below_union(q_.size());
+  for (StateId c : children) {
+    sat_union.UnionWith(states_[c].sat);
+    below_union.UnionWith(states_[c].below);
+  }
+  return StateForUnion(label, sat_union, below_union);
+}
+
+TpqDetAutomaton::StateId TpqDetAutomaton::StateForUnion(
+    LabelId label, const NodeBitset& children_sat,
+    const NodeBitset& children_below) {
+  State state{NodeBitset(q_.size()), NodeBitset(q_.size())};
+  // Pattern children have larger ids than parents, so one backwards pass
+  // computes Sat bottom-up over the pattern.
+  for (NodeId v = q_.size() - 1; v >= 0; --v) {
+    bool ok = q_.IsWildcard(v) || q_.Label(v) == label;
+    for (NodeId z = q_.FirstChild(v); z != kNoNode && ok;
+         z = q_.NextSibling(z)) {
+      ok = q_.Edge(z) == EdgeKind::kChild ? children_sat.Test(z)
+                                          : children_below.Test(z);
+    }
+    if (ok) state.sat.Set(v);
+    if (ok || children_below.Test(v)) state.below.Set(v);
+  }
+  return Intern(std::move(state));
+}
+
+}  // namespace tpc

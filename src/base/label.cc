@@ -1,0 +1,37 @@
+#include "base/label.h"
+
+namespace tpc {
+
+LabelPool::LabelPool() {
+  // The wildcard is pre-interned so that kWildcard == 0 in every pool.
+  Intern("*");
+}
+
+LabelId LabelPool::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId LabelPool::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNoLabel : it->second;
+}
+
+LabelId LabelPool::Fresh(std::string_view prefix) {
+  std::string candidate(prefix);
+  if (ids_.count(candidate) == 0) return Intern(candidate);
+  // Numeric suffixes keep Fresh amortized O(1) even when called once per
+  // decision on a long-lived pool (the containment procedures mint a fresh
+  // bottom label per call).
+  while (true) {
+    std::string numbered =
+        candidate + "'" + std::to_string(fresh_counter_++);
+    if (ids_.count(numbered) == 0) return Intern(numbered);
+  }
+}
+
+}  // namespace tpc

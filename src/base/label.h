@@ -1,0 +1,61 @@
+// Label interning for tree and pattern alphabets.
+//
+// Trees, patterns, DTDs and automata in this library all refer to labels by
+// small integer ids (`LabelId`).  A `LabelPool` owns the bidirectional mapping
+// between ids and their textual spelling.  The wildcard of tree pattern
+// queries is a distinguished, pre-interned label (`kWildcard`): patterns may
+// carry it, trees never do (Definition 2.1 of the paper).
+
+#ifndef TPC_BASE_LABEL_H_
+#define TPC_BASE_LABEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tpc {
+
+/// Interned label identifier.  Ids are dense and start at 0.
+using LabelId = uint32_t;
+
+/// The wildcard label `*`.  Always interned with id 0 in every pool.
+inline constexpr LabelId kWildcard = 0;
+
+/// An invalid/absent label, used as a sentinel.
+inline constexpr LabelId kNoLabel = UINT32_MAX;
+
+/// Owns the mapping between label spellings and dense `LabelId`s.
+///
+/// Thread-compatible (no internal synchronization).  Typical use is one pool
+/// per "universe" of related objects (patterns + trees + DTD under test).
+class LabelPool {
+ public:
+  LabelPool();
+
+  /// Returns the id for `name`, interning it if new.
+  LabelId Intern(std::string_view name);
+
+  /// Returns the id for `name` or `kNoLabel` if never interned.
+  LabelId Find(std::string_view name) const;
+
+  /// Returns the spelling of `id`.  Precondition: `id < size()`.
+  const std::string& Name(LabelId id) const { return names_[id]; }
+
+  /// Number of interned labels (including the wildcard).
+  size_t size() const { return names_.size(); }
+
+  /// Returns a label id guaranteed to be distinct from every id interned so
+  /// far; spelled `prefix`, `prefix'`, `prefix''`, ... until fresh.
+  LabelId Fresh(std::string_view prefix);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_BASE_LABEL_H_

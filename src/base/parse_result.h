@@ -1,0 +1,59 @@
+// Minimal error-or-value result type used by the parsers in this library.
+//
+// The public API does not throw across module boundaries (Google style);
+// parsers report malformed input through `ParseResult<T>`.
+
+#ifndef TPC_BASE_PARSE_RESULT_H_
+#define TPC_BASE_PARSE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tpc {
+
+/// Result of parsing: either a value or an error message with an offset into
+/// the input where the problem was detected.
+template <typename T>
+class ParseResult {
+ public:
+  static ParseResult Ok(T value) {
+    ParseResult r;
+    r.value_ = std::move(value);
+    return r;
+  }
+
+  static ParseResult Error(std::string message, size_t offset = 0) {
+    ParseResult r;
+    r.error_ = std::move(message);
+    r.offset_ = offset;
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The parsed value.  Precondition: `ok()`.
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+
+  /// Human-readable error.  Precondition: `!ok()`.
+  const std::string& error() const { return error_; }
+  size_t error_offset() const { return offset_; }
+
+ private:
+  ParseResult() = default;
+  std::optional<T> value_;
+  std::string error_;
+  size_t offset_ = 0;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_BASE_PARSE_RESULT_H_

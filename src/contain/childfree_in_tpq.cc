@@ -1,0 +1,178 @@
+// Theorem 3.2(2): weak containment of TPQ(//,*) (no child edges on the left)
+// in TPQ(/,//,*) in polynomial time, following Appendix B.1.3.
+//
+// First, q must be "singular": in every island, all non-wildcard nodes carry
+// the same letter and sit at the same depth relative to the island root.
+// Otherwise a canonical tree of p whose descendant edges are instantiated
+// with chains longer than |q| separates the letters of p too far for q to
+// embed, and containment fails.
+//
+// For singular q, Claim B.4 gives a recursion over subproblems
+// (u, k, x):  L_w(*^k(subquery_p(u))) ⊆ L_w(subquery_q(x))
+// whose two cases (♥) and (♥♥) are implemented below verbatim.
+
+#include <cassert>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "contain/containment.h"
+#include "pattern/normalize.h"
+
+namespace tpc {
+namespace {
+
+/// The island of q rooted at x: member nodes, the letter and (relative)
+/// letter depth if any, and the descendant-edge children below the island.
+struct IslandInfo {
+  std::vector<NodeId> nodes;
+  bool has_letters = false;
+  LabelId letter = kNoLabel;
+  int32_t letter_depth = -1;          // n, relative to x
+  bool singular = true;               // all letters equal, same depth
+  std::vector<NodeId> below;          // island roots below, ids in q
+  std::vector<int32_t> below_depth;   // d(x), relative to x
+};
+
+IslandInfo AnalyzeIsland(const Tpq& q, NodeId x) {
+  IslandInfo info;
+  std::vector<std::pair<NodeId, int32_t>> queue = {{x, 0}};
+  for (size_t i = 0; i < queue.size(); ++i) {
+    auto [v, depth] = queue[i];
+    info.nodes.push_back(v);
+    if (!q.IsWildcard(v)) {
+      if (!info.has_letters) {
+        info.has_letters = true;
+        info.letter = q.Label(v);
+        info.letter_depth = depth;
+      } else if (q.Label(v) != info.letter || depth != info.letter_depth) {
+        info.singular = false;
+      }
+    }
+    for (NodeId c = q.FirstChild(v); c != kNoNode; c = q.NextSibling(c)) {
+      if (q.Edge(c) == EdgeKind::kChild) {
+        queue.emplace_back(c, depth + 1);
+      } else {
+        info.below.push_back(c);
+        info.below_depth.push_back(depth + 1);
+      }
+    }
+  }
+  return info;
+}
+
+class ChildFreeSolver {
+ public:
+  ChildFreeSolver(const Tpq& p, const Tpq& q) : p_(p), q_(q) {
+    p_depth_.resize(p.size());
+    for (NodeId v = 1; v < p.size(); ++v) {
+      p_depth_[v] = p_depth_[p.Parent(v)] + 1;
+    }
+  }
+
+  /// Whether every island of q is singular (else containment fails).
+  bool QIsSingular() {
+    for (NodeId v = 0; v < q_.size(); ++v) {
+      if (v == 0 || q_.Edge(v) == EdgeKind::kDescendant) {
+        if (!AnalyzeIsland(q_, v).singular) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Decides L_w(*^k(subquery_p(u))) ⊆ L_w(subquery_q(x)).
+  bool Solve(NodeId u, int32_t k, NodeId x) {
+    auto key = std::make_tuple(u, k, x);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    memo_.emplace(key, false);  // provisional; recursion is on smaller q
+    bool result = Compute(u, k, x);
+    memo_[key] = result;
+    return result;
+  }
+
+ private:
+  bool Compute(NodeId u, int32_t k, NodeId x) {
+    IslandInfo island = AnalyzeIsland(q_, x);
+    assert(island.singular);
+    if (!island.has_letters) {
+      // Case (♥): the topmost island is a single wildcard node (a larger
+      // all-wildcard island would violate normalization).
+      assert(island.nodes.size() == 1);
+      for (NodeId z : island.below) {
+        if (!ExistsInR(u, k, z)) return false;
+      }
+      return true;
+    }
+    // Case (♥♥).  n = relative depth of the island's letters.
+    int32_t n = island.letter_depth;
+    LabelId a = island.letter;
+    // S: topmost a-labelled nodes of *^k(subquery(u)) at depth >= n.
+    std::vector<NodeId> s_set;
+    CollectS(u, u, k, n, a, &s_set);
+    for (NodeId cand : s_set) {
+      bool all_ok = true;
+      for (size_t i = 0; i < island.below.size() && all_ok; ++i) {
+        NodeId z = island.below[i];
+        int32_t d = island.below_depth[i];
+        assert(d >= 1 && d <= n + 1);
+        if (d <= n) {
+          // R_d(cand) = { *^{n-d}(subquery(cand)) }.
+          all_ok = Solve(cand, n - d, z);
+        } else {
+          // R_{n+1}(cand) = subqueries at the children of cand.
+          all_ok = ExistsChildSolve(cand, z);
+        }
+      }
+      if (all_ok) return true;
+    }
+    return false;
+  }
+
+  /// (♥) helper: is there p'' among the subqueries just below the root of
+  /// *^k(subquery(u)) with L_w(p'') ⊆ L_w(subquery_q(z))?
+  bool ExistsInR(NodeId u, int32_t k, NodeId z) {
+    if (k >= 1) return Solve(u, k - 1, z);
+    return ExistsChildSolve(u, z);
+  }
+
+  bool ExistsChildSolve(NodeId u, NodeId z) {
+    for (NodeId c = p_.FirstChild(u); c != kNoNode; c = p_.NextSibling(c)) {
+      if (Solve(c, 0, z)) return true;
+    }
+    return false;
+  }
+
+  /// Collects S: nodes v in subquery(u) labelled `a` whose depth in
+  /// *^k(subquery(u)) is >= n and with no a-labelled ancestor at depth >= n
+  /// within the subquery.
+  void CollectS(NodeId u, NodeId v, int32_t k, int32_t n, LabelId a,
+                std::vector<NodeId>* out) {
+    int32_t depth = k + p_depth_[v] - p_depth_[u];
+    if (!p_.IsWildcard(v) && p_.Label(v) == a && depth >= n) {
+      out->push_back(v);
+      return;  // deeper a-nodes have this one as a blocking ancestor
+    }
+    for (NodeId c = p_.FirstChild(v); c != kNoNode; c = p_.NextSibling(c)) {
+      CollectS(u, c, k, n, a, out);
+    }
+  }
+
+  const Tpq& p_;
+  const Tpq& q_;
+  std::vector<int32_t> p_depth_;
+  std::map<std::tuple<NodeId, int32_t, NodeId>, bool> memo_;
+};
+
+}  // namespace
+
+bool ChildFreeInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool) {
+  (void)pool;
+  assert(!FragmentOf(p).child_edges);
+  Tpq qn = Normalize(q);
+  ChildFreeSolver solver(p, qn);
+  if (!solver.QIsSingular()) return false;
+  return solver.Solve(0, 0, 0);
+}
+
+}  // namespace tpc

@@ -1,0 +1,148 @@
+#include "contain/containment.h"
+
+#include <cassert>
+
+#include "contain/homomorphism.h"
+#include "match/embedding.h"
+#include "pattern/canonical.h"
+#include "pattern/normalize.h"
+
+namespace tpc {
+
+int32_t CanonicalBound(const Tpq& q, ContainmentOptions::Bound bound) {
+  if (bound == ContainmentOptions::Bound::kAggressive) {
+    return LongestWildcardChain(q) + 1;
+  }
+  // Safe bound: |q|+1 ensures that, among the B+1 "gaps" of a bottom-label
+  // chain, at least one is not straddled by any child-edge-connected piece
+  // of q, so chains longer than B can be pumped (see DESIGN.md).
+  return q.size() + 1;
+}
+
+namespace {
+
+bool Matches(const Tpq& q, const Tree& t, Mode mode) {
+  return mode == Mode::kStrong ? MatchesStrong(q, t) : MatchesWeak(q, t);
+}
+
+/// Returns a copy of `q` with the root label replaced.
+Tpq WithRootLabel(const Tpq& q, LabelId label) {
+  Tpq out = q;
+  out.SetLabel(0, label);
+  return out;
+}
+
+}  // namespace
+
+ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
+                                       LabelPool* pool,
+                                       const ContainmentOptions& options) {
+  ContainmentResult result;
+  result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
+  LabelId bottom = pool->Fresh("_bot");
+  int32_t bound = CanonicalBound(q, options.bound);
+  size_t num_edges = DescendantEdges(p).size();
+  CanonicalLengthEnumerator lengths(num_edges, bound);
+  do {
+    Tree t = CanonicalTree(p, lengths.lengths(), bottom);
+    if (!Matches(q, t, mode)) {
+      result.contained = false;
+      result.counterexample = std::move(t);
+      return result;
+    }
+  } while (lengths.Next());
+  result.contained = true;
+  return result;
+}
+
+ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
+                           LabelPool* pool,
+                           const ContainmentOptions& options) {
+  assert(!p.empty() && !q.empty());
+  if (mode == Mode::kStrong) {
+    // Observation 2.3, schema-free case.  If q's root is a letter that p's
+    // root cannot be forced to match, strong containment fails outright
+    // (witness: any canonical tree of p).  Otherwise relabel both roots with
+    // a fresh letter and decide weak containment.
+    if (!q.IsWildcard(0) && (p.IsWildcard(0) || p.Label(0) != q.Label(0))) {
+      ContainmentResult result;
+      result.contained = false;
+      result.counterexample =
+          MinimalCanonicalTree(p, pool->Fresh("_bot"));
+      result.algorithm = ContainmentAlgorithm::kMinimalCanonical;
+      return result;
+    }
+    LabelId fresh_root = pool->Fresh("_root");
+    ContainmentResult result =
+        Contains(WithRootLabel(p, fresh_root), WithRootLabel(q, fresh_root),
+                 Mode::kWeak, pool, options);
+    if (result.counterexample.has_value() && !p.IsWildcard(0)) {
+      // Translate the counterexample back: its root carries the fresh label
+      // introduced by the reduction; restore p's root label (still outside
+      // L_s(q): any strong embedding of q would induce one of the relabeled
+      // pattern into the relabeled tree).
+      result.counterexample->SetLabel(0, p.Label(0));
+    }
+    return result;
+  }
+
+  Tpq qn = Normalize(q);
+  Fragment fp = FragmentOf(p);
+  Fragment fq = FragmentOf(qn);
+
+  if (!options.force_canonical) {
+    if (!fq.wildcard) {
+      // For wildcard-free q, an embedding into the canonical tree of p with
+      // every descendant chain instantiated by one ⊥ node can never touch a
+      // ⊥ node, so containment is exactly the existence of a homomorphism
+      // q -> p (Miklau & Suciu; the Theorem 3.1 region).
+      ContainmentResult result;
+      result.algorithm = ContainmentAlgorithm::kHomomorphism;
+      result.contained = HomomorphismExists(qn, p, /*root_to_root=*/false);
+      if (!result.contained) {
+        result.counterexample = CanonicalTree(
+            p, std::vector<int32_t>(DescendantEdges(p).size(), 1),
+            pool->Fresh("_bot"));
+      }
+      return result;
+    }
+    if (!fq.child_edges) {
+      // Theorem 3.2(3): for child-edge-free q, the minimal canonical tree of
+      // p decides containment (Appendix B.1.4: embeddings transfer from the
+      // minimal canonical tree to every canonical tree along `corr`, which
+      // preserves labels and ancestorship — all q needs).
+      ContainmentResult result;
+      result.algorithm = ContainmentAlgorithm::kMinimalCanonical;
+      Tree t = MinimalCanonicalTree(p, pool->Fresh("_bot"));
+      result.contained = Matches(qn, t, Mode::kWeak);
+      if (!result.contained) result.counterexample = std::move(t);
+      return result;
+    }
+    if (!fp.descendant_edges) {
+      // Theorems 3.1(2) / 3.2(4): p has a unique canonical tree.
+      ContainmentResult result;
+      result.algorithm = ContainmentAlgorithm::kSingleCanonical;
+      Tree t = MinimalCanonicalTree(p, pool->Fresh("_bot"));
+      result.contained = Matches(qn, t, Mode::kWeak);
+      if (!result.contained) result.counterexample = std::move(t);
+      return result;
+    }
+    if (IsPathQuery(p)) {
+      // Theorem 3.2(1).
+      ContainmentResult result;
+      result.algorithm = ContainmentAlgorithm::kPathInTpq;
+      result.contained = PathInTpqContained(p, qn, pool);
+      return result;
+    }
+    if (!fp.child_edges) {
+      // Theorem 3.2(2).
+      ContainmentResult result;
+      result.algorithm = ContainmentAlgorithm::kChildFreeInTpq;
+      result.contained = ChildFreeInTpqContained(p, qn, pool);
+      return result;
+    }
+  }
+  return CanonicalContainment(p, qn, Mode::kWeak, pool, options);
+}
+
+}  // namespace tpc

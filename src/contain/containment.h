@@ -1,0 +1,95 @@
+// Containment of tree pattern queries without schema information
+// (Section 3 and Appendix B of the paper).
+//
+// The public entry point is `Contains(p, q, mode)`, which dispatches on the
+// fragments of p and q:
+//
+//   * q wildcard-free (Thm 3.1 region, [34]): homomorphism test — for such q
+//     an embedding into the all-chains-length-1 canonical tree of p never
+//     touches a ⊥ node, so it is exactly a homomorphism q -> p.
+//   * q child-edge-free (Thm 3.2(3)):  test the minimal canonical tree of p
+//     (the `corr` argument of Appendix B.1.4 needs only ancestorship).
+//   * p descendant-free (Thm 3.1(2), 3.2(4)): p has a unique canonical tree.
+//   * p a path query (Thm 3.2(1)):     island recursion (Lemmas B.1, B.2).
+//   * p child-edge-free (Thm 3.2(2)):  singular-pattern DP (Claim B.4).
+//   * otherwise:                       bounded canonical-model enumeration
+//     (coNP procedure of Miklau & Suciu; exponential only in the number of
+//     descendant edges of p — and the problem is coNP-complete here,
+//     Thm 3.3).
+//
+// Strong containment is reduced to weak containment by the (schema-free)
+// root-relabelling of Observation 2.3.
+
+#ifndef TPC_CONTAIN_CONTAINMENT_H_
+#define TPC_CONTAIN_CONTAINMENT_H_
+
+#include <optional>
+#include <string>
+
+#include "base/label.h"
+#include "pattern/tpq.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+enum class Mode { kWeak, kStrong };
+
+/// Which decision procedure the dispatcher selected (for logging, tests and
+/// the Table 1 benchmarks).
+enum class ContainmentAlgorithm {
+  kHomomorphism,          // q wildcard-free
+  kMinimalCanonical,      // q child-edge-free (Theorem 3.2(3))
+  kSingleCanonical,       // p descendant-free
+  kPathInTpq,             // p path query (Theorem 3.2(1))
+  kChildFreeInTpq,        // p child-edge-free (Theorem 3.2(2))
+  kCanonicalEnumeration,  // general coNP procedure
+};
+
+struct ContainmentResult {
+  bool contained = false;
+  /// A tree in L(p) \ L(q) when not contained and the selected procedure
+  /// produces witnesses (the canonical-model based procedures do; the
+  /// recursive P algorithms of Theorems 3.2(1)/(2) do not).
+  std::optional<Tree> counterexample;
+  ContainmentAlgorithm algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
+};
+
+/// Options controlling the fallback canonical-model procedure.
+struct ContainmentOptions {
+  /// Chain-length bound for canonical models.  kSafe uses |q|+1, which we
+  /// prove sufficient by a counting argument; kAggressive uses the
+  /// Miklau-Suciu style bound (longest wildcard chain of q) + 1.
+  enum class Bound { kSafe, kAggressive };
+  Bound bound = Bound::kSafe;
+  /// If true, the dispatcher may not route to the fragment-specific P
+  /// algorithms (used by tests to force the general procedure).
+  bool force_canonical = false;
+};
+
+/// Decides L(p) ⊆ L(q) (weak or strong languages per `mode`).
+/// `pool` is used to mint fresh labels (⊥, fresh roots); it must be the pool
+/// the patterns were interned in.
+ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
+                           LabelPool* pool,
+                           const ContainmentOptions& options = {});
+
+/// The general canonical-model procedure (sound and complete for all
+/// fragments; exponential in the number of descendant edges of p).
+ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
+                                       LabelPool* pool,
+                                       const ContainmentOptions& options = {});
+
+/// Theorem 3.2(1): weak containment of a path query p in a TPQ q, in
+/// polynomial time.  Precondition: IsPathQuery(p).
+bool PathInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool);
+
+/// Theorem 3.2(2): weak containment of a child-edge-free p in a TPQ q, in
+/// polynomial time.  Precondition: p has no child edges.
+bool ChildFreeInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool);
+
+/// The chain-length bound used by `CanonicalContainment` for the pair (p,q).
+int32_t CanonicalBound(const Tpq& q, ContainmentOptions::Bound bound);
+
+}  // namespace tpc
+
+#endif  // TPC_CONTAIN_CONTAINMENT_H_

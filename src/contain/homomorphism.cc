@@ -1,0 +1,54 @@
+#include "contain/homomorphism.h"
+
+#include <vector>
+
+namespace tpc {
+
+bool HomomorphismExists(const Tpq& q, const Tpq& p, bool root_to_root) {
+  if (q.empty() || p.empty()) return false;
+  size_t np = static_cast<size_t>(p.size());
+  // sat[x * np + u]: subquery(x) of q maps with x -> u of p.
+  // below[x * np + u]: subquery(x) maps with x somewhere properly below u,
+  // or at u (used for descendant edges, which stretch across >= 1 edge).
+  std::vector<char> sat(static_cast<size_t>(q.size()) * np, 0);
+  std::vector<char> below(sat.size(), 0);
+  for (NodeId x = q.size() - 1; x >= 0; --x) {
+    for (NodeId u = p.size() - 1; u >= 0; --u) {
+      // Labels: a wildcard of q maps anywhere; a letter of q must map to the
+      // same letter of p (a wildcard of p stands for arbitrary letters, so a
+      // letter of q cannot safely map onto it).
+      bool ok = q.IsWildcard(x) || (!p.IsWildcard(u) && q.Label(x) == p.Label(u));
+      for (NodeId z = q.FirstChild(x); z != kNoNode && ok;
+           z = q.NextSibling(z)) {
+        bool found = false;
+        for (NodeId c = p.FirstChild(u); c != kNoNode && !found;
+             c = p.NextSibling(c)) {
+          if (q.Edge(z) == EdgeKind::kChild) {
+            // A child edge of q must map onto a child edge of p: any
+            // descendant edge of p can stretch over more than one level.
+            found = p.Edge(c) == EdgeKind::kChild && sat[z * np + c];
+          } else {
+            // A descendant edge of q maps onto any downward path of >= 1
+            // edge in p (every p-edge spans >= 1 level).
+            found = below[z * np + c] != 0;
+          }
+        }
+        ok = found;
+      }
+      sat[x * np + u] = ok;
+      bool b = ok;
+      for (NodeId c = p.FirstChild(u); c != kNoNode && !b;
+           c = p.NextSibling(c)) {
+        b = below[x * np + c] != 0;
+      }
+      below[x * np + u] = b;
+    }
+  }
+  if (root_to_root) return sat[0] != 0;
+  for (NodeId u = 0; u < p.size(); ++u) {
+    if (sat[static_cast<size_t>(u)] != 0) return true;  // x = 0 row
+  }
+  return false;
+}
+
+}  // namespace tpc

@@ -1,0 +1,24 @@
+// Pattern-to-pattern homomorphisms.
+//
+// A homomorphism from q to p witnesses containment: it maps nodes of q to
+// nodes of p such that labels are respected (wildcards of q match anything),
+// child edges map to child edges, and descendant edges map to proper
+// ancestor/descendant pairs.  Existence of a homomorphism is *sound* for
+// containment (L(p) ⊆ L(q)) in every fragment and *complete* for
+// wildcard-free q [Miklau & Suciu], which is how the minimal-canonical-tree
+// test of Theorem 3.2(3) can also be phrased.
+
+#ifndef TPC_CONTAIN_HOMOMORPHISM_H_
+#define TPC_CONTAIN_HOMOMORPHISM_H_
+
+#include "pattern/tpq.h"
+
+namespace tpc {
+
+/// True iff there is a homomorphism from q into p.  If `root_to_root`, the
+/// root of q must map to the root of p (strong-containment flavour).
+bool HomomorphismExists(const Tpq& q, const Tpq& p, bool root_to_root);
+
+}  // namespace tpc
+
+#endif  // TPC_CONTAIN_HOMOMORPHISM_H_

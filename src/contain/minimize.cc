@@ -1,0 +1,51 @@
+#include "contain/minimize.h"
+
+#include <cassert>
+#include <vector>
+
+namespace tpc {
+
+Tpq RemoveSubtree(const Tpq& q, NodeId v) {
+  assert(v != 0 && v < q.size());
+  // Mark the subtree of v.
+  std::vector<bool> removed(q.size(), false);
+  removed[v] = true;
+  for (NodeId u = v + 1; u < q.size(); ++u) {
+    if (q.Parent(u) >= 0 && removed[q.Parent(u)]) removed[u] = true;
+  }
+  Tpq out(q.Label(0));
+  std::vector<NodeId> image(q.size(), kNoNode);
+  image[0] = 0;
+  for (NodeId u = 1; u < q.size(); ++u) {
+    if (removed[u]) continue;
+    image[u] = out.AddChild(image[q.Parent(u)], q.Label(u), q.Edge(u));
+  }
+  return out;
+}
+
+bool EquivalentTpq(const Tpq& p, const Tpq& q, Mode mode, LabelPool* pool) {
+  return Contains(p, q, mode, pool).contained &&
+         Contains(q, p, mode, pool).contained;
+}
+
+Tpq MinimizeTpq(const Tpq& q, Mode mode, LabelPool* pool) {
+  Tpq current = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Try removing each non-root subtree, preferring deeper (smaller) cuts
+    // last so that single pass removals stay large.
+    for (NodeId v = 1; v < current.size(); ++v) {
+      Tpq candidate = RemoveSubtree(current, v);
+      // Removal weakens the pattern, so equivalence only needs one side.
+      if (Contains(candidate, current, mode, pool).contained) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace tpc

@@ -1,0 +1,31 @@
+// Tree pattern minimization via containment tests.
+//
+// Removing a subtree of a pattern only weakens it (L(q) ⊆ L(q')); if the
+// weakened pattern is still contained in the original, the subtree was
+// redundant.  Greedily removing redundant subtrees minimizes a large class
+// of TPQs [21]; whether *every* TPQ can be minimized this way is open [29]
+// (see Related Work).  This module exposes the procedure both as a library
+// feature and as the engine behind examples/xpath_minimizer.
+
+#ifndef TPC_CONTAIN_MINIMIZE_H_
+#define TPC_CONTAIN_MINIMIZE_H_
+
+#include "base/label.h"
+#include "contain/containment.h"
+#include "pattern/tpq.h"
+
+namespace tpc {
+
+/// Returns a copy of `q` without the subtree rooted at `v` (v != root).
+Tpq RemoveSubtree(const Tpq& q, NodeId v);
+
+/// Greedily removes redundant subtrees of `q` until none is removable,
+/// preserving L_s/L_w per `mode`.  The result is equivalent to `q`.
+Tpq MinimizeTpq(const Tpq& q, Mode mode, LabelPool* pool);
+
+/// True iff p and q are equivalent (mutual containment) under `mode`.
+bool EquivalentTpq(const Tpq& p, const Tpq& q, Mode mode, LabelPool* pool);
+
+}  // namespace tpc
+
+#endif  // TPC_CONTAIN_MINIMIZE_H_

@@ -1,0 +1,120 @@
+#include "contain/obs23.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "regex/regex.h"
+
+namespace tpc {
+
+namespace {
+
+/// Root labels of `pattern` intersected with the start symbols of `dtd`
+/// (R_p / R_q in the proof of Observation 2.3).
+std::vector<LabelId> RootLabels(const Tpq& pattern, const Dtd& dtd) {
+  if (pattern.IsWildcard(0)) return dtd.start();
+  if (dtd.IsStart(pattern.Label(0))) return {pattern.Label(0)};
+  return {};
+}
+
+Tpq WithRootLabel(const Tpq& pattern, LabelId label) {
+  Tpq out = pattern;
+  out.SetLabel(0, label);
+  return out;
+}
+
+/// Union of the content models of `labels` under `dtd`.
+Regex UnionOfRules(const std::vector<LabelId>& labels, const Dtd& dtd) {
+  std::vector<Regex> parts;
+  for (LabelId a : labels) parts.push_back(dtd.Rule(a));
+  return Regex::Union(std::move(parts));
+}
+
+}  // namespace
+
+SchemaContainmentInstance ReduceWeakToStrong(const Tpq& p, const Tpq& q,
+                                             const Dtd& dtd, LabelPool* pool) {
+  SchemaContainmentInstance out;
+  LabelId top = pool->Fresh("_top");
+  out.p = Tpq(top);
+  out.p.Graft(0, EdgeKind::kDescendant, p);
+  out.q = Tpq(top);
+  out.q.Graft(0, EdgeKind::kDescendant, q);
+  out.dtd = dtd;
+  std::vector<Regex> starts;
+  for (LabelId s : dtd.start()) starts.push_back(Regex::Letter(s));
+  Dtd fresh;
+  fresh.AddStart(top);
+  fresh.SetRule(top, Regex::Union(std::move(starts)));
+  for (LabelId a : dtd.alphabet()) fresh.SetRule(a, dtd.Rule(a));
+  out.dtd = std::move(fresh);
+  return out;
+}
+
+SchemaContainmentInstance ReduceStrongToWeak(const Tpq& p, const Tpq& q,
+                                             const Dtd& dtd, LabelPool* pool) {
+  std::vector<LabelId> rp = RootLabels(p, dtd);
+  std::vector<LabelId> rq = RootLabels(q, dtd);
+  bool rp_subset_rq = std::all_of(rp.begin(), rp.end(), [&](LabelId a) {
+    return std::find(rq.begin(), rq.end(), a) != rq.end();
+  });
+  std::vector<LabelId> common;
+  for (LabelId a : rp) {
+    if (std::find(rq.begin(), rq.end(), a) != rq.end()) common.push_back(a);
+  }
+
+  SchemaContainmentInstance out;
+  LabelId top = pool->Fresh("_top");
+  if (rp_subset_rq) {
+    // Case 1: whenever p's root can map somewhere, so can q's.  Replace both
+    // root labels by ⊤ whose rule is the union of the rules of R_p.
+    out.p = WithRootLabel(p, top);
+    out.q = WithRootLabel(q, top);
+    Dtd d;
+    d.AddStart(top);
+    d.SetRule(top, UnionOfRules(rp, dtd));
+    for (LabelId a : dtd.alphabet()) d.SetRule(a, dtd.Rule(a));
+    out.dtd = std::move(d);
+    return out;
+  }
+  if (common.empty()) {
+    // Case 2: q's root can never coincide with p's.  Containment holds iff
+    // L_s(p) ∩ L(d) is empty; rebuild as case 1 on the p side and give q a
+    // root label that occurs nowhere.
+    out.p = WithRootLabel(p, top);
+    out.q = WithRootLabel(q, pool->Fresh("_bad"));
+    Dtd d;
+    d.AddStart(top);
+    d.SetRule(top, UnionOfRules(rp, dtd));
+    for (LabelId a : dtd.alphabet()) d.SetRule(a, dtd.Rule(a));
+    out.dtd = std::move(d);
+    return out;
+  }
+  // Case 3: p's root is a wildcard, q's root a letter covering only part of
+  // R_p.  Attach ⊤ above p with a child edge; split the root alternatives
+  // into r_ok (labels where q's root could match) and r_bad (the rest).
+  LabelId r_ok = pool->Fresh("_rok");
+  LabelId r_bad = pool->Fresh("_rbad");
+  out.p = Tpq(top);
+  out.p.Graft(0, EdgeKind::kChild, p);
+  out.q = WithRootLabel(q, r_ok);
+  std::vector<LabelId> rest;
+  for (LabelId a : rp) {
+    if (std::find(common.begin(), common.end(), a) == common.end()) {
+      rest.push_back(a);
+    }
+  }
+  Dtd d;
+  d.AddStart(top);
+  std::vector<Regex> tops;
+  tops.push_back(Regex::Letter(r_ok));
+  if (!rest.empty()) tops.push_back(Regex::Letter(r_bad));
+  d.SetRule(top, Regex::Union(std::move(tops)));
+  d.SetRule(r_ok, UnionOfRules(common, dtd));
+  if (!rest.empty()) d.SetRule(r_bad, UnionOfRules(rest, dtd));
+  for (LabelId a : dtd.alphabet()) d.SetRule(a, dtd.Rule(a));
+  out.dtd = std::move(d);
+  return out;
+}
+
+}  // namespace tpc

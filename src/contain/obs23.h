@@ -1,0 +1,43 @@
+// The weak/strong interreductions of Observation 2.3, with DTDs.
+//
+// Strong containment always reduces to weak containment in polynomial time;
+// weak reduces to strong when both fragments have descendant edges (attach a
+// fresh root above both patterns with a descendant edge).  These reductions
+// justify presenting upper bounds for W-Containment and lower bounds for
+// S-Containment throughout the paper; here they are first-class citizens so
+// the property tests can check them against the decision engine.
+
+#ifndef TPC_CONTAIN_OBS23_H_
+#define TPC_CONTAIN_OBS23_H_
+
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "pattern/tpq.h"
+
+namespace tpc {
+
+/// A containment-with-DTD instance (p ⊆? q w.r.t. d) plus the mode it is to
+/// be decided in.
+struct SchemaContainmentInstance {
+  Tpq p;
+  Tpq q;
+  Dtd dtd;
+};
+
+/// Reduces W-Containment of (p, q) w.r.t. `dtd` to S-Containment: attaches a
+/// fresh ⊤-labelled root above both patterns with a descendant edge and
+/// gives the DTD the new start symbol ⊤ with rule ⊤ -> (S_d letters).
+/// The result must be decided with Mode::kStrong.
+SchemaContainmentInstance ReduceWeakToStrong(const Tpq& p, const Tpq& q,
+                                             const Dtd& dtd, LabelPool* pool);
+
+/// Reduces S-Containment of (p, q) w.r.t. `dtd` to W-Containment, following
+/// the three-case construction in the appendix proof of Observation 2.3
+/// (common fresh root / disjoint root labels / wildcard-vs-letter with the
+/// r_ok, r_bad split).  The result must be decided with Mode::kWeak.
+SchemaContainmentInstance ReduceStrongToWeak(const Tpq& p, const Tpq& q,
+                                             const Dtd& dtd, LabelPool* pool);
+
+}  // namespace tpc
+
+#endif  // TPC_CONTAIN_OBS23_H_

@@ -1,0 +1,558 @@
+#include "dtd/dtd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace tpc {
+
+namespace {
+
+constexpr int64_t kInfCost = std::numeric_limits<int64_t>::max() / 4;
+
+const Regex& EpsilonRule() {
+  static const Regex* kEpsilon = new Regex(Regex::Epsilon());
+  return *kEpsilon;
+}
+
+/// Replaces letters outside `allowed` by the empty set and simplifies.
+Regex RestrictRegex(const Regex& r, const std::set<LabelId>& allowed) {
+  switch (r.kind()) {
+    case Regex::Kind::kEmptySet:
+    case Regex::Kind::kEpsilon:
+      return r.kind() == Regex::Kind::kEmptySet ? Regex::EmptySet()
+                                                : Regex::Epsilon();
+    case Regex::Kind::kLetter:
+      return allowed.count(r.letter()) ? Regex::Letter(r.letter())
+                                       : Regex::EmptySet();
+    case Regex::Kind::kConcat: {
+      std::vector<Regex> parts;
+      for (const Regex& c : r.children()) {
+        Regex rc = RestrictRegex(c, allowed);
+        if (rc.kind() == Regex::Kind::kEmptySet) return Regex::EmptySet();
+        if (rc.kind() == Regex::Kind::kEpsilon) continue;
+        parts.push_back(std::move(rc));
+      }
+      return Regex::Concat(std::move(parts));
+    }
+    case Regex::Kind::kUnion: {
+      std::vector<Regex> parts;
+      for (const Regex& c : r.children()) {
+        Regex rc = RestrictRegex(c, allowed);
+        if (rc.kind() == Regex::Kind::kEmptySet) continue;
+        parts.push_back(std::move(rc));
+      }
+      return Regex::Union(std::move(parts));
+    }
+    case Regex::Kind::kStar: {
+      Regex rc = RestrictRegex(r.children()[0], allowed);
+      if (rc.kind() == Regex::Kind::kEmptySet ||
+          rc.kind() == Regex::Kind::kEpsilon) {
+        return Regex::Epsilon();
+      }
+      return Regex::Star(std::move(rc));
+    }
+    case Regex::Kind::kPlus: {
+      Regex rc = RestrictRegex(r.children()[0], allowed);
+      if (rc.kind() == Regex::Kind::kEmptySet) return Regex::EmptySet();
+      return Regex::Plus(std::move(rc));
+    }
+    case Regex::Kind::kOptional: {
+      Regex rc = RestrictRegex(r.children()[0], allowed);
+      if (rc.kind() == Regex::Kind::kEmptySet) return Regex::Epsilon();
+      return Regex::Optional(std::move(rc));
+    }
+  }
+  return Regex::EmptySet();
+}
+
+/// True iff the NFA accepts some word over `allowed` symbols.
+bool AcceptsSomeWordOver(const Nfa& nfa, const std::set<LabelId>& allowed) {
+  std::vector<bool> visited(nfa.num_states, false);
+  std::vector<int32_t> stack = {nfa.initial};
+  visited[nfa.initial] = true;
+  while (!stack.empty()) {
+    int32_t q = stack.back();
+    stack.pop_back();
+    if (nfa.accepting[q]) return true;
+    for (const auto& [s, target] : nfa.transitions[q]) {
+      if (!visited[target] && allowed.count(s)) {
+        visited[target] = true;
+        stack.push_back(target);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void Dtd::AddSymbol(LabelId symbol) {
+  auto it = std::lower_bound(alphabet_.begin(), alphabet_.end(), symbol);
+  if (it == alphabet_.end() || *it != symbol) alphabet_.insert(it, symbol);
+}
+
+void Dtd::SetRule(LabelId symbol, Regex content) {
+  AddSymbol(symbol);
+  for (LabelId l : content.Labels()) AddSymbol(l);
+  nfa_cache_.clear();
+  cost_cache_.clear();
+  rules_.insert_or_assign(symbol, std::move(content));
+}
+
+void Dtd::AddStart(LabelId symbol) {
+  AddSymbol(symbol);
+  auto it = std::lower_bound(start_.begin(), start_.end(), symbol);
+  if (it == start_.end() || *it != symbol) start_.insert(it, symbol);
+}
+
+bool Dtd::IsStart(LabelId symbol) const {
+  return std::binary_search(start_.begin(), start_.end(), symbol);
+}
+
+bool Dtd::InAlphabet(LabelId symbol) const {
+  return std::binary_search(alphabet_.begin(), alphabet_.end(), symbol);
+}
+
+const Regex& Dtd::Rule(LabelId symbol) const {
+  auto it = rules_.find(symbol);
+  return it == rules_.end() ? EpsilonRule() : it->second;
+}
+
+const Nfa& Dtd::RuleNfa(LabelId symbol) const {
+  auto it = nfa_cache_.find(symbol);
+  if (it == nfa_cache_.end()) {
+    it = nfa_cache_.emplace(symbol, Nfa::FromRegex(Rule(symbol))).first;
+  }
+  return it->second;
+}
+
+bool Dtd::SatisfiesRules(const Tree& t) const {
+  if (t.empty()) return false;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (!InAlphabet(t.Label(v))) return false;
+    std::vector<Symbol> word;
+    for (NodeId c = t.FirstChild(v); c != kNoNode; c = t.NextSibling(c)) {
+      word.push_back(t.Label(c));
+    }
+    if (!RuleNfa(t.Label(v)).Accepts(word)) return false;
+  }
+  return true;
+}
+
+bool Dtd::Satisfies(const Tree& t) const {
+  if (t.empty() || !IsStart(t.Label(0))) return false;
+  return SatisfiesRules(t);
+}
+
+Dtd Dtd::WithStart(LabelId a) const {
+  Dtd out = *this;
+  out.start_.clear();
+  out.AddStart(a);
+  return out;
+}
+
+std::vector<LabelId> Dtd::GeneratingSymbols() const {
+  std::set<LabelId> generating;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (LabelId a : alphabet_) {
+      if (generating.count(a)) continue;
+      if (AcceptsSomeWordOver(RuleNfa(a), generating)) {
+        generating.insert(a);
+        changed = true;
+      }
+    }
+  }
+  return {generating.begin(), generating.end()};
+}
+
+bool Dtd::IsEmptyLanguage() const {
+  std::vector<LabelId> gen = GeneratingSymbols();
+  for (LabelId s : start_) {
+    if (std::binary_search(gen.begin(), gen.end(), s)) return false;
+  }
+  return true;
+}
+
+Dtd Dtd::Reduce() const {
+  std::vector<LabelId> gen_vec = GeneratingSymbols();
+  std::set<LabelId> generating(gen_vec.begin(), gen_vec.end());
+  // Reachability through generating contexts: a symbol b is reachable if it
+  // labels a node of some tree in L(d).  Start from generating start symbols;
+  // from a reachable a, the letters usable in a word of L(d(a)) over
+  // generating symbols are those on a path from a forward-reachable state to
+  // a backward-coreachable state.
+  std::set<LabelId> reachable;
+  std::vector<LabelId> frontier;
+  for (LabelId s : start_) {
+    if (generating.count(s) && reachable.insert(s).second) {
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    LabelId a = frontier.back();
+    frontier.pop_back();
+    const Nfa& nfa = RuleNfa(a);
+    // Forward-reachable states over generating symbols.
+    std::vector<bool> fwd(nfa.num_states, false);
+    std::vector<int32_t> stack = {nfa.initial};
+    fwd[nfa.initial] = true;
+    while (!stack.empty()) {
+      int32_t q = stack.back();
+      stack.pop_back();
+      for (const auto& [s, t] : nfa.transitions[q]) {
+        if (generating.count(s) && !fwd[t]) {
+          fwd[t] = true;
+          stack.push_back(t);
+        }
+      }
+    }
+    // Backward-coreachable states (to accepting) over generating symbols.
+    std::vector<std::vector<int32_t>> rev(nfa.num_states);
+    for (int32_t q = 0; q < nfa.num_states; ++q) {
+      for (const auto& [s, t] : nfa.transitions[q]) {
+        if (generating.count(s)) rev[t].push_back(q);
+      }
+    }
+    std::vector<bool> bwd(nfa.num_states, false);
+    for (int32_t q = 0; q < nfa.num_states; ++q) {
+      if (nfa.accepting[q] && !bwd[q]) {
+        bwd[q] = true;
+        stack.push_back(q);
+      }
+    }
+    while (!stack.empty()) {
+      int32_t q = stack.back();
+      stack.pop_back();
+      for (int32_t p : rev[q]) {
+        if (!bwd[p]) {
+          bwd[p] = true;
+          stack.push_back(p);
+        }
+      }
+    }
+    // Letters on useful paths.
+    for (int32_t q = 0; q < nfa.num_states; ++q) {
+      if (!fwd[q]) continue;
+      for (const auto& [s, t] : nfa.transitions[q]) {
+        if (generating.count(s) && bwd[t] && reachable.insert(s).second) {
+          frontier.push_back(s);
+        }
+      }
+    }
+  }
+
+  Dtd out;
+  for (LabelId a : reachable) {
+    out.AddSymbol(a);
+    out.SetRule(a, RestrictRegex(Rule(a), reachable));
+  }
+  for (LabelId s : start_) {
+    if (reachable.count(s)) out.AddStart(s);
+  }
+  return out;
+}
+
+bool Dtd::IsReduced() const {
+  Dtd reduced = Reduce();
+  return reduced.alphabet() == alphabet_ && reduced.start() == start_;
+}
+
+Tree Dtd::SmallestTree(LabelId a) const {
+  // Fixpoint: cost(b) = 1 + min over accepting NFA paths of sum of costs.
+  if (cost_cache_.empty()) {
+    for (LabelId b : alphabet_) cost_cache_[b] = kInfCost;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (LabelId b : alphabet_) {
+        const Nfa& nfa = RuleNfa(b);
+        // Dijkstra over NFA states, edge weight = current cost of symbol.
+        std::vector<int64_t> dist(nfa.num_states, kInfCost);
+        dist[nfa.initial] = 0;
+        using Entry = std::pair<int64_t, int32_t>;
+        std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+        pq.emplace(0, nfa.initial);
+        int64_t best = kInfCost;
+        while (!pq.empty()) {
+          auto [d, q] = pq.top();
+          pq.pop();
+          if (d > dist[q]) continue;
+          if (nfa.accepting[q]) best = std::min(best, d);
+          for (const auto& [s, t] : nfa.transitions[q]) {
+            int64_t w = cost_cache_[s];
+            if (w >= kInfCost) continue;
+            if (d + w < dist[t]) {
+              dist[t] = d + w;
+              pq.emplace(dist[t], t);
+            }
+          }
+        }
+        int64_t new_cost = best >= kInfCost ? kInfCost : best + 1;
+        if (new_cost < cost_cache_[b]) {
+          cost_cache_[b] = new_cost;
+          changed = true;
+        }
+      }
+    }
+  }
+  if (!InAlphabet(a) || cost_cache_[a] >= kInfCost) return Tree();
+  // Reconstruct: expand each node with its cheapest word.
+  Tree t(a);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    LabelId b = t.Label(v);
+    const Nfa& nfa = RuleNfa(b);
+    // Dijkstra with parent pointers to extract the cheapest accepting word.
+    std::vector<int64_t> dist(nfa.num_states, kInfCost);
+    std::vector<std::pair<int32_t, LabelId>> parent(nfa.num_states,
+                                                    {-1, kNoLabel});
+    dist[nfa.initial] = 0;
+    using Entry = std::pair<int64_t, int32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    pq.emplace(0, nfa.initial);
+    int32_t best_state = -1;
+    int64_t best = kInfCost;
+    while (!pq.empty()) {
+      auto [d, q] = pq.top();
+      pq.pop();
+      if (d > dist[q]) continue;
+      if (nfa.accepting[q] && d < best) {
+        best = d;
+        best_state = q;
+      }
+      for (const auto& [s, tgt] : nfa.transitions[q]) {
+        int64_t w = cost_cache_[s];
+        if (w >= kInfCost) continue;
+        if (d + w < dist[tgt]) {
+          dist[tgt] = d + w;
+          parent[tgt] = {q, s};
+          pq.emplace(dist[tgt], tgt);
+        }
+      }
+    }
+    assert(best_state >= 0);
+    std::vector<LabelId> word;
+    for (int32_t q = best_state; parent[q].first >= 0; q = parent[q].first) {
+      word.push_back(parent[q].second);
+    }
+    std::reverse(word.begin(), word.end());
+    for (LabelId c : word) t.AddChild(v, c);
+  }
+  return t;
+}
+
+void Dtd::SampleChildren(NodeId node, Tree* t, std::mt19937* rng,
+                         int32_t* budget) const {
+  LabelId a = t->Label(node);
+  const Nfa& nfa = RuleNfa(a);
+  // Min completion cost from each NFA state (in tree nodes), via backward
+  // Dijkstra over reversed transitions weighted by symbol costs.
+  SmallestTree(a);  // ensure cost_cache_ is populated
+  std::vector<int64_t> completion(nfa.num_states, kInfCost);
+  {
+    std::vector<std::vector<std::pair<Symbol, int32_t>>> rev(nfa.num_states);
+    for (int32_t q = 0; q < nfa.num_states; ++q) {
+      for (const auto& [s, tgt] : nfa.transitions[q]) {
+        rev[tgt].emplace_back(s, q);
+      }
+    }
+    using Entry = std::pair<int64_t, int32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    for (int32_t q = 0; q < nfa.num_states; ++q) {
+      if (nfa.accepting[q]) {
+        completion[q] = 0;
+        pq.emplace(0, q);
+      }
+    }
+    while (!pq.empty()) {
+      auto [d, q] = pq.top();
+      pq.pop();
+      if (d > completion[q]) continue;
+      for (const auto& [s, p] : rev[q]) {
+        int64_t w = cost_cache_.at(s);
+        if (w >= kInfCost) continue;
+        if (d + w < completion[p]) {
+          completion[p] = d + w;
+          pq.emplace(completion[p], p);
+        }
+      }
+    }
+  }
+  int32_t state = nfa.initial;
+  while (true) {
+    // Candidate moves that still admit completion within a sane bound.
+    std::vector<std::pair<Symbol, int32_t>> moves;
+    for (const auto& [s, tgt] : nfa.transitions[state]) {
+      int64_t w = cost_cache_.at(s);
+      if (w >= kInfCost || completion[tgt] >= kInfCost) continue;
+      if (w + completion[tgt] <= std::max<int64_t>(*budget, 0)) {
+        moves.emplace_back(s, tgt);
+      }
+    }
+    bool can_stop = nfa.accepting[state];
+    if (moves.empty() && can_stop) break;
+    if (moves.empty()) {
+      // Must continue along the cheapest completion even over budget.
+      Symbol best_s = 0;
+      int32_t best_t = -1;
+      int64_t best_cost = kInfCost;
+      for (const auto& [s, tgt] : nfa.transitions[state]) {
+        int64_t w = cost_cache_.at(s);
+        if (w >= kInfCost || completion[tgt] >= kInfCost) continue;
+        if (w + completion[tgt] < best_cost) {
+          best_cost = w + completion[tgt];
+          best_s = s;
+          best_t = tgt;
+        }
+      }
+      assert(best_t >= 0);
+      NodeId child = t->AddChild(node, best_s);
+      *budget -= static_cast<int32_t>(cost_cache_.at(best_s));
+      state = best_t;
+      (void)child;
+      continue;
+    }
+    // Randomly stop (if allowed) or take a random feasible move.
+    std::uniform_int_distribution<size_t> pick(0, moves.size() - (can_stop ? 0 : 1));
+    size_t i = pick(*rng);
+    if (can_stop && i == moves.size()) break;
+    auto [s, tgt] = moves[i];
+    t->AddChild(node, s);
+    *budget -= static_cast<int32_t>(cost_cache_.at(s));
+    state = tgt;
+  }
+}
+
+Tree Dtd::SampleTree(std::mt19937* rng, int32_t size_budget) const {
+  std::vector<LabelId> gen = GeneratingSymbols();
+  std::vector<LabelId> candidates;
+  for (LabelId s : start_) {
+    if (std::binary_search(gen.begin(), gen.end(), s)) candidates.push_back(s);
+  }
+  assert(!candidates.empty() && "SampleTree requires a nonempty language");
+  std::uniform_int_distribution<size_t> pick(0, candidates.size() - 1);
+  Tree t(candidates[pick(*rng)]);
+  int32_t budget = size_budget - 1;
+  // Expand breadth-first; node ids grow, so a single pass visits all nodes.
+  for (NodeId v = 0; v < t.size(); ++v) {
+    SampleChildren(v, &t, rng, &budget);
+  }
+  return t;
+}
+
+int32_t Dtd::Size() const {
+  int32_t n = static_cast<int32_t>(alphabet_.size() + start_.size());
+  for (const auto& [a, r] : rules_) n += r.Size();
+  return n;
+}
+
+std::string Dtd::ToString(const LabelPool& pool) const {
+  std::string out = "root:";
+  for (size_t i = 0; i < start_.size(); ++i) {
+    out += (i ? " | " : " ") + pool.Name(start_[i]);
+  }
+  out += ";\n";
+  for (const auto& [a, r] : rules_) {
+    out += pool.Name(a) + " -> " + r.ToString(pool) + ";\n";
+  }
+  return out;
+}
+
+namespace {
+
+bool IsLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' ||
+         c == '\'' || c == '-';
+}
+
+}  // namespace
+
+ParseResult<Dtd> ParseDtd(std::string_view input, LabelPool* pool) {
+  Dtd dtd;
+  size_t pos = 0;
+  auto skip = [&] {
+    while (pos < input.size() &&
+           std::isspace(static_cast<unsigned char>(input[pos]))) {
+      ++pos;
+    }
+  };
+  auto read_ident = [&]() -> std::string_view {
+    skip();
+    size_t start = pos;
+    while (pos < input.size() && IsLabelChar(input[pos])) ++pos;
+    return input.substr(start, pos - start);
+  };
+  bool saw_root = false;
+  while (true) {
+    skip();
+    if (pos >= input.size()) break;
+    size_t clause_start = pos;
+    std::string_view ident = read_ident();
+    if (ident.empty()) {
+      return ParseResult<Dtd>::Error("expected a symbol or 'root'", pos);
+    }
+    skip();
+    if (ident == "root" && pos < input.size() && input[pos] == ':') {
+      if (saw_root) {
+        return ParseResult<Dtd>::Error("duplicate root clause", clause_start);
+      }
+      saw_root = true;
+      ++pos;
+      while (true) {
+        std::string_view s = read_ident();
+        if (s.empty()) {
+          return ParseResult<Dtd>::Error("expected a start symbol", pos);
+        }
+        dtd.AddStart(pool->Intern(s));
+        skip();
+        if (pos < input.size() && input[pos] == '|') {
+          ++pos;
+          continue;
+        }
+        break;
+      }
+    } else if (pos + 1 < input.size() && input[pos] == '-' &&
+               input[pos + 1] == '>') {
+      pos += 2;
+      size_t body_start = pos;
+      while (pos < input.size() && input[pos] != ';') ++pos;
+      ParseResult<Regex> body =
+          ParseRegex(input.substr(body_start, pos - body_start), pool);
+      if (!body.ok()) {
+        return ParseResult<Dtd>::Error("in rule body: " + body.error(),
+                                       body_start + body.error_offset());
+      }
+      dtd.SetRule(pool->Intern(ident), std::move(body.value()));
+    } else {
+      return ParseResult<Dtd>::Error("expected ':' (after root) or '->'", pos);
+    }
+    skip();
+    if (pos >= input.size() || input[pos] != ';') {
+      return ParseResult<Dtd>::Error("expected ';'", pos);
+    }
+    ++pos;
+  }
+  if (dtd.start().empty()) {
+    return ParseResult<Dtd>::Error("missing root clause", 0);
+  }
+  return ParseResult<Dtd>::Ok(std::move(dtd));
+}
+
+Dtd MustParseDtd(std::string_view input, LabelPool* pool) {
+  ParseResult<Dtd> result = ParseDtd(input, pool);
+  if (!result.ok()) {
+    std::fprintf(stderr, "MustParseDtd: %s (at offset %zu)\n",
+                 result.error().c_str(), result.error_offset());
+    std::abort();
+  }
+  return std::move(result.value());
+}
+
+}  // namespace tpc

@@ -1,0 +1,120 @@
+// Document Type Definitions, abstracted as extended context-free grammars
+// (Definition 2.2 of the paper).
+//
+// A DTD maps each alphabet symbol to a regular expression over the alphabet
+// and designates a set of start symbols.  A tree satisfies the DTD if its
+// root is labelled by a start symbol and, at every node, the left-to-right
+// word of children labels is in the language of the node label's rule.
+//
+// As in the paper, all algorithms assume *reduced* DTDs: every alphabet
+// symbol occurs in some tree of L(d).  `Reduce()` computes the reduction in
+// polynomial time.
+
+#ifndef TPC_DTD_DTD_H_
+#define TPC_DTD_DTD_H_
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/label.h"
+#include "base/parse_result.h"
+#include "regex/nfa.h"
+#include "regex/regex.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+/// A DTD (Σ, d, S_d).  Symbols without an explicit rule implicitly map to ε
+/// (they must be leaves), following the convention of Example 7.3.
+class Dtd {
+ public:
+  Dtd() = default;
+
+  /// Declares `symbol` part of the alphabet (idempotent).
+  void AddSymbol(LabelId symbol);
+
+  /// Sets the rule `symbol -> content`.  Adds `symbol` and all labels of
+  /// `content` to the alphabet.
+  void SetRule(LabelId symbol, Regex content);
+
+  /// Adds a start symbol (and puts it in the alphabet).
+  void AddStart(LabelId symbol);
+
+  const std::vector<LabelId>& alphabet() const { return alphabet_; }
+  const std::vector<LabelId>& start() const { return start_; }
+  bool IsStart(LabelId symbol) const;
+  bool InAlphabet(LabelId symbol) const;
+
+  /// The rule for `symbol` (ε if none was set).
+  const Regex& Rule(LabelId symbol) const;
+
+  /// The compiled (Glushkov) automaton of `symbol`'s rule, cached.
+  const Nfa& RuleNfa(LabelId symbol) const;
+
+  /// True iff `t` satisfies this DTD (root label in S_d, all content models
+  /// respected).
+  bool Satisfies(const Tree& t) const;
+
+  /// Like `Satisfies` but ignores the start-symbol requirement on the root.
+  bool SatisfiesRules(const Tree& t) const;
+
+  /// The DTD `d^a`: same rules, start set {a} (Appendix notation).
+  Dtd WithStart(LabelId a) const;
+
+  /// Computes the reduced, equivalent DTD: only symbols that are both
+  /// generating (derive a finite tree) and reachable from a generating start
+  /// symbol remain; dead letters are pruned from the rules.
+  Dtd Reduce() const;
+
+  /// True iff every alphabet symbol occurs in some tree of L(d).
+  bool IsReduced() const;
+
+  /// Symbols that can derive a finite tree.
+  std::vector<LabelId> GeneratingSymbols() const;
+
+  /// True iff L(d) is empty (no start symbol is generating).
+  bool IsEmptyLanguage() const;
+
+  /// A smallest tree in L(d^a), if `a` is generating.
+  /// Returns an empty tree otherwise.
+  Tree SmallestTree(LabelId a) const;
+
+  /// Samples a random tree from L(d), biased to at most ~`size_budget`
+  /// nodes (hard bounds enforced by steering derivations toward short
+  /// completions).  Precondition: L(d) is nonempty.
+  Tree SampleTree(std::mt19937* rng, int32_t size_budget) const;
+
+  /// Total size |Σ| + |S_d| + Σ|d(a)| as defined in the paper.
+  int32_t Size() const;
+
+  std::string ToString(const LabelPool& pool) const;
+
+ private:
+  /// Expands one symbol during sampling: appends children of `node`.
+  void SampleChildren(NodeId node, Tree* t, std::mt19937* rng,
+                      int32_t* budget) const;
+
+  std::vector<LabelId> alphabet_;  // sorted
+  std::vector<LabelId> start_;     // sorted
+  std::map<LabelId, Regex> rules_;
+  mutable std::map<LabelId, Nfa> nfa_cache_;
+  mutable std::map<LabelId, int64_t> cost_cache_;  // min tree size per symbol
+};
+
+/// Parses a DTD.  Concrete syntax (whitespace insignificant):
+///   root: a | b ;
+///   a -> b c* ;
+///   b -> eps ;
+/// Each clause ends with `;`.  `root:` may appear once with a `|`-separated
+/// list of start symbols.  Symbols without rules default to ε.
+ParseResult<Dtd> ParseDtd(std::string_view input, LabelPool* pool);
+
+/// Parses or aborts; for trusted inputs in tests and examples.
+Dtd MustParseDtd(std::string_view input, LabelPool* pool);
+
+}  // namespace tpc
+
+#endif  // TPC_DTD_DTD_H_

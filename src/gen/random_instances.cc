@@ -1,0 +1,100 @@
+#include "gen/random_instances.h"
+
+#include <cassert>
+#include <string>
+
+namespace tpc {
+
+Tree RandomTree(const RandomTreeOptions& options, std::mt19937* rng) {
+  assert(!options.labels.empty() && options.size >= 1);
+  std::uniform_int_distribution<size_t> pick_label(0,
+                                                   options.labels.size() - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  Tree t(options.labels[pick_label(*rng)]);
+  NodeId frontier = 0;  // the current "deep" node
+  while (t.size() < options.size) {
+    LabelId label = options.labels[pick_label(*rng)];
+    if (coin(*rng) < options.branch_bias) {
+      // Widen: attach to a uniformly random existing node.
+      std::uniform_int_distribution<NodeId> pick_node(0, t.size() - 1);
+      t.AddChild(pick_node(*rng), label);
+    } else {
+      // Deepen: extend the frontier chain.
+      frontier = t.AddChild(frontier, label);
+    }
+  }
+  return t;
+}
+
+Tpq RandomTpq(const RandomTpqOptions& options, std::mt19937* rng) {
+  assert(!options.labels.empty() && options.size >= 1);
+  const Fragment& f = options.fragment;
+  assert((f.child_edges || f.descendant_edges || options.size == 1) &&
+         "a multi-node pattern needs at least one edge kind");
+  std::uniform_int_distribution<size_t> pick_label(0,
+                                                   options.labels.size() - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  auto pick = [&]() -> LabelId {
+    if (f.wildcard && coin(*rng) < options.wildcard_prob) return kWildcard;
+    return options.labels[pick_label(*rng)];
+  };
+  auto edge = [&]() -> EdgeKind {
+    if (!f.descendant_edges) return EdgeKind::kChild;
+    if (!f.child_edges) return EdgeKind::kDescendant;
+    return coin(*rng) < options.descendant_prob ? EdgeKind::kDescendant
+                                                : EdgeKind::kChild;
+  };
+  Tpq q(pick());
+  NodeId frontier = 0;
+  while (q.size() < options.size) {
+    if (f.branching && coin(*rng) < options.branch_bias) {
+      std::uniform_int_distribution<NodeId> pick_node(0, q.size() - 1);
+      q.AddChild(pick_node(*rng), pick(), edge());
+    } else {
+      frontier = q.AddChild(frontier, pick(), edge());
+    }
+  }
+  return q;
+}
+
+Dtd RandomDtd(const RandomDtdOptions& options, std::mt19937* rng) {
+  assert(!options.labels.empty());
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  Dtd dtd;
+  size_t n = options.labels.size();
+  for (size_t i = 0; i < n; ++i) {
+    // Content model: a concatenation of atoms over labels with index > i
+    // (so the grammar is acyclic and every symbol generates), where each
+    // atom may be starred/optional.  The last symbol always maps to ε.
+    std::vector<Regex> parts;
+    if (i + 1 < n) {
+      std::uniform_int_distribution<int32_t> num_atoms(0,
+                                                       options.max_rule_size);
+      std::uniform_int_distribution<size_t> pick_ref(i + 1, n - 1);
+      int32_t k = num_atoms(*rng);
+      for (int32_t j = 0; j < k; ++j) {
+        Regex atom = Regex::Letter(options.labels[pick_ref(*rng)]);
+        if (coin(*rng) < options.star_prob) {
+          atom = Regex::Star(std::move(atom));
+        } else if (coin(*rng) < options.optional_prob) {
+          atom = Regex::Optional(std::move(atom));
+        }
+        parts.push_back(std::move(atom));
+      }
+    }
+    dtd.SetRule(options.labels[i], Regex::Concat(std::move(parts)));
+  }
+  dtd.AddStart(options.labels[0]);
+  return dtd.Reduce();
+}
+
+std::vector<LabelId> MakeLabels(int32_t n, LabelPool* pool) {
+  std::vector<LabelId> out;
+  out.reserve(n);
+  for (int32_t i = 0; i < n; ++i) {
+    out.push_back(pool->Intern("l" + std::to_string(i)));
+  }
+  return out;
+}
+
+}  // namespace tpc

@@ -1,0 +1,65 @@
+// Seeded random generators for trees, patterns, and DTDs.
+//
+// Used by property tests (cross-checking independent implementations on
+// random instances) and by the polynomial-scaling benchmarks.  All
+// generators are deterministic given the RNG state.
+
+#ifndef TPC_GEN_RANDOM_INSTANCES_H_
+#define TPC_GEN_RANDOM_INSTANCES_H_
+
+#include <random>
+#include <vector>
+
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "pattern/tpq.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+/// Options for random generation.  `labels` is the set of letters to draw
+/// from (must not contain the wildcard).
+struct RandomTreeOptions {
+  std::vector<LabelId> labels;
+  int32_t size = 10;          // exact node count
+  double branch_bias = 0.5;   // 0 = always deepen, 1 = always widen
+};
+
+/// A uniform-ish random tree with exactly `size` nodes.
+Tree RandomTree(const RandomTreeOptions& options, std::mt19937* rng);
+
+struct RandomTpqOptions {
+  std::vector<LabelId> labels;
+  int32_t size = 6;               // exact node count
+  Fragment fragment;              // features the pattern may use
+  double wildcard_prob = 0.3;     // used only if fragment.wildcard
+  double descendant_prob = 0.4;   // used only if both edge kinds allowed
+  double branch_bias = 0.4;       // used only if fragment.branching
+};
+
+/// A random pattern within the requested fragment.
+///
+/// Note: with `size >= 2`, at least one edge exists, so the result uses the
+/// edge kind(s) the fragment allows; wildcard/branching presence is
+/// probabilistic.
+Tpq RandomTpq(const RandomTpqOptions& options, std::mt19937* rng);
+
+struct RandomDtdOptions {
+  std::vector<LabelId> labels;
+  int32_t max_rule_size = 4;     // atoms per content model
+  double star_prob = 0.4;        // chance an atom is starred
+  double optional_prob = 0.3;    // chance an atom is optional
+};
+
+/// A random reduced DTD over `labels` with the first label as start symbol.
+/// The construction only references labels at higher indices from lower
+/// ones, which guarantees all symbols are generating; the result is then
+/// reduced so every remaining symbol is also reachable.
+Dtd RandomDtd(const RandomDtdOptions& options, std::mt19937* rng);
+
+/// Interns `n` letters "l0".."l{n-1}" into `pool` and returns their ids.
+std::vector<LabelId> MakeLabels(int32_t n, LabelPool* pool);
+
+}  // namespace tpc
+
+#endif  // TPC_GEN_RANDOM_INSTANCES_H_

@@ -1,0 +1,89 @@
+#include "graphdb/graph.h"
+
+#include <cassert>
+
+namespace tpc {
+
+NodeId Graph::AddNode(LabelId type) {
+  types_.push_back(type);
+  out_.emplace_back();
+  return static_cast<NodeId>(types_.size()) - 1;
+}
+
+void Graph::AddEdge(NodeId from, NodeId to) {
+  assert(from >= 0 && from < size() && to >= 0 && to < size());
+  out_[from].push_back(to);
+}
+
+std::vector<char> Graph::ProperReachability() const {
+  size_t n = static_cast<size_t>(size());
+  std::vector<char> reach(n * n, 0);
+  for (NodeId u = 0; u < size(); ++u) {
+    // BFS from u along edges.
+    std::vector<NodeId> stack = {u};
+    std::vector<char> seen(n, 0);
+    while (!stack.empty()) {
+      NodeId x = stack.back();
+      stack.pop_back();
+      for (NodeId y : out_[x]) {
+        if (!seen[y]) {
+          seen[y] = 1;
+          reach[u * n + y] = 1;
+          stack.push_back(y);
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+Tree Graph::Unfold(NodeId start, int32_t depth) const {
+  Tree t(types_[start]);
+  // (tree node, graph node, remaining depth)
+  std::vector<std::tuple<NodeId, NodeId, int32_t>> queue = {{0, start, depth}};
+  for (size_t i = 0; i < queue.size(); ++i) {
+    auto [tv, gv, d] = queue[i];
+    if (d == 0) continue;
+    for (NodeId succ : out_[gv]) {
+      NodeId child = t.AddChild(tv, types_[succ]);
+      queue.emplace_back(child, succ, d - 1);
+    }
+  }
+  return t;
+}
+
+Graph Graph::FromTree(const Tree& t) {
+  Graph g;
+  for (NodeId v = 0; v < t.size(); ++v) g.AddNode(t.Label(v));
+  for (NodeId v = 1; v < t.size(); ++v) g.AddEdge(t.Parent(v), v);
+  g.SetRoot(0);
+  return g;
+}
+
+NodeId TypedGraph::AddNode(LabelId type) {
+  types_.push_back(type);
+  return static_cast<NodeId>(types_.size()) - 1;
+}
+
+void TypedGraph::AddEdge(NodeId from, LabelId edge_label, NodeId to) {
+  assert(from >= 0 && from < size() && to >= 0 && to < size());
+  edges_.push_back({from, edge_label, to});
+}
+
+LabelId PairType(LabelId edge_label, LabelId node_type, LabelPool* pool) {
+  return pool->Intern(pool->Name(edge_label) + ":" + pool->Name(node_type));
+}
+
+Graph TypedGraph::ToNodeLabelled(LabelPool* pool) const {
+  Graph g;
+  for (NodeId v = 0; v < size(); ++v) g.AddNode(types_[v]);
+  for (const Edge& e : edges_) {
+    NodeId mid = g.AddNode(PairType(e.label, types_[e.to], pool));
+    g.AddEdge(e.from, mid);
+    g.AddEdge(mid, e.to);
+  }
+  if (root_ != kNoNode) g.SetRoot(root_);
+  return g;
+}
+
+}  // namespace tpc

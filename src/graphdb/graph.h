@@ -1,0 +1,89 @@
+// Node-labelled graphs and typed (node- and edge-labelled) graphs
+// (Section 7 of the paper).
+//
+// A `Graph` abstracts a graph database with node types only; a `TypedGraph`
+// additionally labels edges and translates to a node-labelled graph G^N by
+// subdividing every edge with a node typed (edge label, target type)
+// (Section 7.2).
+
+#ifndef TPC_GRAPHDB_GRAPH_H_
+#define TPC_GRAPHDB_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/label.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+/// A node-labelled directed graph, optionally rooted.
+class Graph {
+ public:
+  NodeId AddNode(LabelId type);
+  void AddEdge(NodeId from, NodeId to);
+  void SetRoot(NodeId root) { root_ = root; }
+
+  int32_t size() const { return static_cast<int32_t>(types_.size()); }
+  LabelId Type(NodeId v) const { return types_[v]; }
+  const std::vector<NodeId>& Successors(NodeId v) const { return out_[v]; }
+  NodeId root() const { return root_; }
+  bool HasRoot() const { return root_ != kNoNode; }
+
+  /// Reachability closure: reach[u * size() + v] iff a directed path of
+  /// length >= 1 leads from u to v.
+  std::vector<char> ProperReachability() const;
+
+  /// The (finite, depth-bounded) unfolding of the graph from `start` as a
+  /// tree: each tree node is a copy of a graph node; children enumerate the
+  /// successors.  `depth` bounds the unfolding (Proposition 7.1 prunes the
+  /// infinite unfolding to the image of an embedding, so a bound suffices
+  /// for testing).
+  Tree Unfold(NodeId start, int32_t depth) const;
+
+  /// Imports a tree as a graph (each tree edge becomes a directed edge,
+  /// the tree root becomes the graph root).
+  static Graph FromTree(const Tree& t);
+
+ private:
+  std::vector<LabelId> types_;
+  std::vector<std::vector<NodeId>> out_;
+  NodeId root_ = kNoNode;
+};
+
+/// A typed graph over (Σ edge labels, Γ node types).
+class TypedGraph {
+ public:
+  NodeId AddNode(LabelId type);
+  void AddEdge(NodeId from, LabelId edge_label, NodeId to);
+  void SetRoot(NodeId root) { root_ = root; }
+
+  int32_t size() const { return static_cast<int32_t>(types_.size()); }
+  LabelId Type(NodeId v) const { return types_[v]; }
+
+  struct Edge {
+    NodeId from;
+    LabelId label;
+    NodeId to;
+  };
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// The node-labelled translation G^N of Section 7.2: every edge (u,a,v)
+  /// becomes a fresh node typed `pair_type(a, type(v))` (interned in `pool`
+  /// as "a:type") spliced between u and v.
+  Graph ToNodeLabelled(LabelPool* pool) const;
+
+  NodeId root() const { return root_; }
+
+ private:
+  std::vector<LabelId> types_;
+  std::vector<Edge> edges_;
+  NodeId root_ = kNoNode;
+};
+
+/// Interns the paired symbol "(e,t)" used by graph DTDs and G^N.
+LabelId PairType(LabelId edge_label, LabelId node_type, LabelPool* pool);
+
+}  // namespace tpc
+
+#endif  // TPC_GRAPHDB_GRAPH_H_

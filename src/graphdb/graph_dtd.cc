@@ -1,0 +1,89 @@
+#include "graphdb/graph_dtd.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace tpc {
+
+bool UnorderedAccepts(const Nfa& nfa, std::vector<Symbol> word) {
+  std::sort(word.begin(), word.end());
+  // Distinct symbols and their multiplicities.
+  std::vector<Symbol> symbols;
+  std::vector<int32_t> counts;
+  for (Symbol s : word) {
+    if (!symbols.empty() && symbols.back() == s) {
+      ++counts.back();
+    } else {
+      symbols.push_back(s);
+      counts.push_back(1);
+    }
+  }
+  // Memoized search over (NFA state, remaining multiset).
+  std::set<std::pair<int32_t, std::vector<int32_t>>> visited;
+  std::vector<std::pair<int32_t, std::vector<int32_t>>> stack;
+  stack.emplace_back(nfa.initial, counts);
+  visited.insert(stack.back());
+  while (!stack.empty()) {
+    auto [q, remaining] = stack.back();
+    stack.pop_back();
+    bool done = std::all_of(remaining.begin(), remaining.end(),
+                            [](int32_t c) { return c == 0; });
+    if (done && nfa.accepting[q]) return true;
+    for (const auto& [s, target] : nfa.transitions[q]) {
+      auto it = std::lower_bound(symbols.begin(), symbols.end(), s);
+      if (it == symbols.end() || *it != s) continue;
+      size_t idx = static_cast<size_t>(it - symbols.begin());
+      if (remaining[idx] == 0) continue;
+      std::vector<int32_t> next = remaining;
+      --next[idx];
+      auto key = std::make_pair(target, std::move(next));
+      if (visited.insert(key).second) stack.push_back(std::move(key));
+    }
+  }
+  return false;
+}
+
+bool GraphSatisfiesDtdNodesOnly(const Graph& g, const Dtd& dtd) {
+  if (g.HasRoot() && !dtd.IsStart(g.Type(g.root()))) return false;
+  for (NodeId u = 0; u < g.size(); ++u) {
+    if (!dtd.InAlphabet(g.Type(u))) return false;
+    std::vector<Symbol> types;
+    for (NodeId v : g.Successors(u)) types.push_back(g.Type(v));
+    if (!UnorderedAccepts(dtd.RuleNfa(g.Type(u)), std::move(types))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TypedGraphSatisfiesDtd(const TypedGraph& g, const Dtd& dtd,
+                            LabelPool* pool) {
+  if (g.root() != kNoNode && !dtd.IsStart(g.Type(g.root()))) return false;
+  // Node condition: the multiset of (edge label, target type) pairs of each
+  // node's outgoing edges permutes into the node type's content model.
+  std::map<NodeId, std::vector<Symbol>> outgoing;
+  for (const TypedGraph::Edge& e : g.edges()) {
+    outgoing[e.from].push_back(PairType(e.label, g.Type(e.to), pool));
+  }
+  for (NodeId u = 0; u < g.size(); ++u) {
+    if (!dtd.InAlphabet(g.Type(u))) return false;
+    std::vector<Symbol> word;
+    auto it = outgoing.find(u);
+    if (it != outgoing.end()) word = it->second;
+    if (!UnorderedAccepts(dtd.RuleNfa(g.Type(u)), std::move(word))) {
+      return false;
+    }
+  }
+  // Edge condition: each pair symbol's rule accepts the one-letter word of
+  // the target type.
+  for (const TypedGraph::Edge& e : g.edges()) {
+    LabelId pair = PairType(e.label, g.Type(e.to), pool);
+    if (!dtd.InAlphabet(pair)) return false;
+    std::vector<Symbol> word = {g.Type(e.to)};
+    if (!dtd.RuleNfa(pair).Accepts(word)) return false;
+  }
+  return true;
+}
+
+}  // namespace tpc

@@ -1,0 +1,34 @@
+// DTD semantics over graphs (Section 7.2).
+//
+// Under the *nodes-only* semantics, a graph satisfies a DTD if, for every
+// node, the multiset of its successors' types can be ordered into a word of
+// the node type's content model (and the root, if any, is a start symbol).
+// Testing unordered membership is NP-complete in general [30]; we implement
+// an exact memoized search, which is fine at test scale.
+//
+// Under the *nodes/edges* semantics, typed graphs are checked against graph
+// DTDs over Γ ∪ (Σ × Γ) as in Example 7.3.
+
+#ifndef TPC_GRAPHDB_GRAPH_DTD_H_
+#define TPC_GRAPHDB_GRAPH_DTD_H_
+
+#include "dtd/dtd.h"
+#include "graphdb/graph.h"
+
+namespace tpc {
+
+/// Does the multiset of `word`'s symbols permute into a word of L(nfa)?
+bool UnorderedAccepts(const Nfa& nfa, std::vector<Symbol> word);
+
+/// Nodes-only semantics: does `g` satisfy `dtd`?
+bool GraphSatisfiesDtdNodesOnly(const Graph& g, const Dtd& dtd);
+
+/// Nodes/edges semantics: does the typed graph satisfy the graph DTD?
+/// The DTD must use pair symbols as produced by `PairType` for its
+/// (edge, type) rules.
+bool TypedGraphSatisfiesDtd(const TypedGraph& g, const Dtd& dtd,
+                            LabelPool* pool);
+
+}  // namespace tpc
+
+#endif  // TPC_GRAPHDB_GRAPH_DTD_H_

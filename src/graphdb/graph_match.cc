@@ -1,0 +1,59 @@
+#include "graphdb/graph_match.h"
+
+#include <cassert>
+#include <vector>
+
+namespace tpc {
+
+namespace {
+
+/// sat[v * |g| + x]: subquery(v) embeds with v -> graph node x.
+std::vector<char> ComputeSat(const Tpq& q, const Graph& g) {
+  size_t n = static_cast<size_t>(g.size());
+  std::vector<char> reach = g.ProperReachability();
+  std::vector<char> sat(static_cast<size_t>(q.size()) * n, 0);
+  for (NodeId v = q.size() - 1; v >= 0; --v) {
+    for (NodeId x = 0; x < g.size(); ++x) {
+      bool ok = q.IsWildcard(v) || q.Label(v) == g.Type(x);
+      for (NodeId z = q.FirstChild(v); z != kNoNode && ok;
+           z = q.NextSibling(z)) {
+        bool found = false;
+        if (q.Edge(z) == EdgeKind::kChild) {
+          for (NodeId y : g.Successors(x)) {
+            if (sat[z * n + y]) {
+              found = true;
+              break;
+            }
+          }
+        } else {
+          for (NodeId y = 0; y < g.size() && !found; ++y) {
+            found = reach[static_cast<size_t>(x) * n + y] && sat[z * n + y];
+          }
+        }
+        ok = found;
+      }
+      sat[v * n + x] = ok;
+    }
+  }
+  return sat;
+}
+
+}  // namespace
+
+bool MatchesWeakGraph(const Tpq& q, const Graph& g) {
+  if (q.empty() || g.size() == 0) return false;
+  std::vector<char> sat = ComputeSat(q, g);
+  for (NodeId x = 0; x < g.size(); ++x) {
+    if (sat[static_cast<size_t>(x)]) return true;
+  }
+  return false;
+}
+
+bool MatchesStrongGraph(const Tpq& q, const Graph& g) {
+  assert(g.HasRoot());
+  if (q.empty() || g.size() == 0) return false;
+  std::vector<char> sat = ComputeSat(q, g);
+  return sat[static_cast<size_t>(g.root())] != 0;
+}
+
+}  // namespace tpc

@@ -1,0 +1,24 @@
+// TPQ embeddings on node-labelled graphs (Section 7.1).
+//
+// Same as tree embeddings except that descendant edges require a directed
+// path of length >= 1 in the graph.  The dynamic program recurses over the
+// pattern (a tree, hence acyclic) so graph cycles are unproblematic.
+
+#ifndef TPC_GRAPHDB_GRAPH_MATCH_H_
+#define TPC_GRAPHDB_GRAPH_MATCH_H_
+
+#include "graphdb/graph.h"
+#include "pattern/tpq.h"
+
+namespace tpc {
+
+/// True iff a weak embedding of q into the graph exists.
+bool MatchesWeakGraph(const Tpq& q, const Graph& g);
+
+/// True iff a strong embedding exists (root of q maps to the graph root).
+/// Precondition: g.HasRoot().
+bool MatchesStrongGraph(const Tpq& q, const Graph& g);
+
+}  // namespace tpc
+
+#endif  // TPC_GRAPHDB_GRAPH_MATCH_H_

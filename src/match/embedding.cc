@@ -1,0 +1,128 @@
+#include "match/embedding.h"
+
+#include <cassert>
+
+namespace tpc {
+
+Matcher::Matcher(const Tpq& q, const Tree& t)
+    : q_(q), t_(t), t_size_(static_cast<size_t>(t.size())) {
+  sat_.assign(static_cast<size_t>(q.size()) * t_size_, 0);
+  desc_.assign(sat_.size(), 0);
+  // Pattern nodes bottom-up (children have larger ids than parents), and for
+  // each pattern node, tree nodes bottom-up for the desc_ closure.
+  for (NodeId v = q.size() - 1; v >= 0; --v) {
+    for (NodeId x = t.size() - 1; x >= 0; --x) {
+      bool ok = q.IsWildcard(v) || q.Label(v) == t.Label(x);
+      if (ok) {
+        for (NodeId c = q.FirstChild(v); c != kNoNode && ok;
+             c = q.NextSibling(c)) {
+          bool found = false;
+          if (q.Edge(c) == EdgeKind::kChild) {
+            for (NodeId y = t.FirstChild(x); y != kNoNode;
+                 y = t.NextSibling(y)) {
+              if (sat_[Index(c, y)]) {
+                found = true;
+                break;
+              }
+            }
+          } else {
+            // Proper descendant: somewhere in a child's subtree.
+            for (NodeId y = t.FirstChild(x); y != kNoNode;
+                 y = t.NextSibling(y)) {
+              if (desc_[Index(c, y)]) {
+                found = true;
+                break;
+              }
+            }
+          }
+          ok = found;
+        }
+      }
+      sat_[Index(v, x)] = ok;
+      bool below = ok;
+      for (NodeId y = t.FirstChild(x); y != kNoNode && !below;
+           y = t.NextSibling(y)) {
+        below = desc_[Index(v, y)];
+      }
+      desc_[Index(v, x)] = below;
+    }
+  }
+}
+
+bool Matcher::MatchesWeak() const {
+  if (q_.empty() || t_.empty()) return false;
+  return desc_[Index(0, 0)];
+}
+
+bool Matcher::MatchesStrong() const {
+  if (q_.empty() || t_.empty()) return false;
+  return sat_[Index(0, 0)];
+}
+
+void Matcher::ExtractAt(NodeId v, NodeId x, std::vector<NodeId>* map) const {
+  assert(sat_[Index(v, x)]);
+  (*map)[v] = x;
+  for (NodeId c = q_.FirstChild(v); c != kNoNode; c = q_.NextSibling(c)) {
+    if (q_.Edge(c) == EdgeKind::kChild) {
+      for (NodeId y = t_.FirstChild(x); y != kNoNode; y = t_.NextSibling(y)) {
+        if (sat_[Index(c, y)]) {
+          ExtractAt(c, y, map);
+          break;
+        }
+      }
+    } else {
+      // Walk down to the highest node in a child subtree where sat_ holds.
+      NodeId y = kNoNode;
+      for (NodeId z = t_.FirstChild(x); z != kNoNode; z = t_.NextSibling(z)) {
+        if (desc_[Index(c, z)]) {
+          y = z;
+          break;
+        }
+      }
+      assert(y != kNoNode);
+      while (!sat_[Index(c, y)]) {
+        NodeId next = kNoNode;
+        for (NodeId z = t_.FirstChild(y); z != kNoNode;
+             z = t_.NextSibling(z)) {
+          if (desc_[Index(c, z)]) {
+            next = z;
+            break;
+          }
+        }
+        assert(next != kNoNode);
+        y = next;
+      }
+      ExtractAt(c, y, map);
+    }
+  }
+}
+
+std::optional<std::vector<NodeId>> Matcher::Witness(bool strong) const {
+  if (q_.empty() || t_.empty()) return std::nullopt;
+  NodeId start = kNoNode;
+  if (strong) {
+    if (sat_[Index(0, 0)]) start = 0;
+  } else {
+    // Find any node where the root satisfies, topmost first.
+    for (NodeId x = 0; x < t_.size(); ++x) {
+      if (sat_[Index(0, x)]) {
+        start = x;
+        break;
+      }
+    }
+  }
+  if (start == kNoNode) return std::nullopt;
+  std::vector<NodeId> map(q_.size(), kNoNode);
+  ExtractAt(0, start, &map);
+  return map;
+}
+
+bool MatchesWeak(const Tpq& q, const Tree& t) {
+  return Matcher(q, t).MatchesWeak();
+}
+
+bool MatchesStrong(const Tpq& q, const Tree& t) {
+  return Matcher(q, t).MatchesStrong();
+}
+
+}  // namespace tpc

@@ -1,0 +1,60 @@
+// Weak and strong embeddings of tree pattern queries into trees
+// (Definition 2.1 and Figure 1 of the paper).
+//
+// `Matcher` runs a bottom-up dynamic program over (pattern node, tree node)
+// pairs in O(|q| * |t| * maxdeg) time, then answers weak/strong membership
+// and can extract a witness embedding.
+
+#ifndef TPC_MATCH_EMBEDDING_H_
+#define TPC_MATCH_EMBEDDING_H_
+
+#include <optional>
+#include <vector>
+
+#include "pattern/tpq.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+/// Evaluates one pattern against one tree.  Cheap to construct; the dynamic
+/// program runs once in the constructor.
+class Matcher {
+ public:
+  Matcher(const Tpq& q, const Tree& t);
+
+  /// True iff `t` is in the weak language L_w(q).
+  bool MatchesWeak() const;
+
+  /// True iff `t` is in the strong language L_s(q) (root maps to root).
+  bool MatchesStrong() const;
+
+  /// True iff subquery(v) embeds with `v` mapped to tree node `x`.
+  bool SatAt(NodeId v, NodeId x) const { return sat_[Index(v, x)]; }
+
+  /// True iff subquery(v) embeds with `v` mapped somewhere in subtree(x).
+  bool SatBelow(NodeId v, NodeId x) const { return desc_[Index(v, x)]; }
+
+  /// Extracts a weak (or strong) embedding if one exists: a mapping from
+  /// pattern nodes to tree nodes.  Returns std::nullopt if no embedding.
+  std::optional<std::vector<NodeId>> Witness(bool strong) const;
+
+ private:
+  size_t Index(NodeId v, NodeId x) const {
+    return static_cast<size_t>(v) * t_size_ + static_cast<size_t>(x);
+  }
+  void ExtractAt(NodeId v, NodeId x, std::vector<NodeId>* map) const;
+
+  const Tpq& q_;
+  const Tree& t_;
+  size_t t_size_;
+  std::vector<char> sat_;   // sat_[v * |t| + x]
+  std::vector<char> desc_;  // OR of sat_ over subtree(x)
+};
+
+/// Convenience wrappers.
+bool MatchesWeak(const Tpq& q, const Tree& t);
+bool MatchesStrong(const Tpq& q, const Tree& t);
+
+}  // namespace tpc
+
+#endif  // TPC_MATCH_EMBEDDING_H_

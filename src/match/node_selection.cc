@@ -1,0 +1,57 @@
+#include "match/node_selection.h"
+
+#include <cassert>
+
+#include "match/embedding.h"
+
+namespace tpc {
+
+std::vector<NodeId> SelectNodes(const Tpq& q, NodeId output, const Tree& t,
+                                bool strong) {
+  assert(output >= 0 && output < q.size());
+  if (q.empty() || t.empty()) return {};
+  Matcher matcher(q, t);
+  size_t n = static_cast<size_t>(t.size());
+  // feasible[v * n + x]: some full embedding maps pattern node v to x.
+  // Top-down: a node placement is feasible iff it satisfies its subquery
+  // (Matcher::SatAt) and its parent has a feasible placement connected by
+  // the right edge kind; sibling requirements are already implied by the
+  // parent's SatAt.
+  std::vector<char> feasible(static_cast<size_t>(q.size()) * n, 0);
+  for (NodeId x = 0; x < t.size(); ++x) {
+    bool root_ok = strong ? x == 0 : true;
+    feasible[x] = root_ok && matcher.SatAt(0, x);
+  }
+  for (NodeId v = 1; v < q.size(); ++v) {
+    NodeId parent = q.Parent(v);
+    if (q.Edge(v) == EdgeKind::kChild) {
+      for (NodeId y = 1; y < t.size(); ++y) {
+        feasible[v * n + y] =
+            matcher.SatAt(v, y) && feasible[parent * n + t.Parent(y)];
+      }
+    } else {
+      // Descendant edge: some proper ancestor of y hosts the parent.
+      std::vector<char> anc(n, 0);
+      for (NodeId y = 1; y < t.size(); ++y) {
+        NodeId py = t.Parent(y);
+        anc[y] = anc[py] || feasible[parent * n + py];
+      }
+      for (NodeId y = 1; y < t.size(); ++y) {
+        feasible[v * n + y] = matcher.SatAt(v, y) && anc[y];
+      }
+    }
+  }
+  std::vector<NodeId> out;
+  for (NodeId x = 0; x < t.size(); ++x) {
+    if (feasible[static_cast<size_t>(output) * n + x]) out.push_back(x);
+  }
+  return out;
+}
+
+Tpq MarkOutputNode(const Tpq& q, NodeId output, LabelId marker) {
+  Tpq out = q;
+  out.AddChild(output, marker, EdgeKind::kChild);
+  return out;
+}
+
+}  // namespace tpc

@@ -1,0 +1,36 @@
+// Node-selecting tree pattern queries (Section 2.4 of the paper).
+//
+// The library's decision problems are about boolean queries, but XPath
+// practice selects nodes: a TPQ with a distinguished output node v selects,
+// in a tree t, every node x such that some embedding maps v to x.  The
+// paper notes (after [34, 36]) that containment of k-ary node-selecting
+// TPQs reduces to boolean containment when child edges are available; this
+// module provides evaluation and that reduction.
+
+#ifndef TPC_MATCH_NODE_SELECTION_H_
+#define TPC_MATCH_NODE_SELECTION_H_
+
+#include <vector>
+
+#include "base/label.h"
+#include "pattern/tpq.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+/// All tree nodes x such that some weak (or strong) embedding of q into t
+/// maps `output` to x, in document order.
+std::vector<NodeId> SelectNodes(const Tpq& q, NodeId output, const Tree& t,
+                                bool strong);
+
+/// The Proposition-1-of-[34] reduction: a boolean pattern q' such that,
+/// for the unary query (q, output), containment of (p, po) in (q, qo)
+/// equals boolean containment of the marked patterns.  The output node gets
+/// a fresh marker child attached with a child edge; the marker label is
+/// returned via `*marker` (shared between both sides by passing the same
+/// pool).
+Tpq MarkOutputNode(const Tpq& q, NodeId output, LabelId marker);
+
+}  // namespace tpc
+
+#endif  // TPC_MATCH_NODE_SELECTION_H_

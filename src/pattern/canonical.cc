@@ -1,0 +1,77 @@
+#include "pattern/canonical.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tpc {
+
+std::vector<NodeId> DescendantEdges(const Tpq& p) {
+  std::vector<NodeId> out;
+  for (NodeId v = 1; v < p.size(); ++v) {
+    if (p.Edge(v) == EdgeKind::kDescendant) out.push_back(v);
+  }
+  return out;
+}
+
+Tree CanonicalTree(const Tpq& p, const std::vector<int32_t>& lengths,
+                   LabelId bottom) {
+  assert(!p.empty());
+  Tree t;
+  std::vector<NodeId> image(p.size(), kNoNode);  // pattern node -> tree node
+  size_t edge_index = 0;
+  for (NodeId v = 0; v < p.size(); ++v) {
+    LabelId label = p.IsWildcard(v) ? bottom : p.Label(v);
+    if (v == 0) {
+      image[v] = t.AddRoot(label);
+      continue;
+    }
+    NodeId attach = image[p.Parent(v)];
+    if (p.Edge(v) == EdgeKind::kDescendant) {
+      assert(edge_index < lengths.size());
+      int32_t len = lengths[edge_index++];
+      for (int32_t i = 0; i < len; ++i) attach = t.AddChild(attach, bottom);
+    }
+    image[v] = t.AddChild(attach, label);
+  }
+  assert(edge_index == lengths.size());
+  return t;
+}
+
+Tree MinimalCanonicalTree(const Tpq& p, LabelId bottom) {
+  return CanonicalTree(p, std::vector<int32_t>(DescendantEdges(p).size(), 0),
+                       bottom);
+}
+
+int32_t LongestWildcardChain(const Tpq& q) {
+  // chain[v] = length of the longest run of wildcard nodes ending at v and
+  // connected by child edges.
+  std::vector<int32_t> chain(q.size(), 0);
+  int32_t best = 0;
+  for (NodeId v = 0; v < q.size(); ++v) {
+    if (!q.IsWildcard(v)) continue;
+    chain[v] = 1;
+    if (v != 0 && q.Edge(v) == EdgeKind::kChild && q.IsWildcard(q.Parent(v))) {
+      chain[v] = chain[q.Parent(v)] + 1;
+    }
+    if (chain[v] > best) best = chain[v];
+  }
+  return best;
+}
+
+bool CanonicalLengthEnumerator::Next() {
+  for (size_t i = 0; i < lengths_.size(); ++i) {
+    if (lengths_[i] < max_len_) {
+      ++lengths_[i];
+      for (size_t j = 0; j < i; ++j) lengths_[j] = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+double CanonicalLengthEnumerator::TotalCount() const {
+  return std::pow(static_cast<double>(max_len_) + 1.0,
+                  static_cast<double>(lengths_.size()));
+}
+
+}  // namespace tpc

@@ -1,0 +1,65 @@
+// Canonical trees (canonical models) of a pattern, after Miklau & Suciu [34]
+// and Appendix B.1.1 of the paper.
+//
+// A canonical tree of p is obtained by (a) replacing every wildcard by a
+// fresh letter `⊥` and (b) replacing every descendant edge by a chain of
+// zero or more `⊥`-nodes followed by a child edge.  Canonical trees
+// characterize containment: L_w(p) ⊆ L_w(q) iff every canonical tree of p is
+// in L_w(q), and it suffices to consider chains of length at most
+// w(q) + 1, where w(q) is the longest run of consecutive wildcard nodes
+// connected by child edges in q [34].
+
+#ifndef TPC_PATTERN_CANONICAL_H_
+#define TPC_PATTERN_CANONICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/label.h"
+#include "pattern/tpq.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+/// Ids (in pattern pre-order) of the descendant edges of `p`; entry i is the
+/// pattern node whose incoming edge is the i-th descendant edge.
+std::vector<NodeId> DescendantEdges(const Tpq& p);
+
+/// Builds the canonical tree of `p` where the i-th descendant edge is
+/// expanded by a chain of `lengths[i]` nodes labelled `bottom`, and every
+/// wildcard becomes `bottom`.  `lengths.size()` must equal the number of
+/// descendant edges of `p`.
+Tree CanonicalTree(const Tpq& p, const std::vector<int32_t>& lengths,
+                   LabelId bottom);
+
+/// The canonical tree with all chains of length zero.
+Tree MinimalCanonicalTree(const Tpq& p, LabelId bottom);
+
+/// Longest run of consecutive wildcard nodes connected by child edges in `q`.
+int32_t LongestWildcardChain(const Tpq& q);
+
+/// Enumerates all length vectors in {0..max_len}^k for the k descendant
+/// edges of a pattern.  Usage:
+///   CanonicalLengthEnumerator e(k, max_len);
+///   do { ... e.lengths() ... } while (e.Next());
+class CanonicalLengthEnumerator {
+ public:
+  CanonicalLengthEnumerator(size_t num_edges, int32_t max_len)
+      : lengths_(num_edges, 0), max_len_(max_len) {}
+
+  const std::vector<int32_t>& lengths() const { return lengths_; }
+
+  /// Advances to the next vector; returns false after the last one.
+  bool Next();
+
+  /// Total number of vectors ((max_len+1)^num_edges) as double, for planning.
+  double TotalCount() const;
+
+ private:
+  std::vector<int32_t> lengths_;
+  int32_t max_len_;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_PATTERN_CANONICAL_H_

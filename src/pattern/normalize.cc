@@ -1,0 +1,105 @@
+#include "pattern/normalize.h"
+
+#include <cassert>
+#include <map>
+
+namespace tpc {
+
+namespace {
+
+/// True iff `v` has no child attached with a child edge (it is a leaf of its
+/// island).
+bool IsIslandLeaf(const Tpq& q, NodeId v) {
+  for (NodeId c = q.FirstChild(v); c != kNoNode; c = q.NextSibling(c)) {
+    if (q.Edge(c) == EdgeKind::kChild) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Tpq Normalize(const Tpq& q) {
+  Tpq out = q;
+  // Flipping an edge can expose the parent as a new island leaf, so iterate
+  // bottom-up; since children have larger ids, one backwards pass suffices.
+  for (NodeId v = out.size() - 1; v >= 1; --v) {
+    if (out.IsWildcard(v) && out.Edge(v) == EdgeKind::kChild &&
+        IsIslandLeaf(out, v)) {
+      out.SetEdge(v, EdgeKind::kDescendant);
+    }
+  }
+  return out;
+}
+
+bool IsNormalized(const Tpq& q) {
+  for (NodeId v = 1; v < q.size(); ++v) {
+    if (q.IsWildcard(v) && q.Edge(v) == EdgeKind::kChild &&
+        IsIslandLeaf(q, v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+IslandDecomposition Islands(const Tpq& q) {
+  IslandDecomposition d;
+  d.island_of.assign(q.size(), -1);
+  for (NodeId v = 0; v < q.size(); ++v) {
+    if (v == 0 || q.Edge(v) == EdgeKind::kDescendant) {
+      d.island_of[v] = static_cast<int32_t>(d.roots.size());
+      d.roots.push_back(v);
+    } else {
+      d.island_of[v] = d.island_of[q.Parent(v)];  // parent id < v
+    }
+  }
+  return d;
+}
+
+namespace {
+
+/// Recursively rebuilds `q` below `src` into `out` below `dst_parent`,
+/// merging equal-labelled siblings with equal edge kinds.
+void MergeInto(const Tpq& q, NodeId src, Tpq* out, NodeId dst) {
+  // Group the children of src by (edge kind, label); within one group all
+  // grandchildren lists are concatenated under a single merged node.
+  std::map<std::pair<int, LabelId>, NodeId> merged;
+  std::map<std::pair<int, LabelId>, std::vector<NodeId>> sources;
+  for (NodeId c = q.FirstChild(src); c != kNoNode; c = q.NextSibling(c)) {
+    sources[{static_cast<int>(q.Edge(c)), q.Label(c)}].push_back(c);
+  }
+  for (const auto& [key, group] : sources) {
+    NodeId m = out->AddChild(dst, key.second, static_cast<EdgeKind>(key.first));
+    merged[key] = m;
+    // Merge recursively: treat the union of all grandchildren of the group as
+    // the children of a virtual node.  We emulate this by building an
+    // intermediate pattern that concatenates the subqueries.
+    Tpq virtual_node(key.second);
+    for (NodeId g : group) {
+      for (NodeId gc = q.FirstChild(g); gc != kNoNode;
+           gc = q.NextSibling(gc)) {
+        virtual_node.Graft(0, q.Edge(gc), q, gc);
+      }
+    }
+    MergeInto(virtual_node, 0, out, m);
+  }
+}
+
+}  // namespace
+
+Tpq MergeEqualSiblings(const Tpq& q) {
+  if (q.empty()) return q;
+  Tpq out(q.Label(0));
+  MergeInto(q, 0, &out, 0);
+  return out;
+}
+
+Tpq PrependWildcards(const Tpq& p, int32_t k) {
+  if (k <= 0) return p;
+  Tpq out(kWildcard);
+  NodeId v = 0;
+  for (int32_t i = 1; i < k; ++i) v = out.AddChild(v, kWildcard, EdgeKind::kChild);
+  out.Graft(v, EdgeKind::kChild, p, 0);
+  return out;
+}
+
+}  // namespace tpc

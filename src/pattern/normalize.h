@@ -1,0 +1,52 @@
+// Pattern normal forms and island decomposition (Appendix B.1.1).
+//
+// An *island* of a pattern is a maximal set of nodes connected by child
+// edges.  A pattern is *normalized* if every leaf of every island either is
+// the root of its island or is labelled by a letter (not a wildcard):
+// a wildcard island-leaf hanging on a child edge can equivalently hang on a
+// descendant edge.
+
+#ifndef TPC_PATTERN_NORMALIZE_H_
+#define TPC_PATTERN_NORMALIZE_H_
+
+#include <vector>
+
+#include "pattern/tpq.h"
+
+namespace tpc {
+
+/// Returns an equivalent normalized copy of `q` (same node ids, possibly
+/// different edge kinds).  Idempotent.
+Tpq Normalize(const Tpq& q);
+
+/// True iff `q` is normalized.
+bool IsNormalized(const Tpq& q);
+
+/// Island decomposition of a pattern.
+struct IslandDecomposition {
+  /// island_of[v] = id of the island containing node v.  Island ids are dense
+  /// and the island of the pattern root has id 0.
+  std::vector<int32_t> island_of;
+  /// roots[i] = the topmost node of island i.
+  std::vector<NodeId> roots;
+
+  int32_t num_islands() const { return static_cast<int32_t>(roots.size()); }
+};
+
+/// Computes the islands of `q`.  Island roots are the pattern root and every
+/// node reached by a descendant edge.
+IslandDecomposition Islands(const Tpq& q);
+
+/// Merges, repeatedly, any two sibling nodes carrying the same label and the
+/// same edge kind to the parent (first stage of Theorem 6.1(4)).  Merging
+/// unions the children lists.  For TPQ(/) patterns this preserves the
+/// containment question even though it changes L_w(q).
+Tpq MergeEqualSiblings(const Tpq& q);
+
+/// Returns the pattern `*^k(p)`: a chain of `k` wildcard nodes prepended
+/// above the root of `p` with child edges (Appendix B.1.1).
+Tpq PrependWildcards(const Tpq& p, int32_t k);
+
+}  // namespace tpc
+
+#endif  // TPC_PATTERN_NORMALIZE_H_

@@ -1,0 +1,176 @@
+#include "pattern/tpq.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tpc {
+
+NodeId Tpq::AddRoot(LabelId label) {
+  assert(empty());
+  labels_.push_back(label);
+  parents_.push_back(kNoNode);
+  edges_.push_back(EdgeKind::kChild);  // unused for the root
+  first_child_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  return 0;
+}
+
+NodeId Tpq::AddChild(NodeId parent, LabelId label, EdgeKind edge) {
+  assert(parent >= 0 && parent < size());
+  NodeId v = size();
+  labels_.push_back(label);
+  parents_.push_back(parent);
+  edges_.push_back(edge);
+  first_child_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  if (first_child_[parent] == kNoNode) {
+    first_child_[parent] = v;
+  } else {
+    next_sibling_[last_child_[parent]] = v;
+  }
+  last_child_[parent] = v;
+  return v;
+}
+
+NodeId Tpq::Graft(NodeId parent, EdgeKind edge, const Tpq& sub,
+                  NodeId sub_root) {
+  NodeId copied_root = parent == kNoNode
+                           ? AddRoot(sub.Label(sub_root))
+                           : AddChild(parent, sub.Label(sub_root), edge);
+  std::vector<std::pair<NodeId, NodeId>> queue;  // (source, target parent)
+  for (NodeId c = sub.FirstChild(sub_root); c != kNoNode;
+       c = sub.NextSibling(c)) {
+    queue.emplace_back(c, copied_root);
+  }
+  for (size_t i = 0; i < queue.size(); ++i) {
+    auto [src, dst_parent] = queue[i];
+    NodeId dst = AddChild(dst_parent, sub.Label(src), sub.Edge(src));
+    for (NodeId c = sub.FirstChild(src); c != kNoNode; c = sub.NextSibling(c)) {
+      queue.emplace_back(c, dst);
+    }
+  }
+  return copied_root;
+}
+
+std::vector<NodeId> Tpq::Children(NodeId v) const {
+  std::vector<NodeId> out;
+  for (NodeId c = first_child_[v]; c != kNoNode; c = next_sibling_[c]) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+int32_t Tpq::NumChildren(NodeId v) const {
+  int32_t n = 0;
+  for (NodeId c = first_child_[v]; c != kNoNode; c = next_sibling_[c]) ++n;
+  return n;
+}
+
+int32_t Tpq::Depth(NodeId v) const {
+  int32_t d = 0;
+  for (NodeId u = parents_[v]; u != kNoNode; u = parents_[u]) ++d;
+  return d;
+}
+
+int32_t Tpq::depth() const {
+  if (empty()) return -1;
+  std::vector<int32_t> depth(size(), 0);
+  int32_t max_depth = 0;
+  for (NodeId v = 1; v < size(); ++v) {
+    depth[v] = depth[parents_[v]] + 1;
+    max_depth = std::max(max_depth, depth[v]);
+  }
+  return max_depth;
+}
+
+Tpq Tpq::Subquery(NodeId v) const {
+  Tpq out;
+  out.Graft(kNoNode, EdgeKind::kChild, *this, v);
+  return out;
+}
+
+bool Tpq::operator==(const Tpq& other) const {
+  if (size() != other.size()) return false;
+  if (empty()) return true;
+  std::vector<std::pair<NodeId, NodeId>> stack = {{0, 0}};
+  while (!stack.empty()) {
+    auto [v, w] = stack.back();
+    stack.pop_back();
+    if (labels_[v] != other.labels_[w]) return false;
+    if (v != 0 && edges_[v] != other.edges_[w]) return false;
+    NodeId c1 = first_child_[v];
+    NodeId c2 = other.first_child_[w];
+    while (c1 != kNoNode && c2 != kNoNode) {
+      stack.emplace_back(c1, c2);
+      c1 = next_sibling_[c1];
+      c2 = other.next_sibling_[c2];
+    }
+    if (c1 != kNoNode || c2 != kNoNode) return false;
+  }
+  return true;
+}
+
+void Tpq::AppendPath(NodeId v, const LabelPool& pool, std::string* out) const {
+  out->append(pool.Name(labels_[v]));
+  std::vector<NodeId> children = Children(v);
+  if (children.empty()) return;
+  // All children but the last are printed as bracketed predicates; the last
+  // continues the main path.  This round-trips through ParseTpq.
+  for (size_t i = 0; i + 1 < children.size(); ++i) {
+    NodeId c = children[i];
+    out->push_back('[');
+    if (Edge(c) == EdgeKind::kDescendant) out->append("//");
+    AppendPath(c, pool, out);
+    out->push_back(']');
+  }
+  NodeId last = children.back();
+  out->append(Edge(last) == EdgeKind::kDescendant ? "//" : "/");
+  AppendPath(last, pool, out);
+}
+
+std::string Tpq::ToString(const LabelPool& pool) const {
+  if (empty()) return "<empty>";
+  std::string out;
+  AppendPath(0, pool, &out);
+  return out;
+}
+
+bool Fragment::Within(const Fragment& allowed) const {
+  return (!child_edges || allowed.child_edges) &&
+         (!descendant_edges || allowed.descendant_edges) &&
+         (!wildcard || allowed.wildcard) && (!branching || allowed.branching);
+}
+
+std::string Fragment::ToString() const {
+  std::string out = branching ? "TPQ(" : "PQ(";
+  bool first = true;
+  auto add = [&](const char* feature) {
+    if (!first) out.push_back(',');
+    out.append(feature);
+    first = false;
+  };
+  if (child_edges) add("/");
+  if (descendant_edges) add("//");
+  if (wildcard) add("*");
+  out.push_back(')');
+  return out;
+}
+
+Fragment FragmentOf(const Tpq& q) {
+  Fragment f;
+  for (NodeId v = 0; v < q.size(); ++v) {
+    if (q.IsWildcard(v)) f.wildcard = true;
+    if (v != 0) {
+      if (q.Edge(v) == EdgeKind::kChild) f.child_edges = true;
+      if (q.Edge(v) == EdgeKind::kDescendant) f.descendant_edges = true;
+    }
+    if (q.NumChildren(v) > 1) f.branching = true;
+  }
+  return f;
+}
+
+bool IsPathQuery(const Tpq& q) { return !FragmentOf(q).branching; }
+
+}  // namespace tpc

@@ -1,0 +1,129 @@
+// Tree pattern queries with child edges, descendant edges and wildcards
+// (Definition 2.1 of the paper).
+//
+// A `Tpq` is a tree whose nodes carry a label (possibly the wildcard) and
+// whose non-root nodes record the kind of edge connecting them to their
+// parent: a child edge (`/`) or a proper-descendant edge (`//`).
+//
+// The paper's fragments TPQ(/), TPQ(//), PQ(/,*), ... are not distinct types;
+// `FragmentOf()` inspects which features a pattern actually uses, and the
+// containment dispatcher routes on that.
+
+#ifndef TPC_PATTERN_TPQ_H_
+#define TPC_PATTERN_TPQ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/label.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+/// Kind of the edge between a pattern node and its parent.
+enum class EdgeKind : uint8_t {
+  kChild,       // `/`  — image must be a child of the parent's image
+  kDescendant,  // `//` — image must be a proper descendant of it
+};
+
+/// A tree pattern query.  Node 0 is the root; parents precede children in id
+/// order, matching the `Tree` invariants.
+class Tpq {
+ public:
+  Tpq() = default;
+
+  /// Creates a one-node pattern.
+  explicit Tpq(LabelId root_label) { AddRoot(root_label); }
+
+  NodeId AddRoot(LabelId label);
+  NodeId AddChild(NodeId parent, LabelId label, EdgeKind edge);
+
+  /// Grafts a copy of `sub` (rooted at `sub_root`) below `parent` via `edge`.
+  /// With `parent == kNoNode` the copy becomes the root of an empty pattern.
+  NodeId Graft(NodeId parent, EdgeKind edge, const Tpq& sub,
+               NodeId sub_root = 0);
+
+  int32_t size() const { return static_cast<int32_t>(labels_.size()); }
+  bool empty() const { return labels_.empty(); }
+
+  LabelId Label(NodeId v) const { return labels_[v]; }
+  void SetLabel(NodeId v, LabelId label) { labels_[v] = label; }
+  bool IsWildcard(NodeId v) const { return labels_[v] == kWildcard; }
+  NodeId Parent(NodeId v) const { return parents_[v]; }
+  /// Edge kind between `v` and its parent.  Precondition: `v != 0`.
+  EdgeKind Edge(NodeId v) const { return edges_[v]; }
+  void SetEdge(NodeId v, EdgeKind edge) { edges_[v] = edge; }
+  NodeId FirstChild(NodeId v) const { return first_child_[v]; }
+  NodeId NextSibling(NodeId v) const { return next_sibling_[v]; }
+  bool IsLeaf(NodeId v) const { return first_child_[v] == kNoNode; }
+
+  std::vector<NodeId> Children(NodeId v) const;
+  int32_t NumChildren(NodeId v) const;
+
+  /// Number of edges on the root-to-`v` path (root has depth 0).
+  int32_t Depth(NodeId v) const;
+
+  /// Maximum node depth (counting both edge kinds as one step).
+  int32_t depth() const;
+
+  /// Extracts `subquery^q(v)` as a standalone pattern.
+  Tpq Subquery(NodeId v) const;
+
+  /// Structural equality as ordered trees with edge kinds.
+  bool operator==(const Tpq& other) const;
+
+  /// Serializes in the XPath-like syntax of `ParseTpq`, e.g. `a[b//c]/*`.
+  std::string ToString(const LabelPool& pool) const;
+
+ private:
+  void AppendPath(NodeId v, const LabelPool& pool, std::string* out) const;
+
+  std::vector<LabelId> labels_;
+  std::vector<NodeId> parents_;
+  std::vector<EdgeKind> edges_;
+  std::vector<NodeId> first_child_;
+  std::vector<NodeId> next_sibling_;
+  std::vector<NodeId> last_child_;
+};
+
+/// Which of the four features a pattern uses (Section 1: child edges,
+/// descendant edges, wildcards, branching).
+struct Fragment {
+  bool child_edges = false;
+  bool descendant_edges = false;
+  bool wildcard = false;
+  bool branching = false;
+
+  bool operator==(const Fragment&) const = default;
+
+  /// True if this fragment uses no feature outside `allowed`.
+  bool Within(const Fragment& allowed) const;
+
+  std::string ToString() const;  // e.g. "TPQ(/,//,*)" or "PQ(/)"
+};
+
+/// Inspects which features `q` uses.
+Fragment FragmentOf(const Tpq& q);
+
+/// True iff `q` has no branching node (`q` is a path query, PQ).
+bool IsPathQuery(const Tpq& q);
+
+namespace fragments {
+// Named fragments from the paper, for dispatcher queries and tests.
+inline constexpr Fragment kPqChild{true, false, false, false};
+inline constexpr Fragment kPqDesc{false, true, false, false};
+inline constexpr Fragment kPqChildStar{true, false, true, false};
+inline constexpr Fragment kPqDescStar{false, true, true, false};
+inline constexpr Fragment kPqFull{true, true, true, false};
+inline constexpr Fragment kTpqChild{true, false, false, true};
+inline constexpr Fragment kTpqDesc{false, true, false, true};
+inline constexpr Fragment kTpqChildDesc{true, true, false, true};
+inline constexpr Fragment kTpqChildStar{true, false, true, true};
+inline constexpr Fragment kTpqDescStar{false, true, true, true};
+inline constexpr Fragment kTpqFull{true, true, true, true};
+}  // namespace fragments
+
+}  // namespace tpc
+
+#endif  // TPC_PATTERN_TPQ_H_

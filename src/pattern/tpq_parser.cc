@@ -1,0 +1,126 @@
+#include "pattern/tpq_parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpc {
+namespace {
+
+bool IsLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' || c == ':' ||
+         c == '\'' || c == '-' || c == '.';
+}
+
+class TpqParser {
+ public:
+  TpqParser(std::string_view input, LabelPool* pool)
+      : input_(input), pool_(pool) {}
+
+  ParseResult<Tpq> Parse() {
+    Tpq q;
+    if (!ParsePattern(&q, kNoNode, EdgeKind::kChild)) {
+      return ParseResult<Tpq>::Error(error_, pos_);
+    }
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return ParseResult<Tpq>::Error("trailing input after pattern", pos_);
+    }
+    return ParseResult<Tpq>::Ok(std::move(q));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const char* message) {
+    error_ = message;
+    return false;
+  }
+
+  /// Parses an optional separator.  Returns true and sets `*edge` if present.
+  bool TrySeparator(EdgeKind* edge) {
+    SkipSpace();
+    if (pos_ >= input_.size() || input_[pos_] != '/') return false;
+    ++pos_;
+    if (pos_ < input_.size() && input_[pos_] == '/') {
+      ++pos_;
+      *edge = EdgeKind::kDescendant;
+    } else {
+      *edge = EdgeKind::kChild;
+    }
+    return true;
+  }
+
+  /// Parses `step (sep step)*`, attaching the first step below `parent` with
+  /// `first_edge` (or as root if `parent == kNoNode`).
+  bool ParsePattern(Tpq* q, NodeId parent, EdgeKind first_edge) {
+    NodeId current;
+    if (!ParseStep(q, parent, first_edge, &current)) return false;
+    EdgeKind edge;
+    while (TrySeparator(&edge)) {
+      if (!ParseStep(q, current, edge, &current)) return false;
+    }
+    return true;
+  }
+
+  bool ParseStep(Tpq* q, NodeId parent, EdgeKind edge, NodeId* out) {
+    SkipSpace();
+    LabelId label;
+    if (pos_ < input_.size() && input_[pos_] == '*') {
+      ++pos_;
+      label = kWildcard;
+    } else {
+      size_t start = pos_;
+      while (pos_ < input_.size() && IsLabelChar(input_[pos_])) ++pos_;
+      if (pos_ == start) return Fail("expected a label or '*'");
+      label = pool_->Intern(input_.substr(start, pos_ - start));
+    }
+    NodeId v = parent == kNoNode ? q->AddRoot(label)
+                                 : q->AddChild(parent, label, edge);
+    // Predicates.
+    SkipSpace();
+    while (pos_ < input_.size() && input_[pos_] == '[') {
+      ++pos_;
+      EdgeKind branch_edge = EdgeKind::kChild;
+      TrySeparator(&branch_edge);
+      if (!ParsePattern(q, v, branch_edge)) return false;
+      SkipSpace();
+      if (pos_ >= input_.size() || input_[pos_] != ']') {
+        return Fail("expected ']'");
+      }
+      ++pos_;
+      SkipSpace();
+    }
+    *out = v;
+    return true;
+  }
+
+  std::string_view input_;
+  LabelPool* pool_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult<Tpq> ParseTpq(std::string_view input, LabelPool* pool) {
+  return TpqParser(input, pool).Parse();
+}
+
+Tpq MustParseTpq(std::string_view input, LabelPool* pool) {
+  ParseResult<Tpq> result = ParseTpq(input, pool);
+  if (!result.ok()) {
+    std::fprintf(stderr, "MustParseTpq(\"%.*s\"): %s (at offset %zu)\n",
+                 static_cast<int>(input.size()), input.data(),
+                 result.error().c_str(), result.error_offset());
+    std::abort();
+  }
+  return std::move(result.value());
+}
+
+}  // namespace tpc

@@ -1,0 +1,35 @@
+// Parser for tree pattern queries in XPath-like syntax.
+//
+// Grammar:
+//   pattern   := step (sep step)*
+//   step      := label predicate*
+//   predicate := '[' sep? pattern ']'
+//   sep       := '/' | '//'
+//   label     := identifier | '*'
+//
+// `/` is a child edge, `//` a proper-descendant edge.  A predicate attaches a
+// branch below the current node; the optional separator at the start of a
+// predicate gives the edge kind of the branch root (child by default).
+//
+// Examples: `a/b//c`, `a[b][//c/d]/*`, `*//a`.
+
+#ifndef TPC_PATTERN_TPQ_PARSER_H_
+#define TPC_PATTERN_TPQ_PARSER_H_
+
+#include <string_view>
+
+#include "base/label.h"
+#include "base/parse_result.h"
+#include "pattern/tpq.h"
+
+namespace tpc {
+
+/// Parses `input` as a TPQ, interning labels into `pool`.
+ParseResult<Tpq> ParseTpq(std::string_view input, LabelPool* pool);
+
+/// Convenience: parses or aborts.  For tests and examples on trusted input.
+Tpq MustParseTpq(std::string_view input, LabelPool* pool);
+
+}  // namespace tpc
+
+#endif  // TPC_PATTERN_TPQ_PARSER_H_

@@ -1,0 +1,83 @@
+#include "reductions/hardness_families.h"
+
+#include <string>
+
+#include "regex/regex.h"
+
+namespace tpc {
+
+WoodInstance BuildWoodInstance(const Regex& e,
+                               const std::vector<LabelId>& sigma,
+                               LabelId root, LabelPool* pool) {
+  (void)pool;
+  WoodInstance out;
+  out.dtd.AddStart(root);
+  out.dtd.SetRule(root, e);
+  for (LabelId l : sigma) out.dtd.SetRule(l, Regex::Epsilon());
+  out.p = Tpq(root);
+  for (LabelId l : sigma) out.p.AddChild(0, l, EdgeKind::kChild);
+  return out;
+}
+
+Figure2Gadgets BuildFigure2Gadgets(LabelPool* pool) {
+  Figure2Gadgets g;
+  LabelId y = pool->Intern("y");
+  LabelId a = pool->Intern("a");
+  LabelId b = pool->Intern("b");
+  LabelId z = pool->Intern("z");
+
+  g.y = Tpq(y);
+  NodeId v = g.y.AddChild(0, a, EdgeKind::kChild);
+  g.y.AddChild(v, b, EdgeKind::kDescendant);
+
+  g.t = Tpq(y);
+  v = g.t.AddChild(0, a, EdgeKind::kChild);
+  g.t.AddChild(v, b, EdgeKind::kChild);
+
+  g.f = Tpq(y);
+  v = g.f.AddChild(0, a, EdgeKind::kChild);
+  v = g.f.AddChild(v, kWildcard, EdgeKind::kChild);
+  g.f.AddChild(v, kWildcard, EdgeKind::kChild);
+
+  g.t_true = Tree(y);
+  v = g.t_true.AddChild(0, a);
+  g.t_true.AddChild(v, b);
+
+  g.t_false = Tree(y);
+  v = g.t_false.AddChild(0, a);
+  v = g.t_false.AddChild(v, z);
+  g.t_false.AddChild(v, b);
+  return g;
+}
+
+ConpFamilyInstance BuildConpFamily(int32_t n, LabelPool* pool) {
+  ConpFamilyInstance out;
+  LabelId r = pool->Intern("r");
+  LabelId u = pool->Intern("u");
+  LabelId c = pool->Intern("c");
+
+  out.p = Tpq(r);
+  for (int32_t i = 0; i < n; ++i) {
+    LabelId ai = pool->Intern("a" + std::to_string(i));
+    LabelId bi = pool->Intern("b" + std::to_string(i));
+    NodeId v = out.p.AddChild(0, u, EdgeKind::kChild);
+    v = out.p.AddChild(v, ai, EdgeKind::kChild);
+    v = out.p.AddChild(v, bi, EdgeKind::kDescendant);
+    out.p.AddChild(v, c, EdgeKind::kChild);
+  }
+
+  auto star_path = [&](int32_t stars) {
+    Tpq q(kWildcard);
+    NodeId v = 0;
+    for (int32_t i = 1; i < stars; ++i) {
+      v = q.AddChild(v, kWildcard, EdgeKind::kChild);
+    }
+    q.AddChild(v, c, EdgeKind::kChild);
+    return q;
+  };
+  out.q_yes = star_path(4);
+  out.q_no = star_path(5);
+  return out;
+}
+
+}  // namespace tpc

@@ -1,0 +1,73 @@
+// Hardness-instance families for the lower-bound cells of the paper's
+// tables: Wood's construction (Theorem 4.2(1)), the Figure 2/5 SAT gadgets
+// of Theorem 3.3, and an engineered worst-case family for the coNP-complete
+// containment cells of Table 1.
+
+#ifndef TPC_REDUCTIONS_HARDNESS_FAMILIES_H_
+#define TPC_REDUCTIONS_HARDNESS_FAMILIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "pattern/tpq.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+/// Wood's NP-hardness setting (Theorem 4.2(1)): deciding whether L(e)
+/// contains a word using *every* letter of Σ is NP-complete, hence
+/// satisfiability of TPQ(/) w.r.t. the depth-one DTD r -> e is NP-hard.
+struct WoodInstance {
+  Dtd dtd;  // root r with content model e
+  Tpq p;    // r[x_1][x_2]...[x_k]: "every letter occurs below the root"
+};
+
+/// Builds a Wood instance for the content model `e` over the letters
+/// `sigma` (all interned in `pool`); `p` asks for all of them at depth one.
+WoodInstance BuildWoodInstance(const Regex& e,
+                               const std::vector<LabelId>& sigma,
+                               LabelId root, LabelPool* pool);
+
+/// The Figure 2/5 gadgets of Theorem 3.3.  For a variable with labels
+/// (y, a, b):  Y = y/a//b ∈ TPQ(/,//),  T = y/a/b ∈ TPQ(/),
+/// F = y/a/*/* ∈ PQ(/,*)  (the a-node's child on the way to b has a child).
+/// They satisfy the three properties stated in the paper:
+///   L_s(Y) ⊆ L_s(T) ∪ L_s(F);
+///   t_true  = y(a(b))     ∈ L_s(Y) ∩ L_s(T) \ L_s(F);
+///   t_false = y(a(z(b)))  ∈ L_s(Y) ∩ L_s(F) \ L_s(T).
+struct Figure2Gadgets {
+  Tpq y;       // Y gadget
+  Tpq t;       // T(y) gadget
+  Tpq f;       // F(y) gadget
+  Tree t_true;
+  Tree t_false;
+};
+
+Figure2Gadgets BuildFigure2Gadgets(LabelPool* pool);
+
+/// An engineered worst-case family for the coNP-complete cells of Table 1
+/// (left pattern in TPQ(/,//), right path in PQ(/,*) — the Theorem 3.3(2)
+/// cell).
+///
+/// p_n = r[u/a_1//b_1/c]...[u/a_n//b_n/c]: the canonical chain length j_i of
+/// each branch encodes a bit; the deepest c of a model sits at depth
+/// 4 + max_i j_i.
+///   q_yes = */*/*/*/c   ("some c at depth >= 4"): matched by every
+///     canonical model, so p ⊆ q_yes holds — and a canonical-model
+///     procedure must sweep the full exponential model space to certify it.
+///   q_no  = */*/*/*/*/c ("some c at depth >= 5"): matched by a model iff
+///     some chain is non-empty, so the all-zero model is the unique
+///     counterexample shape and containment fails.
+struct ConpFamilyInstance {
+  Tpq p;
+  Tpq q_yes;  // contained; certification requires a full sweep
+  Tpq q_no;   // not contained; all-zero canonical model is the witness
+};
+
+ConpFamilyInstance BuildConpFamily(int32_t n, LabelPool* pool);
+
+}  // namespace tpc
+
+#endif  // TPC_REDUCTIONS_HARDNESS_FAMILIES_H_

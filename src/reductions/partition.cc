@@ -1,0 +1,181 @@
+#include "reductions/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "regex/regex.h"
+
+namespace tpc {
+
+namespace {
+
+/// Backtracking: assign numbers to `groups` buckets with target sums.
+bool AssignGroups(const std::vector<int64_t>& numbers, size_t index,
+                  std::vector<int64_t>* remaining) {
+  if (index == numbers.size()) {
+    return std::all_of(remaining->begin(), remaining->end(),
+                       [](int64_t r) { return r == 0; });
+  }
+  int64_t x = numbers[index];
+  for (size_t g = 0; g < remaining->size(); ++g) {
+    if ((*remaining)[g] < x) continue;
+    // Symmetry breaking: skip buckets with the same remaining capacity.
+    bool duplicate = false;
+    for (size_t h = 0; h < g && !duplicate; ++h) {
+      duplicate = (*remaining)[h] == (*remaining)[g];
+    }
+    if (duplicate) continue;
+    (*remaining)[g] -= x;
+    if (AssignGroups(numbers, index + 1, remaining)) return true;
+    (*remaining)[g] += x;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SolveThreePartition(const ThreePartitionInstance& instance) {
+  size_t n = instance.numbers.size();
+  if (n == 0 || n % 3 != 0) return false;
+  int64_t total =
+      std::accumulate(instance.numbers.begin(), instance.numbers.end(),
+                      int64_t{0});
+  size_t groups = n / 3;
+  if (total != instance.bound * static_cast<int64_t>(groups)) return false;
+  std::vector<int64_t> numbers = instance.numbers;
+  std::sort(numbers.begin(), numbers.end(), std::greater<>());
+  std::vector<int64_t> remaining(groups, instance.bound);
+  // Numbers in (B/4, B/2) force exactly three per group, so plain
+  // sum-targeted backtracking decides the problem.
+  return AssignGroups(numbers, 0, &remaining);
+}
+
+bool SolveFourPartition(const FourPartitionInstance& instance) {
+  int64_t target = int64_t{1} << instance.log_target;
+  size_t groups = size_t{1} << instance.log_groups4;
+  if (instance.numbers.size() != 4 * groups) return false;
+  int64_t total =
+      std::accumulate(instance.numbers.begin(), instance.numbers.end(),
+                      int64_t{0});
+  if (total != target * static_cast<int64_t>(groups)) return false;
+  std::vector<int64_t> numbers = instance.numbers;
+  std::sort(numbers.begin(), numbers.end(), std::greater<>());
+  std::vector<int64_t> remaining(groups, target);
+  return AssignGroups(numbers, 0, &remaining);
+}
+
+FourPartitionInstance ThreeToFourPartition(
+    const ThreePartitionInstance& instance) {
+  int64_t sum =
+      std::accumulate(instance.numbers.begin(), instance.numbers.end(),
+                      int64_t{0});
+  int32_t k = 2;
+  while ((int64_t{1} << (k - 2)) <= sum) ++k;
+  int64_t n = static_cast<int64_t>(instance.numbers.size());
+  int32_t l = 0;
+  while (4 * (int64_t{1} << l) < n + n / 3) ++l;
+  FourPartitionInstance out;
+  out.log_target = k;
+  out.log_groups4 = l;
+  out.numbers = instance.numbers;
+  for (int64_t i = 0; i < n / 3; ++i) {
+    out.numbers.push_back((int64_t{1} << k) - instance.bound);
+  }
+  int64_t padding = 4 * (int64_t{1} << l) - n - n / 3;
+  for (int64_t i = 0; i < padding; ++i) {
+    out.numbers.push_back(int64_t{1} << (k - 2));
+  }
+  return out;
+}
+
+std::vector<Tree> EnumerateBalancedTrees(int64_t count, LabelPool* pool) {
+  // T_0: the four single-node trees.
+  std::vector<Tree> current;
+  for (const char* l : {"b", "c", "d", "e"}) {
+    current.emplace_back(pool->Intern(l));
+  }
+  while (static_cast<int64_t>(current.size()) < count) {
+    LabelId a = pool->Intern("a");
+    std::vector<Tree> next;
+    int64_t size = static_cast<int64_t>(current.size());
+    // Stop early once `count` trees of the next level exist; |T_{i+1}| =
+    // |T_i| (|T_i| - 1) / 2 grows doubly exponentially.
+    for (int64_t i = 0; i < size; ++i) {
+      for (int64_t j = i + 1; j < size; ++j) {
+        Tree t(a);
+        t.Graft(0, current[i]);
+        t.Graft(0, current[j]);
+        next.push_back(std::move(t));
+        if (static_cast<int64_t>(next.size()) >= count) break;
+      }
+      if (static_cast<int64_t>(next.size()) >= count) break;
+    }
+    assert(next.size() > current.size() && "T_i must grow");
+    current = std::move(next);
+  }
+  current.resize(count);
+  return current;
+}
+
+PartitionSatInstance BuildPartitionReduction(
+    const FourPartitionInstance& instance, LabelPool* pool) {
+  PartitionSatInstance out;
+  LabelId a = pool->Intern("a");
+  // Fixed DTD: a -> (a|b|c|d|e)(a|b|c|d|e), others leaves; root a.
+  std::vector<Regex> any;
+  for (const char* l : {"a", "b", "c", "d", "e"}) {
+    any.push_back(Regex::Letter(pool->Intern(l)));
+  }
+  Regex one = Regex::Union(std::move(any));
+  std::vector<Regex> two;
+  two.push_back(one);
+  two.push_back(std::move(one));
+  out.dtd.AddStart(a);
+  out.dtd.SetRule(a, Regex::Concat(std::move(two)));
+  for (const char* l : {"b", "c", "d", "e"}) {
+    out.dtd.SetRule(pool->Intern(l), Regex::Epsilon());
+  }
+
+  int32_t k_len = instance.log_target;
+  int32_t l_len = instance.log_groups4;
+  int64_t total_leaves = int64_t{1} << (k_len + l_len);
+  std::vector<Tree> balanced = EnumerateBalancedTrees(total_leaves, pool);
+
+  // Pattern: root a; per number, an a-path of length L; below it, `number`
+  // a-paths of length K; below each of those one distinct balanced tree.
+  Tpq p(a);
+  size_t next_tree = 0;
+  for (int64_t number : instance.numbers) {
+    NodeId v = 0;
+    for (int32_t i = 0; i < l_len; ++i) {
+      v = p.AddChild(v, a, EdgeKind::kChild);
+    }
+    for (int64_t j = 0; j < number; ++j) {
+      // A path of K edges whose last node is the balanced tree's root, so
+      // that the 2^{K+L} pairwise different trees all sit at depth exactly
+      // K+L — the capacity of the binary DTD, which forces tightness.
+      NodeId w = v;
+      for (int32_t i = 0; i + 1 < k_len; ++i) {
+        w = p.AddChild(w, a, EdgeKind::kChild);
+      }
+      assert(next_tree < balanced.size());
+      const Tree& t = balanced[next_tree++];
+      // Graft the balanced tree as a pattern with child edges.
+      std::vector<std::pair<NodeId, NodeId>> queue = {{0, w}};
+      for (size_t qi = 0; qi < queue.size(); ++qi) {
+        auto [src, dst_parent] = queue[qi];
+        NodeId dst = p.AddChild(dst_parent, t.Label(src), EdgeKind::kChild);
+        for (NodeId c = t.FirstChild(src); c != kNoNode;
+             c = t.NextSibling(c)) {
+          queue.emplace_back(c, dst);
+        }
+      }
+    }
+  }
+  assert(next_tree == balanced.size());
+  out.p = std::move(p);
+  return out;
+}
+
+}  // namespace tpc

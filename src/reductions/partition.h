@@ -1,0 +1,75 @@
+// The NP-hardness machinery of Theorem 4.2(2): satisfiability of TPQ(/)
+// w.r.t. a *fixed* DTD, via 3-PARTITION → 4-PARTITION → satisfiability
+// (Section 4 and Appendix C of the paper, pattern structure in Figure 3).
+//
+// The fixed DTD describes perfect binary branching: every a-node has exactly
+// two children over {a,b,c,d,e}, every other label is a leaf.  The sets T_i
+// of perfectly balanced trees with pairwise-different sibling subtrees grow
+// doubly exponentially (|T_0| = 4, |T_{i+1}| = |T_i|(|T_i|-1)/2), and each
+// such tree, viewed as a TPQ(/) pattern, strongly embeds into exactly one
+// tree satisfying the DTD — itself.  Attaching 2^{K+L} pairwise different
+// T_M trees under paths that spell the 4-PARTITION instance forces any
+// satisfying tree to realize a partition.
+
+#ifndef TPC_REDUCTIONS_PARTITION_H_
+#define TPC_REDUCTIONS_PARTITION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "pattern/tpq.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+/// A 3-PARTITION instance: bound B and a multiset of integers strictly
+/// between B/4 and B/2, |numbers| divisible by 3.
+struct ThreePartitionInstance {
+  int64_t bound = 0;
+  std::vector<int64_t> numbers;
+};
+
+/// A 4-PARTITION instance (the paper's convenient intermediate form):
+/// partition `numbers` (|numbers| = 4 * 2^log_groups4) into |numbers|/4
+/// sub-multisets each summing to 2^log_target.
+struct FourPartitionInstance {
+  int32_t log_target = 0;   // K: groups must sum to 2^K
+  int32_t log_groups4 = 0;  // L: |numbers| = 4 * 2^L
+  std::vector<int64_t> numbers;
+};
+
+/// Brute-force solvers for ground truth on small instances.
+bool SolveThreePartition(const ThreePartitionInstance& instance);
+bool SolveFourPartition(const FourPartitionInstance& instance);
+
+/// The polynomial reduction of Appendix C: K is the smallest number with
+/// sum(S) < 2^{K-2}, L the smallest with |S| + |S|/3 <= 4 * 2^L; padding
+/// numbers 2^K - B and 2^{K-2} complete the multiset.
+FourPartitionInstance ThreeToFourPartition(
+    const ThreePartitionInstance& instance);
+
+/// A satisfiability-with-fixed-DTD instance.
+struct PartitionSatInstance {
+  Dtd dtd;  // the fixed binary DTD over {a,b,c,d,e}
+  Tpq p;    // a TPQ(/) pattern; strongly satisfiable iff partition exists
+};
+
+/// Builds the Theorem 4.2(2) instance from a 4-PARTITION instance.
+/// The pattern has |numbers| paths of length L, k paths of length K below
+/// the path of each number k, and 2^{K+L} pairwise different T_M trees at
+/// the bottom.  Pattern size is polynomial in the unary instance but grows
+/// quickly; intended for small K+L.
+PartitionSatInstance BuildPartitionReduction(
+    const FourPartitionInstance& instance, LabelPool* pool);
+
+/// Enumerates (at least) `count` pairwise different trees of the paper's
+/// set T_m (perfectly balanced depth-m trees over the fixed alphabet with
+/// different sibling subtrees), for the smallest sufficient m.
+std::vector<Tree> EnumerateBalancedTrees(int64_t count, LabelPool* pool);
+
+}  // namespace tpc
+
+#endif  // TPC_REDUCTIONS_PARTITION_H_

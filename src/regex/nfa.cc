@@ -1,0 +1,307 @@
+#include "regex/nfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace tpc {
+
+namespace {
+
+/// Glushkov bookkeeping for one regex node: which positions can start a
+/// match, which can end it, and whether the node is nullable.
+struct GlushkovInfo {
+  std::vector<int32_t> first;
+  std::vector<int32_t> last;
+  bool nullable = false;
+};
+
+/// Recursively computes Glushkov sets.  `positions` accumulates the symbol of
+/// each letter occurrence; `follow` accumulates the follow relation.
+GlushkovInfo BuildGlushkov(const Regex& r, std::vector<Symbol>* positions,
+                           std::vector<std::vector<int32_t>>* follow) {
+  GlushkovInfo info;
+  switch (r.kind()) {
+    case Regex::Kind::kEmptySet:
+      info.nullable = false;
+      break;
+    case Regex::Kind::kEpsilon:
+      info.nullable = true;
+      break;
+    case Regex::Kind::kLetter: {
+      int32_t pos = static_cast<int32_t>(positions->size());
+      positions->push_back(r.letter());
+      follow->emplace_back();
+      info.first = {pos};
+      info.last = {pos};
+      info.nullable = false;
+      break;
+    }
+    case Regex::Kind::kConcat: {
+      info.nullable = true;
+      std::vector<int32_t> pending_last;  // lasts that can still see a first
+      bool first_open = true;             // still extending info.first
+      for (const Regex& c : r.children()) {
+        GlushkovInfo ci = BuildGlushkov(c, positions, follow);
+        for (int32_t l : pending_last) {
+          for (int32_t f : ci.first) (*follow)[l].push_back(f);
+        }
+        if (first_open) {
+          info.first.insert(info.first.end(), ci.first.begin(),
+                            ci.first.end());
+          if (!ci.nullable) first_open = false;
+        }
+        if (ci.nullable) {
+          pending_last.insert(pending_last.end(), ci.last.begin(),
+                              ci.last.end());
+        } else {
+          pending_last = ci.last;
+        }
+        info.nullable = info.nullable && ci.nullable;
+      }
+      info.last = std::move(pending_last);
+      break;
+    }
+    case Regex::Kind::kUnion: {
+      info.nullable = false;
+      for (const Regex& c : r.children()) {
+        GlushkovInfo ci = BuildGlushkov(c, positions, follow);
+        info.first.insert(info.first.end(), ci.first.begin(), ci.first.end());
+        info.last.insert(info.last.end(), ci.last.begin(), ci.last.end());
+        info.nullable = info.nullable || ci.nullable;
+      }
+      break;
+    }
+    case Regex::Kind::kStar:
+    case Regex::Kind::kPlus:
+    case Regex::Kind::kOptional: {
+      GlushkovInfo ci = BuildGlushkov(r.children()[0], positions, follow);
+      info.first = ci.first;
+      info.last = ci.last;
+      if (r.kind() == Regex::Kind::kStar || r.kind() == Regex::Kind::kPlus) {
+        for (int32_t l : ci.last) {
+          for (int32_t f : ci.first) (*follow)[l].push_back(f);
+        }
+      }
+      info.nullable =
+          r.kind() == Regex::Kind::kPlus ? ci.nullable : true;
+      break;
+    }
+  }
+  return info;
+}
+
+}  // namespace
+
+Nfa Nfa::FromRegex(const Regex& regex) {
+  std::vector<Symbol> positions;
+  std::vector<std::vector<int32_t>> follow;
+  GlushkovInfo info = BuildGlushkov(regex, &positions, &follow);
+
+  Nfa nfa;
+  // State 0 is initial; state i+1 corresponds to position i.
+  nfa.num_states = static_cast<int32_t>(positions.size()) + 1;
+  nfa.initial = 0;
+  nfa.accepting.assign(nfa.num_states, false);
+  nfa.transitions.assign(nfa.num_states, {});
+  nfa.accepting[0] = info.nullable;
+  for (int32_t f : info.first) {
+    nfa.transitions[0].emplace_back(positions[f], f + 1);
+  }
+  for (size_t p = 0; p < positions.size(); ++p) {
+    for (int32_t f : follow[p]) {
+      nfa.transitions[p + 1].emplace_back(positions[f], f + 1);
+    }
+  }
+  for (int32_t l : info.last) nfa.accepting[l + 1] = true;
+  // Deduplicate transitions.
+  for (auto& ts : nfa.transitions) {
+    std::sort(ts.begin(), ts.end());
+    ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  }
+  return nfa;
+}
+
+Nfa Nfa::EpsilonOnly() {
+  Nfa nfa;
+  nfa.num_states = 1;
+  nfa.initial = 0;
+  nfa.accepting = {true};
+  nfa.transitions.resize(1);
+  return nfa;
+}
+
+Nfa Nfa::Universal(const std::vector<Symbol>& alphabet) {
+  Nfa nfa;
+  nfa.num_states = 1;
+  nfa.initial = 0;
+  nfa.accepting = {true};
+  nfa.transitions.resize(1);
+  for (Symbol s : alphabet) nfa.transitions[0].emplace_back(s, 0);
+  return nfa;
+}
+
+bool Nfa::Accepts(std::span<const Symbol> word) const {
+  std::vector<int32_t> current = {initial};
+  for (Symbol s : word) {
+    current = Step(current, s);
+    if (current.empty()) return false;
+  }
+  return std::any_of(current.begin(), current.end(),
+                     [&](int32_t q) { return accepting[q]; });
+}
+
+std::vector<int32_t> Nfa::Step(const std::vector<int32_t>& from,
+                               Symbol symbol) const {
+  std::vector<bool> seen(num_states, false);
+  std::vector<int32_t> out;
+  for (int32_t q : from) {
+    for (const auto& [s, target] : transitions[q]) {
+      if (s == symbol && !seen[target]) {
+        seen[target] = true;
+        out.push_back(target);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Nfa::IsEmpty() const {
+  std::vector<bool> visited(num_states, false);
+  std::vector<int32_t> stack = {initial};
+  visited[initial] = true;
+  while (!stack.empty()) {
+    int32_t q = stack.back();
+    stack.pop_back();
+    if (accepting[q]) return false;
+    for (const auto& [s, target] : transitions[q]) {
+      if (!visited[target]) {
+        visited[target] = true;
+        stack.push_back(target);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<Symbol> Nfa::Alphabet() const {
+  std::set<Symbol> symbols;
+  for (const auto& ts : transitions) {
+    for (const auto& [s, target] : ts) symbols.insert(s);
+  }
+  return {symbols.begin(), symbols.end()};
+}
+
+int32_t Dfa::SymbolIndex(Symbol s) const {
+  auto it = std::lower_bound(alphabet.begin(), alphabet.end(), s);
+  if (it == alphabet.end() || *it != s) return -1;
+  return static_cast<int32_t>(it - alphabet.begin());
+}
+
+int32_t Dfa::StepState(int32_t state, Symbol s) const {
+  int32_t idx = SymbolIndex(s);
+  assert(idx >= 0);
+  return next[static_cast<size_t>(state) * alphabet.size() + idx];
+}
+
+bool Dfa::Accepts(std::span<const Symbol> word) const {
+  int32_t q = initial;
+  for (Symbol s : word) {
+    int32_t idx = SymbolIndex(s);
+    if (idx < 0) return false;  // symbol outside alphabet: reject
+    q = next[static_cast<size_t>(q) * alphabet.size() + idx];
+  }
+  return accepting[q];
+}
+
+Dfa Dfa::Determinize(const Nfa& nfa, const std::vector<Symbol>& extra) {
+  Dfa dfa;
+  std::set<Symbol> symbol_set;
+  for (Symbol s : nfa.Alphabet()) symbol_set.insert(s);
+  for (Symbol s : extra) symbol_set.insert(s);
+  dfa.alphabet.assign(symbol_set.begin(), symbol_set.end());
+  size_t k = dfa.alphabet.size();
+
+  std::map<std::vector<int32_t>, int32_t> state_ids;
+  std::vector<std::vector<int32_t>> subsets;
+  auto intern = [&](std::vector<int32_t> subset) {
+    auto [it, inserted] =
+        state_ids.emplace(subset, static_cast<int32_t>(subsets.size()));
+    if (inserted) subsets.push_back(std::move(subset));
+    return it->second;
+  };
+  intern({nfa.initial});
+  dfa.initial = 0;
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    std::vector<int32_t> current = subsets[i];  // copy: subsets may realloc
+    for (size_t a = 0; a < k; ++a) {
+      int32_t target = intern(nfa.Step(current, dfa.alphabet[a]));
+      dfa.next.resize(subsets.size() * k, -1);
+      dfa.next[i * k + a] = target;
+    }
+  }
+  dfa.num_states = static_cast<int32_t>(subsets.size());
+  dfa.next.resize(static_cast<size_t>(dfa.num_states) * k, -1);
+  dfa.accepting.assign(dfa.num_states, false);
+  for (int32_t i = 0; i < dfa.num_states; ++i) {
+    for (int32_t q : subsets[i]) {
+      if (nfa.accepting[q]) dfa.accepting[i] = true;
+    }
+  }
+  return dfa;
+}
+
+Dfa Dfa::Minimize() const {
+  size_t k = alphabet.size();
+  // Moore's partition refinement.
+  std::vector<int32_t> block(num_states);
+  for (int32_t q = 0; q < num_states; ++q) block[q] = accepting[q] ? 1 : 0;
+  int32_t num_blocks = 2;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Signature of a state: (block, blocks of successors).
+    std::map<std::vector<int32_t>, int32_t> sig_ids;
+    std::vector<int32_t> new_block(num_states);
+    for (int32_t q = 0; q < num_states; ++q) {
+      std::vector<int32_t> sig;
+      sig.reserve(k + 1);
+      sig.push_back(block[q]);
+      for (size_t a = 0; a < k; ++a) {
+        sig.push_back(block[next[static_cast<size_t>(q) * k + a]]);
+      }
+      auto [it, inserted] =
+          sig_ids.emplace(std::move(sig), static_cast<int32_t>(sig_ids.size()));
+      new_block[q] = it->second;
+    }
+    if (static_cast<int32_t>(sig_ids.size()) != num_blocks) changed = true;
+    num_blocks = static_cast<int32_t>(sig_ids.size());
+    block = std::move(new_block);
+  }
+  Dfa out;
+  out.alphabet = alphabet;
+  out.num_states = num_blocks;
+  out.initial = block[initial];
+  out.accepting.assign(num_blocks, false);
+  out.next.assign(static_cast<size_t>(num_blocks) * k, -1);
+  for (int32_t q = 0; q < num_states; ++q) {
+    if (accepting[q]) out.accepting[block[q]] = true;
+    for (size_t a = 0; a < k; ++a) {
+      out.next[static_cast<size_t>(block[q]) * k + a] =
+          block[next[static_cast<size_t>(q) * k + a]];
+    }
+  }
+  return out;
+}
+
+Dfa Dfa::Complement() const {
+  Dfa out = *this;
+  for (int32_t q = 0; q < num_states; ++q) {
+    out.accepting[q] = !accepting[q];
+  }
+  return out;
+}
+
+}  // namespace tpc

@@ -1,0 +1,85 @@
+// Nondeterministic and deterministic finite word automata.
+//
+// These automata run over sequences of `Symbol`s.  Symbols are plain
+// uint32_t: label ids when the automaton reads DTD content models, or tree
+// automaton state ids when it serves as the horizontal language of an
+// unranked tree automaton transition.
+//
+// `Nfa::FromRegex` is the Glushkov (position) construction, which is
+// epsilon-free and linear in the number of letter occurrences.
+
+#ifndef TPC_REGEX_NFA_H_
+#define TPC_REGEX_NFA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "regex/regex.h"
+
+namespace tpc {
+
+using Symbol = uint32_t;
+
+/// Epsilon-free NFA with a single initial state.
+struct Nfa {
+  int32_t num_states = 0;
+  int32_t initial = 0;
+  std::vector<bool> accepting;
+  /// transitions[s] = list of (symbol, target).
+  std::vector<std::vector<std::pair<Symbol, int32_t>>> transitions;
+
+  /// Glushkov construction.  Treats `Regex::kLetter` labels as symbols.
+  static Nfa FromRegex(const Regex& regex);
+
+  /// An NFA accepting exactly the empty word.
+  static Nfa EpsilonOnly();
+
+  /// An NFA accepting all words over the given symbols (universal).
+  static Nfa Universal(const std::vector<Symbol>& alphabet);
+
+  bool Accepts(std::span<const Symbol> word) const;
+
+  /// True iff the language is empty (no accepting state reachable).
+  bool IsEmpty() const;
+
+  /// The set of states reachable from `from` on `symbol`.
+  std::vector<int32_t> Step(const std::vector<int32_t>& from,
+                            Symbol symbol) const;
+
+  /// All symbols appearing on transitions.
+  std::vector<Symbol> Alphabet() const;
+};
+
+/// Deterministic automaton (complete over its alphabet, with a sink).
+struct Dfa {
+  int32_t num_states = 0;
+  int32_t initial = 0;
+  std::vector<bool> accepting;
+  std::vector<Symbol> alphabet;  // sorted
+  /// dense transition table: next[state * alphabet.size() + symbol_index]
+  std::vector<int32_t> next;
+
+  int32_t SymbolIndex(Symbol s) const;  // -1 if not in alphabet
+  /// Steps from `state` on `s`; symbols outside the alphabet go to the sink
+  /// (state with no accepting continuation) — callers must ensure the DFA was
+  /// built over a sufficient alphabet or handle -1 from SymbolIndex.
+  int32_t StepState(int32_t state, Symbol s) const;
+  bool Accepts(std::span<const Symbol> word) const;
+
+  /// Subset construction.  `extra_alphabet` symbols are added to the NFA's
+  /// own alphabet (needed when the DFA must be complete over a larger set).
+  static Dfa Determinize(const Nfa& nfa,
+                         const std::vector<Symbol>& extra_alphabet = {});
+
+  /// Moore's algorithm; returns an equivalent minimal complete DFA.
+  Dfa Minimize() const;
+
+  /// Complements acceptance (requires completeness, which Determinize
+  /// guarantees over its alphabet).
+  Dfa Complement() const;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_REGEX_NFA_H_

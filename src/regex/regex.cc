@@ -1,0 +1,320 @@
+#include "regex/regex.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpc {
+
+Regex Regex::EmptySet() {
+  Regex r;
+  r.kind_ = Kind::kEmptySet;
+  return r;
+}
+
+Regex Regex::Epsilon() {
+  Regex r;
+  r.kind_ = Kind::kEpsilon;
+  return r;
+}
+
+Regex Regex::Letter(LabelId label) {
+  Regex r;
+  r.kind_ = Kind::kLetter;
+  r.letter_ = label;
+  return r;
+}
+
+Regex Regex::Concat(std::vector<Regex> parts) {
+  if (parts.empty()) return Epsilon();
+  if (parts.size() == 1) return std::move(parts[0]);
+  Regex r;
+  r.kind_ = Kind::kConcat;
+  r.children_ = std::move(parts);
+  return r;
+}
+
+Regex Regex::Union(std::vector<Regex> parts) {
+  if (parts.empty()) return EmptySet();
+  if (parts.size() == 1) return std::move(parts[0]);
+  Regex r;
+  r.kind_ = Kind::kUnion;
+  r.children_ = std::move(parts);
+  return r;
+}
+
+Regex Regex::Star(Regex inner) {
+  Regex r;
+  r.kind_ = Kind::kStar;
+  r.children_.push_back(std::move(inner));
+  return r;
+}
+
+Regex Regex::Plus(Regex inner) {
+  Regex r;
+  r.kind_ = Kind::kPlus;
+  r.children_.push_back(std::move(inner));
+  return r;
+}
+
+Regex Regex::Optional(Regex inner) {
+  Regex r;
+  r.kind_ = Kind::kOptional;
+  r.children_.push_back(std::move(inner));
+  return r;
+}
+
+bool Regex::Nullable() const {
+  switch (kind_) {
+    case Kind::kEmptySet:
+      return false;
+    case Kind::kEpsilon:
+      return true;
+    case Kind::kLetter:
+      return false;
+    case Kind::kConcat:
+      return std::all_of(children_.begin(), children_.end(),
+                         [](const Regex& c) { return c.Nullable(); });
+    case Kind::kUnion:
+      return std::any_of(children_.begin(), children_.end(),
+                         [](const Regex& c) { return c.Nullable(); });
+    case Kind::kStar:
+    case Kind::kOptional:
+      return true;
+    case Kind::kPlus:
+      return children_[0].Nullable();
+  }
+  return false;
+}
+
+void Regex::CollectLabels(std::vector<LabelId>* out) const {
+  if (kind_ == Kind::kLetter) {
+    out->push_back(letter_);
+    return;
+  }
+  for (const Regex& c : children_) c.CollectLabels(out);
+}
+
+std::vector<LabelId> Regex::Labels() const {
+  std::vector<LabelId> out;
+  CollectLabels(&out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+int32_t Regex::Size() const {
+  int32_t n = 1;
+  for (const Regex& c : children_) n += c.Size();
+  return n;
+}
+
+namespace {
+// Precedence: union 0, concat 1, postfix 2.
+constexpr int kPrecUnion = 0;
+constexpr int kPrecConcat = 1;
+constexpr int kPrecPostfix = 2;
+}  // namespace
+
+void Regex::AppendString(const LabelPool& pool, int parent_prec,
+                         std::string* out) const {
+  auto wrap = [&](int my_prec, auto&& body) {
+    bool parens = my_prec < parent_prec;
+    if (parens) out->push_back('(');
+    body();
+    if (parens) out->push_back(')');
+  };
+  switch (kind_) {
+    case Kind::kEmptySet:
+      out->append("empty");
+      break;
+    case Kind::kEpsilon:
+      out->append("eps");
+      break;
+    case Kind::kLetter:
+      out->append(pool.Name(letter_));
+      break;
+    case Kind::kConcat:
+      wrap(kPrecConcat, [&] {
+        for (size_t i = 0; i < children_.size(); ++i) {
+          if (i > 0) out->push_back(' ');
+          children_[i].AppendString(pool, kPrecConcat + 1, out);
+        }
+      });
+      break;
+    case Kind::kUnion:
+      wrap(kPrecUnion, [&] {
+        for (size_t i = 0; i < children_.size(); ++i) {
+          if (i > 0) out->append(" | ");
+          children_[i].AppendString(pool, kPrecUnion + 1, out);
+        }
+      });
+      break;
+    case Kind::kStar:
+      wrap(kPrecPostfix, [&] {
+        children_[0].AppendString(pool, kPrecPostfix + 1, out);
+        out->push_back('*');
+      });
+      break;
+    case Kind::kPlus:
+      wrap(kPrecPostfix, [&] {
+        // Concrete syntax has no postfix plus; print as `r r*`.
+        children_[0].AppendString(pool, kPrecPostfix + 1, out);
+        out->push_back(' ');
+        children_[0].AppendString(pool, kPrecPostfix + 1, out);
+        out->push_back('*');
+      });
+      break;
+    case Kind::kOptional:
+      wrap(kPrecPostfix, [&] {
+        children_[0].AppendString(pool, kPrecPostfix + 1, out);
+        out->push_back('?');
+      });
+      break;
+  }
+}
+
+std::string Regex::ToString(const LabelPool& pool) const {
+  std::string out;
+  AppendString(pool, 0, &out);
+  return out;
+}
+
+namespace {
+
+bool IsLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' ||
+         c == '\'' || c == '-';
+}
+
+class RegexParser {
+ public:
+  RegexParser(std::string_view input, LabelPool* pool)
+      : input_(input), pool_(pool) {}
+
+  ParseResult<Regex> Parse() {
+    Regex r = ParseUnion();
+    if (!ok_) return ParseResult<Regex>::Error(error_, pos_);
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return ParseResult<Regex>::Error("trailing input after expression",
+                                       pos_);
+    }
+    return ParseResult<Regex>::Ok(std::move(r));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Regex Fail(const char* message) {
+    if (ok_) {
+      ok_ = false;
+      error_ = message;
+    }
+    return Regex::EmptySet();
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < input_.size() && input_[pos_] == c;
+  }
+
+  Regex ParseUnion() {
+    std::vector<Regex> parts;
+    parts.push_back(ParseConcat());
+    while (ok_ && (Peek('|') || Peek('+'))) {
+      ++pos_;
+      parts.push_back(ParseConcat());
+    }
+    return Regex::Union(std::move(parts));
+  }
+
+  Regex ParseConcat() {
+    std::vector<Regex> parts;
+    parts.push_back(ParsePostfix());
+    while (ok_) {
+      SkipSpace();
+      if (pos_ >= input_.size()) break;
+      char c = input_[pos_];
+      if (c == '.' || c == ',') {
+        ++pos_;
+        parts.push_back(ParsePostfix());
+        continue;
+      }
+      if (c == '(' || IsLabelChar(c)) {
+        parts.push_back(ParsePostfix());
+        continue;
+      }
+      break;
+    }
+    return Regex::Concat(std::move(parts));
+  }
+
+  Regex ParsePostfix() {
+    Regex r = ParseAtom();
+    while (ok_) {
+      SkipSpace();
+      if (pos_ < input_.size() && input_[pos_] == '*') {
+        ++pos_;
+        r = Regex::Star(std::move(r));
+      } else if (pos_ < input_.size() && input_[pos_] == '?') {
+        ++pos_;
+        r = Regex::Optional(std::move(r));
+      } else {
+        break;
+      }
+    }
+    return r;
+  }
+
+  Regex ParseAtom() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return Fail("expected an atom");
+    if (input_[pos_] == '(') {
+      ++pos_;
+      Regex r = ParseUnion();
+      if (!ok_) return r;
+      if (!Peek(')')) return Fail("expected ')'");
+      ++pos_;
+      return r;
+    }
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsLabelChar(input_[pos_])) ++pos_;
+    if (pos_ == start) return Fail("expected a label, 'eps', or '('");
+    std::string_view name = input_.substr(start, pos_ - start);
+    if (name == "eps") return Regex::Epsilon();
+    if (name == "empty") return Regex::EmptySet();
+    return Regex::Letter(pool_->Intern(name));
+  }
+
+  std::string_view input_;
+  LabelPool* pool_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult<Regex> ParseRegex(std::string_view input, LabelPool* pool) {
+  return RegexParser(input, pool).Parse();
+}
+
+Regex MustParseRegex(std::string_view input, LabelPool* pool) {
+  ParseResult<Regex> result = ParseRegex(input, pool);
+  if (!result.ok()) {
+    std::fprintf(stderr, "MustParseRegex(\"%.*s\"): %s (at offset %zu)\n",
+                 static_cast<int>(input.size()), input.data(),
+                 result.error().c_str(), result.error_offset());
+    std::abort();
+  }
+  return std::move(result.value());
+}
+
+}  // namespace tpc

@@ -1,0 +1,86 @@
+// Regular expressions over interned labels (Section 2.2 of the paper).
+//
+// DTD content models are standard regular expressions with concatenation,
+// disjunction (`+` in the paper, `|` in our concrete syntax), Kleene star,
+// plus and optional.  Expressions are immutable DAG-free trees owned by a
+// `Regex` value.
+
+#ifndef TPC_REGEX_REGEX_H_
+#define TPC_REGEX_REGEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/label.h"
+#include "base/parse_result.h"
+
+namespace tpc {
+
+/// AST of a regular expression.
+class Regex {
+ public:
+  enum class Kind : uint8_t {
+    kEmptySet,  // ∅ — matches nothing
+    kEpsilon,   // ε — matches the empty word
+    kLetter,    // a single label
+    kConcat,
+    kUnion,
+    kStar,      // zero or more
+    kPlus,      // one or more
+    kOptional,  // zero or one
+  };
+
+  /// Constructors.
+  static Regex EmptySet();
+  static Regex Epsilon();
+  static Regex Letter(LabelId label);
+  static Regex Concat(std::vector<Regex> parts);
+  static Regex Union(std::vector<Regex> parts);
+  static Regex Star(Regex inner);
+  static Regex Plus(Regex inner);
+  static Regex Optional(Regex inner);
+
+  Kind kind() const { return kind_; }
+  LabelId letter() const { return letter_; }
+  const std::vector<Regex>& children() const { return children_; }
+
+  /// True if the empty word is in the language.
+  bool Nullable() const;
+
+  /// All labels occurring in the expression (`Labels(r)` in the paper).
+  std::vector<LabelId> Labels() const;
+
+  /// Size of the word representation (`|r|` in the paper): number of letter,
+  /// epsilon and operator occurrences.
+  int32_t Size() const;
+
+  std::string ToString(const LabelPool& pool) const;
+
+ private:
+  Regex() = default;
+  void CollectLabels(std::vector<LabelId>* out) const;
+  void AppendString(const LabelPool& pool, int parent_prec,
+                    std::string* out) const;
+
+  Kind kind_ = Kind::kEmptySet;
+  LabelId letter_ = kNoLabel;
+  std::vector<Regex> children_;
+};
+
+/// Parses a regular expression.  Concrete syntax:
+///   union:  `r | s`, or `r + s` as written in the paper;
+///   concat: juxtaposition `r s`, or explicit `r . s` / `r , s`;
+///   postfix `*` (star) and `?` (optional); parentheses group;
+///   `eps` is the empty word, `empty` the empty language.
+/// Note: `+` is always *union* (paper convention); one-or-more is written
+/// `r r*` in concrete syntax (the AST still has `Plus` for programmatic use).
+ParseResult<Regex> ParseRegex(std::string_view input, LabelPool* pool);
+
+/// Parses or aborts; for trusted inputs in tests and examples.
+Regex MustParseRegex(std::string_view input, LabelPool* pool);
+
+}  // namespace tpc
+
+#endif  // TPC_REGEX_REGEX_H_

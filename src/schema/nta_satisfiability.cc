@@ -1,0 +1,176 @@
+#include "schema/nta_satisfiability.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "automata/path_complement.h"
+#include "automata/tpq_det.h"
+
+namespace tpc {
+
+namespace {
+
+/// One realizable configuration of the product: an NTA state together with
+/// a deterministic pattern state, a concrete node label, and a derivation.
+struct NtaConfig {
+  int32_t nta_state;
+  int32_t p_state;
+  LabelId label;
+  std::vector<int32_t> children;
+};
+
+}  // namespace
+
+SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
+                                  LabelPool* pool,
+                                  const EngineLimits& limits) {
+  TpqDetAutomaton det(p);
+  // Candidate labels for wildcard-labelled transitions: the letters of p
+  // plus one fresh letter (any label outside p behaves identically).
+  std::set<LabelId> label_set(nta.alphabet().begin(), nta.alphabet().end());
+  for (NodeId v = 0; v < p.size(); ++v) {
+    if (!p.IsWildcard(v)) label_set.insert(p.Label(v));
+  }
+  LabelId fresh = pool->Fresh("_any");
+  std::vector<LabelId> wildcard_labels(label_set.begin(), label_set.end());
+  wildcard_labels.push_back(fresh);
+
+  std::vector<NtaConfig> configs;
+  std::map<std::tuple<int32_t, int32_t, LabelId>, int32_t> ids;
+  bool truncated = false;
+  int32_t goal = -1;
+
+  auto accepts = [&](const NtaConfig& cfg) {
+    if (!nta.final_states()[cfg.nta_state]) return false;
+    return mode == Mode::kStrong ? det.AcceptsStrong(cfg.p_state)
+                                 : det.AcceptsWeak(cfg.p_state);
+  };
+
+  bool changed = true;
+  while (changed && goal < 0 && !truncated) {
+    changed = false;
+    for (const Nta::Transition& tr : nta.transitions()) {
+      if (goal >= 0 || truncated) break;
+      std::vector<LabelId> labels =
+          tr.label == kWildcard ? wildcard_labels
+                                : std::vector<LabelId>{tr.label};
+      // Horizontal search over (NFA state, accumulated unions), consuming
+      // realized configurations whose NTA state feeds the transition.
+      struct HNode {
+        int32_t h;
+        NodeBitset sat, below;
+        int32_t from = -1, via = -1;
+      };
+      std::vector<HNode> nodes;
+      std::map<std::tuple<int32_t, NodeBitset, NodeBitset>, int32_t> seen;
+      auto intern = [&](HNode n) {
+        auto key = std::make_tuple(n.h, n.sat, n.below);
+        if (seen.count(key)) return;
+        seen.emplace(std::move(key), static_cast<int32_t>(nodes.size()));
+        nodes.push_back(std::move(n));
+      };
+      HNode start;
+      start.h = tr.horizontal.initial;
+      start.sat = NodeBitset(p.size());
+      start.below = NodeBitset(p.size());
+      intern(std::move(start));
+      for (size_t i = 0; i < nodes.size() && goal < 0; ++i) {
+        if (static_cast<int64_t>(nodes.size()) >=
+            limits.max_horizontal_nodes) {
+          truncated = true;
+          break;
+        }
+        if (tr.horizontal.accepting[nodes[i].h]) {
+          for (LabelId label : labels) {
+            int32_t ps = det.StateForUnion(label, nodes[i].sat,
+                                           nodes[i].below);
+            auto key = std::make_tuple(tr.state, ps, label);
+            if (ids.count(key)) continue;
+            NtaConfig cfg{tr.state, ps, label, {}};
+            for (int32_t n = static_cast<int32_t>(i); nodes[n].from >= 0;
+                 n = nodes[n].from) {
+              cfg.children.push_back(nodes[n].via);
+            }
+            std::reverse(cfg.children.begin(), cfg.children.end());
+            int32_t id = static_cast<int32_t>(configs.size());
+            configs.push_back(cfg);
+            ids.emplace(key, id);
+            changed = true;
+            if (accepts(cfg)) {
+              goal = id;
+              break;
+            }
+            if (static_cast<int64_t>(configs.size()) >=
+                limits.max_configurations) {
+              truncated = true;
+              break;
+            }
+          }
+          if (goal >= 0 || truncated) break;
+        }
+        size_t num_now = configs.size();
+        const auto& ts = tr.horizontal.transitions[nodes[i].h];
+        for (size_t c = 0; c < num_now; ++c) {
+          for (const auto& [sym, target] : ts) {
+            if (static_cast<int32_t>(sym) != configs[c].nta_state) continue;
+            HNode next = nodes[i];
+            next.h = target;
+            next.from = static_cast<int32_t>(i);
+            next.via = static_cast<int32_t>(c);
+            next.sat.UnionWith(det.Sat(configs[c].p_state));
+            next.below.UnionWith(det.Below(configs[c].p_state));
+            intern(std::move(next));
+          }
+        }
+      }
+    }
+  }
+
+  SchemaDecision out;
+  out.configurations = static_cast<int64_t>(configs.size());
+  out.decided = goal >= 0 || !truncated;
+  out.yes = goal >= 0;
+  if (goal >= 0) {
+    // Materialize the witness tree.
+    Tree t;
+    std::vector<std::pair<int32_t, NodeId>> queue = {{goal, kNoNode}};
+    for (size_t i = 0; i < queue.size(); ++i) {
+      auto [cfg_index, parent] = queue[i];
+      const NtaConfig& cfg = configs[cfg_index];
+      NodeId v = parent == kNoNode ? t.AddRoot(cfg.label)
+                                   : t.AddChild(parent, cfg.label);
+      for (int32_t child : cfg.children) queue.emplace_back(child, v);
+    }
+    out.witness = std::move(t);
+  }
+  return out;
+}
+
+SchemaDecision ContainedViaConpRoute(const Tpq& p, const Tpq& q, Mode mode,
+                                     const Dtd& dtd, LabelPool* pool,
+                                     const EngineLimits& limits) {
+  assert(IsPathQuery(q));
+  std::set<LabelId> sigma_set(dtd.alphabet().begin(), dtd.alphabet().end());
+  for (NodeId v = 0; v < q.size(); ++v) {
+    if (!q.IsWildcard(v)) sigma_set.insert(q.Label(v));
+  }
+  for (NodeId v = 0; v < p.size(); ++v) {
+    if (!p.IsWildcard(v)) sigma_set.insert(p.Label(v));
+  }
+  std::vector<LabelId> sigma(sigma_set.begin(), sigma_set.end());
+  Nta product = Nta::Intersect(Nta::FromDtd(dtd),
+                               ComplementOfPathQueryNta(q, sigma, mode));
+  SchemaDecision sat = SatisfiableWithNta(p, mode, product, pool, limits);
+  SchemaDecision out;
+  out.decided = sat.decided;
+  out.yes = !sat.yes;  // contained iff no witness of p ∧ d ∧ ¬q
+  out.witness = std::move(sat.witness);
+  out.configurations = sat.configurations;
+  return out;
+}
+
+}  // namespace tpc

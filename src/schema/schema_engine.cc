@@ -1,0 +1,263 @@
+#include "schema/schema_engine.h"
+
+#include <chrono>
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "automata/nta.h"
+#include "automata/tpq_det.h"
+
+namespace tpc {
+
+namespace {
+
+/// One realizable configuration: root symbol plus pattern-automata states
+/// (state -1 when the corresponding pattern is absent), with a derivation
+/// for witness reconstruction.
+struct Config {
+  LabelId symbol;
+  int32_t p_state;
+  int32_t q_state;
+  std::vector<int32_t> children;  // indices of realizing child configs
+};
+
+class Engine {
+ public:
+  Engine(const Dtd& dtd, const Tpq* p, const Tpq* q, const EngineLimits& limits)
+      : dtd_(dtd), limits_(limits),
+        deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(limits.max_milliseconds)) {
+    if (p != nullptr) p_det_.emplace(*p);
+    if (q != nullptr) q_det_.emplace(*q);
+  }
+
+  bool PastDeadline() const {
+    return limits_.max_milliseconds > 0 &&
+           std::chrono::steady_clock::now() > deadline_;
+  }
+
+  /// Runs the fixpoint until a configuration satisfying `accept` is found
+  /// (returning its index), the reachable set is exhausted (-1), or the
+  /// configuration limit is hit (-2, undecided).
+  template <typename AcceptFn>
+  int32_t Solve(AcceptFn accept) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (LabelId a : dtd_.alphabet()) {
+        if (ExpandSymbol(a, &changed, accept)) return goal_;
+        if (num_configs() >= limits_.max_configurations) return -2;
+        if (PastDeadline()) return -2;
+      }
+    }
+    // A truncated horizontal search may have missed realizable
+    // configurations: the fixpoint is then inconclusive.
+    return truncated_ ? -2 : -1;
+  }
+
+  Tree BuildWitness(int32_t index) const {
+    Tree t;
+    // (config index, parent node in t); breadth-first materialization.
+    std::vector<std::pair<int32_t, NodeId>> queue = {{index, kNoNode}};
+    for (size_t i = 0; i < queue.size(); ++i) {
+      auto [cfg_index, parent] = queue[i];
+      const Config& cfg = configs_[cfg_index];
+      NodeId v = parent == kNoNode ? t.AddRoot(cfg.symbol)
+                                   : t.AddChild(parent, cfg.symbol);
+      for (int32_t child : cfg.children) queue.emplace_back(child, v);
+    }
+    return t;
+  }
+
+  const Config& config(int32_t index) const { return configs_[index]; }
+  int64_t num_configs() const { return static_cast<int64_t>(configs_.size()); }
+
+  bool PAccepts(int32_t p_state, Mode mode) const {
+    if (!p_det_.has_value()) return true;
+    return mode == Mode::kStrong ? p_det_->AcceptsStrong(p_state)
+                                 : p_det_->AcceptsWeak(p_state);
+  }
+  bool QAccepts(int32_t q_state, Mode mode) const {
+    if (!q_det_.has_value()) return false;
+    return mode == Mode::kStrong ? q_det_->AcceptsStrong(q_state)
+                                 : q_det_->AcceptsWeak(q_state);
+  }
+
+ private:
+  /// Key for the horizontal search: NFA state plus accumulated unions.
+  using HKey = std::tuple<int32_t, NodeBitset, NodeBitset, NodeBitset,
+                          NodeBitset>;
+
+  struct HNode {
+    int32_t nfa_state;
+    NodeBitset p_sat, p_below, q_sat, q_below;
+    int32_t from = -1;     // index of predecessor HNode
+    int32_t via = -1;      // config index consumed on the way here
+  };
+
+  /// Explores all realizable configurations with root symbol `a`, adding new
+  /// ones.  Returns true (and sets goal_) when an accepting one is found.
+  template <typename AcceptFn>
+  bool ExpandSymbol(LabelId a, bool* changed, AcceptFn accept) {
+    const Nfa& nfa = dtd_.RuleNfa(a);
+    int32_t pn = p_det_.has_value() ? p_det_->query().size() : 0;
+    int32_t qn = q_det_.has_value() ? q_det_->query().size() : 0;
+
+    std::vector<HNode> nodes;
+    std::map<HKey, int32_t> seen;
+    auto intern = [&](HNode node) -> int32_t {
+      HKey key{node.nfa_state, node.p_sat, node.p_below, node.q_sat,
+               node.q_below};
+      auto it = seen.find(key);
+      if (it != seen.end()) return -1;
+      int32_t id = static_cast<int32_t>(nodes.size());
+      seen.emplace(std::move(key), id);
+      nodes.push_back(std::move(node));
+      return id;
+    };
+    HNode start;
+    start.nfa_state = nfa.initial;
+    start.p_sat = NodeBitset(pn);
+    start.p_below = NodeBitset(pn);
+    start.q_sat = NodeBitset(qn);
+    start.q_below = NodeBitset(qn);
+    intern(std::move(start));
+
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (static_cast<int64_t>(nodes.size()) >= limits_.max_horizontal_nodes ||
+          ((i & 1023) == 0 && PastDeadline())) {
+        truncated_ = true;
+        break;
+      }
+      // Realize a configuration if the content model accepts here.
+      if (nfa.accepting[nodes[i].nfa_state]) {
+        int32_t ps = p_det_.has_value()
+                         ? p_det_->StateForUnion(a, nodes[i].p_sat,
+                                                 nodes[i].p_below)
+                         : -1;
+        int32_t qs = q_det_.has_value()
+                         ? q_det_->StateForUnion(a, nodes[i].q_sat,
+                                                 nodes[i].q_below)
+                         : -1;
+        auto key = std::make_tuple(a, ps, qs);
+        if (config_ids_.find(key) == config_ids_.end()) {
+          Config cfg{a, ps, qs, {}};
+          for (int32_t n = static_cast<int32_t>(i); nodes[n].from >= 0;
+               n = nodes[n].from) {
+            cfg.children.push_back(nodes[n].via);
+          }
+          std::reverse(cfg.children.begin(), cfg.children.end());
+          int32_t id = static_cast<int32_t>(configs_.size());
+          configs_.push_back(std::move(cfg));
+          config_ids_.emplace(key, id);
+          *changed = true;
+          if (accept(a, ps, qs)) {
+            goal_ = id;
+            return true;
+          }
+        }
+      }
+      // Extend with one more child drawn from the realized configurations.
+      // Iterate by index: configs_ may grow, but new ones are picked up in a
+      // later fixpoint round.
+      size_t num_configs_now = configs_.size();
+      const auto& transitions = nfa.transitions[nodes[i].nfa_state];
+      for (size_t c = 0; c < num_configs_now; ++c) {
+        const Config& child = configs_[c];
+        for (const auto& [symbol, target] : transitions) {
+          if (symbol != child.symbol) continue;
+          HNode next = nodes[i];
+          next.nfa_state = target;
+          next.from = static_cast<int32_t>(i);
+          next.via = static_cast<int32_t>(c);
+          if (p_det_.has_value()) {
+            next.p_sat.UnionWith(p_det_->Sat(child.p_state));
+            next.p_below.UnionWith(p_det_->Below(child.p_state));
+          }
+          if (q_det_.has_value()) {
+            next.q_sat.UnionWith(q_det_->Sat(child.q_state));
+            next.q_below.UnionWith(q_det_->Below(child.q_state));
+          }
+          intern(std::move(next));
+        }
+      }
+    }
+    return false;
+  }
+
+  const Dtd& dtd_;
+  EngineLimits limits_;
+  std::chrono::steady_clock::time_point deadline_;
+  std::optional<TpqDetAutomaton> p_det_;
+  std::optional<TpqDetAutomaton> q_det_;
+  std::vector<Config> configs_;
+  std::map<std::tuple<LabelId, int32_t, int32_t>, int32_t> config_ids_;
+  int32_t goal_ = -1;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+SchemaDecision SatisfiableWithDtd(const Tpq& p, Mode mode, const Dtd& dtd,
+                                  const EngineLimits& limits) {
+  Engine engine(dtd, &p, nullptr, limits);
+  int32_t goal = engine.Solve([&](LabelId a, int32_t ps, int32_t qs) {
+    (void)qs;
+    return dtd.IsStart(a) && engine.PAccepts(ps, mode);
+  });
+  SchemaDecision out;
+  out.configurations = engine.num_configs();
+  out.decided = goal != -2;
+  out.yes = goal >= 0;
+  if (goal >= 0) out.witness = engine.BuildWitness(goal);
+  return out;
+}
+
+SchemaDecision ValidWithDtd(const Tpq& q, Mode mode, const Dtd& dtd,
+                            const EngineLimits& limits) {
+  Engine engine(dtd, nullptr, &q, limits);
+  int32_t goal = engine.Solve([&](LabelId a, int32_t ps, int32_t qs) {
+    (void)ps;
+    return dtd.IsStart(a) && !engine.QAccepts(qs, mode);
+  });
+  SchemaDecision out;
+  out.configurations = engine.num_configs();
+  out.decided = goal != -2;
+  out.yes = goal == -1;  // valid iff no counterexample
+  if (goal >= 0) out.witness = engine.BuildWitness(goal);
+  return out;
+}
+
+SchemaDecision ContainedWithDtd(const Tpq& p, const Tpq& q, Mode mode,
+                                const Dtd& dtd, const EngineLimits& limits) {
+  Engine engine(dtd, &p, &q, limits);
+  int32_t goal = engine.Solve([&](LabelId a, int32_t ps, int32_t qs) {
+    return dtd.IsStart(a) && engine.PAccepts(ps, mode) &&
+           !engine.QAccepts(qs, mode);
+  });
+  SchemaDecision out;
+  out.configurations = engine.num_configs();
+  out.decided = goal != -2;
+  out.yes = goal == -1;  // contained iff no counterexample
+  if (goal >= 0) out.witness = engine.BuildWitness(goal);
+  return out;
+}
+
+SchemaDecision SatisfiablePathWithDtd(const Tpq& p, Mode mode,
+                                      const Dtd& dtd) {
+  assert(IsPathQuery(p));
+  Nta product = Nta::Intersect(Nta::FromDtd(dtd),
+                               Nta::FromPathQuery(p, mode == Mode::kStrong));
+  SchemaDecision out;
+  out.configurations = product.num_states();
+  std::optional<Tree> witness = product.SmallestWitness();
+  out.yes = witness.has_value();
+  out.witness = std::move(witness);
+  return out;
+}
+
+}  // namespace tpc

@@ -1,0 +1,364 @@
+#include "tiling/reduction.h"
+
+#include <cassert>
+#include <set>
+#include <string>
+
+namespace tpc {
+
+namespace {
+
+/// Interned label names for the fixed alphabet of the reduction.  Names are
+/// deterministic in k, so the same pool can host several instances of the
+/// same system.
+struct Alphabet {
+  LabelId hash;                  // '#'
+  LabelId a;
+  LabelId b;
+  std::vector<LabelId> c;        // c[1..k-4]
+  std::vector<LabelId> d;        // d[1..k-5]
+  std::vector<LabelId> e;        // e[1..k-4]
+  LabelId f1, f2;
+  std::vector<LabelId> bn;       // b[1..2k-4]
+
+  LabelId C(int32_t i) const { return c[i]; }
+  LabelId D(int32_t i) const { return d[i]; }
+  LabelId E(int32_t i) const { return e[i]; }
+  LabelId B(int32_t i) const { return bn[i]; }
+};
+
+Alphabet MakeAlphabet(int32_t k, LabelPool* pool) {
+  Alphabet al;
+  al.hash = pool->Intern("#");
+  al.a = pool->Intern("a");
+  al.b = pool->Intern("b");
+  al.c.resize(k - 3);
+  al.d.resize(std::max(k - 4, 1));
+  al.e.resize(k - 3);
+  for (int32_t i = 1; i <= k - 4; ++i) {
+    al.c[i] = pool->Intern("c" + std::to_string(i));
+    al.e[i] = pool->Intern("e" + std::to_string(i));
+  }
+  for (int32_t i = 1; i <= k - 5; ++i) {
+    al.d[i] = pool->Intern("d" + std::to_string(i));
+  }
+  al.f1 = pool->Intern("f1");
+  al.f2 = pool->Intern("f2");
+  al.bn.resize(2 * k - 3);
+  for (int32_t i = 1; i <= 2 * k - 4; ++i) {
+    al.bn[i] = pool->Intern("b" + std::to_string(i));
+  }
+  return al;
+}
+
+LabelId DxyLabel(int32_t x, int32_t y, LabelPool* pool) {
+  return pool->Intern("D_" + std::to_string(x) + "_" + std::to_string(y));
+}
+
+LabelId DxzyLabel(int32_t x, int32_t z, int32_t y, LabelPool* pool) {
+  return pool->Intern("D_" + std::to_string(x) + "_" + std::to_string(z) +
+                      "_" + std::to_string(y));
+}
+
+LabelId GLabel(const char* prefix, int32_t j1, int32_t j2, int32_t j3,
+               LabelPool* pool) {
+  return pool->Intern(std::string(prefix) + "_" + std::to_string(j1) + "_" +
+                      std::to_string(j2) + "_" + std::to_string(j3));
+}
+
+/// The encoding word w_i of tile with 1-based index `ip` (Appendix E.1.2).
+/// `t` is the total number of tiles (so k = t + 4); the final tiles are
+/// t_{|T|-1} and t_{|T|}.
+std::vector<LabelId> TileWord(const Alphabet& al, int32_t k, int32_t t,
+                              int32_t ip) {
+  std::vector<LabelId> w;
+  w.push_back(al.C(ip));
+  for (int32_t i = ip - 1; i >= 1; --i) w.push_back(al.D(i));
+  w.push_back(al.a);
+  if (ip == t) {
+    w.push_back(al.f1);
+  } else if (ip == t - 1) {
+    w.push_back(al.f2);
+  } else {
+    for (int32_t i = k - ip - 3; i >= 1; --i) w.push_back(al.E(i));
+    w.push_back(al.a);
+    w.push_back(al.a);
+  }
+  return w;
+}
+
+/// All forbidden triples (1-based) of the system: T³ \ C.
+std::vector<std::array<int32_t, 3>> ForbiddenTriples(
+    const TriominoSystem& system) {
+  std::vector<std::array<int32_t, 3>> out;
+  for (Tile x = 0; x < system.num_tiles; ++x) {
+    for (Tile y = 0; y < system.num_tiles; ++y) {
+      for (Tile z = 0; z < system.num_tiles; ++z) {
+        if (!system.Allows(x, y, z)) out.push_back({x + 1, y + 1, z + 1});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TilingContainmentInstance BuildTilingReduction(
+    const TriominoSystem& system, const std::vector<Tile>& initial_row,
+    LabelPool* pool, bool game_variant) {
+  int32_t t = system.num_tiles;
+  int32_t k = t + 4;
+  int32_t n = static_cast<int32_t>(initial_row.size());
+  assert(t >= 2 && n >= 1);
+  Alphabet al = MakeAlphabet(k, pool);
+  auto forbidden = ForbiddenTriples(system);
+
+  TilingContainmentInstance out;
+  out.k = k;
+  out.n = n;
+  Dtd& dtd = out.dtd;
+  dtd.AddStart(al.hash);
+  dtd.SetRule(al.hash, Regex::Letter(al.a));
+
+  // Trunk chains.
+  for (int32_t i = 2; i <= k - 5; ++i) {
+    dtd.SetRule(al.D(i), Regex::Letter(al.D(i - 1)));
+  }
+  if (k - 5 >= 1) dtd.SetRule(al.D(1), Regex::Letter(al.a));
+  for (int32_t i = 2; i <= k - 4; ++i) {
+    dtd.SetRule(al.E(i), Regex::Letter(al.E(i - 1)));
+  }
+  dtd.SetRule(al.E(1), Regex::Letter(al.a));
+  dtd.SetRule(al.f1, Regex::Epsilon());
+  dtd.SetRule(al.f2, Regex::Epsilon());
+
+  // c_i -> (d_{i-1} | a) s_i, where s_i lists the g_j gadgets of all
+  // forbidden triples with third component i.
+  for (int32_t i = 1; i <= k - 4; ++i) {
+    std::vector<Regex> parts;
+    parts.push_back(i > 1 ? Regex::Letter(al.D(i - 1))
+                          : Regex::Letter(al.a));
+    for (const auto& j : forbidden) {
+      if (j[2] == i) {
+        parts.push_back(Regex::Letter(GLabel("G", j[0], j[1], j[2], pool)));
+      }
+    }
+    dtd.SetRule(al.C(i), Regex::Concat(std::move(parts)));
+  }
+
+  // Constraint gadgets: g_j chooses to forbid tile j1 exactly n tiles above
+  // (a b at depth j1+1 below) or tile j2 exactly n-1 tiles above.
+  for (const auto& j : forbidden) {
+    LabelId g = GLabel("G", j[0], j[1], j[2], pool);
+    LabelId g1 = GLabel("G1", j[0], j[1], j[2], pool);
+    LabelId g2 = GLabel("G2", j[0], j[1], j[2], pool);
+    dtd.SetRule(g, Regex::Union({Regex::Letter(g1), Regex::Letter(g2)}));
+    dtd.SetRule(g1, Regex::Letter(al.B(j[0])));
+    dtd.SetRule(g2, Regex::Letter(al.B(k + j[1])));
+  }
+
+  // b-chains.
+  for (int32_t i = 2; i <= 2 * k - 4; ++i) {
+    dtd.SetRule(al.B(i), Regex::Letter(al.B(i - 1)));
+  }
+  dtd.SetRule(al.B(1), Regex::Letter(al.b));
+  dtd.SetRule(al.b, Regex::Epsilon());
+
+  // Freeness gadgets D_(x,y) for the (x,y) pairs the a-rule uses.
+  std::set<std::pair<int32_t, int32_t>> xy_pairs;
+  xy_pairs.emplace(1, k - 2);
+  xy_pairs.emplace(0, k - 3);
+  for (int32_t i = 1; i <= k - 4; ++i) xy_pairs.emplace(i + 2, k + i - 1);
+  for (auto [x, y] : xy_pairs) {
+    std::vector<Regex> choices;
+    for (int32_t z = x; z <= y; ++z) {
+      LabelId dxzy = DxzyLabel(x, z, y, pool);
+      std::vector<Regex> row;
+      for (int32_t i = x + 1; i <= y + 1; ++i) {
+        if (i == z + 1) continue;
+        row.push_back(Regex::Letter(al.B(i)));
+      }
+      dtd.SetRule(dxzy, Regex::Concat(std::move(row)));
+      choices.push_back(Regex::Letter(dxzy));
+    }
+    dtd.SetRule(DxyLabel(x, y, pool), Regex::Union(std::move(choices)));
+  }
+
+  // The a-rule.
+  std::vector<Regex> a_options;
+  a_options.push_back(Regex::Concat(
+      {Regex::Letter(al.a), Regex::Letter(DxyLabel(1, k - 2, pool))}));
+  if (!game_variant) {
+    for (int32_t i = 1; i <= k - 4; ++i) {
+      a_options.push_back(Regex::Concat(
+          {Regex::Letter(al.C(i)), Regex::Letter(DxyLabel(0, k - 3, pool))}));
+    }
+  } else {
+    // Game variant (Appendix E.1.3): the trunk branches into two different
+    // tiles (CONSTRUCTOR's offer); a single tile continuation is only
+    // allowed near the top, guarded by a b_2 branch.
+    for (int32_t i = 1; i <= k - 4; ++i) {
+      for (int32_t j = 1; j <= k - 4; ++j) {
+        if (i == j) continue;
+        a_options.push_back(Regex::Concat(
+            {Regex::Letter(al.C(i)), Regex::Letter(al.C(j)),
+             Regex::Letter(DxyLabel(0, k - 3, pool))}));
+      }
+      a_options.push_back(Regex::Concat(
+          {Regex::Letter(al.C(i)), Regex::Letter(al.B(2))}));
+    }
+  }
+  for (int32_t i = 3; i <= k - 4; ++i) {
+    a_options.push_back(Regex::Concat(
+        {Regex::Letter(al.E(i)),
+         Regex::Letter(DxyLabel(i + 2, k + i - 1, pool))}));
+  }
+  a_options.push_back(Regex::Concat(
+      {Regex::Letter(al.f1), Regex::Letter(DxyLabel(3, k, pool))}));
+  a_options.push_back(Regex::Concat(
+      {Regex::Letter(al.f2), Regex::Letter(DxyLabel(4, k + 1, pool))}));
+  dtd.SetRule(al.a, Regex::Union(std::move(a_options)));
+
+  // Left pattern p = # a w_{s_1} ... w_{s_n}, all child edges.
+  Tpq p(al.hash);
+  NodeId v = p.AddChild(0, al.a, EdgeKind::kChild);
+  for (Tile tile : initial_row) {
+    for (LabelId l : TileWord(al, k, t, tile + 1)) {
+      v = p.AddChild(v, l, EdgeKind::kChild);
+    }
+  }
+  out.p = std::move(p);
+
+  // Right pattern q = a *^{kn+2} b, all child edges.
+  Tpq q(al.a);
+  v = 0;
+  for (int32_t i = 0; i < k * n + 2; ++i) {
+    v = q.AddChild(v, kWildcard, EdgeKind::kChild);
+  }
+  q.AddChild(v, al.b, EdgeKind::kChild);
+  out.q = std::move(q);
+  return out;
+}
+
+namespace {
+
+/// Attaches the b-chain b_j -> b_{j-1} -> ... -> b_1 -> b below `parent`.
+void AttachBChain(Tree* tree, NodeId parent, int32_t j, const Alphabet& al) {
+  NodeId v = tree->AddChild(parent, al.B(j));
+  for (int32_t i = j - 1; i >= 1; --i) v = tree->AddChild(v, al.B(i));
+  tree->AddChild(v, al.b);
+}
+
+}  // namespace
+
+Tree EncodeTilingTree(const TilingContainmentInstance& instance,
+                      const TriominoSystem& system,
+                      const std::vector<Tile>& line, LabelPool* pool) {
+  int32_t k = instance.k;
+  int32_t n = instance.n;
+  int32_t t = system.num_tiles;
+  Alphabet al = MakeAlphabet(k, pool);
+  auto forbidden = ForbiddenTriples(system);
+
+  // Trunk: # a w_{line_1} ... w_{line_m}; remember depth and label of each
+  // trunk node and the set of depths labelled `a`.
+  Tree tree(al.hash);
+  std::vector<std::pair<NodeId, int32_t>> trunk = {{0, 0}};
+  std::set<int32_t> a_depths;
+  NodeId v = tree.AddChild(0, al.a);
+  int32_t depth = 1;
+  trunk.emplace_back(v, depth);
+  a_depths.insert(1);
+  for (size_t i = 0; i < line.size(); ++i) {
+    for (LabelId l : TileWord(al, k, t, line[i] + 1)) {
+      v = tree.AddChild(v, l);
+      ++depth;
+      trunk.emplace_back(v, depth);
+      if (l == al.a) a_depths.insert(depth);
+    }
+  }
+
+  // A depth is "prohibited" by a b at depth db iff db == a_depth + kn+3;
+  // helper: would a b at depth `db` clash with an existing `a`?
+  auto clashes = [&](int32_t db) {
+    return a_depths.count(db - (k * n + 3)) > 0;
+  };
+
+  // Attach gadgets.  Trunk node ids are in creation (top-down) order.
+  for (size_t idx = 0; idx + 1 < trunk.size(); ++idx) {
+    auto [node, d] = trunk[idx];
+    auto [child, child_depth] = trunk[idx + 1];
+    LabelId label = tree.Label(node);
+    LabelId child_label = tree.Label(child);
+    if (label == al.a) {
+      // Pick the D_(x,y) gadget matching the trunk child.
+      int32_t x = -1, y = -1;
+      if (child_label == al.a) {
+        x = 1;
+        y = k - 2;
+      } else if (child_label == al.f1) {
+        x = 3;
+        y = k;
+      } else if (child_label == al.f2) {
+        x = 4;
+        y = k + 1;
+      } else {
+        bool is_c = false;
+        for (int32_t i = 1; i <= k - 4 && !is_c; ++i) {
+          is_c = child_label == al.C(i);
+        }
+        if (is_c) {
+          x = 0;
+          y = k - 3;
+        } else {
+          for (int32_t i = 3; i <= k - 4; ++i) {
+            if (child_label == al.E(i)) {
+              x = i + 2;
+              y = k + i - 1;
+              break;
+            }
+          }
+        }
+      }
+      assert(x >= 0 && "unexpected trunk child of an a-node");
+      // Choose the exempted z: the unique j whose b would clash.
+      int32_t z = x;
+      for (int32_t j = x + 1; j <= y + 1; ++j) {
+        if (clashes(d + 3 + j)) {
+          z = j - 1;
+          break;  // the construction guarantees at most one clash
+        }
+      }
+      NodeId dxy = tree.AddChild(node, DxyLabel(x, y, pool));
+      NodeId dxzy = tree.AddChild(dxy, DxzyLabel(x, z, y, pool));
+      for (int32_t j = x + 1; j <= y + 1; ++j) {
+        if (j == z + 1) continue;
+        AttachBChain(&tree, dxzy, j, al);
+      }
+    } else {
+      // c_i nodes carry the constraint gadgets s_i.
+      for (int32_t i = 1; i <= k - 4; ++i) {
+        if (label != al.C(i)) continue;
+        for (const auto& j : forbidden) {
+          if (j[2] != i) continue;
+          NodeId g = tree.AddChild(node, GLabel("G", j[0], j[1], j[2], pool));
+          bool side1_clashes = clashes(d + 3 + j[0]);
+          if (!side1_clashes) {
+            NodeId g1 =
+                tree.AddChild(g, GLabel("G1", j[0], j[1], j[2], pool));
+            AttachBChain(&tree, g1, j[0], al);
+          } else {
+            // Fall back to side 2 (valid lines guarantee no clash here).
+            NodeId g2 =
+                tree.AddChild(g, GLabel("G2", j[0], j[1], j[2], pool));
+            AttachBChain(&tree, g2, k + j[1], al);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace tpc

@@ -1,0 +1,62 @@
+// The reduction from Line Triomino Tiling to containment w.r.t. a fixed DTD
+// (Appendix E.1.2), and its game variant (Appendix E.1.3) used in the proof
+// of Theorem 6.6: W-Containment of PQ(/) in PQ(/,*) w.r.t. a fixed DTD is
+// EXPTIME-complete.
+//
+// Given a triomino system S and an initial row s of length n, the reduction
+// produces
+//   * a DTD d whose size depends only on S (the *fixed* DTD of the theorem),
+//   * a left pattern  p = # a w_{s_1} ... w_{s_n}  ∈ PQ(/) spelling the
+//     encodings of the initial row on the trunk, and
+//   * a right pattern q = a *^{kn+2} b ∈ PQ(/,*),
+// such that  L_w(p) ∩ L(d) ⊄ L_w(q)  iff the LTT instance has a solution
+// (iff CONSTRUCTOR wins, for the game variant).  Trees in the difference
+// encode (strategies of) valid tilings: tiles are words of length k = |T|+4
+// written on a trunk, and branch gadgets (g_j / d_(x,y) families) emit
+// b-nodes at calibrated depths so that q — which forbids an `a` exactly
+// kn+3 levels above a `b` — rules out exactly the ill-formed trees.
+
+#ifndef TPC_TILING_REDUCTION_H_
+#define TPC_TILING_REDUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "pattern/tpq.h"
+#include "tiling/tiling.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+/// A containment-with-DTD instance produced by the reduction.
+struct TilingContainmentInstance {
+  Dtd dtd;
+  Tpq p;  // PQ(/)
+  Tpq q;  // PQ(/,*)
+  int32_t k = 0;  // |T| + 4, the tile-encoding length
+  int32_t n = 0;  // length of the initial row
+};
+
+/// Builds the E.1.2 instance: the containment L_w(p) ∩ L(d) ⊆ L_w(q) fails
+/// iff `SolveLineTiling(system, initial_row)` has a solution.
+/// If `game_variant` is true, builds the E.1.3 instance instead, whose
+/// containment fails iff CONSTRUCTOR wins the tiling game.
+TilingContainmentInstance BuildTilingReduction(
+    const TriominoSystem& system, const std::vector<Tile>& initial_row,
+    LabelPool* pool, bool game_variant = false);
+
+/// Materializes the encoding tree of a full tiling line (E.1.2 variant):
+/// the trunk spells the tile encodings, every mandatory branch gadget is
+/// attached, and each gadget's nondeterministic choice (g_j side, d_(x,z,y)
+/// exemption) is resolved consistently with the actual `a`-positions.
+/// The result satisfies the DTD, weakly matches p, and — iff the line is a
+/// valid solution — avoids q.  Used to validate the reduction end-to-end.
+Tree EncodeTilingTree(const TilingContainmentInstance& instance,
+                      const TriominoSystem& system,
+                      const std::vector<Tile>& line, LabelPool* pool);
+
+}  // namespace tpc
+
+#endif  // TPC_TILING_REDUCTION_H_

@@ -1,0 +1,135 @@
+#include "tiling/tiling.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tpc {
+
+bool TriominoSystem::Allows(Tile left, Tile right, Tile up) const {
+  for (const auto& c : constraints) {
+    if (c[0] == left && c[1] == right && c[2] == up) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Legal next tiles from a window of the last n tiles.  For n == 1 the
+/// "right" neighbour of position i is position i+n itself.
+bool LegalAppend(const TriominoSystem& system, const std::vector<Tile>& window,
+                 Tile t) {
+  Tile left = window[0];
+  Tile right = window.size() == 1 ? t : window[1];
+  return system.Allows(left, right, t);
+}
+
+std::vector<Tile> Shift(const std::vector<Tile>& window, Tile t) {
+  std::vector<Tile> next(window.begin() + 1, window.end());
+  next.push_back(t);
+  return next;
+}
+
+}  // namespace
+
+std::optional<std::vector<Tile>> SolveLineTiling(
+    const TriominoSystem& system, const std::vector<Tile>& initial_row,
+    int64_t max_states) {
+  if (initial_row.empty()) return std::nullopt;
+  if (system.IsFinal(initial_row.back())) return initial_row;
+  // BFS over windows with parent pointers for reconstruction.
+  std::map<std::vector<Tile>, int32_t> ids;
+  std::vector<std::vector<Tile>> windows;
+  std::vector<std::pair<int32_t, Tile>> parent;  // (id, appended tile)
+  ids.emplace(initial_row, 0);
+  windows.push_back(initial_row);
+  parent.emplace_back(-1, -1);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (static_cast<int64_t>(windows.size()) > max_states) return std::nullopt;
+    for (Tile t = 0; t < system.num_tiles; ++t) {
+      if (!LegalAppend(system, windows[i], t)) continue;
+      std::vector<Tile> next = Shift(windows[i], t);
+      auto [it, inserted] =
+          ids.emplace(next, static_cast<int32_t>(windows.size()));
+      if (!inserted) continue;
+      windows.push_back(next);
+      parent.emplace_back(static_cast<int32_t>(i), t);
+      if (system.IsFinal(t)) {
+        // Reconstruct the appended suffix.
+        std::vector<Tile> suffix;
+        for (int32_t w = it->second; parent[w].first >= 0;
+             w = parent[w].first) {
+          suffix.push_back(parent[w].second);
+        }
+        std::reverse(suffix.begin(), suffix.end());
+        std::vector<Tile> line = initial_row;
+        line.insert(line.end(), suffix.begin(), suffix.end());
+        return line;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool ConstructorWinsGame(const TriominoSystem& system,
+                         const std::vector<Tile>& initial_row,
+                         int64_t max_states) {
+  if (initial_row.empty()) return false;
+  if (system.IsFinal(initial_row.back())) return true;
+  // Forward closure of legally reachable windows.
+  std::map<std::vector<Tile>, int32_t> ids;
+  std::vector<std::vector<Tile>> windows;
+  ids.emplace(initial_row, 0);
+  windows.push_back(initial_row);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (static_cast<int64_t>(windows.size()) > max_states) return false;
+    for (Tile t = 0; t < system.num_tiles; ++t) {
+      if (!LegalAppend(system, windows[i], t)) continue;
+      std::vector<Tile> next = Shift(windows[i], t);
+      if (ids.emplace(next, static_cast<int32_t>(windows.size())).second) {
+        windows.push_back(next);
+      }
+    }
+  }
+  // Least fixpoint: CONSTRUCTOR wins at w iff he can offer two distinct
+  // legal tiles, each either final or leading to a winning window.
+  std::vector<bool> win(windows.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < windows.size(); ++i) {
+      if (win[i]) continue;
+      int32_t good = 0;
+      for (Tile t = 0; t < system.num_tiles && good < 2; ++t) {
+        if (!LegalAppend(system, windows[i], t)) continue;
+        if (system.IsFinal(t)) {
+          ++good;
+          continue;
+        }
+        auto it = ids.find(Shift(windows[i], t));
+        if (it != ids.end() && win[it->second]) ++good;
+      }
+      if (good >= 2) {
+        win[i] = true;
+        changed = true;
+      }
+    }
+  }
+  return win[0];
+}
+
+bool IsValidSolution(const TriominoSystem& system,
+                     const std::vector<Tile>& initial_row,
+                     const std::vector<Tile>& line) {
+  size_t n = initial_row.size();
+  if (line.size() < n || n == 0) return false;
+  if (!std::equal(initial_row.begin(), initial_row.end(), line.begin())) {
+    return false;
+  }
+  if (!system.IsFinal(line.back())) return false;
+  for (size_t i = 0; i + n < line.size(); ++i) {
+    if (!system.Allows(line[i], line[i + 1], line[i + n])) return false;
+  }
+  return true;
+}
+
+}  // namespace tpc

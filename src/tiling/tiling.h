@@ -1,0 +1,63 @@
+// Line Triomino Tiling (LTT) and its two-player game variant (LTTG),
+// Section 6.2 and Appendix E.1.1 of the paper.
+//
+// A triomino tiling system has tiles T, triomino constraints C ⊆ T³ and two
+// final tiles.  An instance is an initial row s ∈ T*; a solution extends s
+// to a longer line λ(1..m) such that every triple (λ(i), λ(i+1), λ(i+n)),
+// n = |s|, lies in C and the last tile is final.  The intuition: the line
+// spells a rectangle of width n written row by row, and one triomino checks
+// the horizontal and vertical constraints of a cell simultaneously — the
+// property that drives the EXPTIME-hardness reduction of Theorem 6.6.
+//
+// In the game variant, CONSTRUCTOR repeatedly offers two distinct tiles and
+// SPOILER places one of them; CONSTRUCTOR wins when all placed tiles satisfy
+// the constraints and a final tile is placed.  LTT is PSPACE-complete and
+// LTTG EXPTIME-complete for suitable fixed systems (Remark E.8/Thm E.9).
+
+#ifndef TPC_TILING_TILING_H_
+#define TPC_TILING_TILING_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tpc {
+
+using Tile = int32_t;
+
+/// A triomino tiling system.  Tiles are 0..num_tiles-1; by the convention of
+/// the containment reduction (Appendix E.1.2), the two *final* tiles are the
+/// last two (num_tiles-2 and num_tiles-1).
+struct TriominoSystem {
+  int32_t num_tiles = 0;
+  /// Allowed triples (left, right, up): placing tile `up` at position i+n is
+  /// legal iff (λ(i), λ(i+1), up) ∈ constraints.
+  std::vector<std::array<Tile, 3>> constraints;
+
+  bool IsFinal(Tile t) const { return t >= num_tiles - 2; }
+  bool Allows(Tile left, Tile right, Tile up) const;
+};
+
+/// Decides whether the LTT instance (system, initial row) has a solution;
+/// returns the full solution line if so.  Explores the reachable window
+/// graph (worst case |T|^n states).
+std::optional<std::vector<Tile>> SolveLineTiling(
+    const TriominoSystem& system, const std::vector<Tile>& initial_row,
+    int64_t max_states = 1 << 20);
+
+/// Decides whether CONSTRUCTOR wins the LTT game from the initial row
+/// (least-fixpoint attractor over the reachable window graph).
+bool ConstructorWinsGame(const TriominoSystem& system,
+                         const std::vector<Tile>& initial_row,
+                         int64_t max_states = 1 << 20);
+
+/// Validates a full line against the system (constraints + final last tile).
+bool IsValidSolution(const TriominoSystem& system,
+                     const std::vector<Tile>& initial_row,
+                     const std::vector<Tile>& line);
+
+}  // namespace tpc
+
+#endif  // TPC_TILING_TILING_H_

@@ -1,0 +1,181 @@
+#include "tree/tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tpc {
+
+NodeId Tree::AddRoot(LabelId label) {
+  assert(empty());
+  labels_.push_back(label);
+  parents_.push_back(kNoNode);
+  first_child_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  return 0;
+}
+
+NodeId Tree::AddChild(NodeId parent, LabelId label) {
+  assert(parent >= 0 && parent < size());
+  NodeId v = size();
+  labels_.push_back(label);
+  parents_.push_back(parent);
+  first_child_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  if (first_child_[parent] == kNoNode) {
+    first_child_[parent] = v;
+  } else {
+    next_sibling_[last_child_[parent]] = v;
+  }
+  last_child_[parent] = v;
+  return v;
+}
+
+NodeId Tree::Graft(NodeId parent, const Tree& subtree, NodeId subtree_root) {
+  NodeId copied_root;
+  if (parent == kNoNode) {
+    copied_root = AddRoot(subtree.Label(subtree_root));
+  } else {
+    copied_root = AddChild(parent, subtree.Label(subtree_root));
+  }
+  // Copy descendants in pre-order; keep a map from source to target ids.
+  std::vector<std::pair<NodeId, NodeId>> stack;  // (source node, target parent)
+  for (NodeId c = subtree.FirstChild(subtree_root); c != kNoNode;
+       c = subtree.NextSibling(c)) {
+    stack.emplace_back(c, copied_root);
+  }
+  // Process in order: use an explicit queue preserving sibling order.
+  std::vector<std::pair<NodeId, NodeId>> queue = std::move(stack);
+  for (size_t i = 0; i < queue.size(); ++i) {
+    auto [src, dst_parent] = queue[i];
+    NodeId dst = AddChild(dst_parent, subtree.Label(src));
+    for (NodeId c = subtree.FirstChild(src); c != kNoNode;
+         c = subtree.NextSibling(c)) {
+      queue.emplace_back(c, dst);
+    }
+  }
+  return copied_root;
+}
+
+std::vector<NodeId> Tree::Children(NodeId v) const {
+  std::vector<NodeId> out;
+  for (NodeId c = first_child_[v]; c != kNoNode; c = next_sibling_[c]) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+int32_t Tree::NumChildren(NodeId v) const {
+  int32_t n = 0;
+  for (NodeId c = first_child_[v]; c != kNoNode; c = next_sibling_[c]) ++n;
+  return n;
+}
+
+int32_t Tree::Depth(NodeId v) const {
+  int32_t d = 0;
+  for (NodeId u = parents_[v]; u != kNoNode; u = parents_[u]) ++d;
+  return d;
+}
+
+int32_t Tree::depth() const {
+  if (empty()) return -1;
+  // Node depths can be computed in one pass because parents precede children.
+  std::vector<int32_t> depth(size(), 0);
+  int32_t max_depth = 0;
+  for (NodeId v = 1; v < size(); ++v) {
+    depth[v] = depth[parents_[v]] + 1;
+    max_depth = std::max(max_depth, depth[v]);
+  }
+  return max_depth;
+}
+
+bool Tree::IsProperAncestor(NodeId ancestor, NodeId v) const {
+  for (NodeId u = parents_[v]; u != kNoNode; u = parents_[u]) {
+    if (u == ancestor) return true;
+  }
+  return false;
+}
+
+Tree Tree::Subtree(NodeId v) const {
+  Tree out;
+  out.Graft(kNoNode, *this, v);
+  return out;
+}
+
+bool Tree::operator==(const Tree& other) const {
+  if (size() != other.size()) return false;
+  // Node ids are assigned in creation order, which need not coincide for
+  // structurally equal trees built differently, so compare recursively in
+  // sibling order via an explicit stack.
+  if (empty()) return true;
+  std::vector<std::pair<NodeId, NodeId>> stack = {{0, 0}};
+  while (!stack.empty()) {
+    auto [v, w] = stack.back();
+    stack.pop_back();
+    if (labels_[v] != other.labels_[w]) return false;
+    NodeId c1 = first_child_[v];
+    NodeId c2 = other.first_child_[w];
+    while (c1 != kNoNode && c2 != kNoNode) {
+      stack.emplace_back(c1, c2);
+      c1 = next_sibling_[c1];
+      c2 = other.next_sibling_[c2];
+    }
+    if (c1 != kNoNode || c2 != kNoNode) return false;
+  }
+  return true;
+}
+
+bool Tree::EqualsUnorderedAt(NodeId v, const Tree& other, NodeId w) const {
+  if (labels_[v] != other.labels_[w]) return false;
+  std::vector<NodeId> cs1 = Children(v);
+  std::vector<NodeId> cs2 = other.Children(w);
+  if (cs1.size() != cs2.size()) return false;
+  // Greedy bipartite matching by backtracking; fine for the small fan-outs in
+  // tests.  Unordered equality is only used for verification, never on hot
+  // paths.
+  std::vector<bool> used(cs2.size(), false);
+  // Recursive lambda over positions of cs1.
+  auto match = [&](auto&& self, size_t i) -> bool {
+    if (i == cs1.size()) return true;
+    for (size_t j = 0; j < cs2.size(); ++j) {
+      if (used[j]) continue;
+      if (EqualsUnorderedAt(cs1[i], other, cs2[j])) {
+        used[j] = true;
+        if (self(self, i + 1)) return true;
+        used[j] = false;
+      }
+    }
+    return false;
+  };
+  return match(match, 0);
+}
+
+bool Tree::EqualsUnordered(const Tree& other) const {
+  if (size() != other.size()) return false;
+  if (empty()) return true;
+  return EqualsUnorderedAt(0, other, 0);
+}
+
+void Tree::AppendTerm(NodeId v, const LabelPool& pool, std::string* out) const {
+  out->append(pool.Name(labels_[v]));
+  NodeId c = first_child_[v];
+  if (c == kNoNode) return;
+  out->push_back('(');
+  bool first = true;
+  for (; c != kNoNode; c = next_sibling_[c]) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendTerm(c, pool, out);
+  }
+  out->push_back(')');
+}
+
+std::string Tree::ToString(const LabelPool& pool) const {
+  if (empty()) return "<empty>";
+  std::string out;
+  AppendTerm(0, pool, &out);
+  return out;
+}
+
+}  // namespace tpc

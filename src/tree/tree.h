@@ -1,0 +1,96 @@
+// Node-labelled, rooted, unranked, ordered trees (Section 2.1 of the paper).
+//
+// Trees are stored in a flat arena: node 0 is the root and every node records
+// its parent, first child and next sibling.  Nodes are created in document
+// order (a parent is always created before its children), which many
+// algorithms in this library exploit: iterating node ids `0..size()-1` is a
+// pre-order traversal, iterating them backwards visits children before
+// parents (bottom-up).
+
+#ifndef TPC_TREE_TREE_H_
+#define TPC_TREE_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/label.h"
+
+namespace tpc {
+
+/// Index of a node within a `Tree`.
+using NodeId = int32_t;
+
+inline constexpr NodeId kNoNode = -1;
+
+/// A finite node-labelled ordered tree.
+///
+/// Invariants: node 0 is the root; `Parent(v) < v` for every non-root node;
+/// children of each node are ordered by creation (left to right).
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Creates a one-node tree labelled `root_label`.
+  explicit Tree(LabelId root_label) { AddRoot(root_label); }
+
+  /// Adds the root.  Precondition: the tree is empty.  Returns node 0.
+  NodeId AddRoot(LabelId label);
+
+  /// Adds a new rightmost child of `parent`.  Returns its id.
+  NodeId AddChild(NodeId parent, LabelId label);
+
+  /// Grafts a copy of `subtree` as a new rightmost child of `parent`
+  /// (or as the root if the tree is empty and `parent == kNoNode`).
+  /// Returns the id of the copied root.
+  NodeId Graft(NodeId parent, const Tree& subtree, NodeId subtree_root = 0);
+
+  int32_t size() const { return static_cast<int32_t>(labels_.size()); }
+  bool empty() const { return labels_.empty(); }
+
+  LabelId Label(NodeId v) const { return labels_[v]; }
+  void SetLabel(NodeId v, LabelId label) { labels_[v] = label; }
+  NodeId Parent(NodeId v) const { return parents_[v]; }
+  NodeId FirstChild(NodeId v) const { return first_child_[v]; }
+  NodeId NextSibling(NodeId v) const { return next_sibling_[v]; }
+  bool IsLeaf(NodeId v) const { return first_child_[v] == kNoNode; }
+
+  /// Children of `v`, left to right.
+  std::vector<NodeId> Children(NodeId v) const;
+  int32_t NumChildren(NodeId v) const;
+
+  /// Length of the path from the root to `v` (root has depth 0).
+  int32_t Depth(NodeId v) const;
+
+  /// Maximum node depth; -1 for the empty tree.
+  int32_t depth() const;
+
+  /// True iff `ancestor` is a proper ancestor of `v`.
+  bool IsProperAncestor(NodeId ancestor, NodeId v) const;
+
+  /// Extracts `subtree^t(v)` as a standalone tree.
+  Tree Subtree(NodeId v) const;
+
+  /// Structural equality as *ordered* trees.
+  bool operator==(const Tree& other) const;
+
+  /// Structural equality as *unordered* trees (sibling order ignored).
+  bool EqualsUnordered(const Tree& other) const;
+
+  /// Serializes in term syntax, e.g. `a(b,c(d))`, using `pool` spellings.
+  std::string ToString(const LabelPool& pool) const;
+
+ private:
+  bool EqualsUnorderedAt(NodeId v, const Tree& other, NodeId w) const;
+  void AppendTerm(NodeId v, const LabelPool& pool, std::string* out) const;
+
+  std::vector<LabelId> labels_;
+  std::vector<NodeId> parents_;
+  std::vector<NodeId> first_child_;
+  std::vector<NodeId> next_sibling_;
+  std::vector<NodeId> last_child_;  // for O(1) AddChild
+};
+
+}  // namespace tpc
+
+#endif  // TPC_TREE_TREE_H_

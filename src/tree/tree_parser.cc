@@ -1,0 +1,97 @@
+#include "tree/tree_parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpc {
+namespace {
+
+bool IsLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' || c == ':' ||
+         c == '\'' || c == '-' || c == '.';
+}
+
+class TreeParser {
+ public:
+  TreeParser(std::string_view input, LabelPool* pool)
+      : input_(input), pool_(pool) {}
+
+  ParseResult<Tree> Parse() {
+    Tree tree;
+    if (!ParseNode(&tree, kNoNode)) return ParseResult<Tree>::Error(error_, pos_);
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return ParseResult<Tree>::Error("trailing input after tree", pos_);
+    }
+    return ParseResult<Tree>::Ok(std::move(tree));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const char* message) {
+    error_ = message;
+    return false;
+  }
+
+  bool ParseNode(Tree* tree, NodeId parent) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsLabelChar(input_[pos_])) ++pos_;
+    if (pos_ == start) return Fail("expected a label");
+    std::string_view name = input_.substr(start, pos_ - start);
+    LabelId label = pool_->Intern(name);
+    if (label == kWildcard) return Fail("trees cannot contain the wildcard");
+    NodeId v = parent == kNoNode ? tree->AddRoot(label)
+                                 : tree->AddChild(parent, label);
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == '(') {
+      ++pos_;
+      while (true) {
+        if (!ParseNode(tree, v)) return false;
+        SkipSpace();
+        if (pos_ >= input_.size()) return Fail("unterminated child list");
+        if (input_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (input_[pos_] == ')') {
+          ++pos_;
+          break;
+        }
+        return Fail("expected ',' or ')'");
+      }
+    }
+    return true;
+  }
+
+  std::string_view input_;
+  LabelPool* pool_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult<Tree> ParseTree(std::string_view input, LabelPool* pool) {
+  return TreeParser(input, pool).Parse();
+}
+
+Tree MustParseTree(std::string_view input, LabelPool* pool) {
+  ParseResult<Tree> result = ParseTree(input, pool);
+  if (!result.ok()) {
+    std::fprintf(stderr, "MustParseTree(\"%.*s\"): %s (at offset %zu)\n",
+                 static_cast<int>(input.size()), input.data(),
+                 result.error().c_str(), result.error_offset());
+    std::abort();
+  }
+  return std::move(result.value());
+}
+
+}  // namespace tpc

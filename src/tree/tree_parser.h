@@ -1,0 +1,26 @@
+// Parser for trees in term syntax: `a(b, c(d, e))`.
+//
+// Labels are identifiers over [A-Za-z0-9_#'] (so gadget alphabets like `#`,
+// `b_2`, or `f1` parse directly); whitespace is insignificant.  Trees never
+// carry the wildcard `*` (it is rejected).
+
+#ifndef TPC_TREE_TREE_PARSER_H_
+#define TPC_TREE_TREE_PARSER_H_
+
+#include <string_view>
+
+#include "base/label.h"
+#include "base/parse_result.h"
+#include "tree/tree.h"
+
+namespace tpc {
+
+/// Parses `input` as a tree in term syntax, interning labels into `pool`.
+ParseResult<Tree> ParseTree(std::string_view input, LabelPool* pool);
+
+/// Convenience: parses or aborts.  For tests and examples on trusted input.
+Tree MustParseTree(std::string_view input, LabelPool* pool);
+
+}  // namespace tpc
+
+#endif  // TPC_TREE_TREE_PARSER_H_

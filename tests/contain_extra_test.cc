@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "automata/path_word.h"
+#include "base/label.h"
+#include "contain/minimize.h"
+#include "contain/obs23.h"
+#include "gen/random_instances.h"
+#include "pattern/tpq_parser.h"
+#include "schema/schema_engine.h"
+
+namespace tpc {
+namespace {
+
+class Obs23Test : public ::testing::Test {
+ protected:
+  LabelPool pool_;
+};
+
+TEST_F(Obs23Test, WeakToStrongAgreesWithEngine) {
+  std::mt19937 rng(99);
+  std::vector<LabelId> labels = MakeLabels(3, &pool_);
+  int checked = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomDtdOptions dopts;
+    dopts.labels = labels;
+    Dtd d = RandomDtd(dopts, &rng);
+    if (d.IsEmptyLanguage()) continue;
+    RandomTpqOptions opts;
+    opts.labels = labels;
+    opts.fragment = fragments::kTpqFull;
+    opts.size = 2 + trial % 3;
+    Tpq p = RandomTpq(opts, &rng);
+    Tpq q = RandomTpq(opts, &rng);
+    bool direct = ContainedWithDtd(p, q, Mode::kWeak, d).yes;
+    SchemaContainmentInstance reduced = ReduceWeakToStrong(p, q, d, &pool_);
+    bool via_reduction =
+        ContainedWithDtd(reduced.p, reduced.q, Mode::kStrong, reduced.dtd).yes;
+    EXPECT_EQ(direct, via_reduction)
+        << p.ToString(pool_) << " in " << q.ToString(pool_) << " wrt\n"
+        << d.ToString(pool_);
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST_F(Obs23Test, StrongToWeakAgreesWithEngine) {
+  std::mt19937 rng(101);
+  std::vector<LabelId> labels = MakeLabels(3, &pool_);
+  int case3 = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomDtdOptions dopts;
+    dopts.labels = labels;
+    Dtd d = RandomDtd(dopts, &rng);
+    if (d.IsEmptyLanguage()) continue;
+    RandomTpqOptions opts;
+    opts.labels = labels;
+    opts.fragment = fragments::kTpqFull;
+    opts.size = 2 + trial % 3;
+    opts.wildcard_prob = 0.5;  // exercise the wildcard-root case 3
+    Tpq p = RandomTpq(opts, &rng);
+    Tpq q = RandomTpq(opts, &rng);
+    if (p.IsWildcard(0) && !q.IsWildcard(0)) ++case3;
+    bool direct = ContainedWithDtd(p, q, Mode::kStrong, d).yes;
+    SchemaContainmentInstance reduced = ReduceStrongToWeak(p, q, d, &pool_);
+    bool via_reduction =
+        ContainedWithDtd(reduced.p, reduced.q, Mode::kWeak, reduced.dtd).yes;
+    EXPECT_EQ(direct, via_reduction)
+        << p.ToString(pool_) << " in " << q.ToString(pool_) << " wrt\n"
+        << d.ToString(pool_);
+  }
+  EXPECT_GT(case3, 2);
+}
+
+class MinimizeTest : public ::testing::Test {
+ protected:
+  LabelPool pool_;
+};
+
+TEST_F(MinimizeTest, RemovesSubsumedBranch) {
+  Tpq q = MustParseTpq("a[b][b/c]", &pool_);
+  Tpq min = MinimizeTpq(q, Mode::kWeak, &pool_);
+  EXPECT_EQ(min.size(), 3);  // a[b/c]
+  EXPECT_TRUE(EquivalentTpq(q, min, Mode::kWeak, &pool_));
+}
+
+TEST_F(MinimizeTest, RemovesWildcardWitnessedByLetter) {
+  Tpq q = MustParseTpq("a[*]/b", &pool_);
+  Tpq min = MinimizeTpq(q, Mode::kWeak, &pool_);
+  EXPECT_EQ(min.size(), 2);  // a/b
+}
+
+TEST_F(MinimizeTest, KeepsIrredundantPattern) {
+  Tpq q = MustParseTpq("a[b][c]//d", &pool_);
+  Tpq min = MinimizeTpq(q, Mode::kWeak, &pool_);
+  EXPECT_EQ(min.size(), q.size());
+}
+
+TEST_F(MinimizeTest, DescendantSubsumesDeeperDescendant) {
+  // a[//b][//c//b]: the //b branch is implied by //c//b.
+  Tpq q = MustParseTpq("a[//b][//c//b]", &pool_);
+  Tpq min = MinimizeTpq(q, Mode::kWeak, &pool_);
+  EXPECT_EQ(min.size(), 3);  // a//c//b
+  EXPECT_TRUE(EquivalentTpq(q, min, Mode::kWeak, &pool_));
+}
+
+TEST_F(MinimizeTest, MinimizationPreservesEquivalenceRandomly) {
+  std::mt19937 rng(7);
+  std::vector<LabelId> labels = MakeLabels(2, &pool_);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomTpqOptions opts;
+    opts.labels = labels;
+    opts.fragment = fragments::kTpqFull;
+    opts.size = 3 + trial % 4;
+    Tpq q = RandomTpq(opts, &rng);
+    Tpq min = MinimizeTpq(q, Mode::kWeak, &pool_);
+    EXPECT_LE(min.size(), q.size());
+    EXPECT_TRUE(EquivalentTpq(q, min, Mode::kWeak, &pool_))
+        << q.ToString(pool_) << " vs " << min.ToString(pool_);
+  }
+}
+
+TEST_F(MinimizeTest, RemoveSubtreePreservesRest) {
+  Tpq q = MustParseTpq("a[b/x][c]/d", &pool_);
+  // Node ids: a=0, b=1, x=2, c=3, d=4 (branches before main path).
+  Tpq without_b = RemoveSubtree(q, 1);
+  EXPECT_EQ(without_b.ToString(pool_), "a[c]/d");
+  Tpq without_x = RemoveSubtree(q, 2);
+  EXPECT_EQ(without_x.ToString(pool_), "a[b][c]/d");
+}
+
+class PathWordTest : public ::testing::Test {
+ protected:
+  LabelPool pool_;
+};
+
+TEST_F(PathWordTest, WordNfaMatchesSemantics) {
+  std::vector<LabelId> sigma = {pool_.Intern("a"), pool_.Intern("b"),
+                                pool_.Intern("c")};
+  Tpq q = MustParseTpq("a/*//b", &pool_);
+  Nfa nfa = PathQueryWordNfa(q, sigma);
+  auto word = [&](const char* w) {
+    std::vector<Symbol> out;
+    for (const char* p = w; *p; ++p) out.push_back(pool_.Find(std::string(1, *p)));
+    return out;
+  };
+  // Σ* a ? gap b: "a?b" with ? any one letter, then >=1 letters before b...
+  EXPECT_TRUE(nfa.Accepts(word("acb")));
+  EXPECT_TRUE(nfa.Accepts(word("aab")));
+  EXPECT_TRUE(nfa.Accepts(word("cacbb")));
+  EXPECT_TRUE(nfa.Accepts(word("acccb")));
+  EXPECT_FALSE(nfa.Accepts(word("ab")));    // no middle letter
+  EXPECT_FALSE(nfa.Accepts(word("ba")));
+  EXPECT_FALSE(nfa.Accepts(word("a")));
+}
+
+TEST_F(PathWordTest, Figure6FamilyBlowsUpExponentially) {
+  // Minimal DFA sizes for watching q_n = a/*^n/b grow like 2^n.
+  std::vector<LabelId> sigma = {pool_.Intern("a"), pool_.Intern("b")};
+  std::vector<int32_t> sizes;
+  for (int n = 1; n <= 6; ++n) {
+    std::string src = "a";
+    for (int i = 0; i < n; ++i) src += "/*";
+    src += "/b";
+    Tpq q = MustParseTpq(src, &pool_);
+    sizes.push_back(MinimalWatchDfaSize(q, sigma));
+  }
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GE(sizes[i], 2 * sizes[i - 1] - 4)
+        << "expected ~doubling at n=" << (i + 1);
+  }
+  EXPECT_GE(sizes.back(), 1 << 6);
+}
+
+TEST_F(PathWordTest, WildcardFreePatternsStaySmall) {
+  // In contrast, wildcard-free path queries have small watch DFAs
+  // (the Observation 6.2(1) phenomenon: PQ(/,//) complementation is cheap).
+  std::vector<LabelId> sigma = {pool_.Intern("a"), pool_.Intern("b")};
+  for (int n = 1; n <= 6; ++n) {
+    std::string src = "a";
+    for (int i = 0; i < n; ++i) src += "/a";
+    src += "/b";
+    Tpq q = MustParseTpq(src, &pool_);
+    EXPECT_LE(MinimalWatchDfaSize(q, sigma), 4 * (n + 2));
+  }
+}
+
+}  // namespace
+}  // namespace tpc

@@ -1,0 +1,97 @@
+// Property sweeps over random DTDs: reduction, sampling, automata and
+// witness extraction must agree with each other across alphabet sizes and
+// rule complexities (parameterized gtest).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "automata/nta.h"
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "gen/random_instances.h"
+
+namespace tpc {
+namespace {
+
+using DtdSweepParam = std::tuple<int32_t /*labels*/, int32_t /*rule size*/,
+                                 uint32_t /*seed*/>;
+
+class DtdSweepTest : public ::testing::TestWithParam<DtdSweepParam> {
+ protected:
+  void SetUp() override {
+    auto [num_labels, rule_size, seed] = GetParam();
+    rng_.seed(seed);
+    labels_ = MakeLabels(num_labels, &pool_);
+    RandomDtdOptions opts;
+    opts.labels = labels_;
+    opts.max_rule_size = rule_size;
+    dtd_ = RandomDtd(opts, &rng_);
+  }
+
+  LabelPool pool_;
+  std::vector<LabelId> labels_;
+  Dtd dtd_;
+  std::mt19937 rng_;
+};
+
+TEST_P(DtdSweepTest, RandomDtdIsReduced) {
+  if (dtd_.IsEmptyLanguage()) GTEST_SKIP();
+  EXPECT_TRUE(dtd_.IsReduced());
+}
+
+TEST_P(DtdSweepTest, SamplesSatisfyAndStressMembership) {
+  if (dtd_.IsEmptyLanguage()) GTEST_SKIP();
+  for (int i = 0; i < 20; ++i) {
+    Tree t = dtd_.SampleTree(&rng_, 20);
+    ASSERT_TRUE(dtd_.Satisfies(t)) << t.ToString(pool_);
+    // A random label flip is detected consistently by DTD and NTA.
+    Tree t2 = t;
+    std::uniform_int_distribution<NodeId> pick(0, t2.size() - 1);
+    std::uniform_int_distribution<size_t> pick_label(0, labels_.size() - 1);
+    t2.SetLabel(pick(rng_), labels_[pick_label(rng_)]);
+    Nta nta = Nta::FromDtd(dtd_);
+    EXPECT_EQ(nta.Accepts(t2), dtd_.Satisfies(t2));
+  }
+}
+
+TEST_P(DtdSweepTest, SmallestTreeIsActuallySmallest) {
+  if (dtd_.IsEmptyLanguage()) GTEST_SKIP();
+  // The NTA-based smallest witness and the DTD's own smallest tree must
+  // have equal size (both claim global minimality).
+  Nta nta = Nta::FromDtd(dtd_);
+  auto witness = nta.SmallestWitness();
+  ASSERT_TRUE(witness.has_value());
+  int32_t best = INT32_MAX;
+  for (LabelId s : dtd_.start()) {
+    Tree t = dtd_.SmallestTree(s);
+    if (!t.empty()) best = std::min(best, t.size());
+  }
+  EXPECT_EQ(witness->size(), best);
+  // And sampling never produces something smaller.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_GE(dtd_.SampleTree(&rng_, 5).size(), best);
+  }
+}
+
+TEST_P(DtdSweepTest, ReduceIsIdempotent) {
+  Dtd reduced = dtd_.Reduce();
+  Dtd twice = reduced.Reduce();
+  EXPECT_EQ(reduced.alphabet(), twice.alphabet());
+  EXPECT_EQ(reduced.start(), twice.start());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DtdSweepTest,
+    ::testing::Combine(::testing::Values(2, 4, 6, 8),
+                       ::testing::Values(2, 4, 6),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<DtdSweepParam>& info) {
+      return "L" + std::to_string(std::get<0>(info.param)) + "_R" +
+             std::to_string(std::get<1>(info.param)) + "_S" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace tpc

@@ -1,0 +1,144 @@
+#include "dtd/dtd.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "base/label.h"
+#include "tree/tree_parser.h"
+
+namespace tpc {
+namespace {
+
+class DtdTest : public ::testing::Test {
+ protected:
+  LabelPool pool_;
+};
+
+TEST_F(DtdTest, ParseAndMembership) {
+  Dtd d = MustParseDtd("root: a; a -> b c*; b -> eps; c -> b?;", &pool_);
+  EXPECT_TRUE(d.Satisfies(MustParseTree("a(b)", &pool_)));
+  EXPECT_TRUE(d.Satisfies(MustParseTree("a(b,c,c)", &pool_)));
+  EXPECT_TRUE(d.Satisfies(MustParseTree("a(b,c(b))", &pool_)));
+  EXPECT_FALSE(d.Satisfies(MustParseTree("a(c)", &pool_)));      // missing b
+  EXPECT_FALSE(d.Satisfies(MustParseTree("b", &pool_)));          // wrong root
+  EXPECT_FALSE(d.Satisfies(MustParseTree("a(b,b)", &pool_)));     // bad word
+  EXPECT_FALSE(d.Satisfies(MustParseTree("a(b,x)", &pool_)));     // foreign
+}
+
+TEST_F(DtdTest, MissingRuleMeansLeaf) {
+  Dtd d = MustParseDtd("root: a; a -> b;", &pool_);
+  EXPECT_TRUE(d.Satisfies(MustParseTree("a(b)", &pool_)));
+  EXPECT_FALSE(d.Satisfies(MustParseTree("a(b(b))", &pool_)));
+}
+
+TEST_F(DtdTest, MultipleStartSymbols) {
+  Dtd d = MustParseDtd("root: a | b; a -> eps; b -> eps;", &pool_);
+  EXPECT_TRUE(d.Satisfies(MustParseTree("a", &pool_)));
+  EXPECT_TRUE(d.Satisfies(MustParseTree("b", &pool_)));
+}
+
+TEST_F(DtdTest, SatisfiesRulesIgnoresRoot) {
+  Dtd d = MustParseDtd("root: a; a -> b; b -> eps;", &pool_);
+  EXPECT_FALSE(d.Satisfies(MustParseTree("b", &pool_)));
+  EXPECT_TRUE(d.SatisfiesRules(MustParseTree("b", &pool_)));
+}
+
+TEST_F(DtdTest, GeneratingSymbols) {
+  // c requires itself forever: not generating.
+  Dtd d = MustParseDtd("root: a; a -> b | c; b -> eps; c -> c;", &pool_);
+  std::vector<LabelId> gen = d.GeneratingSymbols();
+  EXPECT_TRUE(std::binary_search(gen.begin(), gen.end(), pool_.Find("a")));
+  EXPECT_TRUE(std::binary_search(gen.begin(), gen.end(), pool_.Find("b")));
+  EXPECT_FALSE(std::binary_search(gen.begin(), gen.end(), pool_.Find("c")));
+  EXPECT_FALSE(d.IsEmptyLanguage());
+}
+
+TEST_F(DtdTest, EmptyLanguage) {
+  Dtd d = MustParseDtd("root: a; a -> a;", &pool_);
+  EXPECT_TRUE(d.IsEmptyLanguage());
+}
+
+TEST_F(DtdTest, ReduceRemovesDeadSymbols) {
+  // c is not generating; e is unreachable.
+  Dtd d = MustParseDtd(
+      "root: a; a -> b | c; b -> eps; c -> c; e -> b;", &pool_);
+  EXPECT_FALSE(d.IsReduced());
+  Dtd r = d.Reduce();
+  EXPECT_TRUE(r.IsReduced());
+  EXPECT_EQ(r.alphabet().size(), 2u);  // a, b
+  EXPECT_FALSE(r.InAlphabet(pool_.Find("c")));
+  EXPECT_FALSE(r.InAlphabet(pool_.Find("e")));
+  // The reduced DTD accepts the same trees.
+  EXPECT_TRUE(r.Satisfies(MustParseTree("a(b)", &pool_)));
+  EXPECT_FALSE(r.Satisfies(MustParseTree("a(c)", &pool_)));
+}
+
+TEST_F(DtdTest, ReducePrunesRuleBodies) {
+  // In `a -> b c`, c is dead, so the whole branch b c dies; only `a -> d`.
+  Dtd d = MustParseDtd("root: a; a -> b c | d; b -> eps; c -> c; d -> eps;",
+                       &pool_);
+  Dtd r = d.Reduce();
+  EXPECT_FALSE(r.InAlphabet(pool_.Find("c")));
+  EXPECT_FALSE(r.InAlphabet(pool_.Find("b")));  // b only occurred next to c
+  EXPECT_TRUE(r.Satisfies(MustParseTree("a(d)", &pool_)));
+  EXPECT_FALSE(r.Satisfies(MustParseTree("a(b,c)", &pool_)));
+}
+
+TEST_F(DtdTest, SmallestTreeIsMinimal) {
+  Dtd d = MustParseDtd("root: a; a -> b b | c; b -> c c; c -> eps;", &pool_);
+  Tree t = d.SmallestTree(pool_.Find("a"));
+  // Smallest: a(c) with 2 nodes (vs a(b,b) with 7).
+  EXPECT_EQ(t.size(), 2);
+  EXPECT_TRUE(d.Satisfies(t));
+}
+
+TEST_F(DtdTest, SmallestTreeOfNonGeneratingIsEmpty) {
+  Dtd d = MustParseDtd("root: a; a -> a;", &pool_);
+  EXPECT_TRUE(d.SmallestTree(pool_.Find("a")).empty());
+}
+
+TEST_F(DtdTest, SampleTreesSatisfyDtd) {
+  Dtd d = MustParseDtd(
+      "root: doc; doc -> sec sec*; sec -> title par*; title -> eps; "
+      "par -> eps;",
+      &pool_);
+  std::mt19937 rng(42);
+  for (int i = 0; i < 50; ++i) {
+    Tree t = d.SampleTree(&rng, 30);
+    EXPECT_TRUE(d.Satisfies(t)) << t.ToString(pool_);
+    EXPECT_LE(t.size(), 200);  // budget is soft but bounded
+  }
+}
+
+TEST_F(DtdTest, SampleTreeRecursiveDtd) {
+  Dtd d = MustParseDtd("root: n; n -> n n | eps;", &pool_);
+  std::mt19937 rng(7);
+  for (int i = 0; i < 50; ++i) {
+    Tree t = d.SampleTree(&rng, 25);
+    EXPECT_TRUE(d.Satisfies(t));
+  }
+}
+
+TEST_F(DtdTest, WithStartChangesRoot) {
+  Dtd d = MustParseDtd("root: a; a -> b; b -> eps;", &pool_);
+  Dtd db = d.WithStart(pool_.Find("b"));
+  EXPECT_TRUE(db.Satisfies(MustParseTree("b", &pool_)));
+  EXPECT_FALSE(db.Satisfies(MustParseTree("a(b)", &pool_)));
+}
+
+TEST_F(DtdTest, SizeAccounting) {
+  Dtd d = MustParseDtd("root: a; a -> b c; b -> eps; c -> eps;", &pool_);
+  EXPECT_GT(d.Size(), 4);
+}
+
+TEST_F(DtdTest, ParseErrors) {
+  EXPECT_FALSE(ParseDtd("a -> b;", &pool_).ok());          // no root
+  EXPECT_FALSE(ParseDtd("root: a", &pool_).ok());          // missing ';'
+  EXPECT_FALSE(ParseDtd("root: a; a -> (b;", &pool_).ok()); // bad regex
+  EXPECT_FALSE(ParseDtd("root: a; root: b;", &pool_).ok()); // dup root
+  EXPECT_FALSE(ParseDtd("root: a; a = b;", &pool_).ok());   // bad arrow
+}
+
+}  // namespace
+}  // namespace tpc

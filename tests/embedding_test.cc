@@ -1,0 +1,143 @@
+#include "match/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "base/label.h"
+#include "pattern/tpq_parser.h"
+#include "tree/tree_parser.h"
+
+namespace tpc {
+namespace {
+
+class EmbeddingTest : public ::testing::Test {
+ protected:
+  LabelPool pool_;
+};
+
+TEST_F(EmbeddingTest, ExactMatch) {
+  Tpq q = MustParseTpq("a/b", &pool_);
+  Tree t = MustParseTree("a(b)", &pool_);
+  EXPECT_TRUE(MatchesStrong(q, t));
+  EXPECT_TRUE(MatchesWeak(q, t));
+}
+
+TEST_F(EmbeddingTest, LabelMismatch) {
+  Tpq q = MustParseTpq("a/b", &pool_);
+  Tree t = MustParseTree("a(c)", &pool_);
+  EXPECT_FALSE(MatchesWeak(q, t));
+}
+
+TEST_F(EmbeddingTest, WeakButNotStrong) {
+  Tpq q = MustParseTpq("b/c", &pool_);
+  Tree t = MustParseTree("a(b(c))", &pool_);
+  EXPECT_TRUE(MatchesWeak(q, t));
+  EXPECT_FALSE(MatchesStrong(q, t));
+}
+
+TEST_F(EmbeddingTest, DescendantEdgeIsProper) {
+  Tpq q = MustParseTpq("a//a", &pool_);
+  // a//a requires a *proper* descendant: a single a-node does not match.
+  EXPECT_FALSE(MatchesWeak(q, MustParseTree("a", &pool_)));
+  EXPECT_TRUE(MatchesWeak(q, MustParseTree("a(a)", &pool_)));
+  EXPECT_TRUE(MatchesWeak(q, MustParseTree("a(b(a))", &pool_)));
+}
+
+TEST_F(EmbeddingTest, ChildEdgeIsImmediate) {
+  Tpq q = MustParseTpq("a/c", &pool_);
+  EXPECT_FALSE(MatchesWeak(q, MustParseTree("a(b(c))", &pool_)));
+}
+
+TEST_F(EmbeddingTest, WildcardMatchesAnyLabel) {
+  Tpq q = MustParseTpq("*/b", &pool_);
+  EXPECT_TRUE(MatchesStrong(q, MustParseTree("x(b)", &pool_)));
+  EXPECT_TRUE(MatchesStrong(q, MustParseTree("y(b)", &pool_)));
+  EXPECT_FALSE(MatchesStrong(q, MustParseTree("x(c)", &pool_)));
+}
+
+TEST_F(EmbeddingTest, BranchingNeedsAllChildren) {
+  Tpq q = MustParseTpq("a[b][c]", &pool_);
+  EXPECT_TRUE(MatchesStrong(q, MustParseTree("a(b,c)", &pool_)));
+  EXPECT_TRUE(MatchesStrong(q, MustParseTree("a(c,b,d)", &pool_)));
+  EXPECT_FALSE(MatchesStrong(q, MustParseTree("a(b)", &pool_)));
+}
+
+TEST_F(EmbeddingTest, BranchesMayShareImage) {
+  // Non-injective semantics: both branches may map to the same tree node.
+  Tpq q = MustParseTpq("a[b][b]", &pool_);
+  EXPECT_TRUE(MatchesStrong(q, MustParseTree("a(b)", &pool_)));
+}
+
+TEST_F(EmbeddingTest, Figure1Example) {
+  // Figure 1 of the paper: pattern with root r, child a, descendant b under a
+  // wildcard; weak embedding exists below the root, and (per the caption) a
+  // strong embedding also exists.
+  Tpq q = MustParseTpq("a[b]//c", &pool_);
+  Tree t = MustParseTree("a(b,a(b,d(c)))", &pool_);
+  EXPECT_TRUE(MatchesWeak(q, t));
+  EXPECT_TRUE(MatchesStrong(q, t));
+  // Remove the b under the root: strong embedding dies, weak survives.
+  Tree t2 = MustParseTree("a(a(b,d(c)))", &pool_);
+  EXPECT_FALSE(MatchesStrong(MustParseTpq("a[b]/d", &pool_), t2));
+  EXPECT_TRUE(MatchesWeak(MustParseTpq("a[b]/d", &pool_), t2));
+}
+
+TEST_F(EmbeddingTest, DeepDescendantChains) {
+  Tpq q = MustParseTpq("a//b//c", &pool_);
+  Tree t = MustParseTree("a(x(y(b(z(w(c))))))", &pool_);
+  EXPECT_TRUE(MatchesStrong(q, t));
+  EXPECT_FALSE(MatchesStrong(q, MustParseTree("a(c(b))", &pool_)));
+}
+
+TEST_F(EmbeddingTest, WitnessIsValidEmbedding) {
+  Tpq q = MustParseTpq("a[b//d]/c", &pool_);
+  Tree t = MustParseTree("x(a(b(e(d)),c))", &pool_);
+  Matcher m(q, t);
+  ASSERT_TRUE(m.MatchesWeak());
+  auto witness = m.Witness(/*strong=*/false);
+  ASSERT_TRUE(witness.has_value());
+  const std::vector<NodeId>& map = *witness;
+  // Check homomorphism conditions directly.
+  for (NodeId v = 0; v < q.size(); ++v) {
+    ASSERT_NE(map[v], kNoNode);
+    if (!q.IsWildcard(v)) {
+      EXPECT_EQ(q.Label(v), t.Label(map[v]));
+    }
+    if (v != 0) {
+      if (q.Edge(v) == EdgeKind::kChild) {
+        EXPECT_EQ(t.Parent(map[v]), map[q.Parent(v)]);
+      } else {
+        EXPECT_TRUE(t.IsProperAncestor(map[q.Parent(v)], map[v]));
+      }
+    }
+  }
+}
+
+TEST_F(EmbeddingTest, NoWitnessWhenNoMatch) {
+  Tpq q = MustParseTpq("a/b", &pool_);
+  Tree t = MustParseTree("b(a)", &pool_);
+  Matcher m(q, t);
+  EXPECT_FALSE(m.Witness(false).has_value());
+  EXPECT_FALSE(m.Witness(true).has_value());
+}
+
+TEST_F(EmbeddingTest, StrongWitnessMapsRootToRoot) {
+  Tpq q = MustParseTpq("a//c", &pool_);
+  Tree t = MustParseTree("a(a(c))", &pool_);
+  Matcher m(q, t);
+  auto witness = m.Witness(/*strong=*/true);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ((*witness)[0], 0);
+}
+
+TEST_F(EmbeddingTest, LargeCombPattern) {
+  // A comb-shaped pattern against a comb-shaped tree with noise.
+  Tpq q = MustParseTpq("r[a][b][c]//r[a][b]", &pool_);
+  Tree t =
+      MustParseTree("r(a,b,c,x(r(a,b,y)),r(b,c))", &pool_);
+  EXPECT_TRUE(MatchesStrong(q, t));
+  Tree t2 = MustParseTree("r(a,b,c,x(r(a,y)),r(b,c))", &pool_);
+  EXPECT_FALSE(MatchesStrong(q, t2));
+}
+
+}  // namespace
+}  // namespace tpc

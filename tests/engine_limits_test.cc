@@ -1,0 +1,135 @@
+// Engine resource limits, witness validity sweeps, and parser round-trips.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "gen/random_instances.h"
+#include "match/embedding.h"
+#include "pattern/tpq_parser.h"
+#include "schema/schema_engine.h"
+#include "tree/tree_parser.h"
+
+namespace tpc {
+namespace {
+
+TEST(EngineLimitsTest, ConfigurationCapReportsUndecided) {
+  LabelPool pool;
+  // A DTD with plenty of reachable configurations.
+  Dtd d = MustParseDtd(
+      "root: r; r -> a z; z -> z z | w | a; w -> w | b; b -> eps; "
+      "a -> y1; y1 -> y2; y2 -> b;",
+      &pool);
+  Tpq q = MustParseTpq("r//a/*/*/b", &pool);
+  EngineLimits tiny;
+  tiny.max_configurations = 2;
+  SchemaDecision r = ValidWithDtd(q, Mode::kWeak, d, tiny);
+  EXPECT_FALSE(r.decided);
+  EXPECT_LE(r.configurations, 16);  // stops soon after the cap
+  // Without the cap the instance is decidable (and valid).
+  SchemaDecision full = ValidWithDtd(q, Mode::kWeak, d);
+  EXPECT_TRUE(full.decided);
+  EXPECT_TRUE(full.yes);
+}
+
+TEST(EngineLimitsTest, HorizontalCapReportsUndecided) {
+  LabelPool pool;
+  Dtd d = MustParseDtd(
+      "root: r; r -> a z; z -> z z | w | a; w -> w | b; b -> eps; "
+      "a -> y1; y1 -> b;",
+      &pool);
+  Tpq q = MustParseTpq("r//a/*/b", &pool);
+  EngineLimits tiny;
+  tiny.max_horizontal_nodes = 1;
+  SchemaDecision r = ValidWithDtd(q, Mode::kWeak, d, tiny);
+  EXPECT_FALSE(r.decided);
+}
+
+TEST(EngineLimitsTest, CapNeverFlipsDecidedAnswers) {
+  // With generous caps the answers match the uncapped run.
+  LabelPool pool;
+  std::mt19937 rng(31);
+  std::vector<LabelId> labels = MakeLabels(3, &pool);
+  EngineLimits generous;
+  generous.max_configurations = 100000;
+  generous.max_horizontal_nodes = 100000;
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomDtdOptions dopts;
+    dopts.labels = labels;
+    Dtd d = RandomDtd(dopts, &rng);
+    if (d.IsEmptyLanguage()) continue;
+    RandomTpqOptions opts;
+    opts.labels = labels;
+    opts.fragment = fragments::kTpqFull;
+    opts.size = 2 + trial % 3;
+    Tpq p = RandomTpq(opts, &rng);
+    SchemaDecision capped = SatisfiableWithDtd(p, Mode::kWeak, d, generous);
+    SchemaDecision uncapped = SatisfiableWithDtd(p, Mode::kWeak, d);
+    ASSERT_TRUE(capped.decided);
+    EXPECT_EQ(capped.yes, uncapped.yes);
+  }
+}
+
+TEST(WitnessSweepTest, AllSatisfiabilityWitnessesAreValid) {
+  LabelPool pool;
+  std::mt19937 rng(73);
+  std::vector<LabelId> labels = MakeLabels(4, &pool);
+  int witnesses = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomDtdOptions dopts;
+    dopts.labels = labels;
+    Dtd d = RandomDtd(dopts, &rng);
+    if (d.IsEmptyLanguage()) continue;
+    RandomTpqOptions opts;
+    opts.labels = labels;
+    opts.fragment = fragments::kTpqFull;
+    opts.size = 2 + trial % 4;
+    Tpq p = RandomTpq(opts, &rng);
+    for (Mode mode : {Mode::kWeak, Mode::kStrong}) {
+      SchemaDecision r = SatisfiableWithDtd(p, mode, d);
+      if (!r.yes) continue;
+      ++witnesses;
+      ASSERT_TRUE(r.witness.has_value());
+      EXPECT_TRUE(d.Satisfies(*r.witness));
+      EXPECT_TRUE(mode == Mode::kStrong ? MatchesStrong(p, *r.witness)
+                                        : MatchesWeak(p, *r.witness));
+    }
+  }
+  EXPECT_GT(witnesses, 10);
+}
+
+TEST(ParserRoundTripTest, RandomPatternsSurviveToStringParse) {
+  LabelPool pool;
+  std::mt19937 rng(99);
+  std::vector<LabelId> labels = MakeLabels(4, &pool);
+  const Fragment frags[] = {fragments::kPqFull, fragments::kTpqChild,
+                            fragments::kTpqFull, fragments::kTpqDescStar};
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomTpqOptions opts;
+    opts.labels = labels;
+    opts.fragment = frags[trial % 4];
+    opts.size = 1 + trial % 12;
+    Tpq q = RandomTpq(opts, &rng);
+    Tpq reparsed = MustParseTpq(q.ToString(pool), &pool);
+    EXPECT_TRUE(q == reparsed) << q.ToString(pool);
+  }
+}
+
+TEST(ParserRoundTripTest, RandomTreesSurviveToStringParse) {
+  LabelPool pool;
+  std::mt19937 rng(98);
+  std::vector<LabelId> labels = MakeLabels(4, &pool);
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomTreeOptions opts;
+    opts.labels = labels;
+    opts.size = 1 + trial % 20;
+    Tree t = RandomTree(opts, &rng);
+    Tree reparsed = MustParseTree(t.ToString(pool), &pool);
+    EXPECT_TRUE(t.EqualsUnordered(reparsed)) << t.ToString(pool);
+  }
+}
+
+}  // namespace
+}  // namespace tpc

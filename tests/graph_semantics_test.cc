@@ -1,0 +1,97 @@
+// Proposition 7.4 machinery: the nodes/edges semantics of graph DTDs on a
+// typed graph G coincides with the nodes-only semantics on its
+// node-labelled translation G^N — property-tested on random typed graphs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "graphdb/graph.h"
+#include "graphdb/graph_dtd.h"
+#include "graphdb/graph_match.h"
+#include "pattern/tpq_parser.h"
+
+namespace tpc {
+namespace {
+
+class GraphSemanticsTest : public ::testing::Test {
+ protected:
+  LabelPool pool_;
+};
+
+/// Builds a random typed graph over two node types and two edge labels,
+/// plus a graph DTD that permits a subset of the (edge, type) pairs.
+struct RandomTypedSetup {
+  TypedGraph graph;
+  Dtd dtd;
+};
+
+RandomTypedSetup MakeSetup(std::mt19937* rng, LabelPool* pool) {
+  RandomTypedSetup s;
+  LabelId tp = pool->Intern("tp");
+  LabelId tm = pool->Intern("tm");
+  LabelId el = pool->Intern("el");
+  LabelId ef = pool->Intern("ef");
+  // DTD: tp may have any number of (el,tm) and at most one (ef,tp) edge;
+  // tm is a sink.
+  s.dtd.SetRule(tp, Regex::Concat(
+                        {Regex::Star(Regex::Letter(PairType(el, tm, pool))),
+                         Regex::Optional(Regex::Letter(PairType(ef, tp, pool)))}));
+  s.dtd.SetRule(PairType(el, tm, pool), Regex::Letter(tm));
+  s.dtd.SetRule(PairType(ef, tp, pool), Regex::Letter(tp));
+  s.dtd.SetRule(tm, Regex::Epsilon());
+  s.dtd.AddStart(tp);
+
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  int32_t n = 4;
+  for (int32_t i = 0; i < n; ++i) {
+    s.graph.AddNode(coin(*rng) < 0.6 ? tp : tm);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v || coin(*rng) > 0.2) continue;
+      // Random edge with a random label (possibly schema-violating).
+      s.graph.AddEdge(u, coin(*rng) < 0.8 ? el : ef, v);
+    }
+  }
+  s.graph.SetRoot(0);
+  return s;
+}
+
+TEST_F(GraphSemanticsTest, NodesEdgesSemanticsEqualsNodesOnlyOnGN) {
+  std::mt19937 rng(4711);
+  int satisfied = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomTypedSetup s = MakeSetup(&rng, &pool_);
+    bool direct = TypedGraphSatisfiesDtd(s.graph, s.dtd, &pool_);
+    Graph gn = s.graph.ToNodeLabelled(&pool_);
+    bool via_gn = GraphSatisfiesDtdNodesOnly(gn, s.dtd);
+    EXPECT_EQ(direct, via_gn) << "trial " << trial;
+    if (direct) ++satisfied;
+  }
+  EXPECT_GT(satisfied, 2);  // both outcomes exercised
+}
+
+TEST_F(GraphSemanticsTest, QueriesOnGNSeeEdgeLabels) {
+  LabelId tp = pool_.Intern("tp");
+  LabelId tm = pool_.Intern("tm");
+  LabelId el = pool_.Intern("el");
+  LabelId ef = pool_.Intern("ef");
+  TypedGraph g;
+  NodeId a = g.AddNode(tp);
+  NodeId b = g.AddNode(tp);
+  NodeId m = g.AddNode(tm);
+  g.AddEdge(a, ef, b);
+  g.AddEdge(b, el, m);
+  g.SetRoot(a);
+  Graph gn = g.ToNodeLabelled(&pool_);
+  EXPECT_TRUE(MatchesWeakGraph(MustParseTpq("tp/ef:tp/tp/el:tm", &pool_), gn));
+  EXPECT_FALSE(MatchesWeakGraph(MustParseTpq("tp/el:tm/tm/ef:tp", &pool_), gn));
+  // Descendant edges skip over the edge nodes.
+  EXPECT_TRUE(MatchesWeakGraph(MustParseTpq("tp//tm", &pool_), gn));
+}
+
+}  // namespace
+}  // namespace tpc

@@ -1,0 +1,83 @@
+// Property sweep: the Matcher dynamic program against brute-force embedding
+// enumeration, across pattern fragments and tree shapes (parameterized).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "base/label.h"
+#include "gen/random_instances.h"
+#include "match/embedding.h"
+
+namespace tpc {
+namespace {
+
+/// Brute force: does an embedding exist?  Enumerates assignments.
+bool BruteForceMatch(const Tpq& q, const Tree& t, bool strong) {
+  std::vector<NodeId> map(q.size(), kNoNode);
+  auto enumerate = [&](auto&& self, NodeId v) -> bool {
+    if (v == q.size()) return true;
+    for (NodeId x = 0; x < t.size(); ++x) {
+      if (v == 0 && strong && x != 0) continue;
+      if (!q.IsWildcard(v) && q.Label(v) != t.Label(x)) continue;
+      if (v != 0) {
+        NodeId px = map[q.Parent(v)];
+        if (q.Edge(v) == EdgeKind::kChild) {
+          if (t.Parent(x) != px) continue;
+        } else {
+          if (!t.IsProperAncestor(px, x)) continue;
+        }
+      }
+      map[v] = x;
+      if (self(self, v + 1)) return true;
+    }
+    return false;
+  };
+  return enumerate(enumerate, 0);
+}
+
+using MatchSweepParam = std::tuple<int32_t /*fragment idx*/, int32_t /*q size*/,
+                                   uint32_t /*seed*/>;
+
+const Fragment kSweepFragments[] = {
+    fragments::kPqChild,     fragments::kPqFull,      fragments::kTpqChild,
+    fragments::kTpqChildDesc, fragments::kTpqDescStar, fragments::kTpqFull,
+};
+
+class MatcherSweepTest : public ::testing::TestWithParam<MatchSweepParam> {};
+
+TEST_P(MatcherSweepTest, AgreesWithBruteForce) {
+  auto [frag_idx, q_size, seed] = GetParam();
+  LabelPool pool;
+  std::mt19937 rng(seed * 7919 + q_size);
+  std::vector<LabelId> labels = MakeLabels(2, &pool);
+  RandomTpqOptions qopts;
+  qopts.labels = labels;
+  qopts.fragment = kSweepFragments[frag_idx];
+  qopts.size = q_size;
+  RandomTreeOptions topts;
+  topts.labels = labels;
+  for (int trial = 0; trial < 15; ++trial) {
+    Tpq q = RandomTpq(qopts, &rng);
+    topts.size = 2 + trial % 8;
+    Tree t = RandomTree(topts, &rng);
+    EXPECT_EQ(MatchesWeak(q, t), BruteForceMatch(q, t, false))
+        << q.ToString(pool) << " on " << t.ToString(pool);
+    EXPECT_EQ(MatchesStrong(q, t), BruteForceMatch(q, t, true))
+        << q.ToString(pool) << " on " << t.ToString(pool);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatcherSweepTest,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Values(2, 3, 5),
+                       ::testing::Values(1u, 2u)),
+    [](const ::testing::TestParamInfo<MatchSweepParam>& info) {
+      return "F" + std::to_string(std::get<0>(info.param)) + "_Q" +
+             std::to_string(std::get<1>(info.param)) + "_S" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace tpc

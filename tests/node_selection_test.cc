@@ -1,0 +1,142 @@
+#include "match/node_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "base/label.h"
+#include "contain/containment.h"
+#include "gen/random_instances.h"
+#include "match/embedding.h"
+#include "pattern/tpq_parser.h"
+#include "tree/tree_parser.h"
+
+namespace tpc {
+namespace {
+
+class NodeSelectionTest : public ::testing::Test {
+ protected:
+  LabelPool pool_;
+};
+
+TEST_F(NodeSelectionTest, SelectsAllImages) {
+  Tree t = MustParseTree("a(b,a(b),c(a(b)))", &pool_);
+  Tpq q = MustParseTpq("a/b", &pool_);
+  // Output node = the b (node 1 of q); its images: every b whose parent is a.
+  std::vector<NodeId> selected = SelectNodes(q, 1, t, /*strong=*/false);
+  std::vector<NodeId> expected;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.Label(v) == pool_.Find("b") && v != 0 &&
+        t.Label(t.Parent(v)) == pool_.Find("a")) {
+      expected.push_back(v);
+    }
+  }
+  EXPECT_EQ(selected, expected);
+  EXPECT_EQ(selected.size(), 3u);
+}
+
+TEST_F(NodeSelectionTest, StrongAnchorsRoot) {
+  Tree t = MustParseTree("a(b,a(b))", &pool_);
+  Tpq q = MustParseTpq("a/b", &pool_);
+  std::vector<NodeId> weak = SelectNodes(q, 1, t, false);
+  std::vector<NodeId> strong = SelectNodes(q, 1, t, true);
+  EXPECT_EQ(weak.size(), 2u);
+  ASSERT_EQ(strong.size(), 1u);
+  EXPECT_EQ(t.Parent(strong[0]), 0);
+}
+
+TEST_F(NodeSelectionTest, DescendantEdgeSelection) {
+  Tree t = MustParseTree("a(x(c),c)", &pool_);
+  Tpq q = MustParseTpq("a//c", &pool_);
+  std::vector<NodeId> selected = SelectNodes(q, 1, t, true);
+  EXPECT_EQ(selected.size(), 2u);  // both c nodes are proper descendants
+}
+
+TEST_F(NodeSelectionTest, BranchConstrainsSelection) {
+  // Select the c-child of an a that also has a b-child.
+  Tree t = MustParseTree("r(a(b,c),a(c))", &pool_);
+  Tpq q = MustParseTpq("a[b]/c", &pool_);
+  std::vector<NodeId> kids = q.Children(0);
+  NodeId c_node = kids[1];
+  std::vector<NodeId> selected = SelectNodes(q, c_node, t, false);
+  ASSERT_EQ(selected.size(), 1u);
+  // The selected c is the one inside the first a (which has b).
+  EXPECT_EQ(t.Label(selected[0]), pool_.Find("c"));
+  NodeId a = t.Parent(selected[0]);
+  bool has_b = false;
+  for (NodeId ch = t.FirstChild(a); ch != kNoNode; ch = t.NextSibling(ch)) {
+    has_b |= t.Label(ch) == pool_.Find("b");
+  }
+  EXPECT_TRUE(has_b);
+}
+
+TEST_F(NodeSelectionTest, EmptySelectionWhenNoMatch) {
+  Tree t = MustParseTree("a(b)", &pool_);
+  Tpq q = MustParseTpq("a/c", &pool_);
+  EXPECT_TRUE(SelectNodes(q, 1, t, false).empty());
+}
+
+TEST_F(NodeSelectionTest, AgreesWithBruteForceOnRandomInstances) {
+  std::mt19937 rng(1234);
+  std::vector<LabelId> labels = MakeLabels(2, &pool_);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomTpqOptions qopts;
+    qopts.labels = labels;
+    qopts.fragment = fragments::kTpqFull;
+    qopts.size = 2 + trial % 4;
+    Tpq q = RandomTpq(qopts, &rng);
+    RandomTreeOptions topts;
+    topts.labels = labels;
+    topts.size = 3 + trial % 8;
+    Tree t = RandomTree(topts, &rng);
+    std::uniform_int_distribution<NodeId> pick(0, q.size() - 1);
+    NodeId output = pick(rng);
+    std::vector<NodeId> selected = SelectNodes(q, output, t, false);
+    // Honest brute force: enumerate all assignments pattern node -> tree
+    // node and keep those that are weak embeddings; instance sizes keep
+    // |t|^|q| small.  (A marker-based oracle would be unsound here: the
+    // marker node can also satisfy wildcard siblings of the output.)
+    std::vector<NodeId> map(q.size(), kNoNode);
+    std::vector<bool> hit(t.size(), false);
+    auto enumerate = [&](auto&& self, NodeId v) -> void {
+      if (v == q.size()) {
+        hit[map[output]] = true;
+        return;
+      }
+      for (NodeId x = 0; x < t.size(); ++x) {
+        if (!q.IsWildcard(v) && q.Label(v) != t.Label(x)) continue;
+        if (v != 0) {
+          NodeId px = map[q.Parent(v)];
+          if (q.Edge(v) == EdgeKind::kChild) {
+            if (t.Parent(x) != px) continue;
+          } else {
+            if (!t.IsProperAncestor(px, x)) continue;
+          }
+        }
+        map[v] = x;
+        self(self, v + 1);
+      }
+    };
+    enumerate(enumerate, 0);
+    for (NodeId x = 0; x < t.size(); ++x) {
+      bool got = std::binary_search(selected.begin(), selected.end(), x);
+      EXPECT_EQ(got, hit[x])
+          << q.ToString(pool_) << " output " << output << " at node " << x
+          << " of " << t.ToString(pool_);
+    }
+  }
+}
+
+TEST_F(NodeSelectionTest, MarkedContainmentReflectsSelectionContainment) {
+  // Proposition 1 of [34]: unary containment via markers.  q1 = a/b with
+  // output b is contained in q2 = a//b with output b.
+  LabelId marker = pool_.Fresh("_m");
+  Tpq q1 = MarkOutputNode(MustParseTpq("a/b", &pool_), 1, marker);
+  Tpq q2 = MarkOutputNode(MustParseTpq("a//b", &pool_), 1, marker);
+  EXPECT_TRUE(Contains(q1, q2, Mode::kWeak, &pool_).contained);
+  EXPECT_FALSE(Contains(q2, q1, Mode::kWeak, &pool_).contained);
+}
+
+}  // namespace
+}  // namespace tpc

@@ -1,0 +1,111 @@
+#include "schema/nta_satisfiability.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "base/label.h"
+#include "gen/random_instances.h"
+#include "match/embedding.h"
+#include "pattern/tpq_parser.h"
+
+namespace tpc {
+namespace {
+
+class NtaSatisfiabilityTest : public ::testing::Test {
+ protected:
+  LabelPool pool_;
+};
+
+TEST_F(NtaSatisfiabilityTest, AgreesWithDtdEngineOnPlainDtds) {
+  // With the NTA being exactly a DTD automaton, SatisfiableWithNta must
+  // agree with the schema engine.
+  std::mt19937 rng(2026);
+  std::vector<LabelId> labels = MakeLabels(3, &pool_);
+  int checked = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomDtdOptions dopts;
+    dopts.labels = labels;
+    Dtd d = RandomDtd(dopts, &rng);
+    if (d.IsEmptyLanguage()) continue;
+    Nta nta = Nta::FromDtd(d);
+    RandomTpqOptions opts;
+    opts.labels = labels;
+    opts.fragment = fragments::kTpqFull;
+    opts.size = 2 + trial % 4;
+    Tpq p = RandomTpq(opts, &rng);
+    for (Mode mode : {Mode::kWeak, Mode::kStrong}) {
+      SchemaDecision via_nta = SatisfiableWithNta(p, mode, nta, &pool_);
+      SchemaDecision via_engine = SatisfiableWithDtd(p, mode, d);
+      ASSERT_EQ(via_nta.yes, via_engine.yes)
+          << p.ToString(pool_) << " wrt\n" << d.ToString(pool_);
+      if (via_nta.yes) {
+        ASSERT_TRUE(via_nta.witness.has_value());
+        EXPECT_TRUE(d.Satisfies(*via_nta.witness));
+        EXPECT_TRUE(mode == Mode::kStrong
+                        ? MatchesStrong(p, *via_nta.witness)
+                        : MatchesWeak(p, *via_nta.witness));
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST_F(NtaSatisfiabilityTest, ConpRouteAgreesWithEngine) {
+  // Theorem 6.4: containment of branching p in a path q w.r.t. a DTD via
+  // the ¬q product, vs. the generic engine.
+  std::mt19937 rng(2027);
+  std::vector<LabelId> labels = MakeLabels(3, &pool_);
+  int disagreements_possible = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomDtdOptions dopts;
+    dopts.labels = labels;
+    Dtd d = RandomDtd(dopts, &rng);
+    if (d.IsEmptyLanguage()) continue;
+    RandomTpqOptions popts;
+    popts.labels = labels;
+    popts.fragment = fragments::kTpqChildDesc;
+    popts.size = 2 + trial % 4;
+    Tpq p = RandomTpq(popts, &rng);
+    RandomTpqOptions qopts = popts;
+    qopts.fragment = fragments::kPqFull;
+    qopts.size = 1 + trial % 3;
+    Tpq q = RandomTpq(qopts, &rng);
+    for (Mode mode : {Mode::kWeak, Mode::kStrong}) {
+      SchemaDecision via_route = ContainedViaConpRoute(p, q, mode, d, &pool_);
+      SchemaDecision via_engine = ContainedWithDtd(p, q, mode, d);
+      ASSERT_TRUE(via_route.decided);
+      ASSERT_EQ(via_route.yes, via_engine.yes)
+          << p.ToString(pool_) << " in " << q.ToString(pool_) << " wrt\n"
+          << d.ToString(pool_);
+      if (!via_route.yes) {
+        ASSERT_TRUE(via_route.witness.has_value());
+        const Tree& t = *via_route.witness;
+        EXPECT_TRUE(d.Satisfies(t));
+        EXPECT_TRUE(mode == Mode::kStrong ? MatchesStrong(p, t)
+                                          : MatchesWeak(p, t));
+        EXPECT_FALSE(mode == Mode::kStrong ? MatchesStrong(q, t)
+                                           : MatchesWeak(q, t));
+      }
+      ++disagreements_possible;
+    }
+  }
+  EXPECT_GT(disagreements_possible, 15);
+}
+
+TEST_F(NtaSatisfiabilityTest, WildcardTransitionsUseFreshLabels) {
+  // An NTA built from a path query accepts over an open alphabet; the
+  // satisfiability search must be able to pick labels outside p.
+  Tpq path = MustParseTpq("a//b", &pool_);
+  Nta nta = Nta::FromPathQuery(path, /*strong=*/true);
+  Tpq p = MustParseTpq("a/*", &pool_);  // any child works
+  SchemaDecision r = SatisfiableWithNta(p, Mode::kWeak, nta, &pool_);
+  EXPECT_TRUE(r.yes);
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_TRUE(MatchesStrong(path, *r.witness));
+  EXPECT_TRUE(MatchesWeak(p, *r.witness));
+}
+
+}  // namespace
+}  // namespace tpc

@@ -1,0 +1,176 @@
+#include "automata/nta.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "automata/tpq_det.h"
+#include "base/label.h"
+#include "dtd/dtd.h"
+#include "gen/random_instances.h"
+#include "match/embedding.h"
+#include "pattern/tpq_parser.h"
+#include "tree/tree_parser.h"
+
+namespace tpc {
+namespace {
+
+class NtaTest : public ::testing::Test {
+ protected:
+  LabelPool pool_;
+};
+
+TEST_F(NtaTest, FromDtdAgreesWithDtdMembership) {
+  Dtd d = MustParseDtd("root: a; a -> b c* | c; b -> eps; c -> b?;", &pool_);
+  Nta nta = Nta::FromDtd(d);
+  const char* trees[] = {"a(b)",      "a(b,c,c)", "a(c(b))", "a(c)",
+                         "a(b,b)",    "b",        "a(c,b)",  "a(b,c(b),c)"};
+  for (const char* s : trees) {
+    Tree t = MustParseTree(s, &pool_);
+    EXPECT_EQ(nta.Accepts(t), d.Satisfies(t)) << s;
+  }
+}
+
+TEST_F(NtaTest, FromDtdRandomizedAgreement) {
+  std::mt19937 rng(123);
+  std::vector<LabelId> labels = MakeLabels(4, &pool_);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomDtdOptions opts;
+    opts.labels = labels;
+    Dtd d = RandomDtd(opts, &rng);
+    if (d.IsEmptyLanguage()) continue;
+    Nta nta = Nta::FromDtd(d);
+    for (int i = 0; i < 10; ++i) {
+      Tree t = d.SampleTree(&rng, 15);
+      EXPECT_TRUE(nta.Accepts(t));
+      // Perturb a label; both sides must agree (usually reject).
+      Tree t2 = t;
+      std::uniform_int_distribution<NodeId> pick(0, t2.size() - 1);
+      std::uniform_int_distribution<size_t> pick_label(0, labels.size() - 1);
+      t2.SetLabel(pick(rng), labels[pick_label(rng)]);
+      EXPECT_EQ(nta.Accepts(t2), d.Satisfies(t2));
+    }
+  }
+}
+
+TEST_F(NtaTest, PathQueryNtaMatchesEmbedding) {
+  std::mt19937 rng(7);
+  std::vector<LabelId> labels = MakeLabels(3, &pool_);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomTpqOptions qopts;
+    qopts.labels = labels;
+    qopts.fragment = fragments::kPqFull;
+    qopts.size = 1 + trial % 5;
+    Tpq p = RandomTpq(qopts, &rng);
+    Nta weak = Nta::FromPathQuery(p, /*strong=*/false);
+    Nta strong = Nta::FromPathQuery(p, /*strong=*/true);
+    RandomTreeOptions topts;
+    topts.labels = labels;
+    for (int i = 0; i < 15; ++i) {
+      topts.size = 1 + (i * 7) % 12;
+      Tree t = RandomTree(topts, &rng);
+      EXPECT_EQ(weak.Accepts(t), MatchesWeak(p, t))
+          << p.ToString(pool_) << " on " << t.ToString(pool_);
+      EXPECT_EQ(strong.Accepts(t), MatchesStrong(p, t))
+          << p.ToString(pool_) << " on " << t.ToString(pool_);
+    }
+  }
+}
+
+TEST_F(NtaTest, IntersectionIsConjunction) {
+  Dtd d = MustParseDtd("root: a; a -> b* c; b -> eps; c -> eps;", &pool_);
+  Tpq p = MustParseTpq("a/b", &pool_);
+  Nta product = Nta::Intersect(Nta::FromDtd(d),
+                               Nta::FromPathQuery(p, /*strong=*/false));
+  const char* trees[] = {"a(b,c)", "a(c)", "a(b,b,c)", "a(b)", "c"};
+  for (const char* s : trees) {
+    Tree t = MustParseTree(s, &pool_);
+    EXPECT_EQ(product.Accepts(t), d.Satisfies(t) && MatchesWeak(p, t)) << s;
+  }
+}
+
+TEST_F(NtaTest, EmptinessViaIntersection) {
+  // L(d) has no tree with a b below the root twice: a -> b, b -> eps.
+  Dtd d = MustParseDtd("root: a; a -> b; b -> eps;", &pool_);
+  Nta da = Nta::FromDtd(d);
+  Nta sat = Nta::Intersect(da, Nta::FromPathQuery(
+                                   MustParseTpq("a/b", &pool_), false));
+  EXPECT_FALSE(sat.IsEmpty());
+  Nta unsat = Nta::Intersect(da, Nta::FromPathQuery(
+                                     MustParseTpq("b/b", &pool_), false));
+  EXPECT_TRUE(unsat.IsEmpty());
+}
+
+TEST_F(NtaTest, SmallestWitnessIsAcceptedAndSmall) {
+  Dtd d = MustParseDtd("root: a; a -> b b | c; b -> c c; c -> eps;", &pool_);
+  Nta nta = Nta::FromDtd(d);
+  auto witness = nta.SmallestWitness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(nta.Accepts(*witness));
+  EXPECT_TRUE(d.Satisfies(*witness));
+  EXPECT_EQ(witness->size(), 2);  // a(c)
+}
+
+TEST_F(NtaTest, SmallestWitnessOfProduct) {
+  Dtd d = MustParseDtd("root: a; a -> a | b; b -> eps;", &pool_);
+  Tpq p = MustParseTpq("a//a//b", &pool_);
+  Nta product =
+      Nta::Intersect(Nta::FromDtd(d), Nta::FromPathQuery(p, true));
+  auto witness = product.SmallestWitness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(d.Satisfies(*witness));
+  EXPECT_TRUE(MatchesStrong(p, *witness));
+  EXPECT_EQ(witness->size(), 3);  // a(a(b))
+}
+
+TEST_F(NtaTest, EmptyWitnessWhenLanguageEmpty) {
+  Dtd d = MustParseDtd("root: a; a -> a;", &pool_);
+  Nta nta = Nta::FromDtd(d);
+  EXPECT_TRUE(nta.IsEmpty());
+  EXPECT_FALSE(nta.SmallestWitness().has_value());
+}
+
+TEST_F(NtaTest, TpqDetAutomatonAgreesWithMatcher) {
+  std::mt19937 rng(99);
+  std::vector<LabelId> labels = MakeLabels(3, &pool_);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomTpqOptions qopts;
+    qopts.labels = labels;
+    qopts.fragment = fragments::kTpqFull;
+    qopts.size = 2 + trial % 6;
+    Tpq q = RandomTpq(qopts, &rng);
+    TpqDetAutomaton det(q);
+    RandomTreeOptions topts;
+    topts.labels = labels;
+    for (int i = 0; i < 10; ++i) {
+      topts.size = 1 + (i * 5) % 14;
+      Tree t = RandomTree(topts, &rng);
+      // Run the deterministic automaton bottom-up over the tree.
+      std::vector<TpqDetAutomaton::StateId> state(t.size());
+      for (NodeId v = t.size() - 1; v >= 0; --v) {
+        std::vector<TpqDetAutomaton::StateId> kids;
+        for (NodeId c = t.FirstChild(v); c != kNoNode; c = t.NextSibling(c)) {
+          kids.push_back(state[c]);
+        }
+        state[v] = det.StateFor(t.Label(v), kids);
+      }
+      EXPECT_EQ(det.AcceptsStrong(state[0]), MatchesStrong(q, t))
+          << q.ToString(pool_) << " on " << t.ToString(pool_);
+      EXPECT_EQ(det.AcceptsWeak(state[0]), MatchesWeak(q, t))
+          << q.ToString(pool_) << " on " << t.ToString(pool_);
+    }
+  }
+}
+
+TEST_F(NtaTest, TpqDetStatesAreInterned) {
+  Tpq q = MustParseTpq("a/b", &pool_);
+  TpqDetAutomaton det(q);
+  LabelId a = pool_.Find("a");
+  auto s1 = det.StateFor(a, {});
+  auto s2 = det.StateFor(a, {});
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(det.num_materialized(), 1);
+}
+
+}  // namespace
+}  // namespace tpc

@@ -1,0 +1,118 @@
+#include "automata/path_complement.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "base/label.h"
+#include "gen/random_instances.h"
+#include "match/embedding.h"
+#include "pattern/tpq_parser.h"
+#include "schema/schema_engine.h"
+#include "tree/tree_parser.h"
+
+namespace tpc {
+namespace {
+
+class PathComplementTest : public ::testing::Test {
+ protected:
+  LabelPool pool_;
+};
+
+TEST_F(PathComplementTest, ComplementNtaInvertsMembership) {
+  std::mt19937 rng(64);
+  std::vector<LabelId> sigma = MakeLabels(3, &pool_);
+  for (int trial = 0; trial < 50; ++trial) {
+    RandomTpqOptions qopts;
+    qopts.labels = sigma;
+    qopts.fragment = fragments::kPqFull;
+    qopts.size = 1 + trial % 5;
+    Tpq q = RandomTpq(qopts, &rng);
+    for (Mode mode : {Mode::kWeak, Mode::kStrong}) {
+      Nta complement = ComplementOfPathQueryNta(q, sigma, mode);
+      RandomTreeOptions topts;
+      topts.labels = sigma;
+      for (int i = 0; i < 10; ++i) {
+        topts.size = 1 + (i * 3) % 9;
+        Tree t = RandomTree(topts, &rng);
+        bool in_q = mode == Mode::kStrong ? MatchesStrong(q, t)
+                                          : MatchesWeak(q, t);
+        EXPECT_EQ(complement.Accepts(t), !in_q)
+            << q.ToString(pool_) << " on " << t.ToString(pool_);
+      }
+    }
+  }
+}
+
+TEST_F(PathComplementTest, AutomataContainmentAgreesWithEngine) {
+  std::mt19937 rng(65);
+  std::vector<LabelId> labels = MakeLabels(3, &pool_);
+  int checked = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomDtdOptions dopts;
+    dopts.labels = labels;
+    Dtd d = RandomDtd(dopts, &rng);
+    if (d.IsEmptyLanguage()) continue;
+    RandomTpqOptions popts;
+    popts.labels = labels;
+    popts.fragment = fragments::kPqFull;
+    popts.size = 1 + trial % 4;
+    Tpq p = RandomTpq(popts, &rng);
+    Tpq q = RandomTpq(popts, &rng);
+    for (Mode mode : {Mode::kWeak, Mode::kStrong}) {
+      AutomataContainmentResult via_automata =
+          ContainedPathInPathViaAutomata(p, q, mode, d);
+      SchemaDecision via_engine = ContainedWithDtd(p, q, mode, d);
+      ASSERT_EQ(via_automata.contained, via_engine.yes)
+          << p.ToString(pool_) << " in " << q.ToString(pool_) << " wrt\n"
+          << d.ToString(pool_);
+      if (via_automata.counterexample.has_value()) {
+        const Tree& t = *via_automata.counterexample;
+        EXPECT_TRUE(d.Satisfies(t));
+        EXPECT_TRUE(mode == Mode::kStrong ? MatchesStrong(p, t)
+                                          : MatchesWeak(p, t));
+        EXPECT_FALSE(mode == Mode::kStrong ? MatchesStrong(q, t)
+                                           : MatchesWeak(q, t));
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST_F(PathComplementTest, AutomataValidityAgreesWithEngine) {
+  std::mt19937 rng(66);
+  std::vector<LabelId> labels = MakeLabels(3, &pool_);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomDtdOptions dopts;
+    dopts.labels = labels;
+    Dtd d = RandomDtd(dopts, &rng);
+    if (d.IsEmptyLanguage()) continue;
+    RandomTpqOptions qopts;
+    qopts.labels = labels;
+    qopts.fragment = fragments::kPqFull;
+    qopts.size = 1 + trial % 4;
+    Tpq q = RandomTpq(qopts, &rng);
+    for (Mode mode : {Mode::kWeak, Mode::kStrong}) {
+      EXPECT_EQ(ValidPathViaAutomata(q, mode, d).contained,
+                ValidWithDtd(q, mode, d).yes)
+          << q.ToString(pool_) << " wrt\n" << d.ToString(pool_);
+    }
+  }
+}
+
+TEST_F(PathComplementTest, HandExamples) {
+  std::vector<LabelId> sigma = {pool_.Intern("a"), pool_.Intern("b")};
+  Tpq q = MustParseTpq("a/b", &pool_);
+  Nta weak_comp = ComplementOfPathQueryNta(q, sigma, Mode::kWeak);
+  EXPECT_TRUE(weak_comp.Accepts(MustParseTree("a(a)", &pool_)));
+  EXPECT_TRUE(weak_comp.Accepts(MustParseTree("b(a)", &pool_)));
+  EXPECT_FALSE(weak_comp.Accepts(MustParseTree("b(a(b))", &pool_)));
+  Nta strong_comp = ComplementOfPathQueryNta(q, sigma, Mode::kStrong);
+  // b(a(b)) has a/b below the root but not at it.
+  EXPECT_TRUE(strong_comp.Accepts(MustParseTree("b(a(b))", &pool_)));
+  EXPECT_FALSE(strong_comp.Accepts(MustParseTree("a(b)", &pool_)));
+}
+
+}  // namespace
+}  // namespace tpc

@@ -1,0 +1,167 @@
+#include "regex/regex.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "regex/nfa.h"
+
+namespace tpc {
+namespace {
+
+class RegexTest : public ::testing::Test {
+ protected:
+  /// Parses a word as space-free label sequence of single characters.
+  std::vector<Symbol> Word(const std::string& w) {
+    std::vector<Symbol> out;
+    for (char c : w) out.push_back(pool_.Intern(std::string(1, c)));
+    return out;
+  }
+
+  bool NfaAccepts(const std::string& regex, const std::string& word) {
+    Regex r = MustParseRegex(regex, &pool_);
+    return Nfa::FromRegex(r).Accepts(Word(word));
+  }
+
+  LabelPool pool_;
+};
+
+TEST_F(RegexTest, ParserBasics) {
+  EXPECT_TRUE(ParseRegex("a b | c*", &pool_).ok());
+  EXPECT_TRUE(ParseRegex("(a|b)* c", &pool_).ok());
+  EXPECT_TRUE(ParseRegex("eps", &pool_).ok());
+  EXPECT_TRUE(ParseRegex("empty", &pool_).ok());
+  EXPECT_FALSE(ParseRegex("a |", &pool_).ok());
+  EXPECT_FALSE(ParseRegex("(a", &pool_).ok());
+  EXPECT_FALSE(ParseRegex(")", &pool_).ok());
+}
+
+TEST_F(RegexTest, PaperStyleUnionPlus) {
+  // The paper writes union as `+`: `a -> a + b`.
+  Regex r = MustParseRegex("a + b", &pool_);
+  EXPECT_EQ(r.kind(), Regex::Kind::kUnion);
+}
+
+TEST_F(RegexTest, Nullable) {
+  EXPECT_TRUE(MustParseRegex("eps", &pool_).Nullable());
+  EXPECT_TRUE(MustParseRegex("a*", &pool_).Nullable());
+  EXPECT_TRUE(MustParseRegex("a?", &pool_).Nullable());
+  EXPECT_FALSE(MustParseRegex("a", &pool_).Nullable());
+  EXPECT_FALSE(MustParseRegex("a b*", &pool_).Nullable());
+  EXPECT_TRUE(MustParseRegex("a* b*", &pool_).Nullable());
+  EXPECT_TRUE(MustParseRegex("a | eps", &pool_).Nullable());
+  EXPECT_FALSE(MustParseRegex("empty", &pool_).Nullable());
+}
+
+TEST_F(RegexTest, LabelsCollectsDistinct) {
+  Regex r = MustParseRegex("a (b | a)* c", &pool_);
+  EXPECT_EQ(r.Labels().size(), 3u);
+}
+
+TEST_F(RegexTest, GlushkovAcceptsConcat) {
+  EXPECT_TRUE(NfaAccepts("a b c", "abc"));
+  EXPECT_FALSE(NfaAccepts("a b c", "ab"));
+  EXPECT_FALSE(NfaAccepts("a b c", "abcc"));
+}
+
+TEST_F(RegexTest, GlushkovAcceptsStar) {
+  EXPECT_TRUE(NfaAccepts("a*", ""));
+  EXPECT_TRUE(NfaAccepts("a*", "aaaa"));
+  EXPECT_FALSE(NfaAccepts("a*", "ab"));
+}
+
+TEST_F(RegexTest, GlushkovAcceptsUnionAndNesting) {
+  EXPECT_TRUE(NfaAccepts("(a|b)* c", "ababc"));
+  EXPECT_TRUE(NfaAccepts("(a|b)* c", "c"));
+  EXPECT_FALSE(NfaAccepts("(a|b)* c", "abab"));
+  EXPECT_TRUE(NfaAccepts("(a b)* (c | eps)", "ababc"));
+  EXPECT_TRUE(NfaAccepts("(a b)* (c | eps)", "abab"));
+  EXPECT_FALSE(NfaAccepts("(a b)* (c | eps)", "aba"));
+}
+
+TEST_F(RegexTest, GlushkovNullableConcatMiddle) {
+  // Tricky Glushkov case: nullable parts in the middle of a concatenation.
+  EXPECT_TRUE(NfaAccepts("a b* c", "ac"));
+  EXPECT_TRUE(NfaAccepts("a b* c", "abbbc"));
+  EXPECT_FALSE(NfaAccepts("a b* c", "a"));
+  EXPECT_TRUE(NfaAccepts("a? b? c?", ""));
+  EXPECT_TRUE(NfaAccepts("a? b? c?", "ac"));
+  EXPECT_FALSE(NfaAccepts("a? b? c?", "ca"));
+}
+
+TEST_F(RegexTest, EmptySetAcceptsNothing) {
+  EXPECT_FALSE(NfaAccepts("empty", ""));
+  EXPECT_FALSE(NfaAccepts("empty", "a"));
+  EXPECT_TRUE(Nfa::FromRegex(MustParseRegex("empty", &pool_)).IsEmpty());
+  EXPECT_FALSE(Nfa::FromRegex(MustParseRegex("a", &pool_)).IsEmpty());
+}
+
+TEST_F(RegexTest, PlusProgrammatic) {
+  Regex r = Regex::Plus(Regex::Letter(pool_.Intern("a")));
+  Nfa nfa = Nfa::FromRegex(r);
+  EXPECT_FALSE(nfa.Accepts(Word("")));
+  EXPECT_TRUE(nfa.Accepts(Word("a")));
+  EXPECT_TRUE(nfa.Accepts(Word("aaa")));
+}
+
+TEST_F(RegexTest, ToStringRoundTrips) {
+  for (const char* s : {"a", "a b", "a | b", "(a | b)* c", "a? (b c)*"}) {
+    Regex r = MustParseRegex(s, &pool_);
+    Regex r2 = MustParseRegex(r.ToString(pool_), &pool_);
+    // Compare languages on a few words rather than ASTs.
+    Nfa n1 = Nfa::FromRegex(r);
+    Nfa n2 = Nfa::FromRegex(r2);
+    for (const char* w : {"", "a", "b", "ab", "abc", "aabbc", "c", "bc"}) {
+      EXPECT_EQ(n1.Accepts(Word(w)), n2.Accepts(Word(w)))
+          << s << " on " << w;
+    }
+  }
+}
+
+TEST_F(RegexTest, DfaAgreesWithNfa) {
+  const char* exprs[] = {"(a|b)* c", "a b* c", "a? b? c?", "(a b)* | c"};
+  const char* words[] = {"",    "a",   "b",   "c",    "ab",  "ac",
+                         "abc", "bac", "abab", "ababc", "ccc", "abcabc"};
+  for (const char* e : exprs) {
+    Nfa nfa = Nfa::FromRegex(MustParseRegex(e, &pool_));
+    Dfa dfa = Dfa::Determinize(nfa);
+    for (const char* w : words) {
+      EXPECT_EQ(nfa.Accepts(Word(w)), dfa.Accepts(Word(w)))
+          << e << " on " << w;
+    }
+  }
+}
+
+TEST_F(RegexTest, MinimizePreservesLanguage) {
+  Nfa nfa = Nfa::FromRegex(MustParseRegex("(a|b)* a (a|b)", &pool_));
+  Dfa dfa = Dfa::Determinize(nfa);
+  Dfa min = dfa.Minimize();
+  EXPECT_LE(min.num_states, dfa.num_states);
+  const char* words[] = {"", "a", "aa", "ab", "ba", "bb", "aab", "bab", "abb"};
+  for (const char* w : words) {
+    EXPECT_EQ(dfa.Accepts(Word(w)), min.Accepts(Word(w))) << w;
+  }
+  // The canonical minimal DFA for "second-to-last symbol is a" has 4 states.
+  EXPECT_EQ(min.num_states, 4);
+}
+
+TEST_F(RegexTest, ComplementFlipsMembership) {
+  Nfa nfa = Nfa::FromRegex(MustParseRegex("a b*", &pool_));
+  Dfa dfa = Dfa::Determinize(nfa);
+  Dfa comp = dfa.Complement();
+  const char* words[] = {"", "a", "ab", "abb", "b", "ba"};
+  for (const char* w : words) {
+    EXPECT_NE(dfa.Accepts(Word(w)), comp.Accepts(Word(w))) << w;
+  }
+}
+
+TEST_F(RegexTest, UniversalAcceptsEverything) {
+  std::vector<Symbol> alphabet = Word("ab");
+  Nfa u = Nfa::Universal(alphabet);
+  EXPECT_TRUE(u.Accepts(Word("")));
+  EXPECT_TRUE(u.Accepts(Word("abba")));
+}
+
+}  // namespace
+}  // namespace tpc

@@ -1,0 +1,116 @@
+// The game variant of the tiling reduction (Appendix E.1.3): structural
+// sanity of the produced instance and solver-level properties of LTTG.
+
+#include <gtest/gtest.h>
+
+#include "automata/nta.h"
+#include "base/label.h"
+#include "match/embedding.h"
+#include "tiling/reduction.h"
+#include "tiling/tiling.h"
+
+namespace tpc {
+namespace {
+
+TriominoSystem RichSystem() {
+  // From tile 0, CONSTRUCTOR can offer {1, 2}; tile 1 continues to finals.
+  TriominoSystem s;
+  s.num_tiles = 4;
+  for (Tile right = 0; right < 4; ++right) {
+    s.constraints.push_back({0, right, 1});
+    s.constraints.push_back({0, right, 0});
+    s.constraints.push_back({1, right, 2});
+    s.constraints.push_back({1, right, 3});
+  }
+  return s;
+}
+
+TEST(TilingGameTest, GameHarderThanSinglePlayer) {
+  // Single-player solvability does not imply a CONSTRUCTOR win: remove one
+  // final option so SPOILER can always dodge.
+  TriominoSystem s;
+  s.num_tiles = 4;
+  for (Tile right = 0; right < 4; ++right) {
+    s.constraints.push_back({0, right, 0});
+    s.constraints.push_back({0, right, 1});
+    s.constraints.push_back({1, right, 2});
+  }
+  std::vector<Tile> row = {1, 1};
+  EXPECT_TRUE(SolveLineTiling(s, row).has_value());
+  EXPECT_FALSE(ConstructorWinsGame(s, row));
+  // With both finals available the game is won.
+  EXPECT_TRUE(ConstructorWinsGame(RichSystem(), row));
+}
+
+TEST(TilingGameTest, GameVariantInstanceIsWellFormed) {
+  LabelPool pool;
+  TriominoSystem s = RichSystem();
+  std::vector<Tile> row = {0, 0};
+  TilingContainmentInstance inst =
+      BuildTilingReduction(s, row, &pool, /*game_variant=*/true);
+  // Same patterns as the single-player variant.
+  EXPECT_EQ(inst.q.size(), inst.k * inst.n + 4);
+  EXPECT_TRUE(IsPathQuery(inst.p));
+  EXPECT_TRUE(IsPathQuery(inst.q));
+  Fragment fp = FragmentOf(inst.p);
+  EXPECT_FALSE(fp.descendant_edges);
+  EXPECT_FALSE(fp.wildcard);  // p ∈ PQ(/)
+  Fragment fq = FragmentOf(inst.q);
+  EXPECT_TRUE(fq.wildcard);
+  EXPECT_FALSE(fq.descendant_edges);  // q ∈ PQ(/,*)
+  // The DTD language is nonempty and admits trees matching p.
+  Nta product = Nta::Intersect(Nta::FromDtd(inst.dtd),
+                               Nta::FromPathQuery(inst.p, /*strong=*/true));
+  auto witness = product.SmallestWitness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(inst.dtd.Satisfies(*witness));
+  EXPECT_TRUE(MatchesStrong(inst.p, *witness));
+}
+
+TEST(TilingGameTest, GameVariantDtdAllowsBranchingTrunks) {
+  // The game DTD offers a -> c_i c_j D_(0,k-3): some satisfying tree has a
+  // node with two c-children (the CONSTRUCTOR offer).
+  LabelPool pool;
+  TriominoSystem s = RichSystem();
+  TilingContainmentInstance inst =
+      BuildTilingReduction(s, {0, 0}, &pool, /*game_variant=*/true);
+  // Look for the branching production syntactically in the DTD's a-rule.
+  LabelId a = pool.Find("a");
+  ASSERT_NE(a, kNoLabel);
+  const Regex& rule = inst.dtd.Rule(a);
+  // The rule is a union; at least one branch concatenates two c-letters.
+  bool has_branching_option = false;
+  for (const Regex& option : rule.children()) {
+    if (option.kind() != Regex::Kind::kConcat) continue;
+    int c_letters = 0;
+    for (const Regex& part : option.children()) {
+      if (part.kind() != Regex::Kind::kLetter) continue;
+      const std::string& name = pool.Name(part.letter());
+      if (!name.empty() && name[0] == 'c') ++c_letters;
+    }
+    if (c_letters >= 2) has_branching_option = true;
+  }
+  EXPECT_TRUE(has_branching_option);
+}
+
+TEST(TilingGameTest, SinglePlayerVariantHasNoBranchingTrunk) {
+  LabelPool pool;
+  TriominoSystem s = RichSystem();
+  TilingContainmentInstance inst =
+      BuildTilingReduction(s, {0, 0}, &pool, /*game_variant=*/false);
+  LabelId a = pool.Find("a");
+  const Regex& rule = inst.dtd.Rule(a);
+  for (const Regex& option : rule.children()) {
+    if (option.kind() != Regex::Kind::kConcat) continue;
+    int c_letters = 0;
+    for (const Regex& part : option.children()) {
+      if (part.kind() != Regex::Kind::kLetter) continue;
+      const std::string& name = pool.Name(part.letter());
+      if (!name.empty() && name[0] == 'c') ++c_letters;
+    }
+    EXPECT_LE(c_letters, 1);
+  }
+}
+
+}  // namespace
+}  // namespace tpc

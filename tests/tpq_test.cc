@@ -1,0 +1,198 @@
+#include "pattern/tpq.h"
+
+#include <gtest/gtest.h>
+
+#include "base/label.h"
+#include "pattern/canonical.h"
+#include "pattern/normalize.h"
+#include "pattern/tpq_parser.h"
+
+namespace tpc {
+namespace {
+
+TEST(TpqParserTest, SimplePath) {
+  LabelPool pool;
+  Tpq q = MustParseTpq("a/b//c", &pool);
+  EXPECT_EQ(q.size(), 3);
+  EXPECT_EQ(q.Edge(1), EdgeKind::kChild);
+  EXPECT_EQ(q.Edge(2), EdgeKind::kDescendant);
+  EXPECT_TRUE(IsPathQuery(q));
+  EXPECT_EQ(q.ToString(pool), "a/b//c");
+}
+
+TEST(TpqParserTest, Wildcards) {
+  LabelPool pool;
+  Tpq q = MustParseTpq("*//a/*", &pool);
+  EXPECT_TRUE(q.IsWildcard(0));
+  EXPECT_FALSE(q.IsWildcard(1));
+  EXPECT_TRUE(q.IsWildcard(2));
+  EXPECT_EQ(q.ToString(pool), "*//a/*");
+}
+
+TEST(TpqParserTest, Predicates) {
+  LabelPool pool;
+  Tpq q = MustParseTpq("a[b//c][//d]/e", &pool);
+  EXPECT_EQ(q.size(), 5);
+  EXPECT_FALSE(IsPathQuery(q));
+  EXPECT_EQ(q.NumChildren(0), 3);
+  // Branch roots: b (child edge), d (descendant edge), e (child edge).
+  std::vector<NodeId> kids = q.Children(0);
+  EXPECT_EQ(pool.Name(q.Label(kids[0])), "b");
+  EXPECT_EQ(q.Edge(kids[0]), EdgeKind::kChild);
+  EXPECT_EQ(pool.Name(q.Label(kids[1])), "d");
+  EXPECT_EQ(q.Edge(kids[1]), EdgeKind::kDescendant);
+  EXPECT_EQ(pool.Name(q.Label(kids[2])), "e");
+}
+
+TEST(TpqParserTest, ToStringRoundTrips) {
+  LabelPool pool;
+  for (const char* s :
+       {"a", "a/b", "a//b", "a[b]/c", "a[//b][c/d]//e", "*[a][b//*]/c"}) {
+    Tpq q = MustParseTpq(s, &pool);
+    Tpq q2 = MustParseTpq(q.ToString(pool), &pool);
+    EXPECT_TRUE(q == q2) << s << " vs " << q.ToString(pool);
+  }
+}
+
+TEST(TpqParserTest, RejectsMalformed) {
+  LabelPool pool;
+  EXPECT_FALSE(ParseTpq("", &pool).ok());
+  EXPECT_FALSE(ParseTpq("a[", &pool).ok());
+  EXPECT_FALSE(ParseTpq("a]", &pool).ok());
+  EXPECT_FALSE(ParseTpq("a/", &pool).ok());
+  EXPECT_FALSE(ParseTpq("/a", &pool).ok());
+}
+
+TEST(FragmentTest, DetectsFeatures) {
+  LabelPool pool;
+  EXPECT_EQ(FragmentOf(MustParseTpq("a/b", &pool)), fragments::kPqChild);
+  EXPECT_EQ(FragmentOf(MustParseTpq("a//b", &pool)), fragments::kPqDesc);
+  EXPECT_EQ(FragmentOf(MustParseTpq("a/*", &pool)), fragments::kPqChildStar);
+  EXPECT_EQ(FragmentOf(MustParseTpq("a[b]/c", &pool)), fragments::kTpqChild);
+  Fragment full = FragmentOf(MustParseTpq("a[*]//b/c", &pool));
+  EXPECT_EQ(full, fragments::kTpqFull);
+}
+
+TEST(FragmentTest, WithinOrdering) {
+  EXPECT_TRUE(fragments::kPqChild.Within(fragments::kTpqFull));
+  EXPECT_TRUE(fragments::kPqChild.Within(fragments::kPqFull));
+  EXPECT_FALSE(fragments::kTpqChild.Within(fragments::kPqFull));
+  EXPECT_FALSE(fragments::kPqDesc.Within(fragments::kPqChildStar));
+}
+
+TEST(FragmentTest, ToString) {
+  EXPECT_EQ(fragments::kPqChild.ToString(), "PQ(/)");
+  EXPECT_EQ(fragments::kTpqFull.ToString(), "TPQ(/,//,*)");
+  EXPECT_EQ(fragments::kTpqDescStar.ToString(), "TPQ(//,*)");
+}
+
+TEST(NormalizeTest, FlipsWildcardIslandLeaves) {
+  LabelPool pool;
+  // `a/*` : the wildcard is an island leaf on a child edge -> becomes `a//*`.
+  Tpq q = MustParseTpq("a/*", &pool);
+  EXPECT_FALSE(IsNormalized(q));
+  Tpq n = Normalize(q);
+  EXPECT_TRUE(IsNormalized(n));
+  EXPECT_EQ(n.Edge(1), EdgeKind::kDescendant);
+}
+
+TEST(NormalizeTest, CascadesUpward) {
+  LabelPool pool;
+  // `a/*/*`: both wildcards flip (bottom first, exposing the middle one).
+  Tpq q = MustParseTpq("a/*/*", &pool);
+  Tpq n = Normalize(q);
+  EXPECT_EQ(n.Edge(1), EdgeKind::kDescendant);
+  EXPECT_EQ(n.Edge(2), EdgeKind::kDescendant);
+}
+
+TEST(NormalizeTest, KeepsInteriorWildcards) {
+  LabelPool pool;
+  // `a/*/b`: the wildcard is not an island leaf; unchanged.
+  Tpq q = MustParseTpq("a/*/b", &pool);
+  EXPECT_TRUE(IsNormalized(q));
+  Tpq n = Normalize(q);
+  EXPECT_TRUE(n == q);
+}
+
+TEST(IslandsTest, DecomposesByDescendantEdges) {
+  LabelPool pool;
+  Tpq q = MustParseTpq("a/b//c/d[//e]/f", &pool);
+  IslandDecomposition d = Islands(q);
+  EXPECT_EQ(d.num_islands(), 3);
+  EXPECT_EQ(d.island_of[0], d.island_of[1]);  // a,b together
+  EXPECT_NE(d.island_of[0], d.island_of[2]);  // c below //
+  EXPECT_EQ(d.roots[0], 0);
+}
+
+TEST(MergeEqualSiblingsTest, MergesAndUnionsChildren) {
+  LabelPool pool;
+  Tpq q = MustParseTpq("a[b/c][b/d]/e", &pool);
+  Tpq merged = MergeEqualSiblings(q);
+  // After merging the two b-siblings: a[b[c]/d]/e has 5 nodes.
+  EXPECT_EQ(merged.size(), 5);
+  // The root must now have exactly two children: b and e.
+  EXPECT_EQ(merged.NumChildren(0), 2);
+}
+
+TEST(MergeEqualSiblingsTest, RespectsEdgeKinds) {
+  LabelPool pool;
+  // b via child and b via descendant edges are distinct; not merged.
+  Tpq q = MustParseTpq("a[b][//b]", &pool);
+  Tpq merged = MergeEqualSiblings(q);
+  EXPECT_EQ(merged.size(), 3);
+}
+
+TEST(PrependWildcardsTest, BuildsChain) {
+  LabelPool pool;
+  Tpq p = MustParseTpq("a/b", &pool);
+  Tpq lifted = PrependWildcards(p, 3);
+  EXPECT_EQ(lifted.size(), 5);
+  EXPECT_TRUE(lifted.IsWildcard(0));
+  EXPECT_EQ(lifted.ToString(pool), "*/*/*/a/b");
+}
+
+TEST(CanonicalTest, MinimalTreeReplacesFeatures) {
+  LabelPool pool;
+  Tpq p = MustParseTpq("a//b/*", &pool);
+  LabelId bottom = pool.Intern("_bot");
+  Tree t = MinimalCanonicalTree(p, bottom);
+  EXPECT_EQ(t.ToString(pool), "a(b(_bot))");
+}
+
+TEST(CanonicalTest, ChainLengths) {
+  LabelPool pool;
+  Tpq p = MustParseTpq("a//b//c", &pool);
+  LabelId bottom = pool.Intern("_bot");
+  Tree t = CanonicalTree(p, {2, 1}, bottom);
+  EXPECT_EQ(t.ToString(pool), "a(_bot(_bot(b(_bot(c)))))");
+}
+
+TEST(CanonicalTest, LongestWildcardChain) {
+  LabelPool pool;
+  EXPECT_EQ(LongestWildcardChain(MustParseTpq("a/b", &pool)), 0);
+  EXPECT_EQ(LongestWildcardChain(MustParseTpq("a/*/b", &pool)), 1);
+  EXPECT_EQ(LongestWildcardChain(MustParseTpq("*/*/*", &pool)), 3);
+  EXPECT_EQ(LongestWildcardChain(MustParseTpq("*//*/*", &pool)), 2);
+  EXPECT_EQ(LongestWildcardChain(MustParseTpq("a[*/*][*]/b", &pool)), 2);
+}
+
+TEST(CanonicalTest, EnumeratorCountsVectors) {
+  CanonicalLengthEnumerator e(2, 2);
+  int count = 0;
+  do {
+    ++count;
+  } while (e.Next());
+  EXPECT_EQ(count, 9);  // 3^2
+  EXPECT_DOUBLE_EQ(e.TotalCount(), 9.0);
+}
+
+TEST(TpqTest, SubqueryExtraction) {
+  LabelPool pool;
+  Tpq q = MustParseTpq("a[b//c]/d", &pool);
+  std::vector<NodeId> kids = q.Children(0);
+  Tpq sub = q.Subquery(kids[0]);
+  EXPECT_EQ(sub.ToString(pool), "b//c");
+}
+
+}  // namespace
+}  // namespace tpc

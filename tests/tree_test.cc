@@ -1,0 +1,136 @@
+#include "tree/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "base/label.h"
+#include "tree/tree_parser.h"
+
+namespace tpc {
+namespace {
+
+TEST(LabelPoolTest, WildcardIsPreInterned) {
+  LabelPool pool;
+  EXPECT_EQ(pool.Find("*"), kWildcard);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(LabelPoolTest, InternIsIdempotent) {
+  LabelPool pool;
+  LabelId a = pool.Intern("a");
+  EXPECT_EQ(pool.Intern("a"), a);
+  EXPECT_EQ(pool.Name(a), "a");
+  EXPECT_NE(a, kWildcard);
+}
+
+TEST(LabelPoolTest, FindMissingReturnsNoLabel) {
+  LabelPool pool;
+  EXPECT_EQ(pool.Find("zzz"), kNoLabel);
+}
+
+TEST(LabelPoolTest, FreshAvoidsCollisions) {
+  LabelPool pool;
+  pool.Intern("r");
+  LabelId fresh = pool.Fresh("r");
+  EXPECT_NE(fresh, pool.Find("r"));
+  LabelId fresh2 = pool.Fresh("r");
+  EXPECT_NE(fresh2, fresh);
+  EXPECT_NE(fresh2, pool.Find("r"));
+  // Unused prefixes are returned verbatim.
+  LabelId untouched = pool.Fresh("s");
+  EXPECT_EQ(pool.Name(untouched), "s");
+}
+
+TEST(TreeTest, SingleNode) {
+  LabelPool pool;
+  Tree t(pool.Intern("a"));
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_TRUE(t.IsLeaf(0));
+  EXPECT_EQ(t.depth(), 0);
+}
+
+TEST(TreeTest, ChildrenOrderAndDepth) {
+  LabelPool pool;
+  Tree t(pool.Intern("a"));
+  NodeId b = t.AddChild(0, pool.Intern("b"));
+  NodeId c = t.AddChild(0, pool.Intern("c"));
+  NodeId d = t.AddChild(b, pool.Intern("d"));
+  EXPECT_EQ(t.Children(0), (std::vector<NodeId>{b, c}));
+  EXPECT_EQ(t.Depth(d), 2);
+  EXPECT_EQ(t.depth(), 2);
+  EXPECT_TRUE(t.IsProperAncestor(0, d));
+  EXPECT_TRUE(t.IsProperAncestor(b, d));
+  EXPECT_FALSE(t.IsProperAncestor(c, d));
+  EXPECT_FALSE(t.IsProperAncestor(d, d));
+}
+
+TEST(TreeParserTest, ParsesTermSyntax) {
+  LabelPool pool;
+  Tree t = MustParseTree("a(b,c(d,e))", &pool);
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.ToString(pool), "a(b,c(d,e))");
+}
+
+TEST(TreeParserTest, WhitespaceInsignificant) {
+  LabelPool pool;
+  Tree t = MustParseTree("  a ( b , c )  ", &pool);
+  EXPECT_EQ(t.ToString(pool), "a(b,c)");
+}
+
+TEST(TreeParserTest, RejectsWildcard) {
+  LabelPool pool;
+  EXPECT_FALSE(ParseTree("*", &pool).ok());
+  EXPECT_FALSE(ParseTree("a(*)", &pool).ok());
+}
+
+TEST(TreeParserTest, RejectsMalformed) {
+  LabelPool pool;
+  EXPECT_FALSE(ParseTree("a(b", &pool).ok());
+  EXPECT_FALSE(ParseTree("a)b", &pool).ok());
+  EXPECT_FALSE(ParseTree("", &pool).ok());
+  EXPECT_FALSE(ParseTree("a(b,)", &pool).ok());
+}
+
+TEST(TreeTest, GraftCopiesSubtree) {
+  LabelPool pool;
+  Tree t = MustParseTree("a(b(c),d)", &pool);
+  Tree host = MustParseTree("r", &pool);
+  host.Graft(0, t, 1);  // graft subtree at "b"
+  EXPECT_EQ(host.ToString(pool), "r(b(c))");
+}
+
+TEST(TreeTest, SubtreeExtraction) {
+  LabelPool pool;
+  Tree t = MustParseTree("a(b(c,d),e)", &pool);
+  Tree sub = t.Subtree(1);
+  EXPECT_EQ(sub.ToString(pool), "b(c,d)");
+}
+
+TEST(TreeTest, OrderedEquality) {
+  LabelPool pool;
+  Tree t1 = MustParseTree("a(b,c)", &pool);
+  Tree t2 = MustParseTree("a(b,c)", &pool);
+  Tree t3 = MustParseTree("a(c,b)", &pool);
+  EXPECT_TRUE(t1 == t2);
+  EXPECT_FALSE(t1 == t3);
+}
+
+TEST(TreeTest, UnorderedEquality) {
+  LabelPool pool;
+  Tree t1 = MustParseTree("a(b(x,y),c)", &pool);
+  Tree t2 = MustParseTree("a(c,b(y,x))", &pool);
+  Tree t3 = MustParseTree("a(c,b(y,y))", &pool);
+  EXPECT_TRUE(t1.EqualsUnordered(t2));
+  EXPECT_FALSE(t1.EqualsUnordered(t3));
+}
+
+TEST(TreeTest, DeepTreeDepth) {
+  LabelPool pool;
+  Tree t(pool.Intern("x"));
+  NodeId v = 0;
+  for (int i = 0; i < 100; ++i) v = t.AddChild(v, pool.Intern("x"));
+  EXPECT_EQ(t.depth(), 100);
+  EXPECT_EQ(t.Depth(v), 100);
+}
+
+}  // namespace
+}  // namespace tpc
