@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_gadgets.dir/bench_fig2_gadgets.cc.o"
+  "CMakeFiles/bench_fig2_gadgets.dir/bench_fig2_gadgets.cc.o.d"
+  "bench_fig2_gadgets"
+  "bench_fig2_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

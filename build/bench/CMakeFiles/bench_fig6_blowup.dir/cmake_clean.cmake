@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_blowup.dir/bench_fig6_blowup.cc.o"
+  "CMakeFiles/bench_fig6_blowup.dir/bench_fig6_blowup.cc.o.d"
+  "bench_fig6_blowup"
+  "bench_fig6_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

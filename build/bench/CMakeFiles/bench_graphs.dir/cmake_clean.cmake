@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graphs.dir/bench_graphs.cc.o"
+  "CMakeFiles/bench_graphs.dir/bench_graphs.cc.o.d"
+  "bench_graphs"
+  "bench_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_satisfiability.dir/bench_table2_satisfiability.cc.o"
+  "CMakeFiles/bench_table2_satisfiability.dir/bench_table2_satisfiability.cc.o.d"
+  "bench_table2_satisfiability"
+  "bench_table2_satisfiability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_satisfiability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_validity.dir/bench_table3_validity.cc.o"
+  "CMakeFiles/bench_table3_validity.dir/bench_table3_validity.cc.o.d"
+  "bench_table3_validity"
+  "bench_table3_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table45_schema_containment.dir/bench_table45_schema_containment.cc.o"
+  "CMakeFiles/bench_table45_schema_containment.dir/bench_table45_schema_containment.cc.o.d"
+  "bench_table45_schema_containment"
+  "bench_table45_schema_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table45_schema_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_social.dir/graph_social.cpp.o"
+  "CMakeFiles/graph_social.dir/graph_social.cpp.o.d"
+  "graph_social"
+  "graph_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/print_tables.dir/print_tables.cpp.o"
+  "CMakeFiles/print_tables.dir/print_tables.cpp.o.d"
+  "print_tables"
+  "print_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/print_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

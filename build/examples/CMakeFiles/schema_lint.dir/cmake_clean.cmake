@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_lint.dir/schema_lint.cpp.o"
+  "CMakeFiles/schema_lint.dir/schema_lint.cpp.o.d"
+  "schema_lint"
+  "schema_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

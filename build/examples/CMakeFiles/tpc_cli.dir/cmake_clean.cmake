@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpc_cli.dir/tpc_cli.cpp.o"
+  "CMakeFiles/tpc_cli.dir/tpc_cli.cpp.o.d"
+  "tpc_cli"
+  "tpc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

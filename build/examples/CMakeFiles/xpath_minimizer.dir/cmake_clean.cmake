@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_minimizer.dir/xpath_minimizer.cpp.o"
+  "CMakeFiles/xpath_minimizer.dir/xpath_minimizer.cpp.o.d"
+  "xpath_minimizer"
+  "xpath_minimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_minimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

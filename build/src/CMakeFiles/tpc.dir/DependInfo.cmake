@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/nta.cc" "src/CMakeFiles/tpc.dir/automata/nta.cc.o" "gcc" "src/CMakeFiles/tpc.dir/automata/nta.cc.o.d"
+  "/root/repo/src/automata/path_complement.cc" "src/CMakeFiles/tpc.dir/automata/path_complement.cc.o" "gcc" "src/CMakeFiles/tpc.dir/automata/path_complement.cc.o.d"
+  "/root/repo/src/automata/path_word.cc" "src/CMakeFiles/tpc.dir/automata/path_word.cc.o" "gcc" "src/CMakeFiles/tpc.dir/automata/path_word.cc.o.d"
+  "/root/repo/src/automata/tpq_det.cc" "src/CMakeFiles/tpc.dir/automata/tpq_det.cc.o" "gcc" "src/CMakeFiles/tpc.dir/automata/tpq_det.cc.o.d"
+  "/root/repo/src/base/label.cc" "src/CMakeFiles/tpc.dir/base/label.cc.o" "gcc" "src/CMakeFiles/tpc.dir/base/label.cc.o.d"
+  "/root/repo/src/contain/childfree_in_tpq.cc" "src/CMakeFiles/tpc.dir/contain/childfree_in_tpq.cc.o" "gcc" "src/CMakeFiles/tpc.dir/contain/childfree_in_tpq.cc.o.d"
+  "/root/repo/src/contain/containment.cc" "src/CMakeFiles/tpc.dir/contain/containment.cc.o" "gcc" "src/CMakeFiles/tpc.dir/contain/containment.cc.o.d"
+  "/root/repo/src/contain/homomorphism.cc" "src/CMakeFiles/tpc.dir/contain/homomorphism.cc.o" "gcc" "src/CMakeFiles/tpc.dir/contain/homomorphism.cc.o.d"
+  "/root/repo/src/contain/minimize.cc" "src/CMakeFiles/tpc.dir/contain/minimize.cc.o" "gcc" "src/CMakeFiles/tpc.dir/contain/minimize.cc.o.d"
+  "/root/repo/src/contain/obs23.cc" "src/CMakeFiles/tpc.dir/contain/obs23.cc.o" "gcc" "src/CMakeFiles/tpc.dir/contain/obs23.cc.o.d"
+  "/root/repo/src/contain/path_in_tpq.cc" "src/CMakeFiles/tpc.dir/contain/path_in_tpq.cc.o" "gcc" "src/CMakeFiles/tpc.dir/contain/path_in_tpq.cc.o.d"
+  "/root/repo/src/dtd/dtd.cc" "src/CMakeFiles/tpc.dir/dtd/dtd.cc.o" "gcc" "src/CMakeFiles/tpc.dir/dtd/dtd.cc.o.d"
+  "/root/repo/src/gen/random_instances.cc" "src/CMakeFiles/tpc.dir/gen/random_instances.cc.o" "gcc" "src/CMakeFiles/tpc.dir/gen/random_instances.cc.o.d"
+  "/root/repo/src/graphdb/graph.cc" "src/CMakeFiles/tpc.dir/graphdb/graph.cc.o" "gcc" "src/CMakeFiles/tpc.dir/graphdb/graph.cc.o.d"
+  "/root/repo/src/graphdb/graph_dtd.cc" "src/CMakeFiles/tpc.dir/graphdb/graph_dtd.cc.o" "gcc" "src/CMakeFiles/tpc.dir/graphdb/graph_dtd.cc.o.d"
+  "/root/repo/src/graphdb/graph_match.cc" "src/CMakeFiles/tpc.dir/graphdb/graph_match.cc.o" "gcc" "src/CMakeFiles/tpc.dir/graphdb/graph_match.cc.o.d"
+  "/root/repo/src/match/embedding.cc" "src/CMakeFiles/tpc.dir/match/embedding.cc.o" "gcc" "src/CMakeFiles/tpc.dir/match/embedding.cc.o.d"
+  "/root/repo/src/match/node_selection.cc" "src/CMakeFiles/tpc.dir/match/node_selection.cc.o" "gcc" "src/CMakeFiles/tpc.dir/match/node_selection.cc.o.d"
+  "/root/repo/src/pattern/canonical.cc" "src/CMakeFiles/tpc.dir/pattern/canonical.cc.o" "gcc" "src/CMakeFiles/tpc.dir/pattern/canonical.cc.o.d"
+  "/root/repo/src/pattern/normalize.cc" "src/CMakeFiles/tpc.dir/pattern/normalize.cc.o" "gcc" "src/CMakeFiles/tpc.dir/pattern/normalize.cc.o.d"
+  "/root/repo/src/pattern/tpq.cc" "src/CMakeFiles/tpc.dir/pattern/tpq.cc.o" "gcc" "src/CMakeFiles/tpc.dir/pattern/tpq.cc.o.d"
+  "/root/repo/src/pattern/tpq_parser.cc" "src/CMakeFiles/tpc.dir/pattern/tpq_parser.cc.o" "gcc" "src/CMakeFiles/tpc.dir/pattern/tpq_parser.cc.o.d"
+  "/root/repo/src/reductions/hardness_families.cc" "src/CMakeFiles/tpc.dir/reductions/hardness_families.cc.o" "gcc" "src/CMakeFiles/tpc.dir/reductions/hardness_families.cc.o.d"
+  "/root/repo/src/reductions/partition.cc" "src/CMakeFiles/tpc.dir/reductions/partition.cc.o" "gcc" "src/CMakeFiles/tpc.dir/reductions/partition.cc.o.d"
+  "/root/repo/src/regex/nfa.cc" "src/CMakeFiles/tpc.dir/regex/nfa.cc.o" "gcc" "src/CMakeFiles/tpc.dir/regex/nfa.cc.o.d"
+  "/root/repo/src/regex/regex.cc" "src/CMakeFiles/tpc.dir/regex/regex.cc.o" "gcc" "src/CMakeFiles/tpc.dir/regex/regex.cc.o.d"
+  "/root/repo/src/schema/nta_satisfiability.cc" "src/CMakeFiles/tpc.dir/schema/nta_satisfiability.cc.o" "gcc" "src/CMakeFiles/tpc.dir/schema/nta_satisfiability.cc.o.d"
+  "/root/repo/src/schema/schema_engine.cc" "src/CMakeFiles/tpc.dir/schema/schema_engine.cc.o" "gcc" "src/CMakeFiles/tpc.dir/schema/schema_engine.cc.o.d"
+  "/root/repo/src/tiling/reduction.cc" "src/CMakeFiles/tpc.dir/tiling/reduction.cc.o" "gcc" "src/CMakeFiles/tpc.dir/tiling/reduction.cc.o.d"
+  "/root/repo/src/tiling/tiling.cc" "src/CMakeFiles/tpc.dir/tiling/tiling.cc.o" "gcc" "src/CMakeFiles/tpc.dir/tiling/tiling.cc.o.d"
+  "/root/repo/src/tree/tree.cc" "src/CMakeFiles/tpc.dir/tree/tree.cc.o" "gcc" "src/CMakeFiles/tpc.dir/tree/tree.cc.o.d"
+  "/root/repo/src/tree/tree_parser.cc" "src/CMakeFiles/tpc.dir/tree/tree_parser.cc.o" "gcc" "src/CMakeFiles/tpc.dir/tree/tree_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

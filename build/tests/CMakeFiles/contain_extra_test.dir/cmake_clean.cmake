@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contain_extra_test.dir/contain_extra_test.cc.o"
+  "CMakeFiles/contain_extra_test.dir/contain_extra_test.cc.o.d"
+  "contain_extra_test"
+  "contain_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contain_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_limits_test.dir/engine_limits_test.cc.o"
+  "CMakeFiles/engine_limits_test.dir/engine_limits_test.cc.o.d"
+  "engine_limits_test"
+  "engine_limits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

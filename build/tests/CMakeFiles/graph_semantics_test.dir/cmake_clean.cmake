@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_semantics_test.dir/graph_semantics_test.cc.o"
+  "CMakeFiles/graph_semantics_test.dir/graph_semantics_test.cc.o.d"
+  "graph_semantics_test"
+  "graph_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_selection_test.dir/node_selection_test.cc.o"
+  "CMakeFiles/node_selection_test.dir/node_selection_test.cc.o.d"
+  "node_selection_test"
+  "node_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

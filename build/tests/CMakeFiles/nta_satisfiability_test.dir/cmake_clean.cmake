@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nta_satisfiability_test.dir/nta_satisfiability_test.cc.o"
+  "CMakeFiles/nta_satisfiability_test.dir/nta_satisfiability_test.cc.o.d"
+  "nta_satisfiability_test"
+  "nta_satisfiability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nta_satisfiability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

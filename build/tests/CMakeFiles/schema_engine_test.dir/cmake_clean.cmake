@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_engine_test.dir/schema_engine_test.cc.o"
+  "CMakeFiles/schema_engine_test.dir/schema_engine_test.cc.o.d"
+  "schema_engine_test"
+  "schema_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiling_game_test.dir/tiling_game_test.cc.o"
+  "CMakeFiles/tiling_game_test.dir/tiling_game_test.cc.o.d"
+  "tiling_game_test"
+  "tiling_game_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiling_game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
