@@ -14,6 +14,7 @@
 
 #include "base/label.h"
 #include "contain/containment.h"
+#include "engine/engine.h"
 #include "match/embedding.h"
 #include "pattern/canonical.h"
 #include "reductions/hardness_families.h"
@@ -26,22 +27,28 @@ void BM_GadgetPropertyCheck(benchmark::State& state) {
   LabelPool pool;
   Figure2Gadgets g = BuildFigure2Gadgets(&pool);
   LabelId bottom = pool.Fresh("_bot");
+  EngineContext ctx;
+  EngineStats* stats = &ctx.stats();
   int64_t checked = 0;
   for (auto _ : state) {
     bool all_ok = true;
     for (int32_t len = 0; len <= chain_bound; ++len) {
       Tree t = CanonicalTree(g.y, {len}, bottom);
-      all_ok &= MatchesStrong(g.t, t) || MatchesStrong(g.f, t);
+      all_ok &= MatchesStrong(g.t, t, stats) || MatchesStrong(g.f, t, stats);
       ++checked;
     }
-    all_ok &= MatchesStrong(g.t, g.t_true) && !MatchesStrong(g.f, g.t_true);
-    all_ok &= MatchesStrong(g.f, g.t_false) && !MatchesStrong(g.t, g.t_false);
+    all_ok &= MatchesStrong(g.t, g.t_true, stats) &&
+              !MatchesStrong(g.f, g.t_true, stats);
+    all_ok &= MatchesStrong(g.f, g.t_false, stats) &&
+              !MatchesStrong(g.t, g.t_false, stats);
     if (!all_ok) {
       state.SkipWithError("gadget property violated");
       return;
     }
   }
   state.counters["models_checked"] = static_cast<double>(checked);
+  state.counters["embeddings"] = static_cast<double>(
+      stats->embeddings_attempted.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_GadgetPropertyCheck)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
@@ -61,9 +68,10 @@ void BM_GadgetBatteryContainment(benchmark::State& state) {
   right_t.Graft(0, EdgeKind::kChild, g.t);
   Tpq right_f(r);
   right_f.Graft(0, EdgeKind::kChild, g.f);
+  EngineContext ctx;
   for (auto _ : state) {
-    ContainmentResult a = Contains(left, right_t, Mode::kStrong, &pool);
-    ContainmentResult b = Contains(left, right_f, Mode::kStrong, &pool);
+    ContainmentResult a = Contains(left, right_t, Mode::kStrong, &pool, &ctx);
+    ContainmentResult b = Contains(left, right_f, Mode::kStrong, &pool, &ctx);
     benchmark::DoNotOptimize(a.contained);
     benchmark::DoNotOptimize(b.contained);
     if (a.contained || b.contained) {
@@ -72,6 +80,8 @@ void BM_GadgetBatteryContainment(benchmark::State& state) {
     }
   }
   state.counters["gadgets"] = n;
+  state.counters["models_swept"] = static_cast<double>(
+      ctx.stats().canonical_trees_enumerated.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_GadgetBatteryContainment)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 

@@ -19,6 +19,7 @@
 #include "automata/path_word.h"
 #include "automata/tpq_det.h"
 #include "base/label.h"
+#include "engine/engine.h"
 #include "pattern/tpq_parser.h"
 
 namespace tpc {
@@ -71,6 +72,7 @@ void BM_TpqDetMaterialization(benchmark::State& state) {
   LabelId b = pool.Intern("b");
   Tpq q = Figure6Pattern(n, /*wildcards=*/true, &pool);
   int32_t materialized = 0;
+  EngineContext ctx;
   for (auto _ : state) {
     TpqDetAutomaton det(q);
     // Enumerate all label sequences of length n+3 and run them bottom-up.
@@ -83,9 +85,13 @@ void BM_TpqDetMaterialization(benchmark::State& state) {
       benchmark::DoNotOptimize(s);
     }
     materialized = det.num_materialized();
+    ctx.stats().det_states_materialized.fetch_add(
+        materialized, std::memory_order_relaxed);
   }
   state.counters["n"] = n;
   state.counters["det_states"] = materialized;
+  state.counters["det_states_total"] = static_cast<double>(
+      ctx.stats().det_states_materialized.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_TpqDetMaterialization)->DenseRange(1, 10);
 

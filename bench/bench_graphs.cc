@@ -15,6 +15,7 @@
 
 #include "base/label.h"
 #include "dtd/dtd.h"
+#include "engine/engine.h"
 #include "gen/random_instances.h"
 #include "graphdb/graph.h"
 #include "graphdb/graph_dtd.h"
@@ -54,11 +55,15 @@ void BM_GraphMatching(benchmark::State& state) {
   std::vector<Tpq> qs;
   for (int i = 0; i < 16; ++i) qs.push_back(RandomTpq(qopts, &rng));
   size_t i = 0;
+  EngineContext ctx;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(MatchesWeakGraph(qs[i % qs.size()], g));
+    GraphMatchResult r = MatchesWeakGraph(qs[i % qs.size()], g, &ctx);
+    benchmark::DoNotOptimize(r.matched);
     ++i;
   }
   state.counters["graph_nodes"] = nodes;
+  state.counters["graph_dp_cells"] = static_cast<double>(
+      ctx.stats().graph_dp_cells.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_GraphMatching)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
@@ -72,9 +77,10 @@ void BM_GraphVsUnfolding(benchmark::State& state) {
   Graph g = MakeRandomGraph(labels, nodes, 1.5 / nodes, &rng);
   Tpq q = MustParseTpq("l0//l1//l2", &pool);
   Tree unfolding = g.Unfold(g.root(), 3 * q.size());
+  EngineContext ctx;
   for (auto _ : state) {
-    bool on_graph = MatchesStrongGraph(q, g);
-    bool on_tree = MatchesStrong(q, unfolding);
+    bool on_graph = MatchesStrongGraph(q, g, &ctx).matched;
+    bool on_tree = MatchesStrong(q, unfolding, &ctx.stats());
     benchmark::DoNotOptimize(on_graph);
     benchmark::DoNotOptimize(on_tree);
     if (on_graph != on_tree) {
@@ -96,10 +102,14 @@ void BM_NodesOnlyDtdValidation(benchmark::State& state) {
   std::vector<LabelId> labels = {pool.Find("p"), pool.Find("m")};
   Graph g = MakeRandomGraph(labels, nodes, 3.0 / nodes, &rng);
   // Patch types so every node's rule exists; root must be p.
+  EngineContext ctx;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(GraphSatisfiesDtdNodesOnly(g, d));
+    GraphMatchResult r = GraphSatisfiesDtdNodesOnly(g, d, &ctx);
+    benchmark::DoNotOptimize(r.matched);
   }
   state.counters["graph_nodes"] = nodes;
+  state.counters["horizontal_nodes"] = static_cast<double>(
+      ctx.stats().horizontal_nodes.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_NodesOnlyDtdValidation)->Arg(16)->Arg(64)->Arg(256);
 
@@ -119,11 +129,14 @@ void BM_UnorderedMembershipHardCore(benchmark::State& state) {
   }
   Nfa nfa = Nfa::FromRegex(Regex::Concat(std::move(parts)));
   std::vector<Symbol> word(letters.begin(), letters.end());
+  EngineContext ctx;
   for (auto _ : state) {
-    bool ok = UnorderedAccepts(nfa, word);
+    bool ok = UnorderedAccepts(nfa, word, &ctx);
     benchmark::DoNotOptimize(ok);
   }
   state.counters["k"] = k;
+  state.counters["search_nodes"] = static_cast<double>(
+      ctx.stats().horizontal_nodes.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_UnorderedMembershipHardCore)
     ->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);

@@ -25,6 +25,7 @@
 
 #include "base/label.h"
 #include "contain/containment.h"
+#include "engine/engine.h"
 #include "gen/random_instances.h"
 #include "reductions/hardness_families.h"
 
@@ -75,15 +76,20 @@ void RunCell(benchmark::State& state, Fragment fp, Fragment fq,
   size_t n = w.ps.size();
   size_t i = 0;
   int64_t decided = 0;
+  EngineContext ctx;
   for (auto _ : state) {
     ContainmentResult r =
-        Contains(w.ps[i % n], w.qs[i % n], Mode::kWeak, &w.pool);
+        Contains(w.ps[i % n], w.qs[i % n], Mode::kWeak, &w.pool, &ctx);
     benchmark::DoNotOptimize(r.contained);
     ++i;
     ++decided;
   }
   state.counters["pattern_nodes"] = size;
   state.counters["decisions"] = static_cast<double>(decided);
+  state.counters["embeddings"] = static_cast<double>(
+      ctx.stats().embeddings_attempted.load(std::memory_order_relaxed));
+  state.counters["dp_cells"] = static_cast<double>(
+      ctx.stats().dp_cells_filled.load(std::memory_order_relaxed));
 }
 
 void BM_P_Homomorphism(benchmark::State& state) {
@@ -124,10 +130,11 @@ void BM_CoNP_CanonicalEnumeration(benchmark::State& state) {
   ConpFamilyInstance inst = BuildConpFamily(n, &pool);
   ContainmentOptions aggressive;
   aggressive.bound = ContainmentOptions::Bound::kAggressive;
+  EngineContext ctx;
   int64_t done = 0;
   for (auto _ : state) {
     ContainmentResult r =
-        Contains(inst.p, inst.q_yes, Mode::kWeak, &pool, aggressive);
+        Contains(inst.p, inst.q_yes, Mode::kWeak, &pool, &ctx, aggressive);
     benchmark::DoNotOptimize(r.contained);
     if (!r.contained) {
       state.SkipWithError("family instance must be contained");
@@ -140,11 +147,45 @@ void BM_CoNP_CanonicalEnumeration(benchmark::State& state) {
   // and the sweep visits 5^n canonical models.
   state.counters["models_per_decision"] =
       std::pow(5.0, static_cast<double>(n));
+  state.counters["models_swept"] = static_cast<double>(
+      ctx.stats().canonical_trees_enumerated.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_CoNP_CanonicalEnumeration)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
     ->Arg(6)->Arg(7);
 BENCHMARK(BM_CoNP_CanonicalEnumeration)->Arg(8)->Arg(9)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+
+/// The coNP cell again, swept with the chunked-parallel canonical
+/// enumeration.  Args are (branches, threads); thread count 1 is the
+/// sequential baseline, so the per-n speedup reads directly off the report.
+/// The verdict must be identical at every thread count.
+void BM_CoNP_ParallelSweep(benchmark::State& state) {
+  int32_t n = static_cast<int32_t>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  LabelPool pool;
+  ConpFamilyInstance inst = BuildConpFamily(n, &pool);
+  ContainmentOptions aggressive;
+  aggressive.bound = ContainmentOptions::Bound::kAggressive;
+  EngineConfig config;
+  config.threads = threads;
+  EngineContext ctx(config);
+  for (auto _ : state) {
+    ContainmentResult r =
+        Contains(inst.p, inst.q_yes, Mode::kWeak, &pool, &ctx, aggressive);
+    benchmark::DoNotOptimize(r.contained);
+    if (!r.contained || r.outcome != Outcome::kDecided) {
+      state.SkipWithError("family instance must be contained");
+      return;
+    }
+  }
+  state.counters["branches"] = n;
+  state.counters["threads"] = threads;
+  state.counters["models_swept"] = static_cast<double>(
+      ctx.stats().canonical_trees_enumerated.load(std::memory_order_relaxed));
+}
+BENCHMARK(BM_CoNP_ParallelSweep)
+    ->ArgsProduct({{6, 7, 8}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 /// Same cell, non-contained side: the witness is found without a full sweep.
 void BM_CoNP_CounterexampleSearch(benchmark::State& state) {

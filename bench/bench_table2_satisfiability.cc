@@ -19,6 +19,7 @@
 
 #include "base/label.h"
 #include "dtd/dtd.h"
+#include "engine/engine.h"
 #include "gen/random_instances.h"
 #include "reductions/hardness_families.h"
 #include "reductions/partition.h"
@@ -45,13 +46,16 @@ void BM_P_PathSatisfiability(benchmark::State& state) {
   std::vector<Tpq> ps;
   for (int i = 0; i < 16; ++i) ps.push_back(RandomTpq(popts, &rng));
   size_t i = 0;
+  EngineContext ctx;
   for (auto _ : state) {
     SchemaDecision r =
-        SatisfiablePathWithDtd(ps[i % ps.size()], Mode::kWeak, dtd);
+        SatisfiablePathWithDtd(ps[i % ps.size()], Mode::kWeak, dtd, &ctx);
     benchmark::DoNotOptimize(r.yes);
     ++i;
   }
   state.counters["pattern_nodes"] = size;
+  state.counters["nta_states"] = static_cast<double>(
+      ctx.stats().nta_states_built.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_P_PathSatisfiability)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
@@ -72,14 +76,18 @@ void BM_P_PathSatisfiabilityEngine(benchmark::State& state) {
   for (int i = 0; i < 16; ++i) ps.push_back(RandomTpq(popts, &rng));
   size_t i = 0;
   int64_t configs = 0;
+  EngineContext ctx;
   for (auto _ : state) {
-    SchemaDecision r = SatisfiableWithDtd(ps[i % ps.size()], Mode::kWeak, dtd);
+    SchemaDecision r =
+        SatisfiableWithDtd(ps[i % ps.size()], Mode::kWeak, dtd, &ctx);
     benchmark::DoNotOptimize(r.yes);
     configs = r.configurations;
     ++i;
   }
   state.counters["pattern_nodes"] = size;
   state.counters["engine_configs"] = static_cast<double>(configs);
+  state.counters["horizontal_nodes"] = static_cast<double>(
+      ctx.stats().horizontal_nodes.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_P_PathSatisfiabilityEngine)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
@@ -97,12 +105,16 @@ void BM_P_ChildFreeFixedDtd(benchmark::State& state) {
   std::vector<Tpq> ps;
   for (int i = 0; i < 16; ++i) ps.push_back(RandomTpq(popts, &rng));
   size_t i = 0;
+  EngineContext ctx;
   for (auto _ : state) {
-    SchemaDecision r = SatisfiableWithDtd(ps[i % ps.size()], Mode::kWeak, dtd);
+    SchemaDecision r =
+        SatisfiableWithDtd(ps[i % ps.size()], Mode::kWeak, dtd, &ctx);
     benchmark::DoNotOptimize(r.yes);
     ++i;
   }
   state.counters["pattern_nodes"] = size;
+  state.counters["det_states"] = static_cast<double>(
+      ctx.stats().det_states_materialized.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_P_ChildFreeFixedDtd)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
@@ -124,8 +136,9 @@ void BM_NP_WoodInstances(benchmark::State& state) {
   }
   Regex e = Regex::Star(Regex::Union(std::move(pairs)));
   WoodInstance w = BuildWoodInstance(e, sigma, root, &pool);
+  EngineContext ctx;
   for (auto _ : state) {
-    SchemaDecision r = SatisfiableWithDtd(w.p, Mode::kWeak, w.dtd);
+    SchemaDecision r = SatisfiableWithDtd(w.p, Mode::kWeak, w.dtd, &ctx);
     benchmark::DoNotOptimize(r.yes);
     if (!r.yes) {
       state.SkipWithError("cyclic pair regex always covers all letters");
@@ -133,6 +146,8 @@ void BM_NP_WoodInstances(benchmark::State& state) {
     }
   }
   state.counters["letters"] = k;
+  state.counters["horizontal_nodes"] = static_cast<double>(
+      ctx.stats().horizontal_nodes.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_NP_WoodInstances)->Arg(3)->Arg(5)->Arg(7)->Arg(9)->Arg(11);
 
@@ -150,8 +165,9 @@ void BM_NP_PartitionFixedDtd(benchmark::State& state) {
   LabelPool pool;
   PartitionSatInstance sat = BuildPartitionReduction(inst, &pool);
   int64_t configs = 0;
+  EngineContext ctx;
   for (auto _ : state) {
-    SchemaDecision r = SatisfiableWithDtd(sat.p, Mode::kStrong, sat.dtd);
+    SchemaDecision r = SatisfiableWithDtd(sat.p, Mode::kStrong, sat.dtd, &ctx);
     benchmark::DoNotOptimize(r.yes);
     if (!r.yes) {
       state.SkipWithError("balanced instance must be satisfiable");
@@ -175,8 +191,9 @@ void BM_NP_PartitionUnsolvable(benchmark::State& state) {
   LabelPool pool;
   PartitionSatInstance sat = BuildPartitionReduction(inst, &pool);
   int64_t configs = 0;
+  EngineContext ctx;
   for (auto _ : state) {
-    SchemaDecision r = SatisfiableWithDtd(sat.p, Mode::kStrong, sat.dtd);
+    SchemaDecision r = SatisfiableWithDtd(sat.p, Mode::kStrong, sat.dtd, &ctx);
     benchmark::DoNotOptimize(r.yes);
     configs = r.configurations;
   }

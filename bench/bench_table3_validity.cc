@@ -18,6 +18,7 @@
 
 #include "base/label.h"
 #include "dtd/dtd.h"
+#include "engine/engine.h"
 #include "gen/random_instances.h"
 #include "pattern/tpq_parser.h"
 #include "schema/schema_engine.h"
@@ -42,14 +43,17 @@ void BM_P_ValidityPqChildDesc(benchmark::State& state) {
   for (int i = 0; i < 16; ++i) qs.push_back(RandomTpq(qopts, &rng));
   size_t i = 0;
   int64_t configs = 0;
+  EngineContext ctx;
   for (auto _ : state) {
-    SchemaDecision r = ValidWithDtd(qs[i % qs.size()], Mode::kWeak, dtd);
+    SchemaDecision r = ValidWithDtd(qs[i % qs.size()], Mode::kWeak, dtd, &ctx);
     benchmark::DoNotOptimize(r.yes);
     configs = r.configurations;
     ++i;
   }
   state.counters["pattern_nodes"] = size;
   state.counters["engine_configs"] = static_cast<double>(configs);
+  state.counters["horizontal_nodes"] = static_cast<double>(
+      ctx.stats().horizontal_nodes.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_P_ValidityPqChildDesc)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
@@ -69,12 +73,16 @@ void BM_P_StrongValidityTpqChildDesc(benchmark::State& state) {
   std::vector<Tpq> qs;
   for (int i = 0; i < 16; ++i) qs.push_back(RandomTpq(qopts, &rng));
   size_t i = 0;
+  EngineContext ctx;
   for (auto _ : state) {
-    SchemaDecision r = ValidWithDtd(qs[i % qs.size()], Mode::kStrong, dtd);
+    SchemaDecision r =
+        ValidWithDtd(qs[i % qs.size()], Mode::kStrong, dtd, &ctx);
     benchmark::DoNotOptimize(r.yes);
     ++i;
   }
   state.counters["pattern_nodes"] = size;
+  state.counters["det_states"] = static_cast<double>(
+      ctx.stats().det_states_materialized.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_P_StrongValidityTpqChildDesc)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
@@ -118,8 +126,9 @@ void BM_EXPTIME_WeakValidityWildcards(benchmark::State& state) {
   int64_t configs = 0;
   bool decided = true;
   bool valid = false;
+  EngineContext ctx;
   for (auto _ : state) {
-    SchemaDecision r = ValidWithDtd(q, Mode::kWeak, dtd, limits);
+    SchemaDecision r = ValidWithDtd(q, Mode::kWeak, dtd, &ctx, limits);
     benchmark::DoNotOptimize(r.yes);
     configs = r.configurations;
     decided = r.decided;
@@ -146,8 +155,9 @@ void BM_Control_WeakValidityNoWildcards(benchmark::State& state) {
   src += "/b";
   Tpq q = MustParseTpq(src, &pool);
   int64_t configs = 0;
+  EngineContext ctx;
   for (auto _ : state) {
-    SchemaDecision r = ValidWithDtd(q, Mode::kWeak, dtd);
+    SchemaDecision r = ValidWithDtd(q, Mode::kWeak, dtd, &ctx);
     benchmark::DoNotOptimize(r.yes);
     configs = r.configurations;
     if (!r.yes) {

@@ -22,6 +22,7 @@
 #include "automata/path_complement.h"
 #include "base/label.h"
 #include "dtd/dtd.h"
+#include "engine/engine.h"
 #include "gen/random_instances.h"
 #include "pattern/tpq_parser.h"
 #include "reductions/partition.h"
@@ -57,15 +58,18 @@ void BM_P_PathInPathNoWildcard(benchmark::State& state) {
   }
   size_t i = 0;
   int64_t configs = 0;
+  EngineContext ctx;
   for (auto _ : state) {
     SchemaDecision r = ContainedWithDtd(ps[i % ps.size()], qs[i % qs.size()],
-                                        Mode::kWeak, dtd);
+                                        Mode::kWeak, dtd, &ctx);
     benchmark::DoNotOptimize(r.yes);
     configs = r.configurations;
     ++i;
   }
   state.counters["pattern_nodes"] = size;
   state.counters["engine_configs"] = static_cast<double>(configs);
+  state.counters["horizontal_nodes"] = static_cast<double>(
+      ctx.stats().horizontal_nodes.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_P_PathInPathNoWildcard)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
@@ -127,13 +131,16 @@ void BM_P_PathInTpqNoWildcardStrong(benchmark::State& state) {
     qs.push_back(RandomTpq(qopts, &rng));
   }
   size_t i = 0;
+  EngineContext ctx;
   for (auto _ : state) {
     SchemaDecision r = ContainedWithDtd(ps[i % ps.size()], qs[i % qs.size()],
-                                        Mode::kStrong, dtd);
+                                        Mode::kStrong, dtd, &ctx);
     benchmark::DoNotOptimize(r.yes);
     ++i;
   }
   state.counters["pattern_nodes"] = size;
+  state.counters["det_states"] = static_cast<double>(
+      ctx.stats().det_states_materialized.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_P_PathInTpqNoWildcardStrong)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
@@ -152,8 +159,10 @@ void BM_CoNP_BranchingLeftFixedDtd(benchmark::State& state) {
   // Right pattern that nothing satisfying the DTD matches strongly.
   Tpq q = MustParseTpq("zzz", &pool);
   int64_t configs = 0;
+  EngineContext ctx;
   for (auto _ : state) {
-    SchemaDecision r = ContainedWithDtd(sat.p, q, Mode::kStrong, sat.dtd);
+    SchemaDecision r =
+        ContainedWithDtd(sat.p, q, Mode::kStrong, sat.dtd, &ctx);
     benchmark::DoNotOptimize(r.yes);
     configs = r.configurations;
     if (!r.yes) {
@@ -190,9 +199,10 @@ void RunTilingInstance(benchmark::State& state, int32_t row_len,
   int64_t configs = 0;
   bool decided = true;
   bool yes = true;
+  EngineContext ctx;
   for (auto _ : state) {
     SchemaDecision r =
-        ContainedWithDtd(inst.p, inst.q, Mode::kWeak, inst.dtd, limits);
+        ContainedWithDtd(inst.p, inst.q, Mode::kWeak, inst.dtd, &ctx, limits);
     benchmark::DoNotOptimize(r.yes);
     configs = r.configurations;
     decided = r.decided;
@@ -201,6 +211,8 @@ void RunTilingInstance(benchmark::State& state, int32_t row_len,
   state.counters["row_len_n"] = row_len;
   state.counters["q_nodes"] = inst.q.size();
   state.counters["engine_configs"] = static_cast<double>(configs);
+  state.counters["horizontal_nodes"] = static_cast<double>(
+      ctx.stats().horizontal_nodes.load(std::memory_order_relaxed));
   state.counters["decided"] = decided ? 1 : 0;
   if (decided) {
     // Cross-check against the tiling solver (ground truth).

@@ -1,12 +1,18 @@
 // Command-line front end to the library's decision procedures.
 //
 // Usage:
-//   tpc_cli contain  <p> <q> [weak|strong]
-//   tpc_cli contain  <p> <q> <dtd> [weak|strong]
-//   tpc_cli sat      <p> <dtd> [weak|strong]
-//   tpc_cli valid    <q> <dtd> [weak|strong]
-//   tpc_cli minimize <q>
-//   tpc_cli match    <q> <tree> [weak|strong]
+//   tpc_cli [flags] contain  <p> <q> [weak|strong]
+//   tpc_cli [flags] contain  <p> <q> <dtd> [weak|strong]
+//   tpc_cli [flags] sat      <p> <dtd> [weak|strong]
+//   tpc_cli [flags] valid    <q> <dtd> [weak|strong]
+//   tpc_cli [flags] minimize <q>
+//   tpc_cli [flags] match    <q> <tree> [weak|strong]
+//
+// Flags (anywhere on the command line):
+//   --stats          print the engine's instrumentation counters as JSON
+//   --timeout <ms>   wall-clock budget; exceeding it exits 3 (UNDECIDED)
+//   --steps <n>      step budget; exceeding it exits 3 (UNDECIDED)
+//   --threads <n>    worker threads for the canonical-model sweep
 //
 // Patterns use XPath-like syntax (a/b//*[c]); trees use term syntax
 // (a(b,c(d))); DTDs use clause syntax ("root: a; a -> b c*; b -> eps;").
@@ -15,16 +21,20 @@
 //   tpc_cli contain 'a/b' 'a//b'
 //   tpc_cli contain 'a//c' 'a/b' 'root: a; a -> b c?; b -> eps; c -> eps;'
 //   tpc_cli sat 'a[b][c]' 'root: a; a -> b | c;'
+//   tpc_cli --stats --threads 4 contain 'a//b//c//d' 'a//b//c//d'
 //   tpc_cli minimize 'a[b][b/c]'
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "base/label.h"
 #include "contain/containment.h"
 #include "contain/minimize.h"
 #include "dtd/dtd.h"
+#include "engine/engine.h"
 #include "match/embedding.h"
 #include "pattern/tpq_parser.h"
 #include "schema/schema_engine.h"
@@ -34,14 +44,23 @@ using namespace tpc;
 
 namespace {
 
+/// Exit status for a run that hit its resource budget before the answer was
+/// certain (distinct from yes=0 / no=1 / usage-or-parse-error=2).
+constexpr int kExitUndecided = 3;
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  tpc_cli contain  <p> <q> [<dtd>] [weak|strong]\n"
-               "  tpc_cli sat      <p> <dtd> [weak|strong]\n"
-               "  tpc_cli valid    <q> <dtd> [weak|strong]\n"
-               "  tpc_cli minimize <q>\n"
-               "  tpc_cli match    <q> <tree> [weak|strong]\n");
+               "  tpc_cli [flags] contain  <p> <q> [<dtd>] [weak|strong]\n"
+               "  tpc_cli [flags] sat      <p> <dtd> [weak|strong]\n"
+               "  tpc_cli [flags] valid    <q> <dtd> [weak|strong]\n"
+               "  tpc_cli [flags] minimize <q>\n"
+               "  tpc_cli [flags] match    <q> <tree> [weak|strong]\n"
+               "flags:\n"
+               "  --stats          print engine counters as JSON\n"
+               "  --timeout <ms>   wall-clock budget (exit 3 when exceeded)\n"
+               "  --steps <n>      step budget (exit 3 when exceeded)\n"
+               "  --threads <n>    worker threads for canonical sweeps\n");
   return 2;
 }
 
@@ -73,85 +92,136 @@ Dtd ParseDtdOrDie(const char* src, LabelPool* pool) {
   return std::move(r.value());
 }
 
+int64_t ParseCountOrDie(const char* flag, const char* arg) {
+  char* end = nullptr;
+  long long v = std::strtoll(arg, &end, 10);
+  if (end == arg || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "bad value for %s: '%s'\n", flag, arg);
+    std::exit(2);
+  }
+  return static_cast<int64_t>(v);
+}
+
+/// Prints the stats block (when requested) and translates an undecided
+/// outcome into the UNDECIDED exit status.
+int Finish(EngineContext* ctx, bool print_stats, bool undecided,
+           int decided_status) {
+  if (print_stats) std::printf("%s\n", ctx->StatsJson().c_str());
+  if (undecided) {
+    std::printf("UNDECIDED (resource budget exhausted)\n");
+    return kExitUndecided;
+  }
+  return decided_status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  EngineConfig config;
+  bool print_stats = false;
+  std::vector<char*> args;  // positional arguments, flags stripped
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      print_stats = true;
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      config.deadline_ms = ParseCountOrDie("--timeout", argv[++i]);
+    } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      config.step_limit = ParseCountOrDie("--steps", argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      config.threads =
+          static_cast<int>(ParseCountOrDie("--threads", argv[++i]));
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return Usage();
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) return Usage();
+  EngineContext ctx(config);
   LabelPool pool;
-  std::string command = argv[1];
+  std::string command = args[0];
 
   if (command == "contain") {
-    if (argc < 4) return Usage();
-    Tpq p = ParsePatternOrDie(argv[2], &pool);
-    Tpq q = ParsePatternOrDie(argv[3], &pool);
+    if (args.size() < 3) return Usage();
+    Tpq p = ParsePatternOrDie(args[1], &pool);
+    Tpq q = ParsePatternOrDie(args[2], &pool);
     Mode mode = Mode::kWeak;
     const char* dtd_src = nullptr;
-    for (int i = 4; i < argc; ++i) {
-      if (IsModeWord(argv[i])) {
-        mode = ParseMode(argv[i]);
+    for (size_t i = 3; i < args.size(); ++i) {
+      if (IsModeWord(args[i])) {
+        mode = ParseMode(args[i]);
       } else {
-        dtd_src = argv[i];
+        dtd_src = args[i];
       }
     }
     if (dtd_src == nullptr) {
-      ContainmentResult r = Contains(p, q, mode, &pool);
-      std::printf("%s\n", r.contained ? "contained" : "NOT contained");
-      if (r.counterexample.has_value()) {
-        std::printf("counterexample: %s\n",
-                    r.counterexample->ToString(pool).c_str());
+      ContainmentResult r = Contains(p, q, mode, &pool, &ctx);
+      if (r.outcome == Outcome::kDecided) {
+        std::printf("%s\n", r.contained ? "contained" : "NOT contained");
+        if (r.counterexample.has_value()) {
+          std::printf("counterexample: %s\n",
+                      r.counterexample->ToString(pool).c_str());
+        }
       }
-      return r.contained ? 0 : 1;
+      return Finish(&ctx, print_stats, r.outcome != Outcome::kDecided,
+                    r.contained ? 0 : 1);
     }
     Dtd d = ParseDtdOrDie(dtd_src, &pool);
-    SchemaDecision r = ContainedWithDtd(p, q, mode, d);
-    std::printf("%s (w.r.t. the DTD)\n",
-                r.yes ? "contained" : "NOT contained");
-    if (r.witness.has_value()) {
-      std::printf("counterexample: %s\n", r.witness->ToString(pool).c_str());
+    SchemaDecision r = ContainedWithDtd(p, q, mode, d, &ctx);
+    if (r.decided) {
+      std::printf("%s (w.r.t. the DTD)\n",
+                  r.yes ? "contained" : "NOT contained");
+      if (r.witness.has_value()) {
+        std::printf("counterexample: %s\n", r.witness->ToString(pool).c_str());
+      }
     }
-    return r.yes ? 0 : 1;
+    return Finish(&ctx, print_stats, !r.decided, r.yes ? 0 : 1);
   }
 
   if (command == "sat" || command == "valid") {
-    if (argc < 4) return Usage();
-    Tpq q = ParsePatternOrDie(argv[2], &pool);
-    Dtd d = ParseDtdOrDie(argv[3], &pool);
-    Mode mode = argc > 4 && IsModeWord(argv[4]) ? ParseMode(argv[4])
-                                                : Mode::kWeak;
-    SchemaDecision r = command == "sat" ? SatisfiableWithDtd(q, mode, d)
-                                        : ValidWithDtd(q, mode, d);
-    std::printf("%s\n", command == "sat"
-                            ? (r.yes ? "satisfiable" : "NOT satisfiable")
-                            : (r.yes ? "valid" : "NOT valid"));
-    if (r.witness.has_value()) {
-      std::printf("%s: %s\n", command == "sat" ? "witness" : "counterexample",
-                  r.witness->ToString(pool).c_str());
+    if (args.size() < 3) return Usage();
+    Tpq q = ParsePatternOrDie(args[1], &pool);
+    Dtd d = ParseDtdOrDie(args[2], &pool);
+    Mode mode = args.size() > 3 && IsModeWord(args[3]) ? ParseMode(args[3])
+                                                       : Mode::kWeak;
+    SchemaDecision r = command == "sat" ? SatisfiableWithDtd(q, mode, d, &ctx)
+                                        : ValidWithDtd(q, mode, d, &ctx);
+    if (r.decided) {
+      std::printf("%s\n", command == "sat"
+                              ? (r.yes ? "satisfiable" : "NOT satisfiable")
+                              : (r.yes ? "valid" : "NOT valid"));
+      if (r.witness.has_value()) {
+        std::printf("%s: %s\n",
+                    command == "sat" ? "witness" : "counterexample",
+                    r.witness->ToString(pool).c_str());
+      }
     }
-    return r.yes ? 0 : 1;
+    return Finish(&ctx, print_stats, !r.decided, r.yes ? 0 : 1);
   }
 
   if (command == "minimize") {
-    Tpq q = ParsePatternOrDie(argv[2], &pool);
+    Tpq q = ParsePatternOrDie(args[1], &pool);
     Tpq min = MinimizeTpq(q, Mode::kWeak, &pool);
     std::printf("%s\n", min.ToString(pool).c_str());
-    return 0;
+    return Finish(&ctx, print_stats, false, 0);
   }
 
   if (command == "match") {
-    if (argc < 4) return Usage();
-    Tpq q = ParsePatternOrDie(argv[2], &pool);
-    ParseResult<Tree> t = ParseTree(argv[3], &pool);
+    if (args.size() < 3) return Usage();
+    Tpq q = ParsePatternOrDie(args[1], &pool);
+    ParseResult<Tree> t = ParseTree(args[2], &pool);
     if (!t.ok()) {
-      std::fprintf(stderr, "bad tree '%s': %s\n", argv[3],
-                   t.error().c_str());
+      std::fprintf(stderr, "bad tree '%s': %s\n", args[2], t.error().c_str());
       return 2;
     }
-    Mode mode = argc > 4 && IsModeWord(argv[4]) ? ParseMode(argv[4])
-                                                : Mode::kWeak;
-    bool matches = mode == Mode::kStrong ? MatchesStrong(q, t.value())
-                                         : MatchesWeak(q, t.value());
+    Mode mode = args.size() > 3 && IsModeWord(args[3]) ? ParseMode(args[3])
+                                                       : Mode::kWeak;
+    bool matches = mode == Mode::kStrong
+                       ? MatchesStrong(q, t.value(), &ctx.stats())
+                       : MatchesWeak(q, t.value(), &ctx.stats());
     std::printf("%s\n", matches ? "match" : "no match");
-    return matches ? 0 : 1;
+    return Finish(&ctx, print_stats, false, matches ? 0 : 1);
   }
   return Usage();
 }

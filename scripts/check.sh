@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure + build the asan preset and run the test suite
+# under AddressSanitizer/UBSan.  Pass `tsan` as the first argument to run the
+# ThreadSanitizer preset instead (exercises the engine thread pool).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset="${1:-asan}"
+case "$preset" in
+  asan|tsan|release) ;;
+  *) echo "usage: $0 [asan|tsan|release]" >&2; exit 2 ;;
+esac
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset" -j "$(nproc)"

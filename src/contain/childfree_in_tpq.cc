@@ -63,7 +63,8 @@ IslandInfo AnalyzeIsland(const Tpq& q, NodeId x) {
 
 class ChildFreeSolver {
  public:
-  ChildFreeSolver(const Tpq& p, const Tpq& q) : p_(p), q_(q) {
+  ChildFreeSolver(const Tpq& p, const Tpq& q, EngineContext* ctx)
+      : p_(p), q_(q), ctx_(ctx) {
     p_depth_.resize(p.size());
     for (NodeId v = 1; v < p.size(); ++v) {
       p_depth_[v] = p_depth_[p.Parent(v)] + 1;
@@ -93,6 +94,10 @@ class ChildFreeSolver {
 
  private:
   bool Compute(NodeId u, int32_t k, NodeId x) {
+    // Budget discipline: bail out (false) once exhausted; the dispatcher
+    // reports Outcome::kResourceExhausted.
+    if (!ctx_->budget().Charge(1 + p_.size())) return false;
+    ctx_->stats().dp_cells_filled.fetch_add(1, std::memory_order_relaxed);
     IslandInfo island = AnalyzeIsland(q_, x);
     assert(island.singular);
     if (!island.has_letters) {
@@ -160,17 +165,19 @@ class ChildFreeSolver {
 
   const Tpq& p_;
   const Tpq& q_;
+  EngineContext* ctx_;
   std::vector<int32_t> p_depth_;
   std::map<std::tuple<NodeId, int32_t, NodeId>, bool> memo_;
 };
 
 }  // namespace
 
-bool ChildFreeInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool) {
+bool ChildFreeInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool,
+                             EngineContext* ctx) {
   (void)pool;
   assert(!FragmentOf(p).child_edges);
   Tpq qn = Normalize(q);
-  ChildFreeSolver solver(p, qn);
+  ChildFreeSolver solver(p, qn, ctx);
   if (!solver.QIsSingular()) return false;
   return solver.Solve(0, 0, 0);
 }

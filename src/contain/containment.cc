@@ -1,6 +1,9 @@
 #include "contain/containment.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <mutex>
 
 #include "contain/homomorphism.h"
 #include "match/embedding.h"
@@ -8,6 +11,11 @@
 #include "pattern/normalize.h"
 
 namespace tpc {
+
+// engine/stats.h mirrors the dispatcher enum by index; keep them in sync.
+static_assert(static_cast<int>(ContainmentAlgorithm::kCanonicalEnumeration) ==
+                  kNumDispatchAlgorithms - 1,
+              "kDispatchAlgorithmNames must mirror ContainmentAlgorithm");
 
 int32_t CanonicalBound(const Tpq& q, ContainmentOptions::Bound bound) {
   if (bound == ContainmentOptions::Bound::kAggressive) {
@@ -21,8 +29,9 @@ int32_t CanonicalBound(const Tpq& q, ContainmentOptions::Bound bound) {
 
 namespace {
 
-bool Matches(const Tpq& q, const Tree& t, Mode mode) {
-  return mode == Mode::kStrong ? MatchesStrong(q, t) : MatchesWeak(q, t);
+bool Matches(const Tpq& q, const Tree& t, Mode mode, EngineStats* stats) {
+  return mode == Mode::kStrong ? MatchesStrong(q, t, stats)
+                               : MatchesWeak(q, t, stats);
 }
 
 /// Returns a copy of `q` with the root label replaced.
@@ -32,22 +41,32 @@ Tpq WithRootLabel(const Tpq& q, LabelId label) {
   return out;
 }
 
-}  // namespace
+/// Per-canonical-tree budget cost: one step to build the tree plus the size
+/// of the embedding DP.
+int64_t TreeCost(const Tpq& q, const Tree& t) {
+  return 1 + static_cast<int64_t>(q.size()) * t.size();
+}
 
-ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
-                                       LabelPool* pool,
-                                       const ContainmentOptions& options) {
+/// Sequential sweep over the whole length-vector space, reusing one scratch
+/// tree across iterations.
+ContainmentResult SequentialSweep(const Tpq& p, const Tpq& q, Mode mode,
+                                  LabelId bottom, size_t num_edges,
+                                  int32_t bound, EngineContext* ctx) {
   ContainmentResult result;
   result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
-  LabelId bottom = pool->Fresh("_bot");
-  int32_t bound = CanonicalBound(q, options.bound);
-  size_t num_edges = DescendantEdges(p).size();
+  EngineStats& stats = ctx->stats();
+  Tree scratch;
   CanonicalLengthEnumerator lengths(num_edges, bound);
   do {
-    Tree t = CanonicalTree(p, lengths.lengths(), bottom);
-    if (!Matches(q, t, mode)) {
+    CanonicalTreeInto(p, lengths.lengths(), bottom, &scratch);
+    stats.canonical_trees_enumerated.fetch_add(1, std::memory_order_relaxed);
+    if (!ctx->budget().Charge(TreeCost(q, scratch))) {
+      result.outcome = Outcome::kResourceExhausted;
+      return result;
+    }
+    if (!Matches(q, scratch, mode, &stats)) {
       result.contained = false;
-      result.counterexample = std::move(t);
+      result.counterexample = std::move(scratch);
       return result;
     }
   } while (lengths.Next());
@@ -55,10 +74,72 @@ ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
   return result;
 }
 
-ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
-                           LabelPool* pool,
-                           const ContainmentOptions& options) {
+/// Chunked-parallel sweep: contiguous chunks of the (bound+1)^k enumeration
+/// order are claimed dynamically by the pool's workers; the first worker to
+/// find a counterexample (or exhaust the budget) stops the others.
+ContainmentResult ParallelSweep(const Tpq& p, const Tpq& q, Mode mode,
+                                LabelId bottom, size_t num_edges,
+                                int32_t bound, uint64_t total,
+                                EngineContext* ctx) {
+  ContainmentResult result;
+  result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
+  EngineStats& stats = ctx->stats();
+  const uint64_t chunk =
+      static_cast<uint64_t>(ctx->config().parallel_chunk);
+  const uint64_t num_chunks = (total + chunk - 1) / chunk;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> out_of_budget{false};
+  std::mutex mu;
+  std::optional<Tree> counterexample;
+
+  ctx->pool().ParallelFor(
+      static_cast<int64_t>(num_chunks), [&](int64_t chunk_index) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        uint64_t begin = static_cast<uint64_t>(chunk_index) * chunk;
+        uint64_t end = std::min(begin + chunk, total);
+        CanonicalLengthEnumerator lengths(num_edges, bound);
+        lengths.SeekTo(begin);
+        Tree scratch;
+        for (uint64_t i = begin; i < end; ++i) {
+          if (stop.load(std::memory_order_relaxed)) return;
+          CanonicalTreeInto(p, lengths.lengths(), bottom, &scratch);
+          stats.canonical_trees_enumerated.fetch_add(
+              1, std::memory_order_relaxed);
+          if (!ctx->budget().Charge(TreeCost(q, scratch))) {
+            out_of_budget.store(true, std::memory_order_relaxed);
+            stop.store(true, std::memory_order_relaxed);
+            return;
+          }
+          if (!Matches(q, scratch, mode, &stats)) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!counterexample.has_value()) {
+              counterexample = std::move(scratch);
+            }
+            stop.store(true, std::memory_order_relaxed);
+            return;
+          }
+          if (i + 1 < end) lengths.Next();
+        }
+      });
+
+  // ParallelFor's return synchronizes with every worker, so the plain reads
+  // below see all their writes.
+  if (counterexample.has_value()) {
+    result.contained = false;
+    result.counterexample = std::move(counterexample);
+  } else if (out_of_budget.load(std::memory_order_relaxed)) {
+    result.outcome = Outcome::kResourceExhausted;
+  } else {
+    result.contained = true;
+  }
+  return result;
+}
+
+ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
+                               LabelPool* pool, EngineContext* ctx,
+                               const ContainmentOptions& options) {
   assert(!p.empty() && !q.empty());
+  EngineStats& stats = ctx->stats();
   if (mode == Mode::kStrong) {
     // Observation 2.3, schema-free case.  If q's root is a letter that p's
     // root cannot be forced to match, strong containment fails outright
@@ -74,8 +155,9 @@ ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
     }
     LabelId fresh_root = pool->Fresh("_root");
     ContainmentResult result =
-        Contains(WithRootLabel(p, fresh_root), WithRootLabel(q, fresh_root),
-                 Mode::kWeak, pool, options);
+        ContainsImpl(WithRootLabel(p, fresh_root),
+                     WithRootLabel(q, fresh_root), Mode::kWeak, pool, ctx,
+                     options);
     if (result.counterexample.has_value() && !p.IsWildcard(0)) {
       // Translate the counterexample back: its root carries the fresh label
       // introduced by the reduction; restore p's root label (still outside
@@ -98,6 +180,12 @@ ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
       // q -> p (Miklau & Suciu; the Theorem 3.1 region).
       ContainmentResult result;
       result.algorithm = ContainmentAlgorithm::kHomomorphism;
+      stats.homomorphism_checks.fetch_add(1, std::memory_order_relaxed);
+      if (!ctx->budget().Charge(
+              static_cast<int64_t>(qn.size()) * p.size())) {
+        result.outcome = Outcome::kResourceExhausted;
+        return result;
+      }
       result.contained = HomomorphismExists(qn, p, /*root_to_root=*/false);
       if (!result.contained) {
         result.counterexample = CanonicalTree(
@@ -114,7 +202,13 @@ ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
       ContainmentResult result;
       result.algorithm = ContainmentAlgorithm::kMinimalCanonical;
       Tree t = MinimalCanonicalTree(p, pool->Fresh("_bot"));
-      result.contained = Matches(qn, t, Mode::kWeak);
+      stats.canonical_trees_enumerated.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      if (!ctx->budget().Charge(TreeCost(qn, t))) {
+        result.outcome = Outcome::kResourceExhausted;
+        return result;
+      }
+      result.contained = Matches(qn, t, Mode::kWeak, &stats);
       if (!result.contained) result.counterexample = std::move(t);
       return result;
     }
@@ -123,7 +217,13 @@ ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
       ContainmentResult result;
       result.algorithm = ContainmentAlgorithm::kSingleCanonical;
       Tree t = MinimalCanonicalTree(p, pool->Fresh("_bot"));
-      result.contained = Matches(qn, t, Mode::kWeak);
+      stats.canonical_trees_enumerated.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      if (!ctx->budget().Charge(TreeCost(qn, t))) {
+        result.outcome = Outcome::kResourceExhausted;
+        return result;
+      }
+      result.contained = Matches(qn, t, Mode::kWeak, &stats);
       if (!result.contained) result.counterexample = std::move(t);
       return result;
     }
@@ -131,18 +231,74 @@ ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
       // Theorem 3.2(1).
       ContainmentResult result;
       result.algorithm = ContainmentAlgorithm::kPathInTpq;
-      result.contained = PathInTpqContained(p, qn, pool);
+      result.contained = PathInTpqContained(p, qn, pool, ctx);
+      if (ctx->budget().Exhausted()) {
+        result.outcome = Outcome::kResourceExhausted;
+      }
       return result;
     }
     if (!fp.child_edges) {
       // Theorem 3.2(2).
       ContainmentResult result;
       result.algorithm = ContainmentAlgorithm::kChildFreeInTpq;
-      result.contained = ChildFreeInTpqContained(p, qn, pool);
+      result.contained = ChildFreeInTpqContained(p, qn, pool, ctx);
+      if (ctx->budget().Exhausted()) {
+        result.outcome = Outcome::kResourceExhausted;
+      }
       return result;
     }
   }
-  return CanonicalContainment(p, qn, Mode::kWeak, pool, options);
+  return CanonicalContainment(p, qn, Mode::kWeak, pool, ctx, options);
+}
+
+}  // namespace
+
+ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
+                                       LabelPool* pool, EngineContext* ctx,
+                                       const ContainmentOptions& options) {
+  LabelId bottom = pool->Fresh("_bot");
+  int32_t bound = CanonicalBound(q, options.bound);
+  size_t num_edges = DescendantEdges(p).size();
+  std::optional<uint64_t> total =
+      CanonicalLengthEnumerator(num_edges, bound).TotalCountExact();
+  // Parallelize only when the space is big enough to amortize the chunk
+  // bookkeeping.  Spaces too large to linearize in 64 bits run sequentially:
+  // no budget finishes them anyway.
+  if (ctx->threads() > 1 && total.has_value() &&
+      *total >= static_cast<uint64_t>(ctx->config().parallel_threshold)) {
+    return ParallelSweep(p, q, mode, bottom, num_edges, bound, *total, ctx);
+  }
+  return SequentialSweep(p, q, mode, bottom, num_edges, bound, ctx);
+}
+
+ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
+                                       LabelPool* pool,
+                                       const ContainmentOptions& options) {
+  return CanonicalContainment(p, q, mode, pool, &EngineContext::Default(),
+                              options);
+}
+
+ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
+                           LabelPool* pool, EngineContext* ctx,
+                           const ContainmentOptions& options) {
+  ContainmentResult result = ContainsImpl(p, q, mode, pool, ctx, options);
+  ctx->stats().dispatch[static_cast<int>(result.algorithm)].fetch_add(
+      1, std::memory_order_relaxed);
+  return result;
+}
+
+ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
+                           LabelPool* pool,
+                           const ContainmentOptions& options) {
+  return Contains(p, q, mode, pool, &EngineContext::Default(), options);
+}
+
+bool PathInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool) {
+  return PathInTpqContained(p, q, pool, &EngineContext::Default());
+}
+
+bool ChildFreeInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool) {
+  return ChildFreeInTpqContained(p, q, pool, &EngineContext::Default());
 }
 
 }  // namespace tpc

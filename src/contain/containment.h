@@ -27,6 +27,7 @@
 #include <string>
 
 #include "base/label.h"
+#include "engine/engine.h"
 #include "pattern/tpq.h"
 #include "tree/tree.h"
 
@@ -52,6 +53,9 @@ struct ContainmentResult {
   /// recursive P algorithms of Theorems 3.2(1)/(2) do not).
   std::optional<Tree> counterexample;
   ContainmentAlgorithm algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
+  /// `kResourceExhausted` when the engine budget ran out before the answer
+  /// was certain; `contained` is then meaningless.
+  Outcome outcome = Outcome::kDecided;
 };
 
 /// Options controlling the fallback canonical-model procedure.
@@ -66,25 +70,45 @@ struct ContainmentOptions {
   bool force_canonical = false;
 };
 
-/// Decides L(p) ⊆ L(q) (weak or strong languages per `mode`).
-/// `pool` is used to mint fresh labels (⊥, fresh roots); it must be the pool
-/// the patterns were interned in.
+/// Decides L(p) ⊆ L(q) (weak or strong languages per `mode`) under the
+/// budget/instrumentation/parallelism of `ctx`.  `pool` is used to mint
+/// fresh labels (⊥, fresh roots); it must be the pool the patterns were
+/// interned in.
+ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
+                           LabelPool* pool, EngineContext* ctx,
+                           const ContainmentOptions& options = {});
+
+/// Engine-default wrapper (unlimited budget, one thread).
 ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
                            LabelPool* pool,
                            const ContainmentOptions& options = {});
 
 /// The general canonical-model procedure (sound and complete for all
-/// fragments; exponential in the number of descendant edges of p).
+/// fragments; exponential in the number of descendant edges of p).  With
+/// `ctx->threads() > 1` the length-vector space is partitioned into chunks
+/// swept in parallel, with early exit on the first counterexample.
+ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
+                                       LabelPool* pool, EngineContext* ctx,
+                                       const ContainmentOptions& options = {});
+
+/// Engine-default wrapper.
 ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
                                        LabelPool* pool,
                                        const ContainmentOptions& options = {});
 
 /// Theorem 3.2(1): weak containment of a path query p in a TPQ q, in
-/// polynomial time.  Precondition: IsPathQuery(p).
+/// polynomial time.  Precondition: IsPathQuery(p).  The ctx overload may
+/// bail out early when the budget is exhausted — check
+/// `ctx->budget().Exhausted()` before trusting the answer.
+bool PathInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool,
+                        EngineContext* ctx);
 bool PathInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool);
 
 /// Theorem 3.2(2): weak containment of a child-edge-free p in a TPQ q, in
-/// polynomial time.  Precondition: p has no child edges.
+/// polynomial time.  Precondition: p has no child edges.  Budget semantics
+/// as for `PathInTpqContained`.
+bool ChildFreeInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool,
+                             EngineContext* ctx);
 bool ChildFreeInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool);
 
 /// The chain-length bound used by `CanonicalContainment` for the pair (p,q).

@@ -62,10 +62,13 @@ TopIsland ExtractTopIsland(const Tpq& q, NodeId x) {
 
 class PathInTpqSolver {
  public:
-  PathInTpqSolver(const Tpq& q, LabelPool* pool)
-      : q_(Normalize(q)), pool_(pool), bottom_(pool->Fresh("_bot")) {}
+  PathInTpqSolver(const Tpq& q, LabelPool* pool, EngineContext* ctx)
+      : q_(Normalize(q)), pool_(pool), ctx_(ctx),
+        bottom_(pool->Fresh("_bot")) {}
 
-  /// Decides L_w(p) ⊆ L_w(subquery_q(x)) for a path query p.
+  /// Decides L_w(p) ⊆ L_w(subquery_q(x)) for a path query p.  Bails out
+  /// (returning false) once the engine budget is exhausted; the dispatcher
+  /// translates that into Outcome::kResourceExhausted.
   bool Solve(const Tpq& p, NodeId x) {
     auto key = std::make_pair(p.ToString(*pool_), x);
     auto it = memo_.find(key);
@@ -78,6 +81,7 @@ class PathInTpqSolver {
  private:
   bool Compute(const Tpq& p, NodeId x) {
     assert(IsPathQuery(p));
+    if (!ctx_->budget().Charge(1 + p.size() + q_.size())) return false;
     // Find the first descendant edge along the path; path node ids are
     // consecutive along the chain.
     int32_t first_desc = -1;
@@ -90,7 +94,7 @@ class PathInTpqSolver {
     if (first_desc < 0) {
       // p is a single island: it has a unique canonical tree.
       Tree t = MinimalCanonicalTree(p, bottom_);
-      return MatchesWeak(q_.Subquery(x), t);
+      return MatchesWeak(q_.Subquery(x), t, &ctx_->stats());
     }
     int32_t w_len = first_desc;  // |w|: nodes 0 .. first_desc-1
     // The canonical tree of w is the word t_w.
@@ -104,7 +108,7 @@ class PathInTpqSolver {
       }
     }
     TopIsland top = ExtractTopIsland(q_, x);
-    Matcher matcher(top.pattern, t_w);
+    Matcher matcher(top.pattern, t_w, &ctx_->stats());
     int32_t m = -1;
     for (NodeId i = 0; i < t_w.size(); ++i) {
       if (matcher.SatAt(0, i)) {
@@ -128,15 +132,17 @@ class PathInTpqSolver {
 
   Tpq q_;
   LabelPool* pool_;
+  EngineContext* ctx_;
   LabelId bottom_;
   std::map<std::pair<std::string, NodeId>, bool> memo_;
 };
 
 }  // namespace
 
-bool PathInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool) {
+bool PathInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool,
+                        EngineContext* ctx) {
   assert(IsPathQuery(p));
-  return PathInTpqSolver(q, pool).Solve(p, 0);
+  return PathInTpqSolver(q, pool, ctx).Solve(p, 0);
 }
 
 }  // namespace tpc

@@ -1,0 +1,88 @@
+// Cooperative resource budgets for the decision procedures.
+//
+// The paper classifies the general problems coNP-complete (Theorem 3.3) and
+// EXPTIME-complete (Theorem 6.6), so any production deployment must assume
+// some instances will not finish.  A `Budget` is the engine's answer: a step
+// limit plus a wall-clock deadline shared by every worker thread of one
+// decision.  Hot loops call `Charge(n)` and abandon the search when it
+// returns false; the decision then reports `Outcome::kResourceExhausted`
+// instead of running forever.
+//
+// `Charge` is designed for enumeration/DP/automaton inner loops: the common
+// case is one relaxed atomic add, and the wall clock is consulted only when
+// the step counter crosses a multiple of `kClockPeriod`.
+
+#ifndef TPC_ENGINE_BUDGET_H_
+#define TPC_ENGINE_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tpc {
+
+/// A shared step/deadline budget.  Thread-safe: many workers may `Charge`
+/// concurrently.  An unarmed (default) budget never exhausts but still
+/// counts steps, so instrumentation works on unlimited runs too.
+class Budget {
+ public:
+  Budget() = default;
+
+  /// Arms the budget: at most `step_limit` steps (0 = unlimited) and at most
+  /// `deadline_ms` milliseconds from now (0 = unlimited).  Resets the step
+  /// counter and the exhausted flag.
+  void Arm(int64_t step_limit, int64_t deadline_ms) {
+    steps_.store(0, std::memory_order_relaxed);
+    exhausted_.store(false, std::memory_order_relaxed);
+    step_limit_ = step_limit;
+    has_deadline_ = deadline_ms > 0;
+    if (has_deadline_) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms);
+    }
+  }
+
+  bool limited() const { return step_limit_ > 0 || has_deadline_; }
+
+  /// Consumes `n` steps; returns false once the budget is exhausted.  A
+  /// false result is sticky: every later call also returns false.
+  bool Charge(int64_t n = 1) {
+    int64_t used = steps_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (!limited()) return true;
+    if (exhausted_.load(std::memory_order_relaxed)) return false;
+    if (step_limit_ > 0 && used > step_limit_) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    if (has_deadline_ && used / kClockPeriod != (used - n) / kClockPeriod &&
+        std::chrono::steady_clock::now() > deadline_) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  bool Exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
+  int64_t steps_used() const {
+    return steps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Steps between wall-clock checks.  Small enough that a 50 ms deadline on
+  /// an adversarial instance fires promptly, large enough that `Charge` stays
+  /// a single atomic add in the common case.
+  static constexpr int64_t kClockPeriod = 256;
+
+  std::atomic<int64_t> steps_{0};
+  std::atomic<bool> exhausted_{false};
+  int64_t step_limit_ = 0;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace tpc
+
+#endif  // TPC_ENGINE_BUDGET_H_

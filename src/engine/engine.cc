@@ -1,0 +1,35 @@
+#include "engine/engine.h"
+
+namespace tpc {
+
+EngineContext::EngineContext() : EngineContext(EngineConfig{}) {}
+
+EngineContext::EngineContext(const EngineConfig& config) : config_(config) {
+  if (config_.threads < 1) config_.threads = 1;
+  if (config_.parallel_chunk < 1) config_.parallel_chunk = 1;
+  budget_.Arm(config_.step_limit, config_.deadline_ms);
+}
+
+EngineContext::~EngineContext() = default;
+
+ThreadPool& EngineContext::pool() {
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(config_.threads);
+  });
+  return *pool_;
+}
+
+void EngineContext::ResetBudget() {
+  budget_.Arm(config_.step_limit, config_.deadline_ms);
+}
+
+std::string EngineContext::StatsJson() const {
+  return stats_.ToJson(budget_.steps_used());
+}
+
+EngineContext& EngineContext::Default() {
+  static EngineContext* context = new EngineContext();
+  return *context;
+}
+
+}  // namespace tpc

@@ -1,0 +1,105 @@
+// The engine layer: one context object carrying the resource budget, the
+// instrumentation counters and the thread pool that every decision procedure
+// in this library threads through.
+//
+// The paper's message is a complexity classification — some fragment pairs
+// are in P, the general problems are coNP-/EXPTIME-complete — and the engine
+// makes that classification observable and survivable at runtime:
+//
+//   * the `Budget` turns "this instance is in the hard regime" into a
+//     `Outcome::kResourceExhausted` result instead of a hang;
+//   * the `EngineStats` counters report which regime an instance landed in
+//     (which dispatcher algorithm ran, how many canonical trees or schema
+//     configurations were materialized);
+//   * the `ThreadPool` parallelizes the embarrassingly parallel
+//     canonical-model sweep of the coNP procedure.
+//
+// The pre-engine free functions (`Contains(p, q, mode, pool)` etc.) remain
+// as thin wrappers over `EngineContext::Default()`, an unlimited,
+// single-threaded context.
+
+#ifndef TPC_ENGINE_ENGINE_H_
+#define TPC_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "engine/budget.h"
+#include "engine/stats.h"
+#include "engine/thread_pool.h"
+
+namespace tpc {
+
+/// Whether a decision procedure ran to completion.  On
+/// `kResourceExhausted` the boolean answer fields of the result are
+/// meaningless; only the counters are.
+enum class Outcome {
+  kDecided,
+  kResourceExhausted,
+};
+
+/// Construction-time knobs of an `EngineContext`.
+struct EngineConfig {
+  /// Abstract work-step limit shared by all procedures; 0 = unlimited.
+  int64_t step_limit = 0;
+  /// Wall-clock deadline in milliseconds, armed at context construction (or
+  /// `ResetBudget`); 0 = unlimited.
+  int64_t deadline_ms = 0;
+  /// Worker count (including the calling thread) for parallel sweeps.
+  int threads = 1;
+  /// The parallel canonical sweep engages only when the length-vector space
+  /// has at least this many vectors — below it, chunk bookkeeping costs more
+  /// than it buys.
+  int64_t parallel_threshold = 2048;
+  /// Length vectors per work chunk of the parallel sweep.
+  int64_t parallel_chunk = 256;
+};
+
+/// The per-decision (or per-service-request) context: budget + counters +
+/// worker pool.  Thread-safe where it must be: the budget and counters are
+/// atomic, the pool serializes its own jobs.  Create one per request, or
+/// reuse one and `ResetBudget()` between decisions.
+class EngineContext {
+ public:
+  EngineContext();
+  explicit EngineContext(const EngineConfig& config);
+  ~EngineContext();
+
+  EngineContext(const EngineContext&) = delete;
+  EngineContext& operator=(const EngineContext&) = delete;
+
+  const EngineConfig& config() const { return config_; }
+  Budget& budget() { return budget_; }
+  const Budget& budget() const { return budget_; }
+  EngineStats& stats() { return stats_; }
+  const EngineStats& stats() const { return stats_; }
+  int threads() const { return config_.threads; }
+
+  /// The worker pool, created lazily on first use.
+  ThreadPool& pool();
+
+  /// Re-arms the deadline/step limit from now and zeroes the step counter
+  /// (counters in `stats()` are left to accumulate; call `stats().Reset()`
+  /// separately if per-decision counters are wanted).
+  void ResetBudget();
+
+  /// JSON dump of the counters plus the budget's step count.
+  std::string StatsJson() const;
+
+  /// The process-wide default context backing the legacy free functions:
+  /// unlimited budget, one thread.
+  static EngineContext& Default();
+
+ private:
+  EngineConfig config_;
+  Budget budget_;
+  EngineStats stats_;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_ENGINE_ENGINE_H_

@@ -1,0 +1,70 @@
+#include "engine/stats.h"
+
+namespace tpc {
+
+const char* const kDispatchAlgorithmNames[kNumDispatchAlgorithms] = {
+    "homomorphism",         "minimal_canonical", "single_canonical",
+    "path_in_tpq",          "child_free_in_tpq", "canonical_enumeration",
+};
+
+void EngineStats::Reset() {
+  canonical_trees_enumerated.store(0, std::memory_order_relaxed);
+  embeddings_attempted.store(0, std::memory_order_relaxed);
+  dp_cells_filled.store(0, std::memory_order_relaxed);
+  homomorphism_checks.store(0, std::memory_order_relaxed);
+  schema_configurations.store(0, std::memory_order_relaxed);
+  horizontal_nodes.store(0, std::memory_order_relaxed);
+  det_states_materialized.store(0, std::memory_order_relaxed);
+  nta_states_built.store(0, std::memory_order_relaxed);
+  nta_transitions_built.store(0, std::memory_order_relaxed);
+  graph_dp_cells.store(0, std::memory_order_relaxed);
+  for (auto& d : dispatch) d.store(0, std::memory_order_relaxed);
+}
+
+std::string EngineStats::ToJson(int64_t steps_used) const {
+  auto field = [](const char* key, int64_t value) {
+    return std::string("\"") + key + "\": " + std::to_string(value);
+  };
+  std::string out = "{";
+  out += field("steps_used", steps_used) + ", ";
+  out += field("canonical_trees_enumerated",
+               canonical_trees_enumerated.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("embeddings_attempted",
+               embeddings_attempted.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("dp_cells_filled",
+               dp_cells_filled.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("homomorphism_checks",
+               homomorphism_checks.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("schema_configurations",
+               schema_configurations.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("horizontal_nodes",
+               horizontal_nodes.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("det_states_materialized",
+               det_states_materialized.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("nta_states_built",
+               nta_states_built.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("nta_transitions_built",
+               nta_transitions_built.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("graph_dp_cells",
+               graph_dp_cells.load(std::memory_order_relaxed)) +
+         ", ";
+  out += "\"dispatch\": {";
+  for (int i = 0; i < kNumDispatchAlgorithms; ++i) {
+    if (i > 0) out += ", ";
+    out += field(kDispatchAlgorithmNames[i],
+                 dispatch[i].load(std::memory_order_relaxed));
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace tpc

@@ -1,0 +1,58 @@
+// Instrumentation counters for the decision procedures.
+//
+// Every procedure family reports what it actually did — canonical trees
+// enumerated, embedding DPs run, schema-engine configurations materialized,
+// automata built — so callers can observe *which* complexity regime an
+// instance landed in (Table 1's P cells barely move these; the coNP/EXPTIME
+// cells light them up).  Counters are atomic: the parallel canonical sweep
+// updates them from many workers.
+
+#ifndef TPC_ENGINE_STATS_H_
+#define TPC_ENGINE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tpc {
+
+/// Number of dispatcher algorithms, mirroring `ContainmentAlgorithm` in
+/// contain/containment.h (engine/ sits below contain/ and cannot name the
+/// enum; containment.cc static_asserts the two stay in sync).
+inline constexpr int kNumDispatchAlgorithms = 6;
+
+/// JSON key for each dispatcher algorithm, indexed like the enum.
+extern const char* const kDispatchAlgorithmNames[kNumDispatchAlgorithms];
+
+/// Atomic counter block carried by an `EngineContext`.
+struct EngineStats {
+  // Containment without schema (src/contain).
+  std::atomic<int64_t> canonical_trees_enumerated{0};
+  std::atomic<int64_t> embeddings_attempted{0};
+  std::atomic<int64_t> dp_cells_filled{0};
+  std::atomic<int64_t> homomorphism_checks{0};
+
+  // Schema-aware engine (src/schema) and automata substrate (src/automata).
+  std::atomic<int64_t> schema_configurations{0};
+  std::atomic<int64_t> horizontal_nodes{0};
+  std::atomic<int64_t> det_states_materialized{0};
+  std::atomic<int64_t> nta_states_built{0};
+  std::atomic<int64_t> nta_transitions_built{0};
+
+  // Graph semantics (src/graphdb).
+  std::atomic<int64_t> graph_dp_cells{0};
+
+  // Dispatcher choices, indexed by `ContainmentAlgorithm`.
+  std::atomic<int64_t> dispatch[kNumDispatchAlgorithms]{};
+
+  /// Zeroes every counter.
+  void Reset();
+
+  /// One-line JSON object with every counter; `steps_used` (from the budget)
+  /// is included so one dump describes the whole run.
+  std::string ToJson(int64_t steps_used) const;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_ENGINE_STATS_H_

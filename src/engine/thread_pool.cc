@@ -1,0 +1,76 @@
+#include "engine/thread_pool.h"
+
+namespace tpc {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::EnsureStarted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_generation = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || job_generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = job_generation_;
+    ++active_workers_;
+    const std::function<void(int64_t)>* fn = job_fn_;
+    int64_t n = job_size_;
+    lock.unlock();
+    for (int64_t i = next_index_.fetch_add(1); i < n;
+         i = next_index_.fetch_add(1)) {
+      (*fn)(i);
+    }
+    lock.lock();
+    if (--active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  if (num_threads_ <= 1 || n == 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  EnsureStarted();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is one of the `num_threads_` workers.
+  for (int64_t i = next_index_.fetch_add(1); i < n;
+       i = next_index_.fetch_add(1)) {
+    fn(i);
+  }
+  // Workers that never woke up claim no index (the counter is exhausted), so
+  // waiting for active_workers_ == 0 waits exactly for in-flight fn calls.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+}
+
+}  // namespace tpc

@@ -1,0 +1,66 @@
+// A small work-stealing-free thread pool for the engine's parallel sweeps.
+//
+// The only primitive the decision procedures need is a dynamic parallel-for:
+// the canonical-model sweep partitions its (bound+1)^k length-vector space
+// into chunks and lets workers grab chunk indices from a shared atomic
+// counter, so uneven chunk costs (early-exit checks, matcher variance)
+// balance automatically.  Threads are started lazily on the first parallel
+// call and live until the pool is destroyed.
+
+#ifndef TPC_ENGINE_THREAD_POOL_H_
+#define TPC_ENGINE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tpc {
+
+/// A fixed-size pool running dynamic parallel-for jobs.  One job at a time:
+/// `ParallelFor` must not be called concurrently or reentrantly on the same
+/// pool (the engine serializes decisions per context).
+class ThreadPool {
+ public:
+  /// `num_threads` counts the calling thread: the pool spawns
+  /// `num_threads - 1` workers.  With `num_threads <= 1` everything runs
+  /// inline and no thread is ever created.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Invokes `fn(i)` exactly once for every i in [0, n), distributing
+  /// indices dynamically over the workers and the calling thread; returns
+  /// when every invocation has finished.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void EnsureStarted();  // spawns the workers on first use
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait here for a new job
+  std::condition_variable done_cv_;  // the caller waits here for completion
+  bool shutdown_ = false;
+  bool started_ = false;
+  // Current job, written under mu_ before the generation bump; indices are
+  // claimed lock-free from next_index_.
+  const std::function<void(int64_t)>* job_fn_ = nullptr;
+  int64_t job_size_ = 0;
+  uint64_t job_generation_ = 0;
+  std::atomic<int64_t> next_index_{0};
+  int active_workers_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_ENGINE_THREAD_POOL_H_

@@ -6,7 +6,8 @@
 
 namespace tpc {
 
-bool UnorderedAccepts(const Nfa& nfa, std::vector<Symbol> word) {
+bool UnorderedAccepts(const Nfa& nfa, std::vector<Symbol> word,
+                      EngineContext* ctx) {
   std::sort(word.begin(), word.end());
   // Distinct symbols and their multiplicities.
   std::vector<Symbol> symbols;
@@ -24,7 +25,10 @@ bool UnorderedAccepts(const Nfa& nfa, std::vector<Symbol> word) {
   std::vector<std::pair<int32_t, std::vector<int32_t>>> stack;
   stack.emplace_back(nfa.initial, counts);
   visited.insert(stack.back());
+  EngineStats& stats = ctx->stats();
   while (!stack.empty()) {
+    if (!ctx->budget().Charge(1)) return false;
+    stats.horizontal_nodes.fetch_add(1, std::memory_order_relaxed);
     auto [q, remaining] = stack.back();
     stack.pop_back();
     bool done = std::all_of(remaining.begin(), remaining.end(),
@@ -44,22 +48,39 @@ bool UnorderedAccepts(const Nfa& nfa, std::vector<Symbol> word) {
   return false;
 }
 
-bool GraphSatisfiesDtdNodesOnly(const Graph& g, const Dtd& dtd) {
-  if (g.HasRoot() && !dtd.IsStart(g.Type(g.root()))) return false;
+GraphMatchResult GraphSatisfiesDtdNodesOnly(const Graph& g, const Dtd& dtd,
+                                            EngineContext* ctx) {
+  GraphMatchResult out;
+  auto exhausted = [&] {
+    if (!ctx->budget().Exhausted()) return false;
+    out.outcome = Outcome::kResourceExhausted;
+    out.matched = false;
+    return true;
+  };
+  if (g.HasRoot() && !dtd.IsStart(g.Type(g.root()))) return out;
   for (NodeId u = 0; u < g.size(); ++u) {
-    if (!dtd.InAlphabet(g.Type(u))) return false;
+    if (!dtd.InAlphabet(g.Type(u))) return out;
     std::vector<Symbol> types;
     for (NodeId v : g.Successors(u)) types.push_back(g.Type(v));
-    if (!UnorderedAccepts(dtd.RuleNfa(g.Type(u)), std::move(types))) {
-      return false;
+    if (!UnorderedAccepts(dtd.RuleNfa(g.Type(u)), std::move(types), ctx)) {
+      exhausted();
+      return out;
     }
   }
-  return true;
+  out.matched = true;
+  return out;
 }
 
-bool TypedGraphSatisfiesDtd(const TypedGraph& g, const Dtd& dtd,
-                            LabelPool* pool) {
-  if (g.root() != kNoNode && !dtd.IsStart(g.Type(g.root()))) return false;
+GraphMatchResult TypedGraphSatisfiesDtd(const TypedGraph& g, const Dtd& dtd,
+                                        LabelPool* pool, EngineContext* ctx) {
+  GraphMatchResult out;
+  auto exhausted = [&] {
+    if (!ctx->budget().Exhausted()) return false;
+    out.outcome = Outcome::kResourceExhausted;
+    out.matched = false;
+    return true;
+  };
+  if (g.root() != kNoNode && !dtd.IsStart(g.Type(g.root()))) return out;
   // Node condition: the multiset of (edge label, target type) pairs of each
   // node's outgoing edges permutes into the node type's content model.
   std::map<NodeId, std::vector<Symbol>> outgoing;
@@ -67,23 +88,39 @@ bool TypedGraphSatisfiesDtd(const TypedGraph& g, const Dtd& dtd,
     outgoing[e.from].push_back(PairType(e.label, g.Type(e.to), pool));
   }
   for (NodeId u = 0; u < g.size(); ++u) {
-    if (!dtd.InAlphabet(g.Type(u))) return false;
+    if (!dtd.InAlphabet(g.Type(u))) return out;
     std::vector<Symbol> word;
     auto it = outgoing.find(u);
     if (it != outgoing.end()) word = it->second;
-    if (!UnorderedAccepts(dtd.RuleNfa(g.Type(u)), std::move(word))) {
-      return false;
+    if (!UnorderedAccepts(dtd.RuleNfa(g.Type(u)), std::move(word), ctx)) {
+      exhausted();
+      return out;
     }
   }
   // Edge condition: each pair symbol's rule accepts the one-letter word of
   // the target type.
   for (const TypedGraph::Edge& e : g.edges()) {
     LabelId pair = PairType(e.label, g.Type(e.to), pool);
-    if (!dtd.InAlphabet(pair)) return false;
+    if (!dtd.InAlphabet(pair)) return out;
     std::vector<Symbol> word = {g.Type(e.to)};
-    if (!dtd.RuleNfa(pair).Accepts(word)) return false;
+    if (!dtd.RuleNfa(pair).Accepts(word)) return out;
   }
-  return true;
+  out.matched = true;
+  return out;
+}
+
+bool UnorderedAccepts(const Nfa& nfa, std::vector<Symbol> word) {
+  return UnorderedAccepts(nfa, std::move(word), &EngineContext::Default());
+}
+
+bool GraphSatisfiesDtdNodesOnly(const Graph& g, const Dtd& dtd) {
+  return GraphSatisfiesDtdNodesOnly(g, dtd, &EngineContext::Default()).matched;
+}
+
+bool TypedGraphSatisfiesDtd(const TypedGraph& g, const Dtd& dtd,
+                            LabelPool* pool) {
+  return TypedGraphSatisfiesDtd(g, dtd, pool, &EngineContext::Default())
+      .matched;
 }
 
 }  // namespace tpc

@@ -13,19 +13,30 @@
 #define TPC_GRAPHDB_GRAPH_DTD_H_
 
 #include "dtd/dtd.h"
+#include "engine/engine.h"
 #include "graphdb/graph.h"
+#include "graphdb/graph_match.h"  // GraphMatchResult
 
 namespace tpc {
 
 /// Does the multiset of `word`'s symbols permute into a word of L(nfa)?
+/// The ctx overload charges the context budget per explored (state,
+/// multiset) node and bails out (false) once exhausted — callers translate
+/// via `ctx->budget().Exhausted()`.
+bool UnorderedAccepts(const Nfa& nfa, std::vector<Symbol> word,
+                      EngineContext* ctx);
 bool UnorderedAccepts(const Nfa& nfa, std::vector<Symbol> word);
 
 /// Nodes-only semantics: does `g` satisfy `dtd`?
+GraphMatchResult GraphSatisfiesDtdNodesOnly(const Graph& g, const Dtd& dtd,
+                                            EngineContext* ctx);
 bool GraphSatisfiesDtdNodesOnly(const Graph& g, const Dtd& dtd);
 
 /// Nodes/edges semantics: does the typed graph satisfy the graph DTD?
 /// The DTD must use pair symbols as produced by `PairType` for its
 /// (edge, type) rules.
+GraphMatchResult TypedGraphSatisfiesDtd(const TypedGraph& g, const Dtd& dtd,
+                                        LabelPool* pool, EngineContext* ctx);
 bool TypedGraphSatisfiesDtd(const TypedGraph& g, const Dtd& dtd,
                             LabelPool* pool);
 

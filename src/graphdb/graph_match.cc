@@ -1,6 +1,7 @@
 #include "graphdb/graph_match.h"
 
 #include <cassert>
+#include <optional>
 #include <vector>
 
 namespace tpc {
@@ -8,11 +9,21 @@ namespace tpc {
 namespace {
 
 /// sat[v * |g| + x]: subquery(v) embeds with v -> graph node x.
-std::vector<char> ComputeSat(const Tpq& q, const Graph& g) {
+/// Returns nullopt when the context budget runs out mid-table.
+std::optional<std::vector<char>> ComputeSat(const Tpq& q, const Graph& g,
+                                            EngineContext* ctx) {
   size_t n = static_cast<size_t>(g.size());
+  // The reachability closure is the other super-linear ingredient; charge
+  // it against the budget like a DP row per graph node.
+  if (!ctx->budget().Charge(static_cast<int64_t>(n) * g.size())) {
+    return std::nullopt;
+  }
   std::vector<char> reach = g.ProperReachability();
   std::vector<char> sat(static_cast<size_t>(q.size()) * n, 0);
   for (NodeId v = q.size() - 1; v >= 0; --v) {
+    if (!ctx->budget().Charge(static_cast<int64_t>(n))) return std::nullopt;
+    ctx->stats().graph_dp_cells.fetch_add(static_cast<int64_t>(n),
+                                          std::memory_order_relaxed);
     for (NodeId x = 0; x < g.size(); ++x) {
       bool ok = q.IsWildcard(v) || q.Label(v) == g.Type(x);
       for (NodeId z = q.FirstChild(v); z != kNoNode && ok;
@@ -40,20 +51,44 @@ std::vector<char> ComputeSat(const Tpq& q, const Graph& g) {
 
 }  // namespace
 
-bool MatchesWeakGraph(const Tpq& q, const Graph& g) {
-  if (q.empty() || g.size() == 0) return false;
-  std::vector<char> sat = ComputeSat(q, g);
-  for (NodeId x = 0; x < g.size(); ++x) {
-    if (sat[static_cast<size_t>(x)]) return true;
+GraphMatchResult MatchesWeakGraph(const Tpq& q, const Graph& g,
+                                  EngineContext* ctx) {
+  GraphMatchResult out;
+  if (q.empty() || g.size() == 0) return out;
+  std::optional<std::vector<char>> sat = ComputeSat(q, g, ctx);
+  if (!sat.has_value()) {
+    out.outcome = Outcome::kResourceExhausted;
+    return out;
   }
-  return false;
+  for (NodeId x = 0; x < g.size(); ++x) {
+    if ((*sat)[static_cast<size_t>(x)]) {
+      out.matched = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+GraphMatchResult MatchesStrongGraph(const Tpq& q, const Graph& g,
+                                    EngineContext* ctx) {
+  assert(g.HasRoot());
+  GraphMatchResult out;
+  if (q.empty() || g.size() == 0) return out;
+  std::optional<std::vector<char>> sat = ComputeSat(q, g, ctx);
+  if (!sat.has_value()) {
+    out.outcome = Outcome::kResourceExhausted;
+    return out;
+  }
+  out.matched = (*sat)[static_cast<size_t>(g.root())] != 0;
+  return out;
+}
+
+bool MatchesWeakGraph(const Tpq& q, const Graph& g) {
+  return MatchesWeakGraph(q, g, &EngineContext::Default()).matched;
 }
 
 bool MatchesStrongGraph(const Tpq& q, const Graph& g) {
-  assert(g.HasRoot());
-  if (q.empty() || g.size() == 0) return false;
-  std::vector<char> sat = ComputeSat(q, g);
-  return sat[static_cast<size_t>(g.root())] != 0;
+  return MatchesStrongGraph(q, g, &EngineContext::Default()).matched;
 }
 
 }  // namespace tpc

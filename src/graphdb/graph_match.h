@@ -7,16 +7,29 @@
 #ifndef TPC_GRAPHDB_GRAPH_MATCH_H_
 #define TPC_GRAPHDB_GRAPH_MATCH_H_
 
+#include "engine/engine.h"
 #include "graphdb/graph.h"
 #include "pattern/tpq.h"
 
 namespace tpc {
 
-/// True iff a weak embedding of q into the graph exists.
+/// A graph-side decision made under an engine context.  `matched` is only
+/// meaningful when `outcome` is kDecided.
+struct GraphMatchResult {
+  bool matched = false;
+  Outcome outcome = Outcome::kDecided;
+};
+
+/// True iff a weak embedding of q into the graph exists.  The ctx overload
+/// honours the context budget and counts DP cells.
+GraphMatchResult MatchesWeakGraph(const Tpq& q, const Graph& g,
+                                  EngineContext* ctx);
 bool MatchesWeakGraph(const Tpq& q, const Graph& g);
 
 /// True iff a strong embedding exists (root of q maps to the graph root).
 /// Precondition: g.HasRoot().
+GraphMatchResult MatchesStrongGraph(const Tpq& q, const Graph& g,
+                                    EngineContext* ctx);
 bool MatchesStrongGraph(const Tpq& q, const Graph& g);
 
 }  // namespace tpc

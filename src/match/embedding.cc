@@ -4,10 +4,15 @@
 
 namespace tpc {
 
-Matcher::Matcher(const Tpq& q, const Tree& t)
+Matcher::Matcher(const Tpq& q, const Tree& t, EngineStats* stats)
     : q_(q), t_(t), t_size_(static_cast<size_t>(t.size())) {
   sat_.assign(static_cast<size_t>(q.size()) * t_size_, 0);
   desc_.assign(sat_.size(), 0);
+  if (stats != nullptr) {
+    stats->embeddings_attempted.fetch_add(1, std::memory_order_relaxed);
+    stats->dp_cells_filled.fetch_add(static_cast<int64_t>(sat_.size()),
+                                     std::memory_order_relaxed);
+  }
   // Pattern nodes bottom-up (children have larger ids than parents), and for
   // each pattern node, tree nodes bottom-up for the desc_ closure.
   for (NodeId v = q.size() - 1; v >= 0; --v) {
@@ -123,6 +128,14 @@ bool MatchesWeak(const Tpq& q, const Tree& t) {
 
 bool MatchesStrong(const Tpq& q, const Tree& t) {
   return Matcher(q, t).MatchesStrong();
+}
+
+bool MatchesWeak(const Tpq& q, const Tree& t, EngineStats* stats) {
+  return Matcher(q, t, stats).MatchesWeak();
+}
+
+bool MatchesStrong(const Tpq& q, const Tree& t, EngineStats* stats) {
+  return Matcher(q, t, stats).MatchesStrong();
 }
 
 }  // namespace tpc

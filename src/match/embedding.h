@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "engine/stats.h"
 #include "pattern/tpq.h"
 #include "tree/tree.h"
 
@@ -20,7 +21,9 @@ namespace tpc {
 /// program runs once in the constructor.
 class Matcher {
  public:
-  Matcher(const Tpq& q, const Tree& t);
+  /// With a non-null `stats`, reports one attempted embedding and the number
+  /// of DP cells filled.
+  Matcher(const Tpq& q, const Tree& t, EngineStats* stats = nullptr);
 
   /// True iff `t` is in the weak language L_w(q).
   bool MatchesWeak() const;
@@ -51,9 +54,12 @@ class Matcher {
   std::vector<char> desc_;  // OR of sat_ over subtree(x)
 };
 
-/// Convenience wrappers.
+/// Convenience wrappers.  The `stats` overloads count the embedding attempt
+/// and its DP cells.
 bool MatchesWeak(const Tpq& q, const Tree& t);
 bool MatchesStrong(const Tpq& q, const Tree& t);
+bool MatchesWeak(const Tpq& q, const Tree& t, EngineStats* stats);
+bool MatchesStrong(const Tpq& q, const Tree& t, EngineStats* stats);
 
 }  // namespace tpc
 

@@ -15,9 +15,20 @@ std::vector<NodeId> DescendantEdges(const Tpq& p) {
 
 Tree CanonicalTree(const Tpq& p, const std::vector<int32_t>& lengths,
                    LabelId bottom) {
-  assert(!p.empty());
   Tree t;
-  std::vector<NodeId> image(p.size(), kNoNode);  // pattern node -> tree node
+  CanonicalTreeInto(p, lengths, bottom, &t);
+  return t;
+}
+
+void CanonicalTreeInto(const Tpq& p, const std::vector<int32_t>& lengths,
+                       LabelId bottom, Tree* out) {
+  assert(!p.empty());
+  out->Clear();
+  Tree& t = *out;
+  // Pattern node -> tree node; thread_local so the enumeration hot loops do
+  // not reallocate it per canonical tree.
+  thread_local std::vector<NodeId> image;
+  image.assign(p.size(), kNoNode);
   size_t edge_index = 0;
   for (NodeId v = 0; v < p.size(); ++v) {
     LabelId label = p.IsWildcard(v) ? bottom : p.Label(v);
@@ -34,7 +45,6 @@ Tree CanonicalTree(const Tpq& p, const std::vector<int32_t>& lengths,
     image[v] = t.AddChild(attach, label);
   }
   assert(edge_index == lengths.size());
-  return t;
 }
 
 Tree MinimalCanonicalTree(const Tpq& p, LabelId bottom) {
@@ -69,9 +79,27 @@ bool CanonicalLengthEnumerator::Next() {
   return false;
 }
 
+void CanonicalLengthEnumerator::SeekTo(uint64_t index) {
+  uint64_t radix = static_cast<uint64_t>(max_len_) + 1;
+  for (size_t i = 0; i < lengths_.size(); ++i) {
+    lengths_[i] = static_cast<int32_t>(index % radix);
+    index /= radix;
+  }
+}
+
 double CanonicalLengthEnumerator::TotalCount() const {
   return std::pow(static_cast<double>(max_len_) + 1.0,
                   static_cast<double>(lengths_.size()));
+}
+
+std::optional<uint64_t> CanonicalLengthEnumerator::TotalCountExact() const {
+  uint64_t radix = static_cast<uint64_t>(max_len_) + 1;
+  uint64_t total = 1;
+  for (size_t i = 0; i < lengths_.size(); ++i) {
+    if (total > UINT64_MAX / radix) return std::nullopt;
+    total *= radix;
+  }
+  return total;
 }
 
 }  // namespace tpc

@@ -13,6 +13,7 @@
 #define TPC_PATTERN_CANONICAL_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "base/label.h"
@@ -31,6 +32,12 @@ std::vector<NodeId> DescendantEdges(const Tpq& p);
 /// descendant edges of `p`.
 Tree CanonicalTree(const Tpq& p, const std::vector<int32_t>& lengths,
                    LabelId bottom);
+
+/// As `CanonicalTree`, but builds into `*out` (cleared first).  The
+/// enumeration hot loops reuse one scratch tree this way instead of
+/// allocating a fresh arena per length vector.
+void CanonicalTreeInto(const Tpq& p, const std::vector<int32_t>& lengths,
+                       LabelId bottom, Tree* out);
 
 /// The canonical tree with all chains of length zero.
 Tree MinimalCanonicalTree(const Tpq& p, LabelId bottom);
@@ -52,8 +59,18 @@ class CanonicalLengthEnumerator {
   /// Advances to the next vector; returns false after the last one.
   bool Next();
 
+  /// Jumps to the `index`-th vector of the enumeration order (the vector is
+  /// a little-endian base-(max_len+1) counter), so the space can be
+  /// partitioned into contiguous chunks for parallel sweeps.
+  /// Precondition: `index < TotalCountExact()` when the latter is finite.
+  void SeekTo(uint64_t index);
+
   /// Total number of vectors ((max_len+1)^num_edges) as double, for planning.
   double TotalCount() const;
+
+  /// Exact total when it fits in uint64; nullopt on overflow (such spaces
+  /// cannot be swept anyway — the budget stops them first).
+  std::optional<uint64_t> TotalCountExact() const;
 
  private:
   std::vector<int32_t> lengths_;

@@ -26,9 +26,10 @@ struct NtaConfig {
 }  // namespace
 
 SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
-                                  LabelPool* pool,
+                                  LabelPool* pool, EngineContext* ctx,
                                   const EngineLimits& limits) {
   TpqDetAutomaton det(p);
+  EngineStats& stats = ctx->stats();
   // Candidate labels for wildcard-labelled transitions: the letters of p
   // plus one fresh letter (any label outside p behaves identically).
   std::set<LabelId> label_set(nta.alphabet().begin(), nta.alphabet().end());
@@ -72,6 +73,7 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
         if (seen.count(key)) return;
         seen.emplace(std::move(key), static_cast<int32_t>(nodes.size()));
         nodes.push_back(std::move(n));
+        stats.horizontal_nodes.fetch_add(1, std::memory_order_relaxed);
       };
       HNode start;
       start.h = tr.horizontal.initial;
@@ -80,7 +82,8 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
       intern(std::move(start));
       for (size_t i = 0; i < nodes.size() && goal < 0; ++i) {
         if (static_cast<int64_t>(nodes.size()) >=
-            limits.max_horizontal_nodes) {
+                limits.max_horizontal_nodes ||
+            !ctx->budget().Charge(1)) {
           truncated = true;
           break;
         }
@@ -99,6 +102,8 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
             int32_t id = static_cast<int32_t>(configs.size());
             configs.push_back(cfg);
             ids.emplace(key, id);
+            stats.schema_configurations.fetch_add(1,
+                                                  std::memory_order_relaxed);
             changed = true;
             if (accepts(cfg)) {
               goal = id;
@@ -133,7 +138,10 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
   SchemaDecision out;
   out.configurations = static_cast<int64_t>(configs.size());
   out.decided = goal >= 0 || !truncated;
+  out.outcome = out.decided ? Outcome::kDecided : Outcome::kResourceExhausted;
   out.yes = goal >= 0;
+  stats.det_states_materialized.fetch_add(det.num_materialized(),
+                                          std::memory_order_relaxed);
   if (goal >= 0) {
     // Materialize the witness tree.
     Tree t;
@@ -152,6 +160,7 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
 
 SchemaDecision ContainedViaConpRoute(const Tpq& p, const Tpq& q, Mode mode,
                                      const Dtd& dtd, LabelPool* pool,
+                                     EngineContext* ctx,
                                      const EngineLimits& limits) {
   assert(IsPathQuery(q));
   std::set<LabelId> sigma_set(dtd.alphabet().begin(), dtd.alphabet().end());
@@ -164,13 +173,36 @@ SchemaDecision ContainedViaConpRoute(const Tpq& p, const Tpq& q, Mode mode,
   std::vector<LabelId> sigma(sigma_set.begin(), sigma_set.end());
   Nta product = Nta::Intersect(Nta::FromDtd(dtd),
                                ComplementOfPathQueryNta(q, sigma, mode));
-  SchemaDecision sat = SatisfiableWithNta(p, mode, product, pool, limits);
+  EngineStats& stats = ctx->stats();
+  stats.nta_states_built.fetch_add(product.num_states(),
+                                   std::memory_order_relaxed);
+  stats.nta_transitions_built.fetch_add(
+      static_cast<int64_t>(product.transitions().size()),
+      std::memory_order_relaxed);
+  SchemaDecision sat = SatisfiableWithNta(p, mode, product, pool, ctx, limits);
   SchemaDecision out;
   out.decided = sat.decided;
+  out.outcome = sat.outcome;
   out.yes = !sat.yes;  // contained iff no witness of p ∧ d ∧ ¬q
   out.witness = std::move(sat.witness);
   out.configurations = sat.configurations;
   return out;
+}
+
+// Legacy entry points: same algorithms against the process-default context.
+
+SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
+                                  LabelPool* pool,
+                                  const EngineLimits& limits) {
+  return SatisfiableWithNta(p, mode, nta, pool, &EngineContext::Default(),
+                            limits);
+}
+
+SchemaDecision ContainedViaConpRoute(const Tpq& p, const Tpq& q, Mode mode,
+                                     const Dtd& dtd, LabelPool* pool,
+                                     const EngineLimits& limits) {
+  return ContainedViaConpRoute(p, q, mode, dtd, pool,
+                               &EngineContext::Default(), limits);
 }
 
 }  // namespace tpc

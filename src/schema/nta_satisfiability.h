@@ -24,6 +24,11 @@ namespace tpc {
 
 /// Is some tree accepted by `nta` in L_s(p) / L_w(p)?  Worst-case
 /// exponential (the problem is NP-complete), with a witness on success.
+/// The ctx overload additionally honours the context budget and fills its
+/// instrumentation counters.
+SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
+                                  LabelPool* pool, EngineContext* ctx,
+                                  const EngineLimits& limits = {});
 SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
                                   LabelPool* pool,
                                   const EngineLimits& limits = {});
@@ -31,6 +36,10 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
 /// The Theorem 6.4 route: L(p) ∩ L(d) ⊆ L(q) for a *path* right side q,
 /// via NP-satisfiability of p w.r.t. the product of the DTD automaton and
 /// the complement automaton of q.
+SchemaDecision ContainedViaConpRoute(const Tpq& p, const Tpq& q, Mode mode,
+                                     const Dtd& dtd, LabelPool* pool,
+                                     EngineContext* ctx,
+                                     const EngineLimits& limits = {});
 SchemaDecision ContainedViaConpRoute(const Tpq& p, const Tpq& q, Mode mode,
                                      const Dtd& dtd, LabelPool* pool,
                                      const EngineLimits& limits = {});

@@ -27,8 +27,9 @@ struct Config {
 
 class Engine {
  public:
-  Engine(const Dtd& dtd, const Tpq* p, const Tpq* q, const EngineLimits& limits)
-      : dtd_(dtd), limits_(limits),
+  Engine(const Dtd& dtd, const Tpq* p, const Tpq* q, EngineContext* ctx,
+         const EngineLimits& limits)
+      : dtd_(dtd), ctx_(ctx), limits_(limits),
         deadline_(std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(limits.max_milliseconds)) {
     if (p != nullptr) p_det_.emplace(*p);
@@ -36,13 +37,15 @@ class Engine {
   }
 
   bool PastDeadline() const {
-    return limits_.max_milliseconds > 0 &&
-           std::chrono::steady_clock::now() > deadline_;
+    return (limits_.max_milliseconds > 0 &&
+            std::chrono::steady_clock::now() > deadline_) ||
+           ctx_->budget().Exhausted();
   }
 
   /// Runs the fixpoint until a configuration satisfying `accept` is found
-  /// (returning its index), the reachable set is exhausted (-1), or the
-  /// configuration limit is hit (-2, undecided).
+  /// (returning its index), the reachable set is exhausted (-1), or a
+  /// resource limit is hit (-2, undecided).  Legacy `EngineLimits` caps and
+  /// the context budget both funnel into the -2 outcome.
   template <typename AcceptFn>
   int32_t Solve(AcceptFn accept) {
     bool changed = true;
@@ -75,6 +78,14 @@ class Engine {
 
   const Config& config(int32_t index) const { return configs_[index]; }
   int64_t num_configs() const { return static_cast<int64_t>(configs_.size()); }
+
+  /// Deterministic pattern-automaton states materialized across p and q.
+  int64_t det_states() const {
+    int64_t n = 0;
+    if (p_det_.has_value()) n += p_det_->num_materialized();
+    if (q_det_.has_value()) n += q_det_->num_materialized();
+    return n;
+  }
 
   bool PAccepts(int32_t p_state, Mode mode) const {
     if (!p_det_.has_value()) return true;
@@ -109,6 +120,7 @@ class Engine {
 
     std::vector<HNode> nodes;
     std::map<HKey, int32_t> seen;
+    EngineStats& stats = ctx_->stats();
     auto intern = [&](HNode node) -> int32_t {
       HKey key{node.nfa_state, node.p_sat, node.p_below, node.q_sat,
                node.q_below};
@@ -117,6 +129,7 @@ class Engine {
       int32_t id = static_cast<int32_t>(nodes.size());
       seen.emplace(std::move(key), id);
       nodes.push_back(std::move(node));
+      stats.horizontal_nodes.fetch_add(1, std::memory_order_relaxed);
       return id;
     };
     HNode start;
@@ -129,6 +142,7 @@ class Engine {
 
     for (size_t i = 0; i < nodes.size(); ++i) {
       if (static_cast<int64_t>(nodes.size()) >= limits_.max_horizontal_nodes ||
+          !ctx_->budget().Charge(1) ||
           ((i & 1023) == 0 && PastDeadline())) {
         truncated_ = true;
         break;
@@ -154,6 +168,7 @@ class Engine {
           int32_t id = static_cast<int32_t>(configs_.size());
           configs_.push_back(std::move(cfg));
           config_ids_.emplace(key, id);
+          stats.schema_configurations.fetch_add(1, std::memory_order_relaxed);
           *changed = true;
           if (accept(a, ps, qs)) {
             goal_ = id;
@@ -190,6 +205,7 @@ class Engine {
   }
 
   const Dtd& dtd_;
+  EngineContext* ctx_;
   EngineLimits limits_;
   std::chrono::steady_clock::time_point deadline_;
   std::optional<TpqDetAutomaton> p_det_;
@@ -200,64 +216,96 @@ class Engine {
   bool truncated_ = false;
 };
 
+/// Folds the Engine result into a SchemaDecision, recording the
+/// deterministic-state count in the context's instrumentation block.
+SchemaDecision Finish(Engine* engine, EngineContext* ctx, int32_t goal,
+                      bool yes_when_exhausted_reachable) {
+  SchemaDecision out;
+  out.configurations = engine->num_configs();
+  out.decided = goal != -2;
+  out.outcome = out.decided ? Outcome::kDecided : Outcome::kResourceExhausted;
+  out.yes = yes_when_exhausted_reachable ? goal == -1 : goal >= 0;
+  if (goal >= 0) out.witness = engine->BuildWitness(goal);
+  ctx->stats().det_states_materialized.fetch_add(engine->det_states(),
+                                                 std::memory_order_relaxed);
+  return out;
+}
+
 }  // namespace
 
 SchemaDecision SatisfiableWithDtd(const Tpq& p, Mode mode, const Dtd& dtd,
+                                  EngineContext* ctx,
                                   const EngineLimits& limits) {
-  Engine engine(dtd, &p, nullptr, limits);
+  Engine engine(dtd, &p, nullptr, ctx, limits);
   int32_t goal = engine.Solve([&](LabelId a, int32_t ps, int32_t qs) {
     (void)qs;
     return dtd.IsStart(a) && engine.PAccepts(ps, mode);
   });
-  SchemaDecision out;
-  out.configurations = engine.num_configs();
-  out.decided = goal != -2;
-  out.yes = goal >= 0;
-  if (goal >= 0) out.witness = engine.BuildWitness(goal);
-  return out;
+  return Finish(&engine, ctx, goal, /*yes_when_exhausted_reachable=*/false);
 }
 
 SchemaDecision ValidWithDtd(const Tpq& q, Mode mode, const Dtd& dtd,
-                            const EngineLimits& limits) {
-  Engine engine(dtd, nullptr, &q, limits);
+                            EngineContext* ctx, const EngineLimits& limits) {
+  Engine engine(dtd, nullptr, &q, ctx, limits);
   int32_t goal = engine.Solve([&](LabelId a, int32_t ps, int32_t qs) {
     (void)ps;
     return dtd.IsStart(a) && !engine.QAccepts(qs, mode);
   });
-  SchemaDecision out;
-  out.configurations = engine.num_configs();
-  out.decided = goal != -2;
-  out.yes = goal == -1;  // valid iff no counterexample
-  if (goal >= 0) out.witness = engine.BuildWitness(goal);
-  return out;
+  // Valid iff no counterexample.
+  return Finish(&engine, ctx, goal, /*yes_when_exhausted_reachable=*/true);
 }
 
 SchemaDecision ContainedWithDtd(const Tpq& p, const Tpq& q, Mode mode,
-                                const Dtd& dtd, const EngineLimits& limits) {
-  Engine engine(dtd, &p, &q, limits);
+                                const Dtd& dtd, EngineContext* ctx,
+                                const EngineLimits& limits) {
+  Engine engine(dtd, &p, &q, ctx, limits);
   int32_t goal = engine.Solve([&](LabelId a, int32_t ps, int32_t qs) {
     return dtd.IsStart(a) && engine.PAccepts(ps, mode) &&
            !engine.QAccepts(qs, mode);
   });
-  SchemaDecision out;
-  out.configurations = engine.num_configs();
-  out.decided = goal != -2;
-  out.yes = goal == -1;  // contained iff no counterexample
-  if (goal >= 0) out.witness = engine.BuildWitness(goal);
-  return out;
+  // Contained iff no counterexample.
+  return Finish(&engine, ctx, goal, /*yes_when_exhausted_reachable=*/true);
 }
 
-SchemaDecision SatisfiablePathWithDtd(const Tpq& p, Mode mode,
-                                      const Dtd& dtd) {
+SchemaDecision SatisfiablePathWithDtd(const Tpq& p, Mode mode, const Dtd& dtd,
+                                      EngineContext* ctx) {
   assert(IsPathQuery(p));
   Nta product = Nta::Intersect(Nta::FromDtd(dtd),
                                Nta::FromPathQuery(p, mode == Mode::kStrong));
+  EngineStats& stats = ctx->stats();
+  stats.nta_states_built.fetch_add(product.num_states(),
+                                   std::memory_order_relaxed);
+  stats.nta_transitions_built.fetch_add(
+      static_cast<int64_t>(product.transitions().size()),
+      std::memory_order_relaxed);
   SchemaDecision out;
   out.configurations = product.num_states();
   std::optional<Tree> witness = product.SmallestWitness();
   out.yes = witness.has_value();
   out.witness = std::move(witness);
   return out;
+}
+
+// Legacy entry points: same algorithms against the process-default context.
+
+SchemaDecision SatisfiableWithDtd(const Tpq& p, Mode mode, const Dtd& dtd,
+                                  const EngineLimits& limits) {
+  return SatisfiableWithDtd(p, mode, dtd, &EngineContext::Default(), limits);
+}
+
+SchemaDecision ValidWithDtd(const Tpq& q, Mode mode, const Dtd& dtd,
+                            const EngineLimits& limits) {
+  return ValidWithDtd(q, mode, dtd, &EngineContext::Default(), limits);
+}
+
+SchemaDecision ContainedWithDtd(const Tpq& p, const Tpq& q, Mode mode,
+                                const Dtd& dtd, const EngineLimits& limits) {
+  return ContainedWithDtd(p, q, mode, dtd, &EngineContext::Default(), limits);
+}
+
+SchemaDecision SatisfiablePathWithDtd(const Tpq& p, Mode mode,
+                                      const Dtd& dtd) {
+  return SatisfiablePathWithDtd(p, mode, dtd, &EngineContext::Default());
 }
 
 }  // namespace tpc

@@ -30,6 +30,7 @@
 
 #include "contain/containment.h"  // Mode
 #include "dtd/dtd.h"
+#include "engine/engine.h"
 #include "pattern/tpq.h"
 #include "tree/tree.h"
 
@@ -53,6 +54,9 @@ struct SchemaDecision {
   /// False iff the engine hit a resource limit before the answer was
   /// certain; `yes` is then meaningless.
   bool decided = true;
+  /// Same information as `decided`, phrased in the engine's vocabulary
+  /// (`kResourceExhausted` covers legacy caps and ctx budgets alike).
+  Outcome outcome = Outcome::kDecided;
   /// Answer to the *decision problem* as phrased in the paper:
   /// satisfiable? / valid? / contained?
   bool yes = false;
@@ -65,20 +69,33 @@ struct SchemaDecision {
 };
 
 /// Is L(p) ∩ L(d) nonempty?  (W-/S-Satisfiability w.r.t. a DTD, Section 4.)
+/// The ctx overload additionally honours the context's step/deadline budget
+/// and fills its instrumentation counters.
+SchemaDecision SatisfiableWithDtd(const Tpq& p, Mode mode, const Dtd& dtd,
+                                  EngineContext* ctx,
+                                  const EngineLimits& limits = {});
 SchemaDecision SatisfiableWithDtd(const Tpq& p, Mode mode, const Dtd& dtd,
                                   const EngineLimits& limits = {});
 
 /// Is L(d) ⊆ L(q)?  (W-/S-Validity w.r.t. a DTD, Section 5.)
 SchemaDecision ValidWithDtd(const Tpq& q, Mode mode, const Dtd& dtd,
+                            EngineContext* ctx,
+                            const EngineLimits& limits = {});
+SchemaDecision ValidWithDtd(const Tpq& q, Mode mode, const Dtd& dtd,
                             const EngineLimits& limits = {});
 
 /// Is L(p) ∩ L(d) ⊆ L(q)?  (W-/S-Containment w.r.t. a DTD, Section 6.)
+SchemaDecision ContainedWithDtd(const Tpq& p, const Tpq& q, Mode mode,
+                                const Dtd& dtd, EngineContext* ctx,
+                                const EngineLimits& limits = {});
 SchemaDecision ContainedWithDtd(const Tpq& p, const Tpq& q, Mode mode,
                                 const Dtd& dtd,
                                 const EngineLimits& limits = {});
 
 /// Polynomial-time satisfiability of a *path* query w.r.t. a DTD via tree
 /// automata intersection (Theorem 4.1(1)); cross-checks the engine.
+SchemaDecision SatisfiablePathWithDtd(const Tpq& p, Mode mode, const Dtd& dtd,
+                                      EngineContext* ctx);
 SchemaDecision SatisfiablePathWithDtd(const Tpq& p, Mode mode, const Dtd& dtd);
 
 }  // namespace tpc

@@ -37,6 +37,16 @@ class Tree {
   /// Adds the root.  Precondition: the tree is empty.  Returns node 0.
   NodeId AddRoot(LabelId label);
 
+  /// Removes every node but keeps the arena capacity, so a tree can serve
+  /// as a reusable scratch buffer in enumeration hot loops.
+  void Clear() {
+    labels_.clear();
+    parents_.clear();
+    first_child_.clear();
+    next_sibling_.clear();
+    last_child_.clear();
+  }
+
   /// Adds a new rightmost child of `parent`.  Returns its id.
   NodeId AddChild(NodeId parent, LabelId label);
 
