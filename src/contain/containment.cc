@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <limits>
 #include <mutex>
 
 #include "contain/homomorphism.h"
@@ -79,13 +80,13 @@ ContainmentResult SequentialSweep(const Tpq& p, const Tpq& q, Mode mode,
 /// find a counterexample (or exhaust the budget) stops the others.
 ContainmentResult ParallelSweep(const Tpq& p, const Tpq& q, Mode mode,
                                 LabelId bottom, size_t num_edges,
-                                int32_t bound, uint64_t total,
+                                int32_t bound, uint64_t total, uint64_t chunk,
                                 EngineContext* ctx) {
   ContainmentResult result;
   result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
   EngineStats& stats = ctx->stats();
-  const uint64_t chunk =
-      static_cast<uint64_t>(ctx->config().parallel_chunk);
+  // The caller guarantees chunk >= 1 and total + chunk - 1 <= INT64_MAX, so
+  // neither the rounding below nor the int64 cast can overflow.
   const uint64_t num_chunks = (total + chunk - 1) / chunk;
   std::atomic<bool> stop{false};
   std::atomic<bool> out_of_budget{false};
@@ -262,11 +263,20 @@ ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
   std::optional<uint64_t> total =
       CanonicalLengthEnumerator(num_edges, bound).TotalCountExact();
   // Parallelize only when the space is big enough to amortize the chunk
-  // bookkeeping.  Spaces too large to linearize in 64 bits run sequentially:
-  // no budget finishes them anyway.
+  // bookkeeping.  Spaces too large to linearize in 64 bits run sequentially
+  // (no budget finishes them anyway) — and so do totals near the int64/uint64
+  // edge, where the chunk-count arithmetic in ParallelSweep would wrap and
+  // sweep only a sliver of the space.
+  const uint64_t chunk =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::max<int64_t>(
+                                0, ctx->config().parallel_chunk)));
+  const uint64_t max_parallel_total =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) - chunk;
   if (ctx->threads() > 1 && total.has_value() &&
-      *total >= static_cast<uint64_t>(ctx->config().parallel_threshold)) {
-    return ParallelSweep(p, q, mode, bottom, num_edges, bound, *total, ctx);
+      *total >= static_cast<uint64_t>(ctx->config().parallel_threshold) &&
+      *total <= max_parallel_total) {
+    return ParallelSweep(p, q, mode, bottom, num_edges, bound, *total, chunk,
+                         ctx);
   }
   return SequentialSweep(p, q, mode, bottom, num_edges, bound, ctx);
 }

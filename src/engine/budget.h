@@ -30,32 +30,45 @@ class Budget {
 
   /// Arms the budget: at most `step_limit` steps (0 = unlimited) and at most
   /// `deadline_ms` milliseconds from now (0 = unlimited).  Resets the step
-  /// counter and the exhausted flag.
+  /// counter and the exhausted flag.  All fields are atomic, so calling this
+  /// while workers are still charging is not undefined behavior — but it is
+  /// still wrong (a decision would run under a mix of old and new limits);
+  /// re-arm only between decisions.
   void Arm(int64_t step_limit, int64_t deadline_ms) {
     steps_.store(0, std::memory_order_relaxed);
     exhausted_.store(false, std::memory_order_relaxed);
-    step_limit_ = step_limit;
-    has_deadline_ = deadline_ms > 0;
-    if (has_deadline_) {
-      deadline_ = std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(deadline_ms);
+    step_limit_.store(step_limit, std::memory_order_relaxed);
+    int64_t deadline_ticks = kNoDeadline;
+    if (deadline_ms > 0) {
+      deadline_ticks = (std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms))
+                           .time_since_epoch()
+                           .count();
     }
+    deadline_ticks_.store(deadline_ticks, std::memory_order_relaxed);
   }
 
-  bool limited() const { return step_limit_ > 0 || has_deadline_; }
+  bool limited() const {
+    return step_limit_.load(std::memory_order_relaxed) > 0 ||
+           deadline_ticks_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
 
   /// Consumes `n` steps; returns false once the budget is exhausted.  A
   /// false result is sticky: every later call also returns false.
   bool Charge(int64_t n = 1) {
     int64_t used = steps_.fetch_add(n, std::memory_order_relaxed) + n;
-    if (!limited()) return true;
+    const int64_t limit = step_limit_.load(std::memory_order_relaxed);
+    const int64_t deadline = deadline_ticks_.load(std::memory_order_relaxed);
+    if (limit <= 0 && deadline == kNoDeadline) return true;
     if (exhausted_.load(std::memory_order_relaxed)) return false;
-    if (step_limit_ > 0 && used > step_limit_) {
+    if (limit > 0 && used > limit) {
       exhausted_.store(true, std::memory_order_relaxed);
       return false;
     }
-    if (has_deadline_ && used / kClockPeriod != (used - n) / kClockPeriod &&
-        std::chrono::steady_clock::now() > deadline_) {
+    if (deadline != kNoDeadline &&
+        used / kClockPeriod != (used - n) / kClockPeriod &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >
+            deadline) {
       exhausted_.store(true, std::memory_order_relaxed);
       return false;
     }
@@ -76,11 +89,15 @@ class Budget {
   /// a single atomic add in the common case.
   static constexpr int64_t kClockPeriod = 256;
 
+  /// Sentinel for "no deadline" in `deadline_ticks_`.  Deadlines are stored
+  /// as raw steady_clock tick counts so they fit in one atomic word; a real
+  /// steady_clock reading some milliseconds in the future is never 0.
+  static constexpr int64_t kNoDeadline = 0;
+
   std::atomic<int64_t> steps_{0};
   std::atomic<bool> exhausted_{false};
-  int64_t step_limit_ = 0;
-  bool has_deadline_ = false;
-  std::chrono::steady_clock::time_point deadline_{};
+  std::atomic<int64_t> step_limit_{0};
+  std::atomic<int64_t> deadline_ticks_{kNoDeadline};
 };
 
 }  // namespace tpc

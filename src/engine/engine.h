@@ -82,7 +82,10 @@ class EngineContext {
 
   /// Re-arms the deadline/step limit from now and zeroes the step counter
   /// (counters in `stats()` are left to accumulate; call `stats().Reset()`
-  /// separately if per-decision counters are wanted).
+  /// separately if per-decision counters are wanted).  Call only between
+  /// decisions: re-arming while a decision (e.g. a parallel sweep) is still
+  /// running is not a data race — the budget's fields are atomic — but the
+  /// in-flight decision would then run under a mix of old and new limits.
   void ResetBudget();
 
   /// JSON dump of the counters plus the budget's step count.

@@ -33,9 +33,14 @@ void ThreadPool::WorkerLoop() {
     });
     if (shutdown_) return;
     seen_generation = job_generation_;
-    ++active_workers_;
     const std::function<void(int64_t)>* fn = job_fn_;
     int64_t n = job_size_;
+    // A null job means the notification was for a job that already retired
+    // (the caller drained it alone before this thread woke).  Claim nothing —
+    // in particular don't touch next_index_, which may already belong to the
+    // next job.
+    if (fn == nullptr || n <= 0) continue;
+    ++active_workers_;
     lock.unlock();
     for (int64_t i = next_index_.fetch_add(1); i < n;
          i = next_index_.fetch_add(1)) {
@@ -67,10 +72,16 @@ void ThreadPool::ParallelFor(int64_t n,
        i = next_index_.fetch_add(1)) {
     fn(i);
   }
-  // Workers that never woke up claim no index (the counter is exhausted), so
-  // waiting for active_workers_ == 0 waits exactly for in-flight fn calls.
+  // Every worker processing this job incremented active_workers_ under mu_
+  // before its first claim, so waiting for 0 waits for all in-flight fn
+  // calls.  Workers that were notified but have not woken yet are handled by
+  // retiring the job below, still under mu_: when such a worker finally runs
+  // it finds job_fn_ == nullptr and claims nothing, so it can neither call
+  // the (by then destroyed) function nor steal indices from the next job.
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  job_fn_ = nullptr;
+  job_size_ = 0;
 }
 
 }  // namespace tpc

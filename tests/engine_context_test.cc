@@ -74,6 +74,25 @@ TEST(ThreadPoolTest, ReusableAcrossJobs) {
   }
 }
 
+TEST(ThreadPoolTest, BackToBackTinyJobsNeverLoseOrDuplicateIndices) {
+  // Regression test for the stale-generation race: with tiny jobs the caller
+  // often drains every index before any worker wakes, returns, and
+  // immediately publishes the next job — a late worker must neither invoke
+  // the previous (destroyed) function nor steal indices from the new job.
+  ThreadPool pool(4);
+  for (int round = 0; round < 2000; ++round) {
+    const int64_t n = 1 + round % 4;
+    std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+    pool.ParallelFor(n, [&](int64_t i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "round " << round << " index " << i;
+    }
+  }
+}
+
 TEST(ThreadPoolTest, SingleThreadRunsInline) {
   ThreadPool pool(1);
   std::atomic<int> count{0};
