@@ -163,6 +163,13 @@ int main(int argc, char** argv) {
           std::printf("counterexample: %s\n",
                       r.counterexample->ToString(pool).c_str());
         }
+        if (r.counterexample_lengths.has_value()) {
+          std::printf("counterexample chain lengths:");
+          for (int32_t len : *r.counterexample_lengths) {
+            std::printf(" %d", len);
+          }
+          std::printf("\n");
+        }
       }
       return Finish(&ctx, print_stats, r.outcome != Outcome::kDecided,
                     r.contained ? 0 : 1);

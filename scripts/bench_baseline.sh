@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Records the Table-1 benchmark baseline: builds the release preset and runs
+# the containment benches (the P/coNP grid, the chunked-parallel sweep and
+# the incremental-sweep A/B) with JSON output into BENCH_table1.json at the
+# repo root, for before/after comparison across PRs.
+#
+# Usage: scripts/bench_baseline.sh [benchmark_filter_regex]
+# The optional regex is passed to --benchmark_filter (default: all).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+filter="${1:-.}"
+
+cmake --preset release
+cmake --build --preset release -j "$(nproc)" --target bench_table1_containment
+
+./build/bench/bench_table1_containment \
+  --benchmark_filter="$filter" \
+  --benchmark_out=BENCH_table1.json \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "wrote $(pwd)/BENCH_table1.json"

@@ -1,16 +1,28 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configure + build the asan preset and run the test suite
-# under AddressSanitizer/UBSan.  Pass `tsan` as the first argument to run the
-# ThreadSanitizer preset instead (exercises the engine thread pool).
+# Regression gate: configure + build + ctest one or more presets, failing on
+# the first preset whose tests regress.  With no argument the tier-1 gate
+# runs — the release preset and the asan (AddressSanitizer/UBSan) preset.
+# Pass `asan`, `tsan` or `release` to run a single preset (tsan exercises
+# the engine thread pool under ThreadSanitizer).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-preset="${1:-asan}"
-case "$preset" in
-  asan|tsan|release) ;;
-  *) echo "usage: $0 [asan|tsan|release]" >&2; exit 2 ;;
-esac
+if [[ $# -eq 0 ]]; then
+  presets=(release asan)
+else
+  presets=("$1")
+fi
 
-cmake --preset "$preset"
-cmake --build --preset "$preset" -j "$(nproc)"
-ctest --preset "$preset" -j "$(nproc)"
+for preset in "${presets[@]}"; do
+  case "$preset" in
+    asan|tsan|release) ;;
+    *) echo "usage: $0 [asan|tsan|release]" >&2; exit 2 ;;
+  esac
+done
+
+for preset in "${presets[@]}"; do
+  echo "== preset: $preset =="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --preset "$preset" -j "$(nproc)"
+done

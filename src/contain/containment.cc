@@ -48,26 +48,66 @@ int64_t TreeCost(const Tpq& q, const Tree& t) {
   return 1 + static_cast<int64_t>(q.size()) * t.size();
 }
 
+/// One incremental-sweep step shared by the sequential and parallel sweeps:
+/// (re)builds the canonical model for the enumerator's current length vector,
+/// charges the budget, and (re)runs the embedding DP in `ws`.  When
+/// `incremental` and this is not the first iteration on this
+/// (builder, ws, scratch) triple, only the suffix from the first changed
+/// spine is rebuilt and only the invalidated DP columns are refilled.
+/// Returns the `Matches` verdict, or std::nullopt when the budget ran out
+/// (the tree is built but not evaluated, mirroring the from-scratch path).
+std::optional<bool> SweepStep(const Tpq& q, Mode mode,
+                              CanonicalTreeBuilder* builder,
+                              MatcherWorkspace* ws, Tree* scratch,
+                              const CanonicalLengthEnumerator& lengths,
+                              bool fresh, bool incremental,
+                              EngineContext* ctx) {
+  EngineStats& stats = ctx->stats();
+  stats.canonical_trees_enumerated.fetch_add(1, std::memory_order_relaxed);
+  size_t first_changed = lengths.first_changed();
+  bool suffix_only =
+      !fresh && incremental && first_changed < builder->num_spines();
+  if (suffix_only) {
+    builder->BuildSuffix(lengths.lengths(), first_changed, scratch);
+    stats.trees_rebuilt_from_spine.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    builder->BuildFull(lengths.lengths(), scratch);
+  }
+  if (!ctx->budget().Charge(TreeCost(q, *scratch))) return std::nullopt;
+  if (suffix_only) {
+    ws->EvalIncremental(q, *scratch, builder->spine_start(first_changed),
+                        &stats);
+  } else {
+    ws->EvalFull(q, *scratch, &stats);
+  }
+  return mode == Mode::kStrong ? ws->MatchesStrong() : ws->MatchesWeak();
+}
+
 /// Sequential sweep over the whole length-vector space, reusing one scratch
-/// tree across iterations.
+/// tree and one matcher workspace across iterations.
 ContainmentResult SequentialSweep(const Tpq& p, const Tpq& q, Mode mode,
                                   LabelId bottom, size_t num_edges,
-                                  int32_t bound, EngineContext* ctx) {
+                                  int32_t bound, bool incremental,
+                                  EngineContext* ctx) {
   ContainmentResult result;
   result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
-  EngineStats& stats = ctx->stats();
+  CanonicalTreeBuilder builder(p, bottom);
+  MatcherWorkspace ws;
   Tree scratch;
   CanonicalLengthEnumerator lengths(num_edges, bound);
+  bool fresh = true;
   do {
-    CanonicalTreeInto(p, lengths.lengths(), bottom, &scratch);
-    stats.canonical_trees_enumerated.fetch_add(1, std::memory_order_relaxed);
-    if (!ctx->budget().Charge(TreeCost(q, scratch))) {
+    std::optional<bool> matched = SweepStep(
+        q, mode, &builder, &ws, &scratch, lengths, fresh, incremental, ctx);
+    fresh = false;
+    if (!matched.has_value()) {
       result.outcome = Outcome::kResourceExhausted;
       return result;
     }
-    if (!Matches(q, scratch, mode, &stats)) {
+    if (!*matched) {
       result.contained = false;
       result.counterexample = std::move(scratch);
+      result.counterexample_lengths = lengths.lengths();
       return result;
     }
   } while (lengths.Next());
@@ -81,10 +121,9 @@ ContainmentResult SequentialSweep(const Tpq& p, const Tpq& q, Mode mode,
 ContainmentResult ParallelSweep(const Tpq& p, const Tpq& q, Mode mode,
                                 LabelId bottom, size_t num_edges,
                                 int32_t bound, uint64_t total, uint64_t chunk,
-                                EngineContext* ctx) {
+                                bool incremental, EngineContext* ctx) {
   ContainmentResult result;
   result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
-  EngineStats& stats = ctx->stats();
   // The caller guarantees chunk >= 1 and total + chunk - 1 <= INT64_MAX, so
   // neither the rounding below nor the int64 cast can overflow.
   const uint64_t num_chunks = (total + chunk - 1) / chunk;
@@ -92,6 +131,7 @@ ContainmentResult ParallelSweep(const Tpq& p, const Tpq& q, Mode mode,
   std::atomic<bool> out_of_budget{false};
   std::mutex mu;
   std::optional<Tree> counterexample;
+  std::optional<std::vector<int32_t>> counterexample_lengths;
 
   ctx->pool().ParallelFor(
       static_cast<int64_t>(num_chunks), [&](int64_t chunk_index) {
@@ -100,21 +140,28 @@ ContainmentResult ParallelSweep(const Tpq& p, const Tpq& q, Mode mode,
         uint64_t end = std::min(begin + chunk, total);
         CanonicalLengthEnumerator lengths(num_edges, bound);
         lengths.SeekTo(begin);
+        // Builder, workspace and scratch tree live for the whole chunk, so
+        // within a chunk every step after the first runs incrementally.
+        CanonicalTreeBuilder builder(p, bottom);
+        MatcherWorkspace ws;
         Tree scratch;
+        bool fresh = true;
         for (uint64_t i = begin; i < end; ++i) {
           if (stop.load(std::memory_order_relaxed)) return;
-          CanonicalTreeInto(p, lengths.lengths(), bottom, &scratch);
-          stats.canonical_trees_enumerated.fetch_add(
-              1, std::memory_order_relaxed);
-          if (!ctx->budget().Charge(TreeCost(q, scratch))) {
+          std::optional<bool> matched =
+              SweepStep(q, mode, &builder, &ws, &scratch, lengths, fresh,
+                        incremental, ctx);
+          fresh = false;
+          if (!matched.has_value()) {
             out_of_budget.store(true, std::memory_order_relaxed);
             stop.store(true, std::memory_order_relaxed);
             return;
           }
-          if (!Matches(q, scratch, mode, &stats)) {
+          if (!*matched) {
             std::lock_guard<std::mutex> lock(mu);
             if (!counterexample.has_value()) {
               counterexample = std::move(scratch);
+              counterexample_lengths = lengths.lengths();
             }
             stop.store(true, std::memory_order_relaxed);
             return;
@@ -128,6 +175,7 @@ ContainmentResult ParallelSweep(const Tpq& p, const Tpq& q, Mode mode,
   if (counterexample.has_value()) {
     result.contained = false;
     result.counterexample = std::move(counterexample);
+    result.counterexample_lengths = std::move(counterexample_lengths);
   } else if (out_of_budget.load(std::memory_order_relaxed)) {
     result.outcome = Outcome::kResourceExhausted;
   } else {
@@ -151,6 +199,8 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
       result.contained = false;
       result.counterexample =
           MinimalCanonicalTree(p, pool->Fresh("_bot"));
+      result.counterexample_lengths =
+          std::vector<int32_t>(DescendantEdges(p).size(), 0);
       result.algorithm = ContainmentAlgorithm::kMinimalCanonical;
       return result;
     }
@@ -187,11 +237,16 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
         result.outcome = Outcome::kResourceExhausted;
         return result;
       }
-      result.contained = HomomorphismExists(qn, p, /*root_to_root=*/false);
+      // The dispatcher can route many pairs here back to back (benchmarks,
+      // minimization loops); a per-thread scratch keeps the DP tables alive.
+      thread_local HomomorphismScratch scratch;
+      result.contained =
+          HomomorphismExists(qn, p, /*root_to_root=*/false, &scratch);
       if (!result.contained) {
-        result.counterexample = CanonicalTree(
-            p, std::vector<int32_t>(DescendantEdges(p).size(), 1),
-            pool->Fresh("_bot"));
+        std::vector<int32_t> ones(DescendantEdges(p).size(), 1);
+        result.counterexample =
+            CanonicalTree(p, ones, pool->Fresh("_bot"));
+        result.counterexample_lengths = std::move(ones);
       }
       return result;
     }
@@ -210,7 +265,11 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
         return result;
       }
       result.contained = Matches(qn, t, Mode::kWeak, &stats);
-      if (!result.contained) result.counterexample = std::move(t);
+      if (!result.contained) {
+        result.counterexample = std::move(t);
+        result.counterexample_lengths =
+            std::vector<int32_t>(DescendantEdges(p).size(), 0);
+      }
       return result;
     }
     if (!fp.descendant_edges) {
@@ -225,7 +284,11 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
         return result;
       }
       result.contained = Matches(qn, t, Mode::kWeak, &stats);
-      if (!result.contained) result.counterexample = std::move(t);
+      if (!result.contained) {
+        result.counterexample = std::move(t);
+        result.counterexample_lengths =
+            std::vector<int32_t>(DescendantEdges(p).size(), 0);
+      }
       return result;
     }
     if (IsPathQuery(p)) {
@@ -276,9 +339,10 @@ ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
       *total >= static_cast<uint64_t>(ctx->config().parallel_threshold) &&
       *total <= max_parallel_total) {
     return ParallelSweep(p, q, mode, bottom, num_edges, bound, *total, chunk,
-                         ctx);
+                         options.incremental, ctx);
   }
-  return SequentialSweep(p, q, mode, bottom, num_edges, bound, ctx);
+  return SequentialSweep(p, q, mode, bottom, num_edges, bound,
+                         options.incremental, ctx);
 }
 
 ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,

@@ -23,8 +23,10 @@
 #ifndef TPC_CONTAIN_CONTAINMENT_H_
 #define TPC_CONTAIN_CONTAINMENT_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "base/label.h"
 #include "engine/engine.h"
@@ -52,6 +54,12 @@ struct ContainmentResult {
   /// produces witnesses (the canonical-model based procedures do; the
   /// recursive P algorithms of Theorems 3.2(1)/(2) do not).
   std::optional<Tree> counterexample;
+  /// The spine chain-length vector (one entry per descendant edge of p, in
+  /// document order) whose canonical model the counterexample is.  Set
+  /// whenever `counterexample` comes from a canonical model — including the
+  /// parallel sweep, the homomorphism route (all-ones vector) and the
+  /// single/minimal canonical routes.
+  std::optional<std::vector<int32_t>> counterexample_lengths;
   ContainmentAlgorithm algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
   /// `kResourceExhausted` when the engine budget ran out before the answer
   /// was certain; `contained` is then meaningless.
@@ -68,6 +76,11 @@ struct ContainmentOptions {
   /// If true, the dispatcher may not route to the fragment-specific P
   /// algorithms (used by tests to force the general procedure).
   bool force_canonical = false;
+  /// If true (default) the canonical sweep rebuilds each model from the
+  /// first changed spine only and re-runs the embedding DP on just the
+  /// invalidated columns; if false every model is built and evaluated from
+  /// scratch (for A/B benchmarks and agreement tests).
+  bool incremental = true;
 };
 
 /// Decides L(p) ⊆ L(q) (weak or strong languages per `mode`) under the

@@ -4,14 +4,17 @@
 
 namespace tpc {
 
-bool HomomorphismExists(const Tpq& q, const Tpq& p, bool root_to_root) {
+bool HomomorphismExists(const Tpq& q, const Tpq& p, bool root_to_root,
+                        HomomorphismScratch* scratch) {
   if (q.empty() || p.empty()) return false;
   size_t np = static_cast<size_t>(p.size());
   // sat[x * np + u]: subquery(x) of q maps with x -> u of p.
   // below[x * np + u]: subquery(x) maps with x somewhere properly below u,
   // or at u (used for descendant edges, which stretch across >= 1 edge).
-  std::vector<char> sat(static_cast<size_t>(q.size()) * np, 0);
-  std::vector<char> below(sat.size(), 0);
+  std::vector<char>& sat = scratch->sat;
+  std::vector<char>& below = scratch->below;
+  sat.assign(static_cast<size_t>(q.size()) * np, 0);
+  below.assign(sat.size(), 0);
   for (NodeId x = q.size() - 1; x >= 0; --x) {
     for (NodeId u = p.size() - 1; u >= 0; --u) {
       // Labels: a wildcard of q maps anywhere; a letter of q must map to the
@@ -49,6 +52,11 @@ bool HomomorphismExists(const Tpq& q, const Tpq& p, bool root_to_root) {
     if (sat[static_cast<size_t>(u)] != 0) return true;  // x = 0 row
   }
   return false;
+}
+
+bool HomomorphismExists(const Tpq& q, const Tpq& p, bool root_to_root) {
+  HomomorphismScratch scratch;
+  return HomomorphismExists(q, p, root_to_root, &scratch);
 }
 
 }  // namespace tpc

@@ -11,13 +11,28 @@
 #ifndef TPC_CONTAIN_HOMOMORPHISM_H_
 #define TPC_CONTAIN_HOMOMORPHISM_H_
 
+#include <vector>
+
 #include "pattern/tpq.h"
 
 namespace tpc {
 
+/// Reusable DP tables for `HomomorphismExists`.  Callers that decide many
+/// pairs in a loop (the Obs. 2.3 dispatcher fast path, minimization) keep
+/// one scratch alive so the check stops allocating per call; the buffers
+/// grow to the largest instance seen.  Not thread-safe: one per thread.
+struct HomomorphismScratch {
+  std::vector<char> sat;
+  std::vector<char> below;
+};
+
 /// True iff there is a homomorphism from q into p.  If `root_to_root`, the
 /// root of q must map to the root of p (strong-containment flavour).
 bool HomomorphismExists(const Tpq& q, const Tpq& p, bool root_to_root);
+
+/// As above, with caller-provided scratch tables (resized as needed).
+bool HomomorphismExists(const Tpq& q, const Tpq& p, bool root_to_root,
+                        HomomorphismScratch* scratch);
 
 }  // namespace tpc
 

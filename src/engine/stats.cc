@@ -11,6 +11,8 @@ void EngineStats::Reset() {
   canonical_trees_enumerated.store(0, std::memory_order_relaxed);
   embeddings_attempted.store(0, std::memory_order_relaxed);
   dp_cells_filled.store(0, std::memory_order_relaxed);
+  dp_cells_reused.store(0, std::memory_order_relaxed);
+  trees_rebuilt_from_spine.store(0, std::memory_order_relaxed);
   homomorphism_checks.store(0, std::memory_order_relaxed);
   schema_configurations.store(0, std::memory_order_relaxed);
   horizontal_nodes.store(0, std::memory_order_relaxed);
@@ -35,6 +37,12 @@ std::string EngineStats::ToJson(int64_t steps_used) const {
          ", ";
   out += field("dp_cells_filled",
                dp_cells_filled.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("dp_cells_reused",
+               dp_cells_reused.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("trees_rebuilt_from_spine",
+               trees_rebuilt_from_spine.load(std::memory_order_relaxed)) +
          ", ";
   out += field("homomorphism_checks",
                homomorphism_checks.load(std::memory_order_relaxed)) +

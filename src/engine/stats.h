@@ -30,6 +30,12 @@ struct EngineStats {
   std::atomic<int64_t> canonical_trees_enumerated{0};
   std::atomic<int64_t> embeddings_attempted{0};
   std::atomic<int64_t> dp_cells_filled{0};
+  /// DP cells whose columns the incremental sweep carried over unchanged
+  /// from the previous canonical tree instead of recomputing them.
+  std::atomic<int64_t> dp_cells_reused{0};
+  /// Canonical trees rebuilt incrementally from the first changed spine
+  /// (prefix kept) rather than from scratch.
+  std::atomic<int64_t> trees_rebuilt_from_spine{0};
   std::atomic<int64_t> homomorphism_checks{0};
 
   // Schema-aware engine (src/schema) and automata substrate (src/automata).

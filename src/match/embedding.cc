@@ -1,95 +1,187 @@
 #include "match/embedding.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace tpc {
 
-Matcher::Matcher(const Tpq& q, const Tree& t, EngineStats* stats)
-    : q_(q), t_(t), t_size_(static_cast<size_t>(t.size())) {
-  sat_.assign(static_cast<size_t>(q.size()) * t_size_, 0);
-  desc_.assign(sat_.size(), 0);
-  if (stats != nullptr) {
-    stats->embeddings_attempted.fetch_add(1, std::memory_order_relaxed);
-    stats->dp_cells_filled.fetch_add(static_cast<int64_t>(sat_.size()),
-                                     std::memory_order_relaxed);
+void MatcherWorkspace::BindPattern(const Tpq& q) {
+  q_ = &q;
+  words_ = (static_cast<size_t>(q.size()) + 63) / 64;
+  req_child_.assign(static_cast<size_t>(q.size()) * words_, 0);
+  req_desc_.assign(req_child_.size(), 0);
+  wildcard_mask_.assign(words_, 0);
+  label_mask_store_.clear();
+  label_mask_offset_.clear();
+  for (NodeId v = 0; v < q.size(); ++v) {
+    size_t word = static_cast<size_t>(v) >> 6;
+    uint64_t bit = uint64_t{1} << (static_cast<size_t>(v) & 63);
+    if (v != 0) {
+      std::vector<uint64_t>& req =
+          q.Edge(v) == EdgeKind::kChild ? req_child_ : req_desc_;
+      req[static_cast<size_t>(q.Parent(v)) * words_ + word] |= bit;
+    }
+    if (q.IsWildcard(v)) {
+      wildcard_mask_[word] |= bit;
+    } else {
+      auto [it, inserted] =
+          label_mask_offset_.try_emplace(q.Label(v), label_mask_store_.size());
+      if (inserted) label_mask_store_.resize(label_mask_store_.size() + words_);
+      label_mask_store_[it->second + word] |= bit;
+    }
   }
-  // Pattern nodes bottom-up (children have larger ids than parents), and for
-  // each pattern node, tree nodes bottom-up for the desc_ closure.
-  for (NodeId v = q.size() - 1; v >= 0; --v) {
-    for (NodeId x = t.size() - 1; x >= 0; --x) {
-      bool ok = q.IsWildcard(v) || q.Label(v) == t.Label(x);
-      if (ok) {
-        for (NodeId c = q.FirstChild(v); c != kNoNode && ok;
-             c = q.NextSibling(c)) {
-          bool found = false;
-          if (q.Edge(c) == EdgeKind::kChild) {
-            for (NodeId y = t.FirstChild(x); y != kNoNode;
-                 y = t.NextSibling(y)) {
-              if (sat_[Index(c, y)]) {
-                found = true;
-                break;
-              }
-            }
-          } else {
-            // Proper descendant: somewhere in a child's subtree.
-            for (NodeId y = t.FirstChild(x); y != kNoNode;
-                 y = t.NextSibling(y)) {
-              if (desc_[Index(c, y)]) {
-                found = true;
-                break;
-              }
-            }
-          }
-          ok = found;
-        }
-      }
-      sat_[Index(v, x)] = ok;
-      bool below = ok;
-      for (NodeId y = t.FirstChild(x); y != kNoNode && !below;
-           y = t.NextSibling(y)) {
-        below = desc_[Index(v, y)];
-      }
-      desc_[Index(v, x)] = below;
+  // A wildcard pattern node matches every tree label: fold the wildcard bits
+  // into each per-letter mask so `LabelMask` needs a single lookup.
+  for (auto& [label, offset] : label_mask_offset_) {
+    for (size_t w = 0; w < words_; ++w) {
+      label_mask_store_[offset + w] |= wildcard_mask_[w];
     }
   }
 }
 
-bool Matcher::MatchesWeak() const {
-  if (q_.empty() || t_.empty()) return false;
-  return desc_[Index(0, 0)];
+const uint64_t* MatcherWorkspace::LabelMask(LabelId label) const {
+  auto it = label_mask_offset_.find(label);
+  if (it == label_mask_offset_.end()) return wildcard_mask_.data();
+  return &label_mask_store_[it->second];
 }
 
-bool Matcher::MatchesStrong() const {
-  if (q_.empty() || t_.empty()) return false;
-  return sat_[Index(0, 0)];
+void MatcherWorkspace::ComputeColumn(NodeId x) {
+  const Tree& t = *t_;
+  const size_t W = words_;
+  uint64_t* acc_c = acc_child_.data();
+  uint64_t* acc_d = acc_desc_.data();
+  std::fill_n(acc_c, W, uint64_t{0});
+  std::fill_n(acc_d, W, uint64_t{0});
+  for (NodeId y = t.FirstChild(x); y != kNoNode; y = t.NextSibling(y)) {
+    const uint64_t* child_sat = &sat_[RowOffset(y)];
+    const uint64_t* child_desc = &desc_[RowOffset(y)];
+    for (size_t w = 0; w < W; ++w) {
+      acc_c[w] |= child_sat[w];
+      acc_d[w] |= child_desc[w];
+    }
+  }
+  const uint64_t* labels_ok = LabelMask(t.Label(x));
+  uint64_t* sat_row = &sat_[RowOffset(x)];
+  uint64_t* desc_row = &desc_[RowOffset(x)];
+  for (size_t w = 0; w < W; ++w) {
+    uint64_t candidates = labels_ok[w];
+    uint64_t bits = 0;
+    while (candidates != 0) {
+      int b = std::countr_zero(candidates);
+      candidates &= candidates - 1;
+      size_t v = (w << 6) + static_cast<size_t>(b);
+      // Every child-edge child of v must be satisfied at some child of x,
+      // every descendant-edge child somewhere strictly below x.
+      const uint64_t* need_c = &req_child_[v * W];
+      const uint64_t* need_d = &req_desc_[v * W];
+      bool ok = true;
+      for (size_t u = 0; u < W; ++u) {
+        if ((acc_c[u] & need_c[u]) != need_c[u] ||
+            (acc_d[u] & need_d[u]) != need_d[u]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) bits |= uint64_t{1} << b;
+    }
+    sat_row[w] = bits;
+    desc_row[w] = bits | acc_d[w];
+  }
 }
 
-void Matcher::ExtractAt(NodeId v, NodeId x, std::vector<NodeId>* map) const {
-  assert(sat_[Index(v, x)]);
+void MatcherWorkspace::EvalFull(const Tpq& q, const Tree& t,
+                                EngineStats* stats) {
+  if (q_ != &q) BindPattern(q);
+  t_ = &t;
+  size_t table = static_cast<size_t>(t.size()) * words_;
+  sat_.resize(table);
+  desc_.resize(table);
+  acc_child_.resize(words_);
+  acc_desc_.resize(words_);
+  if (stats != nullptr) {
+    stats->embeddings_attempted.fetch_add(1, std::memory_order_relaxed);
+    stats->dp_cells_filled.fetch_add(
+        static_cast<int64_t>(q.size()) * t.size(), std::memory_order_relaxed);
+  }
+  // Tree nodes bottom-up (children have larger ids than parents).
+  for (NodeId x = t.size() - 1; x >= 0; --x) ComputeColumn(x);
+}
+
+void MatcherWorkspace::EvalIncremental(const Tpq& q, const Tree& t,
+                                       NodeId stable_limit,
+                                       EngineStats* stats) {
+  assert(q_ == &q && t_ == &t && "EvalIncremental needs a prior Eval* on the "
+                                 "same pattern and tree object");
+  assert(stable_limit >= 0 && stable_limit < t.size());
+  size_t table = static_cast<size_t>(t.size()) * words_;
+  sat_.resize(table);
+  desc_.resize(table);
+  int64_t recomputed = 0;
+  // The changed suffix, bottom-up ...
+  for (NodeId x = t.size() - 1; x >= stable_limit; --x) {
+    ComputeColumn(x);
+    ++recomputed;
+  }
+  // ... then the ancestor path of the cut: those columns kept their ids but
+  // their subtrees reach into the rebuilt region.  Every other column's
+  // subtree lies wholly inside [0, stable_limit) and is reused as-is.
+  for (NodeId a = t.Parent(stable_limit); a != kNoNode; a = t.Parent(a)) {
+    ComputeColumn(a);
+    ++recomputed;
+  }
+  if (stats != nullptr) {
+    stats->embeddings_attempted.fetch_add(1, std::memory_order_relaxed);
+    stats->dp_cells_filled.fetch_add(recomputed * q.size(),
+                                     std::memory_order_relaxed);
+    stats->dp_cells_reused.fetch_add(
+        (static_cast<int64_t>(t.size()) - recomputed) * q.size(),
+        std::memory_order_relaxed);
+  }
+}
+
+bool MatcherWorkspace::MatchesWeak() const {
+  if (q_ == nullptr || t_ == nullptr || q_->empty() || t_->empty()) {
+    return false;
+  }
+  return desc_[0] & 1;  // bit (v=0) of column (x=0)
+}
+
+bool MatcherWorkspace::MatchesStrong() const {
+  if (q_ == nullptr || t_ == nullptr || q_->empty() || t_->empty()) {
+    return false;
+  }
+  return sat_[0] & 1;
+}
+
+void MatcherWorkspace::ExtractAt(NodeId v, NodeId x,
+                                 std::vector<NodeId>* map) const {
+  assert(SatAt(v, x));
+  const Tpq& q = *q_;
+  const Tree& t = *t_;
   (*map)[v] = x;
-  for (NodeId c = q_.FirstChild(v); c != kNoNode; c = q_.NextSibling(c)) {
-    if (q_.Edge(c) == EdgeKind::kChild) {
-      for (NodeId y = t_.FirstChild(x); y != kNoNode; y = t_.NextSibling(y)) {
-        if (sat_[Index(c, y)]) {
+  for (NodeId c = q.FirstChild(v); c != kNoNode; c = q.NextSibling(c)) {
+    if (q.Edge(c) == EdgeKind::kChild) {
+      for (NodeId y = t.FirstChild(x); y != kNoNode; y = t.NextSibling(y)) {
+        if (SatAt(c, y)) {
           ExtractAt(c, y, map);
           break;
         }
       }
     } else {
-      // Walk down to the highest node in a child subtree where sat_ holds.
+      // Walk down to the highest node in a child subtree where sat holds.
       NodeId y = kNoNode;
-      for (NodeId z = t_.FirstChild(x); z != kNoNode; z = t_.NextSibling(z)) {
-        if (desc_[Index(c, z)]) {
+      for (NodeId z = t.FirstChild(x); z != kNoNode; z = t.NextSibling(z)) {
+        if (SatBelow(c, z)) {
           y = z;
           break;
         }
       }
       assert(y != kNoNode);
-      while (!sat_[Index(c, y)]) {
+      while (!SatAt(c, y)) {
         NodeId next = kNoNode;
-        for (NodeId z = t_.FirstChild(y); z != kNoNode;
-             z = t_.NextSibling(z)) {
-          if (desc_[Index(c, z)]) {
+        for (NodeId z = t.FirstChild(y); z != kNoNode; z = t.NextSibling(z)) {
+          if (SatBelow(c, z)) {
             next = z;
             break;
           }
@@ -102,22 +194,25 @@ void Matcher::ExtractAt(NodeId v, NodeId x, std::vector<NodeId>* map) const {
   }
 }
 
-std::optional<std::vector<NodeId>> Matcher::Witness(bool strong) const {
-  if (q_.empty() || t_.empty()) return std::nullopt;
+std::optional<std::vector<NodeId>> MatcherWorkspace::Witness(
+    bool strong) const {
+  if (q_ == nullptr || t_ == nullptr || q_->empty() || t_->empty()) {
+    return std::nullopt;
+  }
   NodeId start = kNoNode;
   if (strong) {
-    if (sat_[Index(0, 0)]) start = 0;
+    if (SatAt(0, 0)) start = 0;
   } else {
     // Find any node where the root satisfies, topmost first.
-    for (NodeId x = 0; x < t_.size(); ++x) {
-      if (sat_[Index(0, x)]) {
+    for (NodeId x = 0; x < t_->size(); ++x) {
+      if (SatAt(0, x)) {
         start = x;
         break;
       }
     }
   }
   if (start == kNoNode) return std::nullopt;
-  std::vector<NodeId> map(q_.size(), kNoNode);
+  std::vector<NodeId> map(q_->size(), kNoNode);
   ExtractAt(0, start, &map);
   return map;
 }

@@ -1,14 +1,24 @@
 // Weak and strong embeddings of tree pattern queries into trees
 // (Definition 2.1 and Figure 1 of the paper).
 //
-// `Matcher` runs a bottom-up dynamic program over (pattern node, tree node)
-// pairs in O(|q| * |t| * maxdeg) time, then answers weak/strong membership
-// and can extract a witness embedding.
+// `MatcherWorkspace` runs a bottom-up dynamic program over (pattern node,
+// tree node) pairs in O(|q| * |t| * ceil(|q|/64)) time, with the per-tree-node
+// DP rows packed into uint64 bitset words over pattern nodes: the inner
+// "some child of x satisfies c" loops become word-wide ORs and submask
+// tests.  The workspace keeps its tables alive across evaluations, so the
+// canonical-sweep hot loops run allocation-free, and `EvalIncremental`
+// refills only the columns invalidated by a spine-suffix rebuild (the
+// changed tail plus the ancestor path of the cut), reusing all others.
+//
+// `Matcher` is the one-shot wrapper (evaluates in the constructor) kept for
+// call sites that check a single pattern/tree pair.
 
 #ifndef TPC_MATCH_EMBEDDING_H_
 #define TPC_MATCH_EMBEDDING_H_
 
+#include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/stats.h"
@@ -17,13 +27,30 @@
 
 namespace tpc {
 
-/// Evaluates one pattern against one tree.  Cheap to construct; the dynamic
-/// program runs once in the constructor.
-class Matcher {
+/// Reusable embedding evaluator.  One workspace serves many (pattern, tree)
+/// evaluations; buffers grow to the largest instance seen and are never
+/// freed, so enumeration sweeps allocate only on their first few iterations.
+/// Not thread-safe: use one workspace per sweep worker.
+class MatcherWorkspace {
  public:
-  /// With a non-null `stats`, reports one attempted embedding and the number
-  /// of DP cells filled.
-  Matcher(const Tpq& q, const Tree& t, EngineStats* stats = nullptr);
+  MatcherWorkspace() = default;
+
+  /// Evaluates `q` against `t` from scratch.  The pattern-side tables are
+  /// rebuilt only when `q` is not the pattern of the previous evaluation.
+  /// With a non-null `stats`, reports one attempted embedding and
+  /// `|q| * |t|` DP cells filled.
+  void EvalFull(const Tpq& q, const Tree& t, EngineStats* stats = nullptr);
+
+  /// Re-evaluates after an incremental tree rebuild.  Precondition: the
+  /// previous `Eval*` call on this workspace used the same `q` and the same
+  /// tree object, whose nodes with id < `stable_limit` (ids, labels and
+  /// subtree structure) are unchanged — exactly what
+  /// `CanonicalTreeBuilder::BuildSuffix` guarantees with
+  /// `stable_limit = spine_start(first_changed)`.  Recomputes the columns of
+  /// nodes >= `stable_limit` plus the ancestor path of the cut; every other
+  /// column is reused and reported via `EngineStats::dp_cells_reused`.
+  void EvalIncremental(const Tpq& q, const Tree& t, NodeId stable_limit,
+                       EngineStats* stats = nullptr);
 
   /// True iff `t` is in the weak language L_w(q).
   bool MatchesWeak() const;
@@ -32,26 +59,72 @@ class Matcher {
   bool MatchesStrong() const;
 
   /// True iff subquery(v) embeds with `v` mapped to tree node `x`.
-  bool SatAt(NodeId v, NodeId x) const { return sat_[Index(v, x)]; }
+  bool SatAt(NodeId v, NodeId x) const {
+    return (sat_[RowOffset(x) + (static_cast<size_t>(v) >> 6)] >>
+            (static_cast<size_t>(v) & 63)) &
+           1;
+  }
 
   /// True iff subquery(v) embeds with `v` mapped somewhere in subtree(x).
-  bool SatBelow(NodeId v, NodeId x) const { return desc_[Index(v, x)]; }
+  bool SatBelow(NodeId v, NodeId x) const {
+    return (desc_[RowOffset(x) + (static_cast<size_t>(v) >> 6)] >>
+            (static_cast<size_t>(v) & 63)) &
+           1;
+  }
 
   /// Extracts a weak (or strong) embedding if one exists: a mapping from
   /// pattern nodes to tree nodes.  Returns std::nullopt if no embedding.
   std::optional<std::vector<NodeId>> Witness(bool strong) const;
 
  private:
-  size_t Index(NodeId v, NodeId x) const {
-    return static_cast<size_t>(v) * t_size_ + static_cast<size_t>(x);
+  size_t RowOffset(NodeId x) const {
+    return static_cast<size_t>(x) * words_;
   }
+  void BindPattern(const Tpq& q);
+  void ComputeColumn(NodeId x);
+  const uint64_t* LabelMask(LabelId label) const;
   void ExtractAt(NodeId v, NodeId x, std::vector<NodeId>* map) const;
 
-  const Tpq& q_;
-  const Tree& t_;
-  size_t t_size_;
-  std::vector<char> sat_;   // sat_[v * |t| + x]
-  std::vector<char> desc_;  // OR of sat_ over subtree(x)
+  const Tpq* q_ = nullptr;
+  const Tree* t_ = nullptr;
+  size_t words_ = 0;  // ceil(|q| / 64) bitset words per DP row
+
+  // Pattern-side tables, rebuilt on BindPattern.
+  std::vector<uint64_t> req_child_;  // v -> mask of v's child-edge children
+  std::vector<uint64_t> req_desc_;   // v -> mask of v's descendant children
+  std::vector<uint64_t> wildcard_mask_;  // wildcard pattern nodes
+  std::vector<uint64_t> label_mask_store_;   // per-letter masks, |wildcard'd
+  std::unordered_map<LabelId, size_t> label_mask_offset_;
+
+  // Tree-side tables: row x holds bits {v : ...} packed into `words_` words.
+  std::vector<uint64_t> sat_;   // subquery(v) embeds at x
+  std::vector<uint64_t> desc_;  // OR of sat_ over subtree(x)
+
+  // Column scratch (accumulators over the children of the current node).
+  std::vector<uint64_t> acc_child_;
+  std::vector<uint64_t> acc_desc_;
+};
+
+/// Evaluates one pattern against one tree.  Cheap to construct; the dynamic
+/// program runs once in the constructor.
+class Matcher {
+ public:
+  /// With a non-null `stats`, reports one attempted embedding and the number
+  /// of DP cells filled.
+  Matcher(const Tpq& q, const Tree& t, EngineStats* stats = nullptr) {
+    ws_.EvalFull(q, t, stats);
+  }
+
+  bool MatchesWeak() const { return ws_.MatchesWeak(); }
+  bool MatchesStrong() const { return ws_.MatchesStrong(); }
+  bool SatAt(NodeId v, NodeId x) const { return ws_.SatAt(v, x); }
+  bool SatBelow(NodeId v, NodeId x) const { return ws_.SatBelow(v, x); }
+  std::optional<std::vector<NodeId>> Witness(bool strong) const {
+    return ws_.Witness(strong);
+  }
+
+ private:
+  MatcherWorkspace ws_;
 };
 
 /// Convenience wrappers.  The `stats` overloads count the embedding attempt

@@ -5,12 +5,97 @@
 
 namespace tpc {
 
+namespace {
+
+constexpr size_t kNoSpine = static_cast<size_t>(-1);
+
+/// Document (DFS) order of the pattern nodes.  Node ids are only guaranteed
+/// to put parents before children; siblings' subtrees may interleave (the
+/// random generators attach children to arbitrary earlier nodes), so the
+/// document order must be recovered explicitly.
+std::vector<NodeId> DocumentOrder(const Tpq& p) {
+  std::vector<NodeId> order;
+  order.reserve(p.size());
+  std::vector<NodeId> stack;
+  if (!p.empty()) stack.push_back(0);
+  std::vector<NodeId> children;  // reversal scratch
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    children.clear();
+    for (NodeId c = p.FirstChild(v); c != kNoNode; c = p.NextSibling(c)) {
+      children.push_back(c);
+    }
+    for (size_t i = children.size(); i-- > 0;) stack.push_back(children[i]);
+  }
+  return order;
+}
+
+}  // namespace
+
 std::vector<NodeId> DescendantEdges(const Tpq& p) {
   std::vector<NodeId> out;
-  for (NodeId v = 1; v < p.size(); ++v) {
-    if (p.Edge(v) == EdgeKind::kDescendant) out.push_back(v);
+  for (NodeId v : DocumentOrder(p)) {
+    if (v != 0 && p.Edge(v) == EdgeKind::kDescendant) out.push_back(v);
   }
   return out;
+}
+
+CanonicalTreeBuilder::CanonicalTreeBuilder(const Tpq& p, LabelId bottom)
+    : p_(p), bottom_(bottom) {
+  assert(!p.empty());
+  emit_label_.resize(p.size());
+  for (NodeId v = 0; v < p.size(); ++v) {
+    emit_label_[v] = p.IsWildcard(v) ? bottom : p.Label(v);
+  }
+  dfs_order_ = DocumentOrder(p);
+  spine_of_dfs_.assign(dfs_order_.size(), kNoSpine);
+  for (size_t j = 0; j < dfs_order_.size(); ++j) {
+    NodeId v = dfs_order_[j];
+    if (v != 0 && p.Edge(v) == EdgeKind::kDescendant) {
+      spine_of_dfs_[j] = spine_dfs_pos_.size();
+      spine_dfs_pos_.push_back(j);
+    }
+  }
+  image_.assign(p.size(), kNoNode);
+  spine_start_.assign(spine_dfs_pos_.size(), kNoNode);
+}
+
+void CanonicalTreeBuilder::Emit(const std::vector<int32_t>& lengths,
+                                size_t dfs_begin, Tree* out) {
+  assert(lengths.size() == spine_dfs_pos_.size());
+  for (size_t j = dfs_begin; j < dfs_order_.size(); ++j) {
+    NodeId v = dfs_order_[j];
+    if (v == 0) {
+      image_[v] = out->AddRoot(emit_label_[v]);
+      continue;
+    }
+    NodeId attach = image_[p_.Parent(v)];
+    size_t s = spine_of_dfs_[j];
+    if (s != kNoSpine) {
+      spine_start_[s] = out->size();
+      for (int32_t i = 0; i < lengths[s]; ++i) {
+        attach = out->AddChild(attach, bottom_);
+      }
+    }
+    image_[v] = out->AddChild(attach, emit_label_[v]);
+  }
+}
+
+void CanonicalTreeBuilder::BuildFull(const std::vector<int32_t>& lengths,
+                                     Tree* out) {
+  out->Clear();
+  Emit(lengths, 0, out);
+}
+
+void CanonicalTreeBuilder::BuildSuffix(const std::vector<int32_t>& lengths,
+                                       size_t first_changed, Tree* out) {
+  if (first_changed >= spine_dfs_pos_.size()) return;  // nothing varies
+  NodeId cut = spine_start_[first_changed];
+  assert(cut != kNoNode && cut <= out->size());
+  out->TruncateTo(cut);
+  Emit(lengths, spine_dfs_pos_[first_changed], out);
 }
 
 Tree CanonicalTree(const Tpq& p, const std::vector<int32_t>& lengths,
@@ -23,28 +108,8 @@ Tree CanonicalTree(const Tpq& p, const std::vector<int32_t>& lengths,
 void CanonicalTreeInto(const Tpq& p, const std::vector<int32_t>& lengths,
                        LabelId bottom, Tree* out) {
   assert(!p.empty());
-  out->Clear();
-  Tree& t = *out;
-  // Pattern node -> tree node; thread_local so the enumeration hot loops do
-  // not reallocate it per canonical tree.
-  thread_local std::vector<NodeId> image;
-  image.assign(p.size(), kNoNode);
-  size_t edge_index = 0;
-  for (NodeId v = 0; v < p.size(); ++v) {
-    LabelId label = p.IsWildcard(v) ? bottom : p.Label(v);
-    if (v == 0) {
-      image[v] = t.AddRoot(label);
-      continue;
-    }
-    NodeId attach = image[p.Parent(v)];
-    if (p.Edge(v) == EdgeKind::kDescendant) {
-      assert(edge_index < lengths.size());
-      int32_t len = lengths[edge_index++];
-      for (int32_t i = 0; i < len; ++i) attach = t.AddChild(attach, bottom);
-    }
-    image[v] = t.AddChild(attach, label);
-  }
-  assert(edge_index == lengths.size());
+  CanonicalTreeBuilder builder(p, bottom);
+  builder.BuildFull(lengths, out);
 }
 
 Tree MinimalCanonicalTree(const Tpq& p, LabelId bottom) {
@@ -69,22 +134,25 @@ int32_t LongestWildcardChain(const Tpq& q) {
 }
 
 bool CanonicalLengthEnumerator::Next() {
-  for (size_t i = 0; i < lengths_.size(); ++i) {
+  for (size_t i = lengths_.size(); i-- > 0;) {
     if (lengths_[i] < max_len_) {
       ++lengths_[i];
-      for (size_t j = 0; j < i; ++j) lengths_[j] = 0;
+      for (size_t j = i + 1; j < lengths_.size(); ++j) lengths_[j] = 0;
+      first_changed_ = i;
       return true;
     }
   }
+  first_changed_ = 0;
   return false;
 }
 
 void CanonicalLengthEnumerator::SeekTo(uint64_t index) {
   uint64_t radix = static_cast<uint64_t>(max_len_) + 1;
-  for (size_t i = 0; i < lengths_.size(); ++i) {
+  for (size_t i = lengths_.size(); i-- > 0;) {
     lengths_[i] = static_cast<int32_t>(index % radix);
     index /= radix;
   }
+  first_changed_ = 0;
 }
 
 double CanonicalLengthEnumerator::TotalCount() const {

@@ -32,6 +32,35 @@ NodeId Tree::AddChild(NodeId parent, LabelId label) {
   return v;
 }
 
+void Tree::TruncateTo(int32_t new_size) {
+  assert(new_size >= 0 && new_size <= size());
+  if (new_size == size()) return;
+  if (new_size == 0) {
+    Clear();
+    return;
+  }
+  labels_.resize(new_size);
+  parents_.resize(new_size);
+  first_child_.resize(new_size);
+  next_sibling_.resize(new_size);
+  last_child_.resize(new_size);
+  // In depth-first layout the retained nodes whose links can point into the
+  // removed suffix are exactly the last retained node and its ancestors: a
+  // node's subtree is a contiguous range, so any node with a child or next
+  // sibling at id >= new_size has a range straddling the cut.
+  NodeId v = new_size - 1;
+  first_child_[v] = kNoNode;  // its children, if any, were v+1.. — removed
+  last_child_[v] = kNoNode;
+  while (v != 0) {
+    if (next_sibling_[v] >= new_size) next_sibling_[v] = kNoNode;
+    NodeId parent = parents_[v];
+    // v is the last retained child of its parent: any later sibling's
+    // subtree would start past the cut.
+    if (last_child_[parent] >= new_size) last_child_[parent] = v;
+    v = parent;
+  }
+}
+
 NodeId Tree::Graft(NodeId parent, const Tree& subtree, NodeId subtree_root) {
   NodeId copied_root;
   if (parent == kNoNode) {

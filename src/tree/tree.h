@@ -50,6 +50,14 @@ class Tree {
   /// Adds a new rightmost child of `parent`.  Returns its id.
   NodeId AddChild(NodeId parent, LabelId label);
 
+  /// Removes every node with id >= `new_size`, keeping the arena capacity.
+  /// Precondition: nodes were added in depth-first (document) order, so that
+  /// every subtree occupies a contiguous id range — then the removed ids are
+  /// whole subtrees and the only dangling links are on the ancestor path of
+  /// the cut, which this repairs in O(depth).  `CanonicalTreeBuilder` emits
+  /// trees this way; trees built in other orders must not be truncated.
+  void TruncateTo(int32_t new_size);
+
   /// Grafts a copy of `subtree` as a new rightmost child of `parent`
   /// (or as the root if the tree is empty and `parent == kNoNode`).
   /// Returns the id of the copied root.

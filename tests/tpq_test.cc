@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "base/label.h"
 #include "pattern/canonical.h"
 #include "pattern/normalize.h"
@@ -184,6 +187,60 @@ TEST(CanonicalTest, EnumeratorCountsVectors) {
   } while (e.Next());
   EXPECT_EQ(count, 9);  // 3^2
   EXPECT_DOUBLE_EQ(e.TotalCount(), 9.0);
+}
+
+TEST(CanonicalTest, EnumeratorReportsFirstChangedSuffix) {
+  // Big-endian odometer: each Next() increments the least significant
+  // (last) index and resets everything after the carry position, so the
+  // changed indices always form a suffix starting at first_changed().
+  CanonicalLengthEnumerator e(3, 1);
+  std::vector<int32_t> previous = e.lengths();
+  while (e.Next()) {
+    size_t fc = e.first_changed();
+    for (size_t i = 0; i < fc; ++i) {
+      EXPECT_EQ(e.lengths()[i], previous[i]) << "prefix changed before " << fc;
+    }
+    EXPECT_NE(e.lengths()[fc], previous[fc]);
+    previous = e.lengths();
+  }
+}
+
+TEST(CanonicalTest, SeekToLastIndex) {
+  CanonicalLengthEnumerator e(2, 2);
+  e.SeekTo(8);  // last of the 3^2 vectors
+  EXPECT_EQ(e.lengths(), (std::vector<int32_t>{2, 2}));
+  EXPECT_FALSE(e.Next());
+}
+
+TEST(CanonicalTest, BoundZeroHasSingleVector) {
+  CanonicalLengthEnumerator e(3, 0);
+  EXPECT_EQ(e.lengths(), (std::vector<int32_t>{0, 0, 0}));
+  EXPECT_DOUBLE_EQ(e.TotalCount(), 1.0);
+  EXPECT_FALSE(e.Next());
+  ASSERT_TRUE(e.TotalCountExact().has_value());
+  EXPECT_EQ(*e.TotalCountExact(), 1u);
+  e.SeekTo(0);
+  EXPECT_EQ(e.lengths(), (std::vector<int32_t>{0, 0, 0}));
+}
+
+TEST(CanonicalTest, SeekToThenNextAgreesWithFreshEnumerator) {
+  // Seeking to index i and stepping must replay exactly the tail of a fresh
+  // enumeration — the invariant the parallel sweep's chunking rests on.
+  const uint64_t total = 27;  // 3^3
+  for (uint64_t start = 0; start < total; ++start) {
+    CanonicalLengthEnumerator fresh(3, 2);
+    for (uint64_t i = 0; i < start; ++i) ASSERT_TRUE(fresh.Next());
+    CanonicalLengthEnumerator seeked(3, 2);
+    seeked.SeekTo(start);
+    EXPECT_EQ(seeked.lengths(), fresh.lengths()) << "at index " << start;
+    for (uint64_t i = start + 1; i < total; ++i) {
+      ASSERT_TRUE(fresh.Next());
+      ASSERT_TRUE(seeked.Next());
+      EXPECT_EQ(seeked.lengths(), fresh.lengths()) << "stepping to " << i;
+      EXPECT_EQ(seeked.first_changed(), fresh.first_changed());
+    }
+    EXPECT_FALSE(seeked.Next());
+  }
 }
 
 TEST(TpqTest, SubqueryExtraction) {
