@@ -179,7 +179,7 @@ BENCHMARK(BM_CoNP_BranchingLeftFixedDtd)
 // --------------------------------------- EXPTIME cells (Theorem 6.6)
 
 void RunTilingInstance(benchmark::State& state, int32_t row_len,
-                       bool solvable) {
+                       bool solvable, bool antichain) {
   // A three-tile system: tile 0 can repeat or advance to final tiles.
   TriominoSystem s;
   s.num_tiles = 3;
@@ -196,13 +196,15 @@ void RunTilingInstance(benchmark::State& state, int32_t row_len,
   limits.max_configurations = 100'000;
   limits.max_horizontal_nodes = 400'000;
   limits.max_milliseconds = 60'000;  // probe EXPTIME growth, bounded time
+  SchemaEngineOptions options;
+  options.antichain = antichain;
   int64_t configs = 0;
   bool decided = true;
   bool yes = true;
   EngineContext ctx;
   for (auto _ : state) {
-    SchemaDecision r =
-        ContainedWithDtd(inst.p, inst.q, Mode::kWeak, inst.dtd, &ctx, limits);
+    SchemaDecision r = ContainedWithDtd(inst.p, inst.q, Mode::kWeak, inst.dtd,
+                                        &ctx, limits, options);
     benchmark::DoNotOptimize(r.yes);
     configs = r.configurations;
     decided = r.decided;
@@ -213,6 +215,12 @@ void RunTilingInstance(benchmark::State& state, int32_t row_len,
   state.counters["engine_configs"] = static_cast<double>(configs);
   state.counters["horizontal_nodes"] = static_cast<double>(
       ctx.stats().horizontal_nodes.load(std::memory_order_relaxed));
+  state.counters["configs_subsumed"] = static_cast<double>(
+      ctx.stats().configs_subsumed.load(std::memory_order_relaxed));
+  state.counters["unions_memoized"] = static_cast<double>(
+      ctx.stats().unions_memoized.load(std::memory_order_relaxed));
+  state.counters["state_sets_interned"] = static_cast<double>(
+      ctx.stats().state_sets_interned.load(std::memory_order_relaxed));
   state.counters["decided"] = decided ? 1 : 0;
   if (decided) {
     // Cross-check against the tiling solver (ground truth).
@@ -223,15 +231,31 @@ void RunTilingInstance(benchmark::State& state, int32_t row_len,
 }
 
 void BM_EXPTIME_TilingSolvable(benchmark::State& state) {
-  RunTilingInstance(state, static_cast<int32_t>(state.range(0)), true);
+  RunTilingInstance(state, static_cast<int32_t>(state.range(0)), true, true);
 }
 BENCHMARK(BM_EXPTIME_TilingSolvable)
     ->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void BM_EXPTIME_TilingUnsolvable(benchmark::State& state) {
-  RunTilingInstance(state, static_cast<int32_t>(state.range(0)), false);
+  RunTilingInstance(state, static_cast<int32_t>(state.range(0)), false, true);
 }
 BENCHMARK(BM_EXPTIME_TilingUnsolvable)
+    ->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// A/B twins with subsumption pruning disabled: same instances and caps, so
+// `engine_configs` directly measures how much the antichain shrinks the
+// materialized state space.
+
+void BM_EXPTIME_TilingSolvableNoAntichain(benchmark::State& state) {
+  RunTilingInstance(state, static_cast<int32_t>(state.range(0)), true, false);
+}
+BENCHMARK(BM_EXPTIME_TilingSolvableNoAntichain)
+    ->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_EXPTIME_TilingUnsolvableNoAntichain(benchmark::State& state) {
+  RunTilingInstance(state, static_cast<int32_t>(state.range(0)), false, false);
+}
+BENCHMARK(BM_EXPTIME_TilingUnsolvableNoAntichain)
     ->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace

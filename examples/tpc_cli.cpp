@@ -10,9 +10,12 @@
 //
 // Flags (anywhere on the command line):
 //   --stats          print the engine's instrumentation counters as JSON
+//                    (includes the schema-engine interning/pruning counters
+//                    configs_subsumed, unions_memoized, state_sets_interned)
 //   --timeout <ms>   wall-clock budget; exceeding it exits 3 (UNDECIDED)
 //   --steps <n>      step budget; exceeding it exits 3 (UNDECIDED)
-//   --threads <n>    worker threads for the canonical-model sweep
+//   --threads <n>    worker threads for canonical sweeps and schema rounds
+//   --no-antichain   disable the schema engine's subsumption pruning (A/B)
 //
 // Patterns use XPath-like syntax (a/b//*[c]); trees use term syntax
 // (a(b,c(d))); DTDs use clause syntax ("root: a; a -> b c*; b -> eps;").
@@ -60,7 +63,9 @@ int Usage() {
                "  --stats          print engine counters as JSON\n"
                "  --timeout <ms>   wall-clock budget (exit 3 when exceeded)\n"
                "  --steps <n>      step budget (exit 3 when exceeded)\n"
-               "  --threads <n>    worker threads for canonical sweeps\n");
+               "  --threads <n>    worker threads (canonical sweeps and\n"
+               "                   schema-engine saturation rounds)\n"
+               "  --no-antichain   disable schema-engine subsumption pruning\n");
   return 2;
 }
 
@@ -119,10 +124,13 @@ int Finish(EngineContext* ctx, bool print_stats, bool undecided,
 int main(int argc, char** argv) {
   EngineConfig config;
   bool print_stats = false;
+  SchemaEngineOptions schema_options;
   std::vector<char*> args;  // positional arguments, flags stripped
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       print_stats = true;
+    } else if (std::strcmp(argv[i], "--no-antichain") == 0) {
+      schema_options.antichain = false;
     } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
       config.deadline_ms = ParseCountOrDie("--timeout", argv[++i]);
     } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
@@ -175,7 +183,8 @@ int main(int argc, char** argv) {
                     r.contained ? 0 : 1);
     }
     Dtd d = ParseDtdOrDie(dtd_src, &pool);
-    SchemaDecision r = ContainedWithDtd(p, q, mode, d, &ctx);
+    SchemaDecision r =
+        ContainedWithDtd(p, q, mode, d, &ctx, EngineLimits{}, schema_options);
     if (r.decided) {
       std::printf("%s (w.r.t. the DTD)\n",
                   r.yes ? "contained" : "NOT contained");
@@ -192,8 +201,11 @@ int main(int argc, char** argv) {
     Dtd d = ParseDtdOrDie(args[2], &pool);
     Mode mode = args.size() > 3 && IsModeWord(args[3]) ? ParseMode(args[3])
                                                        : Mode::kWeak;
-    SchemaDecision r = command == "sat" ? SatisfiableWithDtd(q, mode, d, &ctx)
-                                        : ValidWithDtd(q, mode, d, &ctx);
+    SchemaDecision r =
+        command == "sat"
+            ? SatisfiableWithDtd(q, mode, d, &ctx, EngineLimits{},
+                                 schema_options)
+            : ValidWithDtd(q, mode, d, &ctx, EngineLimits{}, schema_options);
     if (r.decided) {
       std::printf("%s\n", command == "sat"
                               ? (r.yes ? "satisfiable" : "NOT satisfiable")

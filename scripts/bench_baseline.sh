@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
-# Records the Table-1 benchmark baseline: builds the release preset and runs
-# the containment benches (the P/coNP grid, the chunked-parallel sweep and
-# the incremental-sweep A/B) with JSON output into BENCH_table1.json at the
-# repo root, for before/after comparison across PRs.
+# Records the benchmark baselines: builds the release preset and runs
+#   * bench_table1_containment (the P/coNP grid, the chunked-parallel sweep
+#     and the incremental-sweep A/B) into BENCH_table1.json, and
+#   * bench_table45_schema_containment (the schema-aware P/coNP/EXPTIME
+#     cells, including the antichain on/off A/B twins) into
+#     BENCH_table45.json
+# at the repo root, for before/after comparison across PRs.
 #
 # Usage: scripts/bench_baseline.sh [benchmark_filter_regex]
-# The optional regex is passed to --benchmark_filter (default: all).
+# The optional regex is passed to --benchmark_filter of both suites
+# (default: all).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 filter="${1:-.}"
 
 cmake --preset release
-cmake --build --preset release -j "$(nproc)" --target bench_table1_containment
+cmake --build --preset release -j "$(nproc)" \
+  --target bench_table1_containment \
+  --target bench_table45_schema_containment
 
 ./build/bench/bench_table1_containment \
   --benchmark_filter="$filter" \
@@ -21,3 +27,11 @@ cmake --build --preset release -j "$(nproc)" --target bench_table1_containment
   --benchmark_format=console
 
 echo "wrote $(pwd)/BENCH_table1.json"
+
+./build/bench/bench_table45_schema_containment \
+  --benchmark_filter="$filter" \
+  --benchmark_out=BENCH_table45.json \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "wrote $(pwd)/BENCH_table45.json"

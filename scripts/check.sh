@@ -1,14 +1,14 @@
 #!/usr/bin/env bash
 # Regression gate: configure + build + ctest one or more presets, failing on
 # the first preset whose tests regress.  With no argument the tier-1 gate
-# runs — the release preset and the asan (AddressSanitizer/UBSan) preset.
-# Pass `asan`, `tsan` or `release` to run a single preset (tsan exercises
-# the engine thread pool under ThreadSanitizer).
+# runs — release, asan (AddressSanitizer/UBSan) and tsan (ThreadSanitizer,
+# exercising the engine thread pool and the parallel schema rounds).
+# Pass `asan`, `tsan` or `release` to run a single preset.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ $# -eq 0 ]]; then
-  presets=(release asan)
+  presets=(release asan tsan)
 else
   presets=("$1")
 fi

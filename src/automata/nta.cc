@@ -6,6 +6,8 @@
 #include <queue>
 #include <set>
 
+#include "automata/tpq_det.h"  // TestWordBit / SetWordBit
+
 namespace tpc {
 
 namespace {
@@ -71,32 +73,39 @@ void Nta::AddAlphabetLabel(LabelId label) {
   if (it == alphabet_.end() || *it != label) alphabet_.insert(it, label);
 }
 
-std::vector<std::vector<bool>> Nta::RunSets(const Tree& t) const {
-  std::vector<std::vector<bool>> states(t.size(),
-                                        std::vector<bool>(num_states_, false));
+std::vector<uint64_t> Nta::RunSets(const Tree& t) const {
+  const size_t stride = (static_cast<size_t>(num_states_) + 63) >> 6;
+  std::vector<uint64_t> states(static_cast<size_t>(t.size()) * stride, 0);
+  std::vector<uint64_t> current, next;
   for (NodeId v = t.size() - 1; v >= 0; --v) {
     std::vector<NodeId> children = t.Children(v);
+    uint64_t* row = states.data() + static_cast<size_t>(v) * stride;
     for (const Transition& tr : transitions_) {
       if (tr.label != kWildcard && tr.label != t.Label(v)) continue;
-      if (states[v][tr.state]) continue;
+      if (TestWordBit(row, tr.state)) continue;
       // Does some choice of child states form a word in tr.horizontal?
-      std::vector<bool> current(tr.horizontal.num_states, false);
-      current[tr.horizontal.initial] = true;
+      const size_t hwords =
+          (static_cast<size_t>(tr.horizontal.num_states) + 63) >> 6;
+      current.assign(hwords, 0);
+      SetWordBit(current.data(), tr.horizontal.initial);
       for (NodeId c : children) {
-        std::vector<bool> next(tr.horizontal.num_states, false);
+        next.assign(hwords, 0);
+        const uint64_t* child_row =
+            states.data() + static_cast<size_t>(c) * stride;
         for (int32_t h = 0; h < tr.horizontal.num_states; ++h) {
-          if (!current[h]) continue;
+          if (!TestWordBit(current.data(), h)) continue;
           for (const auto& [s, h2] : tr.horizontal.transitions[h]) {
-            if (s < static_cast<Symbol>(num_states_) && states[c][s]) {
-              next[h2] = true;
+            if (s < static_cast<Symbol>(num_states_) &&
+                TestWordBit(child_row, static_cast<int32_t>(s))) {
+              SetWordBit(next.data(), h2);
             }
           }
         }
-        current = std::move(next);
+        current.swap(next);
       }
       for (int32_t h = 0; h < tr.horizontal.num_states; ++h) {
-        if (current[h] && tr.horizontal.accepting[h]) {
-          states[v][tr.state] = true;
+        if (TestWordBit(current.data(), h) && tr.horizontal.accepting[h]) {
+          SetWordBit(row, tr.state);
           break;
         }
       }
@@ -107,30 +116,32 @@ std::vector<std::vector<bool>> Nta::RunSets(const Tree& t) const {
 
 bool Nta::Accepts(const Tree& t) const {
   if (t.empty()) return false;
-  std::vector<std::vector<bool>> states = RunSets(t);
+  std::vector<uint64_t> states = RunSets(t);  // root's set is the first row
   for (int32_t q = 0; q < num_states_; ++q) {
-    if (final_[q] && states[0][q]) return true;
+    if (final_[q] && TestWordBit(states.data(), q)) return true;
   }
   return false;
 }
 
 bool Nta::IsEmpty() const {
-  std::vector<bool> nonempty(num_states_, false);
+  std::vector<uint64_t> nonempty((static_cast<size_t>(num_states_) + 63) >> 6,
+                                 0);
   bool changed = true;
   while (changed) {
     changed = false;
     for (const Transition& tr : transitions_) {
-      if (nonempty[tr.state]) continue;
+      if (TestWordBit(nonempty.data(), tr.state)) continue;
       if (AcceptsSomeWordWhere(tr.horizontal, [&](Symbol s) {
-            return s < static_cast<Symbol>(num_states_) && nonempty[s];
+            return s < static_cast<Symbol>(num_states_) &&
+                   TestWordBit(nonempty.data(), static_cast<int32_t>(s));
           })) {
-        nonempty[tr.state] = true;
+        SetWordBit(nonempty.data(), tr.state);
         changed = true;
       }
     }
   }
   for (int32_t q = 0; q < num_states_; ++q) {
-    if (final_[q] && nonempty[q]) return false;
+    if (final_[q] && TestWordBit(nonempty.data(), q)) return false;
   }
   return true;
 }

@@ -70,8 +70,10 @@ class Nta {
   static Nta FromPathQuery(const Tpq& p, bool strong);
 
  private:
-  /// States of `t`'s node `v` under all runs (bottom-up simulation).
-  std::vector<std::vector<bool>> RunSets(const Tree& t) const;
+  /// States of `t`'s nodes under all runs (bottom-up simulation), as packed
+  /// uint64-word bitsets: node v's set occupies words
+  /// [v * stride, (v+1) * stride) with stride = ceil(num_states / 64).
+  std::vector<uint64_t> RunSets(const Tree& t) const;
 
   int32_t num_states_ = 0;
   std::vector<bool> final_;

@@ -85,7 +85,7 @@ AutomataContainmentResult ContainedPathInPathViaAutomata(const Tpq& p,
   }
   std::vector<LabelId> sigma(sigma_set.begin(), sigma_set.end());
   Nta product = Nta::Intersect(
-      Nta::Intersect(Nta::FromDtd(dtd),
+      Nta::Intersect(dtd.Automaton(),
                      Nta::FromPathQuery(p, mode == Mode::kStrong)),
       ComplementOfPathQueryNta(q, sigma, mode));
   AutomataContainmentResult out;
@@ -104,7 +104,7 @@ AutomataContainmentResult ValidPathViaAutomata(const Tpq& q, Mode mode,
     if (!q.IsWildcard(v)) sigma_set.insert(q.Label(v));
   }
   std::vector<LabelId> sigma(sigma_set.begin(), sigma_set.end());
-  Nta product = Nta::Intersect(Nta::FromDtd(dtd),
+  Nta product = Nta::Intersect(dtd.Automaton(),
                                ComplementOfPathQueryNta(q, sigma, mode));
   AutomataContainmentResult out;
   out.product_states = product.num_states();

@@ -1,0 +1,117 @@
+#include "automata/state_interning.h"
+
+#include <cstring>
+
+namespace tpc {
+
+namespace {
+
+uint64_t HashWords(const uint64_t* words, int32_t n) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (int32_t i = 0; i < n; ++i) {
+    h ^= words[i];
+    h *= 0x100000001b3ull;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace
+
+StateSetInterner::StateSetInterner(int32_t num_bits)
+    : num_bits_(num_bits),
+      num_words_((num_bits + 63) / 64),
+      chunks_(kMaxChunks),
+      scratch_(num_words_, 0) {
+  // The empty set takes id 0; no contention during construction.
+  if (num_words_ > 0) InternLocked(scratch_.data());
+}
+
+int32_t StateSetInterner::InternLocked(const uint64_t* words) {
+  const uint64_t h = HashWords(words, num_words_);
+  auto [lo, hi] = dedup_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (std::memcmp(Words(it->second), words,
+                    static_cast<size_t>(num_words_) * sizeof(uint64_t)) == 0) {
+      return it->second;
+    }
+  }
+  const int32_t id = num_sets_.load(std::memory_order_relaxed);
+  if (id >= kMaxChunks * kChunkSets) return kFull;
+  const int32_t chunk = id >> kLogChunkSets;
+  if (chunks_[chunk] == nullptr) {
+    chunks_[chunk] = std::make_unique<uint64_t[]>(
+        static_cast<size_t>(kChunkSets) * num_words_);
+  }
+  std::memcpy(chunks_[chunk].get() +
+                  static_cast<size_t>(id & (kChunkSets - 1)) * num_words_,
+              words, static_cast<size_t>(num_words_) * sizeof(uint64_t));
+  dedup_.emplace(h, id);
+  num_sets_.store(id + 1, std::memory_order_relaxed);
+  return id;
+}
+
+int32_t StateSetInterner::Intern(const uint64_t* words) {
+  if (num_words_ == 0) return kEmptySetId;
+  std::lock_guard<std::mutex> lock(mu_);
+  return InternLocked(words);
+}
+
+int32_t StateSetInterner::Union(int32_t a, int32_t b) {
+  if (a == kFull || b == kFull) return kFull;
+  if (num_words_ == 0 || a == b || b == kEmptySetId) return a;
+  if (a == kEmptySetId) return b;
+  if (a > b) std::swap(a, b);
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+      static_cast<uint32_t>(b);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = union_cache_.find(key);
+  if (it != union_cache_.end()) {
+    memo_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  const uint64_t* wa = Words(a);
+  const uint64_t* wb = Words(b);
+  for (int32_t w = 0; w < num_words_; ++w) scratch_[w] = wa[w] | wb[w];
+  const int32_t id = InternLocked(scratch_.data());
+  if (id != kFull) union_cache_.emplace(key, id);
+  return id;
+}
+
+bool StateSetInterner::Superset(int32_t a, int32_t b) const {
+  if (a == b || b == kEmptySetId || num_words_ == 0) return true;
+  if (a == kEmptySetId) return false;  // canonical ids: b is nonempty
+  const uint64_t* wa = Words(a);
+  const uint64_t* wb = Words(b);
+  for (int32_t w = 0; w < num_words_; ++w) {
+    if (wb[w] & ~wa[w]) return false;
+  }
+  return true;
+}
+
+int32_t DetSide::Resolve(LabelId label, int32_t sat_id, int32_t below_id) {
+  if (!det_.has_value()) return -1;
+  const std::array<int32_t, 3> key{static_cast<int32_t>(label), sat_id,
+                                   below_id};
+  auto it = resolve_cache_.find(key);
+  if (it != resolve_cache_.end()) return it->second;
+  const int32_t state = det_->StateForUnion(label, interner_.Words(sat_id),
+                                            interner_.Words(below_id));
+  resolve_cache_.emplace(key, state);
+  return state;
+}
+
+std::pair<int32_t, int32_t> DetSide::StateSetIds(int32_t state) {
+  if (!det_.has_value() || state < 0) {
+    return {StateSetInterner::kEmptySetId, StateSetInterner::kEmptySetId};
+  }
+  while (static_cast<int32_t>(state_ids_.size()) <= state) {
+    const int32_t s = static_cast<int32_t>(state_ids_.size());
+    state_ids_.emplace_back(interner_.Intern(det_->Sat(s).words()),
+                            interner_.Intern(det_->Below(s).words()));
+  }
+  return state_ids_[state];
+}
+
+}  // namespace tpc

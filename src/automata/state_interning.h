@@ -1,0 +1,162 @@
+// Hash-consed state sets for the schema-aware decision engines.
+//
+// The engines of Sections 4–6 explore configurations whose payload is a
+// handful of subsets of Nodes(q) (the Sat/Below components of deterministic
+// pattern-automaton states, and the unions accumulated along horizontal
+// searches).  Materializing those sets per search node is what made the
+// EXPTIME benchmarks allocation-bound: the same few hundred distinct sets
+// are copied and compared millions of times.
+//
+// `StateSetInterner` stores each distinct set once, as uint64 words in a
+// chunked arena, and hands out canonical small-int ids: equality becomes id
+// comparison, a horizontal search node shrinks to five ints, and pairwise
+// unions are memoized under their (id, id) key.  `DetSide` wraps one lazy
+// `TpqDetAutomaton` together with its interner and memoizes the resolution
+// (label, children-union ids) -> det state, which replaces the repeated
+// `StateForUnion` recomputation in the engine's hot loop.
+
+#ifndef TPC_AUTOMATA_STATE_INTERNING_H_
+#define TPC_AUTOMATA_STATE_INTERNING_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "automata/tpq_det.h"
+#include "base/label.h"
+#include "pattern/tpq.h"
+
+namespace tpc {
+
+/// FNV-style hash for small fixed arrays of ids, shared by the engines'
+/// horizontal-search dedup tables.
+template <size_t N>
+struct IntArrayHash {
+  size_t operator()(const std::array<int32_t, N>& key) const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (int32_t v : key) {
+      h ^= static_cast<uint32_t>(v);
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+/// An arena interning fixed-width bitsets under canonical ids.
+///
+/// Thread-safe for `Intern`/`Union` (one mutex; the schema engine's parallel
+/// rounds funnel all set creation through `Union`).  `Words`/`Superset` read
+/// without the mutex: chunks never move once allocated and the chunk table
+/// is pre-sized, so any id published to a caller stays readable — callers
+/// only pass ids they obtained from this interner earlier on their own
+/// thread or across a synchronization point (the engine's round barrier).
+class StateSetInterner {
+ public:
+  /// Id of the empty set, interned at construction.
+  static constexpr int32_t kEmptySetId = 0;
+  /// Returned by `Intern`/`Union` when the arena is full; callers treat it
+  /// like a resource-limit hit (the engine reports kResourceExhausted).
+  static constexpr int32_t kFull = -1;
+
+  explicit StateSetInterner(int32_t num_bits);
+
+  int32_t num_bits() const { return num_bits_; }
+  int32_t num_words() const { return num_words_; }
+
+  /// Canonical id of the set held in `words` (`num_words()` words).
+  int32_t Intern(const uint64_t* words);
+
+  /// Canonical id of set(a) ∪ set(b), memoized pairwise.  Propagates kFull.
+  int32_t Union(int32_t a, int32_t b);
+
+  /// The words of set `id`.  Null for a zero-width interner.
+  const uint64_t* Words(int32_t id) const {
+    if (num_words_ == 0) return nullptr;
+    return chunks_[id >> kLogChunkSets].get() +
+           static_cast<size_t>(id & (kChunkSets - 1)) * num_words_;
+  }
+
+  /// Is set(a) ⊇ set(b)?  Canonical ids make the a==b and b==∅ cases O(1).
+  bool Superset(int32_t a, int32_t b) const;
+
+  /// Distinct sets interned so far (feeds `state_sets_interned`).
+  int64_t num_interned() const {
+    return num_sets_.load(std::memory_order_relaxed);
+  }
+  /// Unions answered from the pairwise memo table (`unions_memoized`).
+  int64_t unions_memoized() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kLogChunkSets = 12;  // 4096 sets per chunk
+  static constexpr int32_t kChunkSets = 1 << kLogChunkSets;
+  static constexpr int32_t kMaxChunks = 1 << 12;  // caps the arena at ~16.7M
+
+  int32_t InternLocked(const uint64_t* words);
+
+  const int32_t num_bits_;
+  const int32_t num_words_;
+  mutable std::mutex mu_;
+  /// Pre-sized so the vector itself never reallocates: `Words` may read the
+  /// table without `mu_`.
+  std::vector<std::unique_ptr<uint64_t[]>> chunks_;
+  std::unordered_multimap<uint64_t, int32_t> dedup_;   // word hash -> ids
+  std::unordered_map<uint64_t, int32_t> union_cache_;  // packed (a,b) -> id
+  std::vector<uint64_t> scratch_;                      // guarded by mu_
+  std::atomic<int32_t> num_sets_{0};
+  std::atomic<int64_t> memo_hits_{0};
+};
+
+/// One pattern side of a product search: the lazily determinized pattern
+/// automaton (absent when the decision has no pattern on this side), the
+/// interned Sat/Below ids of every materialized det state, and the memoized
+/// resolution (label, children-union ids) -> det state.
+///
+/// `interner()` may be shared with concurrent horizontal searches;
+/// `Resolve`/`StateSetIds` mutate the lazy automaton and must only run in
+/// the engine's sequential merge phase.
+class DetSide {
+ public:
+  explicit DetSide(const Tpq* pattern)
+      : interner_(pattern != nullptr ? pattern->size() : 0) {
+    if (pattern != nullptr) det_.emplace(*pattern);
+  }
+
+  bool present() const { return det_.has_value(); }
+  StateSetInterner& interner() { return interner_; }
+  const StateSetInterner& interner() const { return interner_; }
+
+  /// Det state reached by a node with `label` whose children's Sat/Below
+  /// unions are the interned sets `sat_id`/`below_id`; -1 for an absent
+  /// side.
+  int32_t Resolve(LabelId label, int32_t sat_id, int32_t below_id);
+
+  /// Interned ids of (Sat(state), Below(state)); empty-set ids for -1.
+  /// Either id may be kFull when the arena overflowed.
+  std::pair<int32_t, int32_t> StateSetIds(int32_t state);
+
+  bool AcceptsStrong(int32_t state) const { return det_->AcceptsStrong(state); }
+  bool AcceptsWeak(int32_t state) const { return det_->AcceptsWeak(state); }
+
+  int32_t num_materialized() const {
+    return det_.has_value() ? det_->num_materialized() : 0;
+  }
+
+ private:
+  std::optional<TpqDetAutomaton> det_;
+  StateSetInterner interner_;
+  std::vector<std::pair<int32_t, int32_t>> state_ids_;  // state -> (sat, below)
+  std::unordered_map<std::array<int32_t, 3>, int32_t, IntArrayHash<3>>
+      resolve_cache_;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_AUTOMATA_STATE_INTERNING_H_

@@ -28,6 +28,12 @@ TpqDetAutomaton::StateId TpqDetAutomaton::StateFor(
 TpqDetAutomaton::StateId TpqDetAutomaton::StateForUnion(
     LabelId label, const NodeBitset& children_sat,
     const NodeBitset& children_below) {
+  return StateForUnion(label, children_sat.words(), children_below.words());
+}
+
+TpqDetAutomaton::StateId TpqDetAutomaton::StateForUnion(
+    LabelId label, const uint64_t* children_sat,
+    const uint64_t* children_below) {
   State state{NodeBitset(q_.size()), NodeBitset(q_.size())};
   // Pattern children have larger ids than parents, so one backwards pass
   // computes Sat bottom-up over the pattern.
@@ -35,11 +41,11 @@ TpqDetAutomaton::StateId TpqDetAutomaton::StateForUnion(
     bool ok = q_.IsWildcard(v) || q_.Label(v) == label;
     for (NodeId z = q_.FirstChild(v); z != kNoNode && ok;
          z = q_.NextSibling(z)) {
-      ok = q_.Edge(z) == EdgeKind::kChild ? children_sat.Test(z)
-                                          : children_below.Test(z);
+      ok = q_.Edge(z) == EdgeKind::kChild ? TestWordBit(children_sat, z)
+                                          : TestWordBit(children_below, z);
     }
     if (ok) state.sat.Set(v);
-    if (ok || children_below.Test(v)) state.below.Set(v);
+    if (ok || TestWordBit(children_below, v)) state.below.Set(v);
   }
   return Intern(std::move(state));
 }

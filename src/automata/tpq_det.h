@@ -26,6 +26,18 @@
 
 namespace tpc {
 
+/// Tests bit `i` of a packed uint64-word bitset.  The shared primitive of
+/// every word-packed set representation in the library (`NodeBitset`,
+/// `MatcherWorkspace` rows, `StateSetInterner` arenas, NTA run sets).
+inline bool TestWordBit(const uint64_t* words, int32_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1;
+}
+
+/// Sets bit `i` of a packed uint64-word bitset.
+inline void SetWordBit(uint64_t* words, int32_t i) {
+  words[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
 /// A fixed-width bitset over pattern nodes.
 class NodeBitset {
  public:
@@ -51,6 +63,10 @@ class NodeBitset {
     return true;
   }
 
+  /// Raw word access for interning (see automata/state_interning.h).
+  const uint64_t* words() const { return words_.data(); }
+  int32_t num_words() const { return static_cast<int32_t>(words_.size()); }
+
  private:
   std::vector<uint64_t> words_;
 };
@@ -71,6 +87,11 @@ class TpqDetAutomaton {
   /// sets (for callers that accumulate unions incrementally).
   StateId StateForUnion(LabelId label, const NodeBitset& children_sat,
                         const NodeBitset& children_below);
+
+  /// Same, over raw uint64 words (⌈|q|/64⌉ words each) — the engines keep
+  /// the unions interned and never materialize `NodeBitset`s in hot loops.
+  StateId StateForUnion(LabelId label, const uint64_t* children_sat,
+                        const uint64_t* children_below);
 
   const NodeBitset& Sat(StateId s) const { return states_[s].sat; }
   const NodeBitset& Below(StateId s) const { return states_[s].below; }

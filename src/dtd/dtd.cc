@@ -1,6 +1,8 @@
 #include "dtd/dtd.h"
 
 #include <algorithm>
+
+#include "automata/nta.h"
 #include <cassert>
 #include <cctype>
 #include <cstdio>
@@ -94,7 +96,10 @@ bool AcceptsSomeWordOver(const Nfa& nfa, const std::set<LabelId>& allowed) {
 
 void Dtd::AddSymbol(LabelId symbol) {
   auto it = std::lower_bound(alphabet_.begin(), alphabet_.end(), symbol);
-  if (it == alphabet_.end() || *it != symbol) alphabet_.insert(it, symbol);
+  if (it == alphabet_.end() || *it != symbol) {
+    alphabet_.insert(it, symbol);
+    nta_cache_.reset();
+  }
 }
 
 void Dtd::SetRule(LabelId symbol, Regex content) {
@@ -102,13 +107,17 @@ void Dtd::SetRule(LabelId symbol, Regex content) {
   for (LabelId l : content.Labels()) AddSymbol(l);
   nfa_cache_.clear();
   cost_cache_.clear();
+  nta_cache_.reset();
   rules_.insert_or_assign(symbol, std::move(content));
 }
 
 void Dtd::AddStart(LabelId symbol) {
   AddSymbol(symbol);
   auto it = std::lower_bound(start_.begin(), start_.end(), symbol);
-  if (it == start_.end() || *it != symbol) start_.insert(it, symbol);
+  if (it == start_.end() || *it != symbol) {
+    start_.insert(it, symbol);
+    nta_cache_.reset();
+  }
 }
 
 bool Dtd::IsStart(LabelId symbol) const {
@@ -130,6 +139,13 @@ const Nfa& Dtd::RuleNfa(LabelId symbol) const {
     it = nfa_cache_.emplace(symbol, Nfa::FromRegex(Rule(symbol))).first;
   }
   return it->second;
+}
+
+const Nta& Dtd::Automaton() const {
+  if (!nta_cache_) {
+    nta_cache_ = std::make_shared<const Nta>(Nta::FromDtd(*this));
+  }
+  return *nta_cache_;
 }
 
 bool Dtd::SatisfiesRules(const Tree& t) const {

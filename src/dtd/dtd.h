@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <random>
 #include <string>
 #include <vector>
@@ -26,6 +27,8 @@
 #include "tree/tree.h"
 
 namespace tpc {
+
+class Nta;  // automata/nta.h; kept incomplete here to avoid a header cycle
 
 /// A DTD (Σ, d, S_d).  Symbols without an explicit rule implicitly map to ε
 /// (they must be leaves), following the convention of Example 7.3.
@@ -53,6 +56,11 @@ class Dtd {
 
   /// The compiled (Glushkov) automaton of `symbol`'s rule, cached.
   const Nfa& RuleNfa(LabelId symbol) const;
+
+  /// The tree automaton `Nta::FromDtd(*this)`, built once per Dtd instance
+  /// and invalidated by the mutators.  Callers that intersect or complement
+  /// against the same DTD repeatedly share one build.
+  const Nta& Automaton() const;
 
   /// True iff `t` satisfies this DTD (root label in S_d, all content models
   /// respected).
@@ -102,6 +110,9 @@ class Dtd {
   std::map<LabelId, Regex> rules_;
   mutable std::map<LabelId, Nfa> nfa_cache_;
   mutable std::map<LabelId, int64_t> cost_cache_;  // min tree size per symbol
+  // shared_ptr (not unique_ptr): Nta is incomplete here, and copied Dtds may
+  // share the cache until a mutator resets it.
+  mutable std::shared_ptr<const Nta> nta_cache_;
 };
 
 /// Parses a DTD.  Concrete syntax (whitespace insignificant):

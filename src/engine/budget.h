@@ -83,6 +83,57 @@ class Budget {
     return steps_.load(std::memory_order_relaxed);
   }
 
+  /// Scoped per-decision deadline: for its lifetime the budget's effective
+  /// deadline is the *tighter* of the caller's and `deadline_ms` from now
+  /// (0 = leave the caller's deadline as is).  This is how
+  /// `EngineLimits::max_milliseconds` arms the context budget once at a
+  /// procedure's entry, so the legacy limit and the ctx deadline stop racing
+  /// as separate clocks: every hot loop observes one deadline via `Charge`
+  /// and reports one `kResourceExhausted` path.
+  ///
+  /// On destruction the caller's deadline is restored, and the sticky
+  /// exhausted flag is cleared unless one of the caller's own limits (step
+  /// limit or caller deadline) has genuinely been hit — so a reused context
+  /// (e.g. a benchmark loop) is not poisoned by one capped decision.
+  /// Create between decisions only; do not nest (same contract as `Arm`).
+  class ScopedDeadline {
+   public:
+    ScopedDeadline(Budget* budget, int64_t deadline_ms) : budget_(budget) {
+      prev_ = budget_->deadline_ticks_.load(std::memory_order_relaxed);
+      if (deadline_ms > 0) {
+        const int64_t ticks = (std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(deadline_ms))
+                                  .time_since_epoch()
+                                  .count();
+        if (prev_ == kNoDeadline || ticks < prev_) {
+          budget_->deadline_ticks_.store(ticks, std::memory_order_relaxed);
+        }
+      }
+    }
+
+    ~ScopedDeadline() {
+      budget_->deadline_ticks_.store(prev_, std::memory_order_relaxed);
+      if (!budget_->exhausted_.load(std::memory_order_relaxed)) return;
+      const int64_t limit =
+          budget_->step_limit_.load(std::memory_order_relaxed);
+      const bool steps_hit =
+          limit > 0 && budget_->steps_.load(std::memory_order_relaxed) > limit;
+      const bool deadline_hit =
+          prev_ != kNoDeadline &&
+          std::chrono::steady_clock::now().time_since_epoch().count() > prev_;
+      if (!steps_hit && !deadline_hit) {
+        budget_->exhausted_.store(false, std::memory_order_relaxed);
+      }
+    }
+
+    ScopedDeadline(const ScopedDeadline&) = delete;
+    ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+   private:
+    Budget* budget_;
+    int64_t prev_;
+  };
+
  private:
   /// Steps between wall-clock checks.  Small enough that a 50 ms deadline on
   /// an adversarial instance fires promptly, large enough that `Charge` stays

@@ -19,6 +19,9 @@ void EngineStats::Reset() {
   det_states_materialized.store(0, std::memory_order_relaxed);
   nta_states_built.store(0, std::memory_order_relaxed);
   nta_transitions_built.store(0, std::memory_order_relaxed);
+  configs_subsumed.store(0, std::memory_order_relaxed);
+  unions_memoized.store(0, std::memory_order_relaxed);
+  state_sets_interned.store(0, std::memory_order_relaxed);
   graph_dp_cells.store(0, std::memory_order_relaxed);
   for (auto& d : dispatch) d.store(0, std::memory_order_relaxed);
 }
@@ -61,6 +64,15 @@ std::string EngineStats::ToJson(int64_t steps_used) const {
          ", ";
   out += field("nta_transitions_built",
                nta_transitions_built.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("configs_subsumed",
+               configs_subsumed.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("unions_memoized",
+               unions_memoized.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("state_sets_interned",
+               state_sets_interned.load(std::memory_order_relaxed)) +
          ", ";
   out += field("graph_dp_cells",
                graph_dp_cells.load(std::memory_order_relaxed)) +

@@ -44,6 +44,13 @@ struct EngineStats {
   std::atomic<int64_t> det_states_materialized{0};
   std::atomic<int64_t> nta_states_built{0};
   std::atomic<int64_t> nta_transitions_built{0};
+  /// Configurations dropped on arrival or deactivated later because an
+  /// antichain-maximal configuration subsumes them.
+  std::atomic<int64_t> configs_subsumed{0};
+  /// Pairwise Sat/Below-set unions answered from the interner's memo table.
+  std::atomic<int64_t> unions_memoized{0};
+  /// Distinct Sat/Below state sets interned across a decision's interners.
+  std::atomic<int64_t> state_sets_interned{0};
 
   // Graph semantics (src/graphdb).
   std::atomic<int64_t> graph_dp_cells{0};

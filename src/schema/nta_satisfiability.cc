@@ -1,34 +1,49 @@
 #include "schema/nta_satisfiability.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <map>
 #include <set>
 #include <tuple>
+#include <unordered_set>
 #include <vector>
 
 #include "automata/path_complement.h"
+#include "automata/state_interning.h"
 #include "automata/tpq_det.h"
 
 namespace tpc {
 
 namespace {
 
-/// One realizable configuration of the product: an NTA state together with
-/// a deterministic pattern state, a concrete node label, and a derivation.
+/// `ids` value for a configuration that arrived dominated (see the schema
+/// engine); domination is transitive, so the key never needs revisiting.
+constexpr int32_t kDroppedConfig = -2;
+
+/// One realized configuration of the product: an NTA state together with a
+/// deterministic pattern state (plus its interned Sat/Below ids), a
+/// concrete node label, and a derivation.  Append-only arena; antichain
+/// pruning only clears `active`.
 struct NtaConfig {
   int32_t nta_state;
   int32_t p_state;
   LabelId label;
+  int32_t sat_id, below_id;
   std::vector<int32_t> children;
+  bool active = true;
 };
 
 }  // namespace
 
 SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
                                   LabelPool* pool, EngineContext* ctx,
-                                  const EngineLimits& limits) {
-  TpqDetAutomaton det(p);
+                                  const EngineLimits& limits,
+                                  const SchemaEngineOptions& options) {
+  Budget::ScopedDeadline scoped_deadline(&ctx->budget(),
+                                         limits.max_milliseconds);
+  DetSide det(&p);
+  StateSetInterner& interner = det.interner();
   EngineStats& stats = ctx->stats();
   // Candidate labels for wildcard-labelled transitions: the letters of p
   // plus one fresh letter (any label outside p behaves identically).
@@ -41,45 +56,52 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
   wildcard_labels.push_back(fresh);
 
   std::vector<NtaConfig> configs;
+  /// Per NTA state: arena indices the horizontal searches may consume.
+  std::vector<std::vector<int32_t>> active_by_state(nta.num_states());
   std::map<std::tuple<int32_t, int32_t, LabelId>, int32_t> ids;
+  // Union tuples already processed, *per transition*: transitions on the
+  // same state carry different label sets, so a shared memo would lose
+  // labels.  (sat_id, below_id) packs into one uint64.
+  std::vector<std::unordered_set<uint64_t>> realized(nta.transitions().size());
   bool truncated = false;
   int32_t goal = -1;
 
-  auto accepts = [&](const NtaConfig& cfg) {
-    if (!nta.final_states()[cfg.nta_state]) return false;
-    return mode == Mode::kStrong ? det.AcceptsStrong(cfg.p_state)
-                                 : det.AcceptsWeak(cfg.p_state);
+  auto accepts = [&](int32_t nta_state, int32_t p_state) {
+    if (!nta.final_states()[nta_state]) return false;
+    return mode == Mode::kStrong ? det.AcceptsStrong(p_state)
+                                 : det.AcceptsWeak(p_state);
   };
+
+  /// Horizontal-search node over (NFA state, interned union ids).
+  struct HNode {
+    int32_t h;
+    int32_t sat_id, below_id;
+    int32_t from = -1, via = -1;
+  };
+  std::vector<HNode> nodes;
+  std::unordered_set<std::array<int32_t, 3>, IntArrayHash<3>> seen;
+  std::vector<int32_t> children_scratch;
 
   bool changed = true;
   while (changed && goal < 0 && !truncated) {
     changed = false;
-    for (const Nta::Transition& tr : nta.transitions()) {
+    for (size_t ti = 0; ti < nta.transitions().size(); ++ti) {
       if (goal >= 0 || truncated) break;
-      std::vector<LabelId> labels =
+      const Nta::Transition& tr = nta.transitions()[ti];
+      const std::vector<LabelId> labels =
           tr.label == kWildcard ? wildcard_labels
                                 : std::vector<LabelId>{tr.label};
       // Horizontal search over (NFA state, accumulated unions), consuming
       // realized configurations whose NTA state feeds the transition.
-      struct HNode {
-        int32_t h;
-        NodeBitset sat, below;
-        int32_t from = -1, via = -1;
-      };
-      std::vector<HNode> nodes;
-      std::map<std::tuple<int32_t, NodeBitset, NodeBitset>, int32_t> seen;
-      auto intern = [&](HNode n) {
-        auto key = std::make_tuple(n.h, n.sat, n.below);
-        if (seen.count(key)) return;
-        seen.emplace(std::move(key), static_cast<int32_t>(nodes.size()));
-        nodes.push_back(std::move(n));
+      nodes.clear();
+      seen.clear();
+      auto push = [&](const HNode& n) {
+        if (!seen.insert({n.h, n.sat_id, n.below_id}).second) return;
+        nodes.push_back(n);
         stats.horizontal_nodes.fetch_add(1, std::memory_order_relaxed);
       };
-      HNode start;
-      start.h = tr.horizontal.initial;
-      start.sat = NodeBitset(p.size());
-      start.below = NodeBitset(p.size());
-      intern(std::move(start));
+      constexpr int32_t kEmpty = StateSetInterner::kEmptySetId;
+      push(HNode{tr.horizontal.initial, kEmpty, kEmpty, -1, -1});
       for (size_t i = 0; i < nodes.size() && goal < 0; ++i) {
         if (static_cast<int64_t>(nodes.size()) >=
                 limits.max_horizontal_nodes ||
@@ -88,49 +110,104 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
           break;
         }
         if (tr.horizontal.accepting[nodes[i].h]) {
-          for (LabelId label : labels) {
-            int32_t ps = det.StateForUnion(label, nodes[i].sat,
-                                           nodes[i].below);
-            auto key = std::make_tuple(tr.state, ps, label);
-            if (ids.count(key)) continue;
-            NtaConfig cfg{tr.state, ps, label, {}};
+          const uint64_t tuple =
+              (static_cast<uint64_t>(
+                   static_cast<uint32_t>(nodes[i].sat_id)) << 32) |
+              static_cast<uint32_t>(nodes[i].below_id);
+          if (realized[ti].insert(tuple).second) {
+            children_scratch.clear();
             for (int32_t n = static_cast<int32_t>(i); nodes[n].from >= 0;
                  n = nodes[n].from) {
-              cfg.children.push_back(nodes[n].via);
+              children_scratch.push_back(nodes[n].via);
             }
-            std::reverse(cfg.children.begin(), cfg.children.end());
-            int32_t id = static_cast<int32_t>(configs.size());
-            configs.push_back(cfg);
-            ids.emplace(key, id);
-            stats.schema_configurations.fetch_add(1,
-                                                  std::memory_order_relaxed);
-            changed = true;
-            if (accepts(cfg)) {
-              goal = id;
-              break;
-            }
-            if (static_cast<int64_t>(configs.size()) >=
-                limits.max_configurations) {
-              truncated = true;
-              break;
+            std::reverse(children_scratch.begin(), children_scratch.end());
+            for (LabelId label : labels) {
+              int32_t ps = det.Resolve(label, nodes[i].sat_id,
+                                       nodes[i].below_id);
+              auto key = std::make_tuple(tr.state, ps, label);
+              if (ids.count(key)) continue;
+              const auto [sat_id, below_id] = det.StateSetIds(ps);
+              if (sat_id < 0 || below_id < 0) {
+                truncated = true;
+                break;
+              }
+              std::vector<int32_t>& actives = active_by_state[tr.state];
+              if (options.antichain) {
+                // p occurs only positively here (satisfiability), so the
+                // domination order is plain superset on both components;
+                // labels may differ — the horizontal languages consume NTA
+                // states, never labels, so a dominator substitutes in any
+                // derivation.
+                bool dominated = false;
+                for (int32_t id : actives) {
+                  const NtaConfig& c = configs[id];
+                  if (!c.active) continue;
+                  if (interner.Superset(c.sat_id, sat_id) &&
+                      interner.Superset(c.below_id, below_id)) {
+                    dominated = true;
+                    break;
+                  }
+                }
+                if (dominated) {
+                  stats.configs_subsumed.fetch_add(1,
+                                                   std::memory_order_relaxed);
+                  ids.emplace(key, kDroppedConfig);
+                  continue;
+                }
+                for (int32_t id : actives) {
+                  NtaConfig& c = configs[id];
+                  if (!c.active) continue;
+                  if (interner.Superset(sat_id, c.sat_id) &&
+                      interner.Superset(below_id, c.below_id)) {
+                    c.active = false;
+                    stats.configs_subsumed.fetch_add(
+                        1, std::memory_order_relaxed);
+                  }
+                }
+              }
+              int32_t id = static_cast<int32_t>(configs.size());
+              configs.push_back(NtaConfig{tr.state, ps, label, sat_id,
+                                          below_id, children_scratch, true});
+              actives.push_back(id);
+              ids.emplace(key, id);
+              stats.schema_configurations.fetch_add(1,
+                                                    std::memory_order_relaxed);
+              changed = true;
+              if (accepts(tr.state, ps)) {
+                goal = id;
+                break;
+              }
+              if (static_cast<int64_t>(configs.size()) >=
+                  limits.max_configurations) {
+                truncated = true;
+                break;
+              }
             }
           }
           if (goal >= 0 || truncated) break;
         }
-        size_t num_now = configs.size();
         const auto& ts = tr.horizontal.transitions[nodes[i].h];
-        for (size_t c = 0; c < num_now; ++c) {
-          for (const auto& [sym, target] : ts) {
-            if (static_cast<int32_t>(sym) != configs[c].nta_state) continue;
-            HNode next = nodes[i];
+        for (const auto& [sym, target] : ts) {
+          if (sym >= static_cast<Symbol>(nta.num_states())) continue;
+          const std::vector<int32_t>& actives = active_by_state[sym];
+          for (size_t k = 0; k < actives.size(); ++k) {
+            const NtaConfig& child = configs[actives[k]];
+            if (!child.active) continue;
+            HNode next;
             next.h = target;
+            next.sat_id = interner.Union(nodes[i].sat_id, child.sat_id);
+            next.below_id = interner.Union(nodes[i].below_id, child.below_id);
+            if (next.sat_id < 0 || next.below_id < 0) {
+              truncated = true;
+              break;
+            }
             next.from = static_cast<int32_t>(i);
-            next.via = static_cast<int32_t>(c);
-            next.sat.UnionWith(det.Sat(configs[c].p_state));
-            next.below.UnionWith(det.Below(configs[c].p_state));
-            intern(std::move(next));
+            next.via = actives[k];
+            push(next);
           }
+          if (truncated) break;
         }
+        if (truncated) break;
       }
     }
   }
@@ -142,8 +219,13 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
   out.yes = goal >= 0;
   stats.det_states_materialized.fetch_add(det.num_materialized(),
                                           std::memory_order_relaxed);
+  stats.state_sets_interned.fetch_add(interner.num_interned(),
+                                      std::memory_order_relaxed);
+  stats.unions_memoized.fetch_add(interner.unions_memoized(),
+                                  std::memory_order_relaxed);
   if (goal >= 0) {
-    // Materialize the witness tree.
+    // Materialize the witness tree (the arena keeps deactivated configs, so
+    // every derivation index stays valid).
     Tree t;
     std::vector<std::pair<int32_t, NodeId>> queue = {{goal, kNoNode}};
     for (size_t i = 0; i < queue.size(); ++i) {
@@ -161,7 +243,8 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
 SchemaDecision ContainedViaConpRoute(const Tpq& p, const Tpq& q, Mode mode,
                                      const Dtd& dtd, LabelPool* pool,
                                      EngineContext* ctx,
-                                     const EngineLimits& limits) {
+                                     const EngineLimits& limits,
+                                     const SchemaEngineOptions& options) {
   assert(IsPathQuery(q));
   std::set<LabelId> sigma_set(dtd.alphabet().begin(), dtd.alphabet().end());
   for (NodeId v = 0; v < q.size(); ++v) {
@@ -171,7 +254,7 @@ SchemaDecision ContainedViaConpRoute(const Tpq& p, const Tpq& q, Mode mode,
     if (!p.IsWildcard(v)) sigma_set.insert(p.Label(v));
   }
   std::vector<LabelId> sigma(sigma_set.begin(), sigma_set.end());
-  Nta product = Nta::Intersect(Nta::FromDtd(dtd),
+  Nta product = Nta::Intersect(dtd.Automaton(),
                                ComplementOfPathQueryNta(q, sigma, mode));
   EngineStats& stats = ctx->stats();
   stats.nta_states_built.fetch_add(product.num_states(),
@@ -179,7 +262,8 @@ SchemaDecision ContainedViaConpRoute(const Tpq& p, const Tpq& q, Mode mode,
   stats.nta_transitions_built.fetch_add(
       static_cast<int64_t>(product.transitions().size()),
       std::memory_order_relaxed);
-  SchemaDecision sat = SatisfiableWithNta(p, mode, product, pool, ctx, limits);
+  SchemaDecision sat =
+      SatisfiableWithNta(p, mode, product, pool, ctx, limits, options);
   SchemaDecision out;
   out.decided = sat.decided;
   out.outcome = sat.outcome;

@@ -24,11 +24,14 @@ namespace tpc {
 
 /// Is some tree accepted by `nta` in L_s(p) / L_w(p)?  Worst-case
 /// exponential (the problem is NP-complete), with a witness on success.
-/// The ctx overload additionally honours the context budget and fills its
-/// instrumentation counters.
+/// The ctx overload additionally honours the context budget (with
+/// `EngineLimits::max_milliseconds` armed onto it for the call) and fills
+/// its instrumentation counters; `options.antichain` prunes dominated
+/// (NTA state, pattern state) configurations exactly as in the DTD engine.
 SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
                                   LabelPool* pool, EngineContext* ctx,
-                                  const EngineLimits& limits = {});
+                                  const EngineLimits& limits = {},
+                                  const SchemaEngineOptions& options = {});
 SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
                                   LabelPool* pool,
                                   const EngineLimits& limits = {});
@@ -39,7 +42,8 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
 SchemaDecision ContainedViaConpRoute(const Tpq& p, const Tpq& q, Mode mode,
                                      const Dtd& dtd, LabelPool* pool,
                                      EngineContext* ctx,
-                                     const EngineLimits& limits = {});
+                                     const EngineLimits& limits = {},
+                                     const SchemaEngineOptions& options = {});
 SchemaDecision ContainedViaConpRoute(const Tpq& p, const Tpq& q, Mode mode,
                                      const Dtd& dtd, LabelPool* pool,
                                      const EngineLimits& limits = {});

@@ -1,65 +1,132 @@
 #include "schema/schema_engine.h"
 
-#include <chrono>
-
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <cstdint>
 #include <map>
 #include <tuple>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "automata/nta.h"
+#include "automata/state_interning.h"
 #include "automata/tpq_det.h"
 
 namespace tpc {
 
 namespace {
 
-/// One realizable configuration: root symbol plus pattern-automata states
-/// (state -1 when the corresponding pattern is absent), with a derivation
-/// for witness reconstruction.
-struct Config {
+/// `config_ids_` value for a configuration that arrived dominated and was
+/// never materialized.  Domination is transitive, so even if its dominator
+/// is deactivated later, some active configuration still covers it.
+constexpr int32_t kDroppedConfig = -2;
+
+/// One realized configuration: root symbol, deterministic pattern states,
+/// the interned ids of those states' Sat/Below sets (what the configuration
+/// contributes to a parent's unions), and a derivation for witness
+/// reconstruction.  The arena is append-only — antichain pruning only
+/// clears `active` — so `children` indices of later derivations stay valid.
+struct ConfigRec {
   LabelId symbol;
   int32_t p_state;
   int32_t q_state;
+  int32_t p_sat_id, p_below_id;  // ids in the p-side interner
+  int32_t q_sat_id, q_below_id;  // ids in the q-side interner
   std::vector<int32_t> children;  // indices of realizing child configs
+  bool active = true;
+};
+
+/// A realization found by a horizontal search: the accumulated union ids at
+/// an accepting content-model state, plus the children consumed to get
+/// there.  In parallel rounds these are buffered per symbol and merged at
+/// the round barrier (resolving det states mutates the lazy automata, which
+/// is not thread-safe).
+struct Candidate {
+  int32_t p_sat_id, p_below_id, q_sat_id, q_below_id;
+  std::vector<int32_t> children;
+};
+
+/// Horizontal-search node: content-model NFA state plus the interned union
+/// ids of the children consumed so far — five small ints where the previous
+/// engine carried four materialized bitsets.
+struct HNode {
+  int32_t nfa_state;
+  int32_t p_sat_id, p_below_id, q_sat_id, q_below_id;
+  int32_t from = -1;  // index of predecessor HNode
+  int32_t via = -1;   // config index consumed on the way here
+};
+
+/// Per-symbol search state, persistent across rounds so one saturation
+/// round allocates (almost) nothing.  In parallel rounds each symbol is
+/// owned by exactly one worker; `realized` is written only by the
+/// sequential merge phase.
+struct SymbolScratch {
+  std::vector<HNode> nodes;
+  std::unordered_set<std::array<int32_t, 5>, IntArrayHash<5>> seen;
+  std::vector<Candidate> candidates;
+  /// Union tuples already merged (or found duplicate) in earlier rounds.
+  std::unordered_set<std::array<int32_t, 4>, IntArrayHash<4>> realized;
+  /// Union tuples already emitted during the current search.
+  std::unordered_set<std::array<int32_t, 4>, IntArrayHash<4>> emitted;
 };
 
 class Engine {
  public:
   Engine(const Dtd& dtd, const Tpq* p, const Tpq* q, EngineContext* ctx,
-         const EngineLimits& limits)
-      : dtd_(dtd), ctx_(ctx), limits_(limits),
-        deadline_(std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(limits.max_milliseconds)) {
-    if (p != nullptr) p_det_.emplace(*p);
-    if (q != nullptr) q_det_.emplace(*q);
+         const EngineLimits& limits, const SchemaEngineOptions& options)
+      : dtd_(dtd), ctx_(ctx), limits_(limits), options_(options),
+        p_side_(p), q_side_(q), alphabet_(dtd.alphabet()),
+        scratch_(dtd.alphabet().size()),
+        active_by_symbol_(dtd.alphabet().size()) {
+    // Compile every content model up front: `Dtd::RuleNfa` caches through a
+    // non-thread-safe mutable map, and parallel rounds read it from workers.
+    for (LabelId a : alphabet_) dtd_.RuleNfa(a);
   }
 
-  bool PastDeadline() const {
-    return (limits_.max_milliseconds > 0 &&
-            std::chrono::steady_clock::now() > deadline_) ||
-           ctx_->budget().Exhausted();
-  }
-
-  /// Runs the fixpoint until a configuration satisfying `accept` is found
-  /// (returning its index), the reachable set is exhausted (-1), or a
-  /// resource limit is hit (-2, undecided).  Legacy `EngineLimits` caps and
-  /// the context budget both funnel into the -2 outcome.
+  /// Runs the fixpoint in saturation rounds until a configuration
+  /// satisfying `accept` is found (returning its index), the reachable set
+  /// is exhausted (-1), or a resource limit is hit (-2, undecided).  Legacy
+  /// `EngineLimits` caps and the context budget both funnel into -2.
   template <typename AcceptFn>
   int32_t Solve(AcceptFn accept) {
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (LabelId a : dtd_.alphabet()) {
-        if (ExpandSymbol(a, &changed, accept)) return goal_;
-        if (num_configs() >= limits_.max_configurations) return -2;
-        if (PastDeadline()) return -2;
+    const bool parallel = ctx_->threads() > 1 && alphabet_.size() > 1;
+    const int64_t num_symbols = static_cast<int64_t>(alphabet_.size());
+    while (true) {
+      changed_ = false;
+      if (options_.antichain) CompactActiveLists();
+      if (parallel) {
+        // Search phase: each symbol's horizontal search on the pool, with
+        // per-symbol scratch; workers only read configs_/active lists and
+        // create set ids through the (thread-safe) interners.
+        ctx_->pool().ParallelFor(num_symbols, [this](int64_t ai) {
+          SearchSymbol(static_cast<int32_t>(ai), /*merge_inline=*/false,
+                       [](LabelId, int32_t, int32_t) { return false; });
+        });
+        // Merge phase (sequential): resolve det states, prune, insert.
+        for (int32_t ai = 0; ai < num_symbols; ++ai) {
+          for (Candidate& cand : scratch_[ai].candidates) {
+            MergeCandidate(ai, std::move(cand), accept);
+            if (goal_ >= 0 || cap_hit_) break;
+          }
+          scratch_[ai].candidates.clear();
+          if (goal_ >= 0 || cap_hit_) break;
+        }
+      } else {
+        for (int32_t ai = 0; ai < num_symbols; ++ai) {
+          SearchSymbol(ai, /*merge_inline=*/true, accept);
+          if (goal_ >= 0 || cap_hit_) break;
+        }
+      }
+      if (goal_ >= 0) return goal_;
+      if (cap_hit_ || ctx_->budget().Exhausted()) return -2;
+      if (!changed_) {
+        // A truncated horizontal search may have missed realizable
+        // configurations: the fixpoint is then inconclusive.
+        return truncated_.load(std::memory_order_relaxed) ? -2 : -1;
       }
     }
-    // A truncated horizontal search may have missed realizable
-    // configurations: the fixpoint is then inconclusive.
-    return truncated_ ? -2 : -1;
   }
 
   Tree BuildWitness(int32_t index) const {
@@ -68,7 +135,7 @@ class Engine {
     std::vector<std::pair<int32_t, NodeId>> queue = {{index, kNoNode}};
     for (size_t i = 0; i < queue.size(); ++i) {
       auto [cfg_index, parent] = queue[i];
-      const Config& cfg = configs_[cfg_index];
+      const ConfigRec& cfg = configs_[cfg_index];
       NodeId v = parent == kNoNode ? t.AddRoot(cfg.symbol)
                                    : t.AddChild(parent, cfg.symbol);
       for (int32_t child : cfg.children) queue.emplace_back(child, v);
@@ -76,148 +143,248 @@ class Engine {
     return t;
   }
 
-  const Config& config(int32_t index) const { return configs_[index]; }
   int64_t num_configs() const { return static_cast<int64_t>(configs_.size()); }
 
   /// Deterministic pattern-automaton states materialized across p and q.
   int64_t det_states() const {
-    int64_t n = 0;
-    if (p_det_.has_value()) n += p_det_->num_materialized();
-    if (q_det_.has_value()) n += q_det_->num_materialized();
-    return n;
+    return p_side_.num_materialized() + q_side_.num_materialized();
+  }
+  int64_t sets_interned() const {
+    return p_side_.interner().num_interned() +
+           q_side_.interner().num_interned();
+  }
+  int64_t unions_memoized() const {
+    return p_side_.interner().unions_memoized() +
+           q_side_.interner().unions_memoized();
   }
 
   bool PAccepts(int32_t p_state, Mode mode) const {
-    if (!p_det_.has_value()) return true;
-    return mode == Mode::kStrong ? p_det_->AcceptsStrong(p_state)
-                                 : p_det_->AcceptsWeak(p_state);
+    if (!p_side_.present()) return true;
+    return mode == Mode::kStrong ? p_side_.AcceptsStrong(p_state)
+                                 : p_side_.AcceptsWeak(p_state);
   }
   bool QAccepts(int32_t q_state, Mode mode) const {
-    if (!q_det_.has_value()) return false;
-    return mode == Mode::kStrong ? q_det_->AcceptsStrong(q_state)
-                                 : q_det_->AcceptsWeak(q_state);
+    if (!q_side_.present()) return false;
+    return mode == Mode::kStrong ? q_side_.AcceptsStrong(q_state)
+                                 : q_side_.AcceptsWeak(q_state);
   }
 
  private:
-  /// Key for the horizontal search: NFA state plus accumulated unions.
-  using HKey = std::tuple<int32_t, NodeBitset, NodeBitset, NodeBitset,
-                          NodeBitset>;
+  int32_t SymbolIndex(LabelId a) const {
+    auto it = std::lower_bound(alphabet_.begin(), alphabet_.end(), a);
+    if (it == alphabet_.end() || *it != a) return -1;
+    return static_cast<int32_t>(it - alphabet_.begin());
+  }
 
-  struct HNode {
-    int32_t nfa_state;
-    NodeBitset p_sat, p_below, q_sat, q_below;
-    int32_t from = -1;     // index of predecessor HNode
-    int32_t via = -1;      // config index consumed on the way here
-  };
+  /// Does config A (same symbol) subsume config B?  The order is p-up,
+  /// q-down: the goal predicates are monotone in P-acceptance and antitone
+  /// in Q-acceptance, so a dominator must promise at least as much on the p
+  /// side and at most as much on the q side.  (Superset on both coordinates
+  /// — the naive reading of "bigger is better" — would prune exactly the
+  /// small-q configurations that are the potential counterexamples.)
+  bool Dominates(const ConfigRec& a, int32_t bp_sat, int32_t bp_below,
+                 int32_t bq_sat, int32_t bq_below) const {
+    const StateSetInterner& pi = p_side_.interner();
+    const StateSetInterner& qi = q_side_.interner();
+    return pi.Superset(a.p_sat_id, bp_sat) &&
+           pi.Superset(a.p_below_id, bp_below) &&
+           qi.Superset(bq_sat, a.q_sat_id) &&
+           qi.Superset(bq_below, a.q_below_id);
+  }
+  bool DominatedByNew(int32_t ap_sat, int32_t ap_below, int32_t aq_sat,
+                      int32_t aq_below, const ConfigRec& b) const {
+    const StateSetInterner& pi = p_side_.interner();
+    const StateSetInterner& qi = q_side_.interner();
+    return pi.Superset(ap_sat, b.p_sat_id) &&
+           pi.Superset(ap_below, b.p_below_id) &&
+           qi.Superset(b.q_sat_id, aq_sat) &&
+           qi.Superset(b.q_below_id, aq_below);
+  }
 
-  /// Explores all realizable configurations with root symbol `a`, adding new
-  /// ones.  Returns true (and sets goal_) when an accepting one is found.
-  template <typename AcceptFn>
-  bool ExpandSymbol(LabelId a, bool* changed, AcceptFn accept) {
-    const Nfa& nfa = dtd_.RuleNfa(a);
-    int32_t pn = p_det_.has_value() ? p_det_->query().size() : 0;
-    int32_t qn = q_det_.has_value() ? q_det_->query().size() : 0;
-
-    std::vector<HNode> nodes;
-    std::map<HKey, int32_t> seen;
-    EngineStats& stats = ctx_->stats();
-    auto intern = [&](HNode node) -> int32_t {
-      HKey key{node.nfa_state, node.p_sat, node.p_below, node.q_sat,
-               node.q_below};
-      auto it = seen.find(key);
-      if (it != seen.end()) return -1;
-      int32_t id = static_cast<int32_t>(nodes.size());
-      seen.emplace(std::move(key), id);
-      nodes.push_back(std::move(node));
-      stats.horizontal_nodes.fetch_add(1, std::memory_order_relaxed);
-      return id;
-    };
-    HNode start;
-    start.nfa_state = nfa.initial;
-    start.p_sat = NodeBitset(pn);
-    start.p_below = NodeBitset(pn);
-    start.q_sat = NodeBitset(qn);
-    start.q_below = NodeBitset(qn);
-    intern(std::move(start));
-
-    for (size_t i = 0; i < nodes.size(); ++i) {
-      if (static_cast<int64_t>(nodes.size()) >= limits_.max_horizontal_nodes ||
-          !ctx_->budget().Charge(1) ||
-          ((i & 1023) == 0 && PastDeadline())) {
-        truncated_ = true;
-        break;
+  /// Drops deactivated ids from the per-symbol active lists.  Runs between
+  /// rounds only — searches iterate these lists by index.
+  void CompactActiveLists() {
+    for (std::vector<int32_t>& actives : active_by_symbol_) {
+      size_t kept = 0;
+      for (int32_t id : actives) {
+        if (configs_[id].active) actives[kept++] = id;
       }
+      actives.resize(kept);
+    }
+  }
+
+  /// Explores all words of `a`'s content model over the currently active
+  /// configurations.  With `merge_inline` (sequential mode) realizations
+  /// are merged immediately, so later search nodes already see them — the
+  /// same intra-round consumption the pre-interning engine had.  Without it
+  /// (parallel mode) realizations are buffered as candidates.
+  template <typename AcceptFn>
+  void SearchSymbol(int32_t ai, bool merge_inline, AcceptFn accept) {
+    const LabelId a = alphabet_[ai];
+    const Nfa& nfa = dtd_.RuleNfa(a);
+    SymbolScratch& s = scratch_[ai];
+    s.nodes.clear();
+    s.seen.clear();
+    s.emitted.clear();
+    s.candidates.clear();
+    EngineStats& stats = ctx_->stats();
+    StateSetInterner& pi = p_side_.interner();
+    StateSetInterner& qi = q_side_.interner();
+
+    auto push = [&](const HNode& node) {
+      const std::array<int32_t, 5> key{node.nfa_state, node.p_sat_id,
+                                       node.p_below_id, node.q_sat_id,
+                                       node.q_below_id};
+      if (!s.seen.insert(key).second) return;
+      s.nodes.push_back(node);
+      stats.horizontal_nodes.fetch_add(1, std::memory_order_relaxed);
+    };
+    constexpr int32_t kEmpty = StateSetInterner::kEmptySetId;
+    push(HNode{nfa.initial, kEmpty, kEmpty, kEmpty, kEmpty, -1, -1});
+
+    for (size_t i = 0; i < s.nodes.size(); ++i) {
+      if (static_cast<int64_t>(s.nodes.size()) >=
+              limits_.max_horizontal_nodes ||
+          !ctx_->budget().Charge(1)) {
+        truncated_.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (merge_inline && (goal_ >= 0 || cap_hit_)) return;
       // Realize a configuration if the content model accepts here.
-      if (nfa.accepting[nodes[i].nfa_state]) {
-        int32_t ps = p_det_.has_value()
-                         ? p_det_->StateForUnion(a, nodes[i].p_sat,
-                                                 nodes[i].p_below)
-                         : -1;
-        int32_t qs = q_det_.has_value()
-                         ? q_det_->StateForUnion(a, nodes[i].q_sat,
-                                                 nodes[i].q_below)
-                         : -1;
-        auto key = std::make_tuple(a, ps, qs);
-        if (config_ids_.find(key) == config_ids_.end()) {
-          Config cfg{a, ps, qs, {}};
-          for (int32_t n = static_cast<int32_t>(i); nodes[n].from >= 0;
-               n = nodes[n].from) {
-            cfg.children.push_back(nodes[n].via);
+      if (nfa.accepting[s.nodes[i].nfa_state]) {
+        const HNode& node = s.nodes[i];
+        const std::array<int32_t, 4> tuple{node.p_sat_id, node.p_below_id,
+                                           node.q_sat_id, node.q_below_id};
+        if (s.realized.find(tuple) == s.realized.end() &&
+            s.emitted.insert(tuple).second) {
+          Candidate cand{node.p_sat_id, node.p_below_id, node.q_sat_id,
+                         node.q_below_id, {}};
+          for (int32_t n = static_cast<int32_t>(i); s.nodes[n].from >= 0;
+               n = s.nodes[n].from) {
+            cand.children.push_back(s.nodes[n].via);
           }
-          std::reverse(cfg.children.begin(), cfg.children.end());
-          int32_t id = static_cast<int32_t>(configs_.size());
-          configs_.push_back(std::move(cfg));
-          config_ids_.emplace(key, id);
-          stats.schema_configurations.fetch_add(1, std::memory_order_relaxed);
-          *changed = true;
-          if (accept(a, ps, qs)) {
-            goal_ = id;
-            return true;
+          std::reverse(cand.children.begin(), cand.children.end());
+          if (merge_inline) {
+            MergeCandidate(ai, std::move(cand), accept);
+            if (goal_ >= 0 || cap_hit_) return;
+          } else {
+            s.candidates.push_back(std::move(cand));
           }
         }
       }
-      // Extend with one more child drawn from the realized configurations.
-      // Iterate by index: configs_ may grow, but new ones are picked up in a
-      // later fixpoint round.
-      size_t num_configs_now = configs_.size();
-      const auto& transitions = nfa.transitions[nodes[i].nfa_state];
-      for (size_t c = 0; c < num_configs_now; ++c) {
-        const Config& child = configs_[c];
-        for (const auto& [symbol, target] : transitions) {
-          if (symbol != child.symbol) continue;
-          HNode next = nodes[i];
+      // Extend with one more child drawn from the active configurations.
+      // Index-based iteration: an inline merge may append to the list (and
+      // this loop then picks the new configuration up immediately).
+      const auto& transitions = nfa.transitions[s.nodes[i].nfa_state];
+      for (const auto& [symbol, target] : transitions) {
+        const int32_t ci = SymbolIndex(static_cast<LabelId>(symbol));
+        if (ci < 0) continue;
+        const std::vector<int32_t>& actives = active_by_symbol_[ci];
+        for (size_t k = 0; k < actives.size(); ++k) {
+          const ConfigRec& child = configs_[actives[k]];
+          if (!child.active) continue;
+          const HNode& cur = s.nodes[i];
+          HNode next;
           next.nfa_state = target;
+          next.p_sat_id = pi.Union(cur.p_sat_id, child.p_sat_id);
+          next.p_below_id = pi.Union(cur.p_below_id, child.p_below_id);
+          next.q_sat_id = qi.Union(cur.q_sat_id, child.q_sat_id);
+          next.q_below_id = qi.Union(cur.q_below_id, child.q_below_id);
+          if (next.p_sat_id < 0 || next.p_below_id < 0 ||
+              next.q_sat_id < 0 || next.q_below_id < 0) {
+            truncated_.store(true, std::memory_order_relaxed);
+            return;
+          }
           next.from = static_cast<int32_t>(i);
-          next.via = static_cast<int32_t>(c);
-          if (p_det_.has_value()) {
-            next.p_sat.UnionWith(p_det_->Sat(child.p_state));
-            next.p_below.UnionWith(p_det_->Below(child.p_state));
-          }
-          if (q_det_.has_value()) {
-            next.q_sat.UnionWith(q_det_->Sat(child.q_state));
-            next.q_below.UnionWith(q_det_->Below(child.q_state));
-          }
-          intern(std::move(next));
+          next.via = actives[k];
+          push(next);
         }
       }
     }
-    return false;
+  }
+
+  /// Resolves a candidate's det states, applies antichain pruning, and
+  /// inserts the configuration.  Sequential (merge phase / inline mode).
+  template <typename AcceptFn>
+  void MergeCandidate(int32_t ai, Candidate cand, AcceptFn accept) {
+    if (goal_ >= 0 || cap_hit_) return;
+    SymbolScratch& s = scratch_[ai];
+    const std::array<int32_t, 4> tuple{cand.p_sat_id, cand.p_below_id,
+                                       cand.q_sat_id, cand.q_below_id};
+    if (!s.realized.insert(tuple).second) return;
+    const LabelId a = alphabet_[ai];
+    const int32_t ps = p_side_.Resolve(a, cand.p_sat_id, cand.p_below_id);
+    const int32_t qs = q_side_.Resolve(a, cand.q_sat_id, cand.q_below_id);
+    const auto key = std::make_tuple(a, ps, qs);
+    if (config_ids_.find(key) != config_ids_.end()) return;
+    const auto [p_sat, p_below] = p_side_.StateSetIds(ps);
+    const auto [q_sat, q_below] = q_side_.StateSetIds(qs);
+    if (p_sat < 0 || p_below < 0 || q_sat < 0 || q_below < 0) {
+      truncated_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    EngineStats& stats = ctx_->stats();
+    std::vector<int32_t>& actives = active_by_symbol_[ai];
+    if (options_.antichain) {
+      for (int32_t id : actives) {
+        const ConfigRec& c = configs_[id];
+        if (!c.active) continue;
+        if (Dominates(c, p_sat, p_below, q_sat, q_below)) {
+          // `c` was goal-checked at its own insertion and acceptance is
+          // monotone along the domination order, so dropping the newcomer
+          // cannot lose a goal.
+          stats.configs_subsumed.fetch_add(1, std::memory_order_relaxed);
+          config_ids_.emplace(key, kDroppedConfig);
+          return;
+        }
+      }
+      for (int32_t id : actives) {
+        ConfigRec& c = configs_[id];
+        if (!c.active) continue;
+        if (DominatedByNew(p_sat, p_below, q_sat, q_below, c)) {
+          c.active = false;
+          stats.configs_subsumed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    const int32_t id = static_cast<int32_t>(configs_.size());
+    configs_.push_back(ConfigRec{a, ps, qs, p_sat, p_below, q_sat, q_below,
+                                 std::move(cand.children), true});
+    actives.push_back(id);
+    config_ids_.emplace(key, id);
+    stats.schema_configurations.fetch_add(1, std::memory_order_relaxed);
+    changed_ = true;
+    if (accept(a, ps, qs)) {
+      goal_ = id;
+      return;
+    }
+    if (num_configs() >= limits_.max_configurations) cap_hit_ = true;
   }
 
   const Dtd& dtd_;
   EngineContext* ctx_;
   EngineLimits limits_;
-  std::chrono::steady_clock::time_point deadline_;
-  std::optional<TpqDetAutomaton> p_det_;
-  std::optional<TpqDetAutomaton> q_det_;
-  std::vector<Config> configs_;
+  SchemaEngineOptions options_;
+  DetSide p_side_;
+  DetSide q_side_;
+  std::vector<LabelId> alphabet_;  // sorted (Dtd keeps it sorted)
+  std::vector<SymbolScratch> scratch_;
+  std::vector<ConfigRec> configs_;
+  /// Per symbol: arena indices of the configurations the searches may
+  /// consume.  Antichain mode keeps each list an antichain of the
+  /// domination order (deactivated entries are compacted between rounds).
+  std::vector<std::vector<int32_t>> active_by_symbol_;
+  /// (a, ps, qs) -> arena index, or kDroppedConfig for a pruned arrival.
   std::map<std::tuple<LabelId, int32_t, int32_t>, int32_t> config_ids_;
   int32_t goal_ = -1;
-  bool truncated_ = false;
+  bool changed_ = false;
+  bool cap_hit_ = false;
+  std::atomic<bool> truncated_{false};
 };
 
 /// Folds the Engine result into a SchemaDecision, recording the
-/// deterministic-state count in the context's instrumentation block.
+/// deterministic-state and interner counters in the context's
+/// instrumentation block.
 SchemaDecision Finish(Engine* engine, EngineContext* ctx, int32_t goal,
                       bool yes_when_exhausted_reachable) {
   SchemaDecision out;
@@ -226,8 +393,13 @@ SchemaDecision Finish(Engine* engine, EngineContext* ctx, int32_t goal,
   out.outcome = out.decided ? Outcome::kDecided : Outcome::kResourceExhausted;
   out.yes = yes_when_exhausted_reachable ? goal == -1 : goal >= 0;
   if (goal >= 0) out.witness = engine->BuildWitness(goal);
-  ctx->stats().det_states_materialized.fetch_add(engine->det_states(),
-                                                 std::memory_order_relaxed);
+  EngineStats& stats = ctx->stats();
+  stats.det_states_materialized.fetch_add(engine->det_states(),
+                                          std::memory_order_relaxed);
+  stats.state_sets_interned.fetch_add(engine->sets_interned(),
+                                      std::memory_order_relaxed);
+  stats.unions_memoized.fetch_add(engine->unions_memoized(),
+                                  std::memory_order_relaxed);
   return out;
 }
 
@@ -235,8 +407,10 @@ SchemaDecision Finish(Engine* engine, EngineContext* ctx, int32_t goal,
 
 SchemaDecision SatisfiableWithDtd(const Tpq& p, Mode mode, const Dtd& dtd,
                                   EngineContext* ctx,
-                                  const EngineLimits& limits) {
-  Engine engine(dtd, &p, nullptr, ctx, limits);
+                                  const EngineLimits& limits,
+                                  const SchemaEngineOptions& options) {
+  Budget::ScopedDeadline deadline(&ctx->budget(), limits.max_milliseconds);
+  Engine engine(dtd, &p, nullptr, ctx, limits, options);
   int32_t goal = engine.Solve([&](LabelId a, int32_t ps, int32_t qs) {
     (void)qs;
     return dtd.IsStart(a) && engine.PAccepts(ps, mode);
@@ -245,8 +419,10 @@ SchemaDecision SatisfiableWithDtd(const Tpq& p, Mode mode, const Dtd& dtd,
 }
 
 SchemaDecision ValidWithDtd(const Tpq& q, Mode mode, const Dtd& dtd,
-                            EngineContext* ctx, const EngineLimits& limits) {
-  Engine engine(dtd, nullptr, &q, ctx, limits);
+                            EngineContext* ctx, const EngineLimits& limits,
+                            const SchemaEngineOptions& options) {
+  Budget::ScopedDeadline deadline(&ctx->budget(), limits.max_milliseconds);
+  Engine engine(dtd, nullptr, &q, ctx, limits, options);
   int32_t goal = engine.Solve([&](LabelId a, int32_t ps, int32_t qs) {
     (void)ps;
     return dtd.IsStart(a) && !engine.QAccepts(qs, mode);
@@ -257,8 +433,10 @@ SchemaDecision ValidWithDtd(const Tpq& q, Mode mode, const Dtd& dtd,
 
 SchemaDecision ContainedWithDtd(const Tpq& p, const Tpq& q, Mode mode,
                                 const Dtd& dtd, EngineContext* ctx,
-                                const EngineLimits& limits) {
-  Engine engine(dtd, &p, &q, ctx, limits);
+                                const EngineLimits& limits,
+                                const SchemaEngineOptions& options) {
+  Budget::ScopedDeadline deadline(&ctx->budget(), limits.max_milliseconds);
+  Engine engine(dtd, &p, &q, ctx, limits, options);
   int32_t goal = engine.Solve([&](LabelId a, int32_t ps, int32_t qs) {
     return dtd.IsStart(a) && engine.PAccepts(ps, mode) &&
            !engine.QAccepts(qs, mode);
@@ -270,7 +448,7 @@ SchemaDecision ContainedWithDtd(const Tpq& p, const Tpq& q, Mode mode,
 SchemaDecision SatisfiablePathWithDtd(const Tpq& p, Mode mode, const Dtd& dtd,
                                       EngineContext* ctx) {
   assert(IsPathQuery(p));
-  Nta product = Nta::Intersect(Nta::FromDtd(dtd),
+  Nta product = Nta::Intersect(dtd.Automaton(),
                                Nta::FromPathQuery(p, mode == Mode::kStrong));
   EngineStats& stats = ctx->stats();
   stats.nta_states_built.fetch_add(product.num_states(),

@@ -44,9 +44,21 @@ struct EngineLimits {
   /// Cap on the per-symbol horizontal search frontier; a single content
   /// model can otherwise blow up before the configuration cap triggers.
   int64_t max_horizontal_nodes = INT64_MAX;
-  /// Wall-clock deadline; 0 means unlimited.  Benchmarks use this to probe
-  /// EXPTIME instances under a fixed time budget.
+  /// Wall-clock deadline; 0 means unlimited.  Armed onto the context budget
+  /// (tightening any caller deadline) for the duration of one decision, so
+  /// the engine observes a single deadline via `Budget::Charge`.  Benchmarks
+  /// use this to probe EXPTIME instances under a fixed time budget.
   int64_t max_milliseconds = 0;
+};
+
+/// A/B switches for the schema engine's exploration core.
+struct SchemaEngineOptions {
+  /// Keep only subsumption-maximal configurations per symbol and drop
+  /// dominated ones on insert (antichain pruning).  Sound and complete —
+  /// see DESIGN.md "Schema engine internals" — and typically shrinks the
+  /// materialized configuration count by an order of magnitude on the
+  /// EXPTIME family.  Off explores the full reachable set, for A/B runs.
+  bool antichain = true;
 };
 
 /// Outcome of a schema-aware decision.
@@ -70,24 +82,29 @@ struct SchemaDecision {
 
 /// Is L(p) ∩ L(d) nonempty?  (W-/S-Satisfiability w.r.t. a DTD, Section 4.)
 /// The ctx overload additionally honours the context's step/deadline budget
-/// and fills its instrumentation counters.
+/// and fills its instrumentation counters; with `ctx->threads() > 1` the
+/// per-symbol horizontal searches of each saturation round run on the
+/// context's thread pool.
 SchemaDecision SatisfiableWithDtd(const Tpq& p, Mode mode, const Dtd& dtd,
                                   EngineContext* ctx,
-                                  const EngineLimits& limits = {});
+                                  const EngineLimits& limits = {},
+                                  const SchemaEngineOptions& options = {});
 SchemaDecision SatisfiableWithDtd(const Tpq& p, Mode mode, const Dtd& dtd,
                                   const EngineLimits& limits = {});
 
 /// Is L(d) ⊆ L(q)?  (W-/S-Validity w.r.t. a DTD, Section 5.)
 SchemaDecision ValidWithDtd(const Tpq& q, Mode mode, const Dtd& dtd,
                             EngineContext* ctx,
-                            const EngineLimits& limits = {});
+                            const EngineLimits& limits = {},
+                            const SchemaEngineOptions& options = {});
 SchemaDecision ValidWithDtd(const Tpq& q, Mode mode, const Dtd& dtd,
                             const EngineLimits& limits = {});
 
 /// Is L(p) ∩ L(d) ⊆ L(q)?  (W-/S-Containment w.r.t. a DTD, Section 6.)
 SchemaDecision ContainedWithDtd(const Tpq& p, const Tpq& q, Mode mode,
                                 const Dtd& dtd, EngineContext* ctx,
-                                const EngineLimits& limits = {});
+                                const EngineLimits& limits = {},
+                                const SchemaEngineOptions& options = {});
 SchemaDecision ContainedWithDtd(const Tpq& p, const Tpq& q, Mode mode,
                                 const Dtd& dtd,
                                 const EngineLimits& limits = {});
