@@ -10,12 +10,22 @@
 //
 // Flags (anywhere on the command line):
 //   --stats          print the engine's instrumentation counters as JSON
-//                    (includes the schema-engine interning/pruning counters
-//                    configs_subsumed, unions_memoized, state_sets_interned)
+//                    (includes steps/bytes used and the exhaustion reason)
 //   --timeout <ms>   wall-clock budget; exceeding it exits 3 (UNDECIDED)
 //   --steps <n>      step budget; exceeding it exits 3 (UNDECIDED)
+//   --memory <bytes> tracked-memory budget; exceeding it exits 3 (UNDECIDED)
 //   --threads <n>    worker threads for canonical sweeps and schema rounds
 //   --no-antichain   disable the schema engine's subsumption pruning (A/B)
+//   --fault-exhaust-at <n> / --fault-alloc-at <k> / --fault-cancel-at <n>
+//                    deterministic fault injection (chaos drills): force
+//                    budget exhaustion at the nth charge, fail the kth
+//                    tracked allocation, or cancel at the nth charge
+//
+// SIGINT (Ctrl-C) requests cooperative cancellation: the decision in flight
+// unwinds at its next budget charge and the run exits 3 with reason
+// "cancelled" instead of dying mid-computation.
+//
+// Malformed patterns/trees/DTDs exit 2 with a line/column diagnostic.
 //
 // Patterns use XPath-like syntax (a/b//*[c]); trees use term syntax
 // (a(b,c(d))); DTDs use clause syntax ("root: a; a -> b c*; b -> eps;").
@@ -27,6 +37,7 @@
 //   tpc_cli --stats --threads 4 contain 'a//b//c//d' 'a//b//c//d'
 //   tpc_cli minimize 'a[b][b/c]'
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +62,14 @@ namespace {
 /// certain (distinct from yes=0 / no=1 / usage-or-parse-error=2).
 constexpr int kExitUndecided = 3;
 
+/// The context whose budget the SIGINT handler cancels.  A handler can only
+/// touch lock-free atomics; `Budget::Cancel` is exactly one such store.
+EngineContext* g_signal_context = nullptr;
+
+void HandleSigint(int) {
+  if (g_signal_context != nullptr) g_signal_context->Cancel();
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -63,9 +82,14 @@ int Usage() {
                "  --stats          print engine counters as JSON\n"
                "  --timeout <ms>   wall-clock budget (exit 3 when exceeded)\n"
                "  --steps <n>      step budget (exit 3 when exceeded)\n"
+               "  --memory <bytes> tracked-memory budget (exit 3 when "
+               "exceeded)\n"
                "  --threads <n>    worker threads (canonical sweeps and\n"
                "                   schema-engine saturation rounds)\n"
-               "  --no-antichain   disable schema-engine subsumption pruning\n");
+               "  --no-antichain   disable schema-engine subsumption pruning\n"
+               "  --fault-exhaust-at <n>  force exhaustion at the nth charge\n"
+               "  --fault-alloc-at <k>    fail the kth tracked allocation\n"
+               "  --fault-cancel-at <n>   cancel at the nth charge\n");
   return 2;
 }
 
@@ -77,24 +101,25 @@ bool IsModeWord(const char* arg) {
   return std::strcmp(arg, "weak") == 0 || std::strcmp(arg, "strong") == 0;
 }
 
-Tpq ParsePatternOrDie(const char* src, LabelPool* pool) {
-  ParseResult<Tpq> r = ParseTpq(src, pool);
-  if (!r.ok()) {
-    std::fprintf(stderr, "bad pattern '%s': %s (offset %zu)\n", src,
-                 r.error().c_str(), r.error_offset());
+Tpq ParsePatternOrExit(const char* src, LabelPool* pool) {
+  ParseDiagnostic diag;
+  std::optional<Tpq> q = ParseTpqChecked(src, pool, &diag);
+  if (!q.has_value()) {
+    std::fprintf(stderr, "bad pattern '%s': %s\n", src,
+                 diag.ToString().c_str());
     std::exit(2);
   }
-  return std::move(r.value());
+  return std::move(*q);
 }
 
-Dtd ParseDtdOrDie(const char* src, LabelPool* pool) {
-  ParseResult<Dtd> r = ParseDtd(src, pool);
-  if (!r.ok()) {
-    std::fprintf(stderr, "bad DTD: %s (offset %zu)\n", r.error().c_str(),
-                 r.error_offset());
+Dtd ParseDtdOrExit(const char* src, LabelPool* pool) {
+  ParseDiagnostic diag;
+  std::optional<Dtd> d = ParseDtdChecked(src, pool, &diag);
+  if (!d.has_value()) {
+    std::fprintf(stderr, "bad DTD: %s\n", diag.ToString().c_str());
     std::exit(2);
   }
-  return std::move(r.value());
+  return std::move(*d);
 }
 
 int64_t ParseCountOrDie(const char* flag, const char* arg) {
@@ -108,12 +133,17 @@ int64_t ParseCountOrDie(const char* flag, const char* arg) {
 }
 
 /// Prints the stats block (when requested) and translates an undecided
-/// outcome into the UNDECIDED exit status.
+/// outcome into the UNDECIDED exit status, naming the exhausted resource.
+/// `reason` is the result's captured reason — authoritative at decision
+/// time, unlike the budget, whose exhaustion may already be cleared for
+/// context reuse.
 int Finish(EngineContext* ctx, bool print_stats, bool undecided,
-           int decided_status) {
+           ExhaustionReason reason, int decided_status) {
   if (print_stats) std::printf("%s\n", ctx->StatsJson().c_str());
   if (undecided) {
-    std::printf("UNDECIDED (resource budget exhausted)\n");
+    if (reason == ExhaustionReason::kNone) reason = ExhaustionReason::kSteps;
+    std::printf("UNDECIDED (resource budget exhausted: %s)\n",
+                ExhaustionReasonName(reason));
     return kExitUndecided;
   }
   return decided_status;
@@ -135,9 +165,22 @@ int main(int argc, char** argv) {
       config.deadline_ms = ParseCountOrDie("--timeout", argv[++i]);
     } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
       config.step_limit = ParseCountOrDie("--steps", argv[++i]);
+    } else if (std::strcmp(argv[i], "--memory") == 0 && i + 1 < argc) {
+      config.memory_limit = ParseCountOrDie("--memory", argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       config.threads =
           static_cast<int>(ParseCountOrDie("--threads", argv[++i]));
+    } else if (std::strcmp(argv[i], "--fault-exhaust-at") == 0 &&
+               i + 1 < argc) {
+      config.fault_plan.exhaust_at_charge =
+          ParseCountOrDie("--fault-exhaust-at", argv[++i]);
+    } else if (std::strcmp(argv[i], "--fault-alloc-at") == 0 && i + 1 < argc) {
+      config.fault_plan.fail_alloc_at =
+          ParseCountOrDie("--fault-alloc-at", argv[++i]);
+    } else if (std::strcmp(argv[i], "--fault-cancel-at") == 0 &&
+               i + 1 < argc) {
+      config.fault_plan.cancel_at_charge =
+          ParseCountOrDie("--fault-cancel-at", argv[++i]);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return Usage();
@@ -147,13 +190,15 @@ int main(int argc, char** argv) {
   }
   if (args.size() < 2) return Usage();
   EngineContext ctx(config);
+  g_signal_context = &ctx;
+  std::signal(SIGINT, HandleSigint);
   LabelPool pool;
   std::string command = args[0];
 
   if (command == "contain") {
     if (args.size() < 3) return Usage();
-    Tpq p = ParsePatternOrDie(args[1], &pool);
-    Tpq q = ParsePatternOrDie(args[2], &pool);
+    Tpq p = ParsePatternOrExit(args[1], &pool);
+    Tpq q = ParsePatternOrExit(args[2], &pool);
     Mode mode = Mode::kWeak;
     const char* dtd_src = nullptr;
     for (size_t i = 3; i < args.size(); ++i) {
@@ -180,9 +225,9 @@ int main(int argc, char** argv) {
         }
       }
       return Finish(&ctx, print_stats, r.outcome != Outcome::kDecided,
-                    r.contained ? 0 : 1);
+                    r.reason, r.contained ? 0 : 1);
     }
-    Dtd d = ParseDtdOrDie(dtd_src, &pool);
+    Dtd d = ParseDtdOrExit(dtd_src, &pool);
     SchemaDecision r =
         ContainedWithDtd(p, q, mode, d, &ctx, EngineLimits{}, schema_options);
     if (r.decided) {
@@ -192,13 +237,13 @@ int main(int argc, char** argv) {
         std::printf("counterexample: %s\n", r.witness->ToString(pool).c_str());
       }
     }
-    return Finish(&ctx, print_stats, !r.decided, r.yes ? 0 : 1);
+    return Finish(&ctx, print_stats, !r.decided, r.reason, r.yes ? 0 : 1);
   }
 
   if (command == "sat" || command == "valid") {
     if (args.size() < 3) return Usage();
-    Tpq q = ParsePatternOrDie(args[1], &pool);
-    Dtd d = ParseDtdOrDie(args[2], &pool);
+    Tpq q = ParsePatternOrExit(args[1], &pool);
+    Dtd d = ParseDtdOrExit(args[2], &pool);
     Mode mode = args.size() > 3 && IsModeWord(args[3]) ? ParseMode(args[3])
                                                        : Mode::kWeak;
     SchemaDecision r =
@@ -216,31 +261,34 @@ int main(int argc, char** argv) {
                     r.witness->ToString(pool).c_str());
       }
     }
-    return Finish(&ctx, print_stats, !r.decided, r.yes ? 0 : 1);
+    return Finish(&ctx, print_stats, !r.decided, r.reason, r.yes ? 0 : 1);
   }
 
   if (command == "minimize") {
-    Tpq q = ParsePatternOrDie(args[1], &pool);
+    Tpq q = ParsePatternOrExit(args[1], &pool);
     Tpq min = MinimizeTpq(q, Mode::kWeak, &pool);
     std::printf("%s\n", min.ToString(pool).c_str());
-    return Finish(&ctx, print_stats, false, 0);
+    return Finish(&ctx, print_stats, false, ExhaustionReason::kNone, 0);
   }
 
   if (command == "match") {
     if (args.size() < 3) return Usage();
-    Tpq q = ParsePatternOrDie(args[1], &pool);
-    ParseResult<Tree> t = ParseTree(args[2], &pool);
-    if (!t.ok()) {
-      std::fprintf(stderr, "bad tree '%s': %s\n", args[2], t.error().c_str());
+    Tpq q = ParsePatternOrExit(args[1], &pool);
+    ParseDiagnostic diag;
+    std::optional<Tree> t = ParseTreeChecked(args[2], &pool, &diag);
+    if (!t.has_value()) {
+      std::fprintf(stderr, "bad tree '%s': %s\n", args[2],
+                   diag.ToString().c_str());
       return 2;
     }
     Mode mode = args.size() > 3 && IsModeWord(args[3]) ? ParseMode(args[3])
                                                        : Mode::kWeak;
     bool matches = mode == Mode::kStrong
-                       ? MatchesStrong(q, t.value(), &ctx.stats())
-                       : MatchesWeak(q, t.value(), &ctx.stats());
+                       ? MatchesStrong(q, *t, &ctx.stats())
+                       : MatchesWeak(q, *t, &ctx.stats());
     std::printf("%s\n", matches ? "match" : "no match");
-    return Finish(&ctx, print_stats, false, matches ? 0 : 1);
+    return Finish(&ctx, print_stats, false, ExhaustionReason::kNone,
+                  matches ? 0 : 1);
   }
   return Usage();
 }

@@ -3,26 +3,47 @@
 # the first preset whose tests regress.  With no argument the tier-1 gate
 # runs — release, asan (AddressSanitizer/UBSan) and tsan (ThreadSanitizer,
 # exercising the engine thread pool and the parallel schema rounds).
-# Pass `asan`, `tsan` or `release` to run a single preset.
+#
+# Usage:
+#   scripts/check.sh                 tier-1 gate (release, asan, tsan)
+#   scripts/check.sh <preset>        one preset (release|asan|tsan|ubsan)
+#   scripts/check.sh faults          the failure-model gate: the fault
+#                                    matrix, exhaustion audit and parser
+#                                    mutation suites under asan AND tsan
+#                                    (leaks + races of every injected-fault
+#                                    unwind path)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+FAULT_TESTS='fault_injection_test|exhaustion_audit_test|parser_mutation_test'
+
+run_preset() {
+  local preset="$1"; shift
+  echo "== preset: $preset =="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --preset "$preset" -j "$(nproc)" "$@"
+}
+
 if [[ $# -eq 0 ]]; then
   presets=(release asan tsan)
+elif [[ $1 == faults ]]; then
+  echo "== failure-model gate (fault matrix under asan + tsan) =="
+  for preset in asan tsan; do
+    run_preset "$preset" -R "$FAULT_TESTS"
+  done
+  exit 0
 else
   presets=("$1")
 fi
 
 for preset in "${presets[@]}"; do
   case "$preset" in
-    asan|tsan|release) ;;
-    *) echo "usage: $0 [asan|tsan|release]" >&2; exit 2 ;;
+    asan|tsan|ubsan|release) ;;
+    *) echo "usage: $0 [asan|tsan|ubsan|release|faults]" >&2; exit 2 ;;
   esac
 done
 
 for preset in "${presets[@]}"; do
-  echo "== preset: $preset =="
-  cmake --preset "$preset"
-  cmake --build --preset "$preset" -j "$(nproc)"
-  ctest --preset "$preset" -j "$(nproc)"
+  run_preset "$preset"
 done

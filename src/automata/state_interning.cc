@@ -18,11 +18,12 @@ uint64_t HashWords(const uint64_t* words, int32_t n) {
 
 }  // namespace
 
-StateSetInterner::StateSetInterner(int32_t num_bits)
+StateSetInterner::StateSetInterner(int32_t num_bits, Budget* budget)
     : num_bits_(num_bits),
       num_words_((num_bits + 63) / 64),
       chunks_(kMaxChunks),
-      scratch_(num_words_, 0) {
+      scratch_(num_words_, 0),
+      tracked_(budget) {
   // The empty set takes id 0; no contention during construction.
   if (num_words_ > 0) InternLocked(scratch_.data());
 }
@@ -40,6 +41,9 @@ int32_t StateSetInterner::InternLocked(const uint64_t* words) {
   if (id >= kMaxChunks * kChunkSets) return kFull;
   const int32_t chunk = id >> kLogChunkSets;
   if (chunks_[chunk] == nullptr) {
+    const int64_t chunk_bytes = static_cast<int64_t>(kChunkSets) *
+                                num_words_ * sizeof(uint64_t);
+    if (!tracked_.Charge(chunk_bytes)) return kFull;
     chunks_[chunk] = std::make_unique<uint64_t[]>(
         static_cast<size_t>(kChunkSets) * num_words_);
   }

@@ -30,6 +30,7 @@
 
 #include "automata/tpq_det.h"
 #include "base/label.h"
+#include "engine/tracked.h"
 #include "pattern/tpq.h"
 
 namespace tpc {
@@ -60,11 +61,16 @@ class StateSetInterner {
  public:
   /// Id of the empty set, interned at construction.
   static constexpr int32_t kEmptySetId = 0;
-  /// Returned by `Intern`/`Union` when the arena is full; callers treat it
-  /// like a resource-limit hit (the engine reports kResourceExhausted).
+  /// Returned by `Intern`/`Union` when the arena is full — or when the
+  /// budget refuses a chunk allocation (memory limit / injected alloc
+  /// fault); callers treat it like a resource-limit hit (the engine reports
+  /// kResourceExhausted).
   static constexpr int32_t kFull = -1;
 
-  explicit StateSetInterner(int32_t num_bits);
+  /// `budget` (optional) accounts the chunk arenas through
+  /// `Budget::ChargeBytes`; a refused chunk surfaces as `kFull`.  The bytes
+  /// are released when the interner is destroyed.
+  explicit StateSetInterner(int32_t num_bits, Budget* budget = nullptr);
 
   int32_t num_bits() const { return num_bits_; }
   int32_t num_words() const { return num_words_; }
@@ -110,6 +116,7 @@ class StateSetInterner {
   std::unordered_multimap<uint64_t, int32_t> dedup_;   // word hash -> ids
   std::unordered_map<uint64_t, int32_t> union_cache_;  // packed (a,b) -> id
   std::vector<uint64_t> scratch_;                      // guarded by mu_
+  TrackedBytes tracked_;                               // chunk-arena bytes
   std::atomic<int32_t> num_sets_{0};
   std::atomic<int64_t> memo_hits_{0};
 };
@@ -124,8 +131,8 @@ class StateSetInterner {
 /// the engine's sequential merge phase.
 class DetSide {
  public:
-  explicit DetSide(const Tpq* pattern)
-      : interner_(pattern != nullptr ? pattern->size() : 0) {
+  explicit DetSide(const Tpq* pattern, Budget* budget = nullptr)
+      : interner_(pattern != nullptr ? pattern->size() : 0, budget) {
     if (pattern != nullptr) det_.emplace(*pattern);
   }
 

@@ -9,9 +9,46 @@
 #include <cassert>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace tpc {
+
+/// A parse failure located in the original input: the message plus 1-based
+/// line/column derived from the byte offset.  This is what the checked
+/// parse entry points (`ParseTpqChecked` etc.) hand to callers that face
+/// untrusted input — the CLI prints it and exits instead of aborting.
+struct ParseDiagnostic {
+  std::string message;
+  size_t offset = 0;
+  int line = 1;
+  int column = 1;
+
+  /// "line L, column C: message" — the CLI's error format.
+  std::string ToString() const {
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column) + ": " + message;
+  }
+};
+
+/// Locates `offset` in `input` (newlines end lines; tabs count one column)
+/// and packages the message with its 1-based line/column.  An offset past
+/// the end points just after the last byte — where truncated input fails.
+inline ParseDiagnostic DiagnoseAt(std::string_view input, std::string message,
+                                  size_t offset) {
+  ParseDiagnostic d;
+  d.message = std::move(message);
+  d.offset = offset > input.size() ? input.size() : offset;
+  for (size_t i = 0; i < d.offset; ++i) {
+    if (input[i] == '\n') {
+      ++d.line;
+      d.column = 1;
+    } else {
+      ++d.column;
+    }
+  }
+  return d;
+}
 
 /// Result of parsing: either a value or an error message with an offset into
 /// the input where the problem was detected.

@@ -71,10 +71,13 @@ class ChildFreeSolver {
     }
   }
 
-  /// Whether every island of q is singular (else containment fails).
+  /// Whether every island of q is singular (else containment fails).  A
+  /// false return may also mean budget exhaustion — the dispatcher checks
+  /// `Exhausted()` before trusting the boolean.
   bool QIsSingular() {
     for (NodeId v = 0; v < q_.size(); ++v) {
       if (v == 0 || q_.Edge(v) == EdgeKind::kDescendant) {
+        if (!ctx_->budget().Charge(1)) return false;
         if (!AnalyzeIsland(q_, v).singular) return false;
       }
     }

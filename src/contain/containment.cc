@@ -48,6 +48,15 @@ int64_t TreeCost(const Tpq& q, const Tree& t) {
   return 1 + static_cast<int64_t>(q.size()) * t.size();
 }
 
+/// Stamps a result as resource-exhausted with the budget's recorded reason.
+/// A kNone reason here means the exhaustion came from a work-volume check
+/// that bypassed the budget; report it as kSteps.
+void MarkExhausted(ContainmentResult* result, EngineContext* ctx) {
+  result->outcome = Outcome::kResourceExhausted;
+  const ExhaustionReason r = ctx->budget().reason();
+  result->reason = r == ExhaustionReason::kNone ? ExhaustionReason::kSteps : r;
+}
+
 /// One incremental-sweep step shared by the sequential and parallel sweeps:
 /// (re)builds the canonical model for the enumerator's current length vector,
 /// charges the budget, and (re)runs the embedding DP in `ws`.  When
@@ -73,7 +82,10 @@ std::optional<bool> SweepStep(const Tpq& q, Mode mode,
   } else {
     builder->BuildFull(lengths.lengths(), scratch);
   }
-  if (!ctx->budget().Charge(TreeCost(q, *scratch))) return std::nullopt;
+  if (!ctx->budget().Charge(TreeCost(q, *scratch)) ||
+      !ws->ChargeTables(q, *scratch, &ctx->budget())) {
+    return std::nullopt;
+  }
   if (suffix_only) {
     ws->EvalIncremental(q, *scratch, builder->spine_start(first_changed),
                         &stats);
@@ -101,7 +113,7 @@ ContainmentResult SequentialSweep(const Tpq& p, const Tpq& q, Mode mode,
         q, mode, &builder, &ws, &scratch, lengths, fresh, incremental, ctx);
     fresh = false;
     if (!matched.has_value()) {
-      result.outcome = Outcome::kResourceExhausted;
+      MarkExhausted(&result, ctx);
       return result;
     }
     if (!*matched) {
@@ -177,7 +189,7 @@ ContainmentResult ParallelSweep(const Tpq& p, const Tpq& q, Mode mode,
     result.counterexample = std::move(counterexample);
     result.counterexample_lengths = std::move(counterexample_lengths);
   } else if (out_of_budget.load(std::memory_order_relaxed)) {
-    result.outcome = Outcome::kResourceExhausted;
+    MarkExhausted(&result, ctx);
   } else {
     result.contained = true;
   }
@@ -234,7 +246,7 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
       stats.homomorphism_checks.fetch_add(1, std::memory_order_relaxed);
       if (!ctx->budget().Charge(
               static_cast<int64_t>(qn.size()) * p.size())) {
-        result.outcome = Outcome::kResourceExhausted;
+        MarkExhausted(&result, ctx);
         return result;
       }
       // The dispatcher can route many pairs here back to back (benchmarks,
@@ -261,7 +273,7 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
       stats.canonical_trees_enumerated.fetch_add(1,
                                                  std::memory_order_relaxed);
       if (!ctx->budget().Charge(TreeCost(qn, t))) {
-        result.outcome = Outcome::kResourceExhausted;
+        MarkExhausted(&result, ctx);
         return result;
       }
       result.contained = Matches(qn, t, Mode::kWeak, &stats);
@@ -280,7 +292,7 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
       stats.canonical_trees_enumerated.fetch_add(1,
                                                  std::memory_order_relaxed);
       if (!ctx->budget().Charge(TreeCost(qn, t))) {
-        result.outcome = Outcome::kResourceExhausted;
+        MarkExhausted(&result, ctx);
         return result;
       }
       result.contained = Matches(qn, t, Mode::kWeak, &stats);
@@ -296,9 +308,7 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
       ContainmentResult result;
       result.algorithm = ContainmentAlgorithm::kPathInTpq;
       result.contained = PathInTpqContained(p, qn, pool, ctx);
-      if (ctx->budget().Exhausted()) {
-        result.outcome = Outcome::kResourceExhausted;
-      }
+      if (ctx->budget().Exhausted()) MarkExhausted(&result, ctx);
       return result;
     }
     if (!fp.child_edges) {
@@ -306,9 +316,7 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
       ContainmentResult result;
       result.algorithm = ContainmentAlgorithm::kChildFreeInTpq;
       result.contained = ChildFreeInTpqContained(p, qn, pool, ctx);
-      if (ctx->budget().Exhausted()) {
-        result.outcome = Outcome::kResourceExhausted;
-      }
+      if (ctx->budget().Exhausted()) MarkExhausted(&result, ctx);
       return result;
     }
   }

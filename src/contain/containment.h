@@ -64,6 +64,9 @@ struct ContainmentResult {
   /// `kResourceExhausted` when the engine budget ran out before the answer
   /// was certain; `contained` is then meaningless.
   Outcome outcome = Outcome::kDecided;
+  /// Which resource ran out (kNone while decided): steps, deadline, tracked
+  /// memory, or a caller's `EngineContext::Cancel()`.
+  ExhaustionReason reason = ExhaustionReason::kNone;
 };
 
 /// Options controlling the fallback canonical-model procedure.

@@ -561,6 +561,16 @@ ParseResult<Dtd> ParseDtd(std::string_view input, LabelPool* pool) {
   return ParseResult<Dtd>::Ok(std::move(dtd));
 }
 
+std::optional<Dtd> ParseDtdChecked(std::string_view input, LabelPool* pool,
+                                   ParseDiagnostic* diag) {
+  ParseResult<Dtd> result = ParseDtd(input, pool);
+  if (!result.ok()) {
+    *diag = DiagnoseAt(input, result.error(), result.error_offset());
+    return std::nullopt;
+  }
+  return std::move(result.value());
+}
+
 Dtd MustParseDtd(std::string_view input, LabelPool* pool) {
   ParseResult<Dtd> result = ParseDtd(input, pool);
   if (!result.ok()) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
@@ -122,6 +123,11 @@ class Dtd {
 /// Each clause ends with `;`.  `root:` may appear once with a `|`-separated
 /// list of start symbols.  Symbols without rules default to ε.
 ParseResult<Dtd> ParseDtd(std::string_view input, LabelPool* pool);
+
+/// Non-aborting parse for untrusted input: on failure returns std::nullopt
+/// and fills `*diag` with the message and 1-based line/column.
+std::optional<Dtd> ParseDtdChecked(std::string_view input, LabelPool* pool,
+                                   ParseDiagnostic* diag);
 
 /// Parses or aborts; for trusted inputs in tests and examples.
 Dtd MustParseDtd(std::string_view input, LabelPool* pool);

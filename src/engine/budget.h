@@ -2,15 +2,20 @@
 //
 // The paper classifies the general problems coNP-complete (Theorem 3.3) and
 // EXPTIME-complete (Theorem 6.6), so any production deployment must assume
-// some instances will not finish.  A `Budget` is the engine's answer: a step
-// limit plus a wall-clock deadline shared by every worker thread of one
+// some instances will not finish.  A `Budget` is the engine's answer: a
+// step limit, a wall-clock deadline, a tracked-memory limit and a
+// cooperative cancellation flag, shared by every worker thread of one
 // decision.  Hot loops call `Charge(n)` and abandon the search when it
-// returns false; the decision then reports `Outcome::kResourceExhausted`
-// instead of running forever.
+// returns false; allocation-heavy consumers route their arena growth
+// through `ChargeBytes(n)`; the decision then reports
+// `Outcome::kResourceExhausted` (with the tripped `ExhaustionReason`)
+// instead of running forever or dying in the OOM killer.
 //
 // `Charge` is designed for enumeration/DP/automaton inner loops: the common
-// case is one relaxed atomic add, and the wall clock is consulted only when
-// the step counter crosses a multiple of `kClockPeriod`.
+// case is one relaxed atomic add plus two relaxed loads, and the wall clock
+// is consulted only when the step counter crosses a multiple of
+// `kClockPeriod`.  `ChargeBytes` is called at arena/table granularity
+// (chunks, DP tables, configuration records), never per element.
 
 #ifndef TPC_ENGINE_BUDGET_H_
 #define TPC_ENGINE_BUDGET_H_
@@ -21,23 +26,49 @@
 
 namespace tpc {
 
-/// A shared step/deadline budget.  Thread-safe: many workers may `Charge`
-/// concurrently.  An unarmed (default) budget never exhausts but still
-/// counts steps, so instrumentation works on unlimited runs too.
+class FaultInjector;  // engine/fault_injection.h
+
+/// Which resource tripped a budget.  `kNone` means the budget is not
+/// exhausted (or the procedure stopped on a legacy cap that bypasses the
+/// budget — callers map that to kSteps when they report results).
+enum class ExhaustionReason : int {
+  kNone = 0,
+  kSteps,
+  kDeadline,
+  kMemory,
+  kCancelled,
+};
+
+/// Stable lowercase name for JSON/CLI output ("none", "steps", ...).
+const char* ExhaustionReasonName(ExhaustionReason reason);
+
+/// A shared step/deadline/memory/cancellation budget.  Thread-safe: many
+/// workers may `Charge`/`ChargeBytes` concurrently, and `Cancel` may be
+/// called from any thread (or a signal handler — it is one lock-free atomic
+/// store).  An unarmed (default) budget never exhausts on steps, time or
+/// memory but still counts them, so instrumentation works on unlimited
+/// runs too — and still honours `Cancel`.
 class Budget {
  public:
   Budget() = default;
 
-  /// Arms the budget: at most `step_limit` steps (0 = unlimited) and at most
-  /// `deadline_ms` milliseconds from now (0 = unlimited).  Resets the step
-  /// counter and the exhausted flag.  All fields are atomic, so calling this
-  /// while workers are still charging is not undefined behavior — but it is
-  /// still wrong (a decision would run under a mix of old and new limits);
-  /// re-arm only between decisions.
-  void Arm(int64_t step_limit, int64_t deadline_ms) {
+  /// Arms the budget: at most `step_limit` steps, at most `deadline_ms`
+  /// milliseconds from now, and at most `memory_limit` tracked bytes
+  /// (0 = unlimited for each).  Resets the step/byte counters, the
+  /// exhausted flag, the recorded reason and the cancellation flag.  All
+  /// fields are atomic, so calling this while workers are still charging is
+  /// not undefined behavior — but it is still wrong (a decision would run
+  /// under a mix of old and new limits); re-arm only between decisions.
+  void Arm(int64_t step_limit, int64_t deadline_ms, int64_t memory_limit = 0) {
     steps_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+    bytes_peak_.store(0, std::memory_order_relaxed);
     exhausted_.store(false, std::memory_order_relaxed);
+    cancelled_.store(false, std::memory_order_relaxed);
+    reason_.store(static_cast<int>(ExhaustionReason::kNone),
+                  std::memory_order_relaxed);
     step_limit_.store(step_limit, std::memory_order_relaxed);
+    memory_limit_.store(memory_limit, std::memory_order_relaxed);
     int64_t deadline_ticks = kNoDeadline;
     if (deadline_ms > 0) {
       deadline_ticks = (std::chrono::steady_clock::now() +
@@ -48,39 +79,110 @@ class Budget {
     deadline_ticks_.store(deadline_ticks, std::memory_order_relaxed);
   }
 
+  /// Installs (or clears) the fault injector consulted by
+  /// `Charge`/`ChargeBytes`.  Set between decisions only.
+  void SetFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_relaxed);
+  }
+
   bool limited() const {
     return step_limit_.load(std::memory_order_relaxed) > 0 ||
+           memory_limit_.load(std::memory_order_relaxed) > 0 ||
            deadline_ticks_.load(std::memory_order_relaxed) != kNoDeadline;
   }
 
-  /// Consumes `n` steps; returns false once the budget is exhausted.  A
-  /// false result is sticky: every later call also returns false.
+  /// Consumes `n` steps; returns false once the budget is exhausted (for
+  /// any reason: steps, deadline, memory, cancellation or an injected
+  /// fault).  A false result is sticky: every later call also returns
+  /// false, until `Arm` re-arms.
   bool Charge(int64_t n = 1) {
-    int64_t used = steps_.fetch_add(n, std::memory_order_relaxed) + n;
+    const int64_t used = steps_.fetch_add(n, std::memory_order_relaxed) + n;
+    FaultInjector* injector = injector_.load(std::memory_order_relaxed);
+    if (injector != nullptr && !InjectChargeFault(injector)) return false;
     const int64_t limit = step_limit_.load(std::memory_order_relaxed);
     const int64_t deadline = deadline_ticks_.load(std::memory_order_relaxed);
-    if (limit <= 0 && deadline == kNoDeadline) return true;
+    if (limit <= 0 && deadline == kNoDeadline) {
+      // No step/time limits armed — but memory exhaustion (via ChargeBytes)
+      // must still stop step loops.
+      return !exhausted_.load(std::memory_order_relaxed);
+    }
     if (exhausted_.load(std::memory_order_relaxed)) return false;
     if (limit > 0 && used > limit) {
-      exhausted_.store(true, std::memory_order_relaxed);
+      ExhaustWith(ExhaustionReason::kSteps);
       return false;
     }
     if (deadline != kNoDeadline &&
         used / kClockPeriod != (used - n) / kClockPeriod &&
         std::chrono::steady_clock::now().time_since_epoch().count() >
             deadline) {
-      exhausted_.store(true, std::memory_order_relaxed);
+      ExhaustWith(ExhaustionReason::kDeadline);
       return false;
     }
     return true;
+  }
+
+  /// Accounts `n` tracked bytes (an arena chunk, a DP table growth, a
+  /// configuration record); returns false once the memory limit is
+  /// exceeded, an allocation fault is injected, or the budget is already
+  /// exhausted.  Callers treat false as "do not allocate" and surface
+  /// `kResourceExhausted`; the bytes stay counted either way so paired
+  /// `ReleaseBytes` calls balance.
+  bool ChargeBytes(int64_t n) {
+    const int64_t used = bytes_.fetch_add(n, std::memory_order_relaxed) + n;
+    // Peak tracking; allocation charges are coarse-grained, so a CAS loop
+    // here is off the hot path.
+    int64_t peak = bytes_peak_.load(std::memory_order_relaxed);
+    while (used > peak &&
+           !bytes_peak_.compare_exchange_weak(peak, used,
+                                              std::memory_order_relaxed)) {
+    }
+    FaultInjector* injector = injector_.load(std::memory_order_relaxed);
+    if (injector != nullptr && !InjectAllocFault(injector)) return false;
+    const int64_t limit = memory_limit_.load(std::memory_order_relaxed);
+    if (limit > 0 && used > limit) {
+      ExhaustWith(ExhaustionReason::kMemory);
+      return false;
+    }
+    return !exhausted_.load(std::memory_order_relaxed);
+  }
+
+  /// Returns `n` tracked bytes (a consumer freeing its arenas).
+  void ReleaseBytes(int64_t n) {
+    bytes_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+  /// Requests cooperative cancellation: the budget is marked exhausted with
+  /// reason kCancelled right here, so the next `Charge`/`ChargeBytes` on any
+  /// thread observes it through the sticky flag it reads anyway — the hot
+  /// path carries no dedicated cancellation check.  Lock-free atomic
+  /// operations only — safe from signal handlers.
+  void Cancel() {
+    cancelled_.store(true, std::memory_order_relaxed);
+    ExhaustWith(ExhaustionReason::kCancelled);
+  }
+
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
   }
 
   bool Exhausted() const {
     return exhausted_.load(std::memory_order_relaxed);
   }
 
+  /// The resource that tripped first (kNone while not exhausted).
+  ExhaustionReason reason() const {
+    return static_cast<ExhaustionReason>(
+        reason_.load(std::memory_order_relaxed));
+  }
+
   int64_t steps_used() const {
     return steps_.load(std::memory_order_relaxed);
+  }
+
+  /// Tracked bytes currently charged / the high-water mark since `Arm`.
+  int64_t bytes_used() const { return bytes_.load(std::memory_order_relaxed); }
+  int64_t bytes_peak() const {
+    return bytes_peak_.load(std::memory_order_relaxed);
   }
 
   /// Scoped per-decision deadline: for its lifetime the budget's effective
@@ -93,9 +195,11 @@ class Budget {
   ///
   /// On destruction the caller's deadline is restored, and the sticky
   /// exhausted flag is cleared unless one of the caller's own limits (step
-  /// limit or caller deadline) has genuinely been hit — so a reused context
-  /// (e.g. a benchmark loop) is not poisoned by one capped decision.
-  /// Create between decisions only; do not nest (same contract as `Arm`).
+  /// limit, caller deadline, memory limit) has genuinely been hit or
+  /// cancellation was requested — so a reused context (e.g. a benchmark
+  /// loop) is not poisoned by one capped decision, while memory pressure
+  /// and cancellation survive the scope.  Create between decisions only; do
+  /// not nest (same contract as `Arm`).
   class ScopedDeadline {
    public:
     ScopedDeadline(Budget* budget, int64_t deadline_ms) : budget_(budget) {
@@ -114,6 +218,7 @@ class Budget {
     ~ScopedDeadline() {
       budget_->deadline_ticks_.store(prev_, std::memory_order_relaxed);
       if (!budget_->exhausted_.load(std::memory_order_relaxed)) return;
+      if (budget_->cancelled_.load(std::memory_order_relaxed)) return;
       const int64_t limit =
           budget_->step_limit_.load(std::memory_order_relaxed);
       const bool steps_hit =
@@ -121,8 +226,19 @@ class Budget {
       const bool deadline_hit =
           prev_ != kNoDeadline &&
           std::chrono::steady_clock::now().time_since_epoch().count() > prev_;
-      if (!steps_hit && !deadline_hit) {
+      // Judge memory against the peak, not the current count: the consumer
+      // that tripped the limit has typically released its arenas by the time
+      // this scope unwinds, but the workload still does not fit the caller's
+      // armed limit.
+      const int64_t mem_limit =
+          budget_->memory_limit_.load(std::memory_order_relaxed);
+      const bool memory_hit =
+          mem_limit > 0 &&
+          budget_->bytes_peak_.load(std::memory_order_relaxed) > mem_limit;
+      if (!steps_hit && !deadline_hit && !memory_hit) {
         budget_->exhausted_.store(false, std::memory_order_relaxed);
+        budget_->reason_.store(static_cast<int>(ExhaustionReason::kNone),
+                               std::memory_order_relaxed);
       }
     }
 
@@ -145,10 +261,32 @@ class Budget {
   /// steady_clock reading some milliseconds in the future is never 0.
   static constexpr int64_t kNoDeadline = 0;
 
+  /// Marks the budget exhausted; the first reason to trip wins (later
+  /// resources exhausting concurrently must not overwrite it).
+  void ExhaustWith(ExhaustionReason reason) {
+    int expected = static_cast<int>(ExhaustionReason::kNone);
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_relaxed);
+    exhausted_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Out-of-line injector hooks (engine/fault_injection.cc): apply the
+  /// plan's charge/alloc schedule; false when an injected fault fires (the
+  /// reason is recorded).  Kept out of the header so the hot path does not
+  /// need the injector's definition.
+  bool InjectChargeFault(FaultInjector* injector);
+  bool InjectAllocFault(FaultInjector* injector);
+
   std::atomic<int64_t> steps_{0};
+  std::atomic<int64_t> bytes_{0};
+  std::atomic<int64_t> bytes_peak_{0};
   std::atomic<bool> exhausted_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int> reason_{static_cast<int>(ExhaustionReason::kNone)};
   std::atomic<int64_t> step_limit_{0};
+  std::atomic<int64_t> memory_limit_{0};
   std::atomic<int64_t> deadline_ticks_{kNoDeadline};
+  std::atomic<FaultInjector*> injector_{nullptr};
 };
 
 }  // namespace tpc

@@ -7,24 +7,41 @@ EngineContext::EngineContext() : EngineContext(EngineConfig{}) {}
 EngineContext::EngineContext(const EngineConfig& config) : config_(config) {
   if (config_.threads < 1) config_.threads = 1;
   if (config_.parallel_chunk < 1) config_.parallel_chunk = 1;
-  budget_.Arm(config_.step_limit, config_.deadline_ms);
+  if (config_.fault_plan.active()) {
+    injector_ = std::make_unique<FaultInjector>(config_.fault_plan);
+    budget_.SetFaultInjector(injector_.get());
+  }
+  budget_.Arm(config_.step_limit, config_.deadline_ms, config_.memory_limit);
 }
 
-EngineContext::~EngineContext() = default;
+EngineContext::~EngineContext() {
+  // The budget outlives the injector it points at only within this dtor;
+  // detach first so no stray charge during member teardown dereferences it.
+  budget_.SetFaultInjector(nullptr);
+}
 
 ThreadPool& EngineContext::pool() {
   std::call_once(pool_once_, [this] {
     pool_ = std::make_unique<ThreadPool>(config_.threads);
+    if (injector_ != nullptr && config_.fault_plan.delay_worker >= 0) {
+      FaultInjector* injector = injector_.get();
+      pool_->set_worker_hook(
+          [injector](int worker) { injector->OnWorkerStart(worker); });
+    }
   });
   return *pool_;
 }
 
 void EngineContext::ResetBudget() {
-  budget_.Arm(config_.step_limit, config_.deadline_ms);
+  budget_.Arm(config_.step_limit, config_.deadline_ms, config_.memory_limit);
+}
+
+void EngineContext::ResetFaults() {
+  if (injector_ != nullptr) injector_->Reset();
 }
 
 std::string EngineContext::StatsJson() const {
-  return stats_.ToJson(budget_.steps_used());
+  return stats_.ToJson(budget_);
 }
 
 EngineContext& EngineContext::Default() {

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "engine/budget.h"
+#include "engine/fault_injection.h"
 #include "engine/stats.h"
 #include "engine/thread_pool.h"
 
@@ -47,6 +48,12 @@ struct EngineConfig {
   /// Wall-clock deadline in milliseconds, armed at context construction (or
   /// `ResetBudget`); 0 = unlimited.
   int64_t deadline_ms = 0;
+  /// Tracked-memory limit in bytes over the budget's `ChargeBytes` path
+  /// (arena chunks, DP tables, configuration stores); 0 = unlimited.
+  int64_t memory_limit = 0;
+  /// Deterministic fault schedule (tests, chaos drills).  Inactive (the
+  /// default) costs one relaxed null-pointer load per charge.
+  FaultPlan fault_plan;
   /// Worker count (including the calling thread) for parallel sweeps.
   int threads = 1;
   /// The parallel canonical sweep engages only when the length-vector space
@@ -80,13 +87,31 @@ class EngineContext {
   /// The worker pool, created lazily on first use.
   ThreadPool& pool();
 
-  /// Re-arms the deadline/step limit from now and zeroes the step counter
+  /// Re-arms the step/deadline/memory limits from now, zeroes the
+  /// step/byte counters and clears exhaustion and any pending cancellation
   /// (counters in `stats()` are left to accumulate; call `stats().Reset()`
-  /// separately if per-decision counters are wanted).  Call only between
-  /// decisions: re-arming while a decision (e.g. a parallel sweep) is still
-  /// running is not a data race — the budget's fields are atomic — but the
-  /// in-flight decision would then run under a mix of old and new limits.
+  /// separately if per-decision counters are wanted).  Injected-fault
+  /// counters are deliberately NOT reset — recovery after an injected fault
+  /// must behave like recovery after a real one; use `ResetFaults()` to
+  /// re-arm a plan.  Call only between decisions: re-arming while a
+  /// decision (e.g. a parallel sweep) is still running is not a data race —
+  /// the budget's fields are atomic — but the in-flight decision would then
+  /// run under a mix of old and new limits.
   void ResetBudget();
+
+  /// Requests cooperative cancellation of the decision in flight: every
+  /// worker observes it at its next budget charge and unwinds, yielding a
+  /// `kResourceExhausted` result with reason `kCancelled`.  Safe from any
+  /// thread and from signal handlers (lock-free atomic operations only).
+  /// `ResetBudget()` clears it.
+  void Cancel() { budget_.Cancel(); }
+
+  /// Re-arms the fault plan's one-shot counters so its faults fire again.
+  void ResetFaults();
+
+  /// The active fault injector, or null when `config().fault_plan` is
+  /// inactive.
+  FaultInjector* fault_injector() { return injector_.get(); }
 
   /// JSON dump of the counters plus the budget's step count.
   std::string StatsJson() const;
@@ -99,6 +124,7 @@ class EngineContext {
   EngineConfig config_;
   Budget budget_;
   EngineStats stats_;
+  std::unique_ptr<FaultInjector> injector_;
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
 };

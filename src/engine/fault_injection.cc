@@ -1,0 +1,72 @@
+#include "engine/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+#include "engine/budget.h"
+
+namespace tpc {
+
+const char* ExhaustionReasonName(ExhaustionReason reason) {
+  switch (reason) {
+    case ExhaustionReason::kNone:
+      return "none";
+    case ExhaustionReason::kSteps:
+      return "steps";
+    case ExhaustionReason::kDeadline:
+      return "deadline";
+    case ExhaustionReason::kMemory:
+      return "memory";
+    case ExhaustionReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int64_t DeriveFaultPoint(uint64_t seed, int64_t index, int64_t space) {
+  if (space <= 0) return 1;
+  const uint64_t mixed = SplitMix64(seed ^ SplitMix64(static_cast<uint64_t>(index)));
+  return static_cast<int64_t>(mixed % static_cast<uint64_t>(space)) + 1;
+}
+
+void FaultInjector::OnWorkerStart(int worker) const {
+  if (worker != plan_.delay_worker || plan_.delay_worker_ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(plan_.delay_worker_ms));
+}
+
+bool Budget::InjectChargeFault(FaultInjector* injector) {
+  switch (injector->OnCharge()) {
+    case ExhaustionReason::kNone:
+      return true;
+    case ExhaustionReason::kCancelled:
+      // As if the caller had invoked Cancel() at exactly this charge; the
+      // regular cancellation check right after the injector hook in Charge
+      // would also catch it, but exhausting here keeps the fault one-shot
+      // and the reason attribution unambiguous.
+      cancelled_.store(true, std::memory_order_relaxed);
+      ExhaustWith(ExhaustionReason::kCancelled);
+      return false;
+    default:
+      ExhaustWith(ExhaustionReason::kSteps);
+      return false;
+  }
+}
+
+bool Budget::InjectAllocFault(FaultInjector* injector) {
+  if (!injector->OnAlloc()) return true;
+  ExhaustWith(ExhaustionReason::kMemory);
+  return false;
+}
+
+}  // namespace tpc

@@ -1,0 +1,126 @@
+// Deterministic fault injection for the engine's failure model.
+//
+// The paper's complexity results (coNP-completeness, Theorem 3.3;
+// EXPTIME-completeness, Theorem 6.6) guarantee that production traffic will
+// contain instances that exhaust *some* resource — steps, wall clock, or
+// memory — and callers that give up mid-decision.  The engine promises that
+// every such failure surfaces as a structured `Outcome::kResourceExhausted`
+// with an `ExhaustionReason`, never as a crash or a poisoned context.  That
+// promise is only as good as its tests, and the failures involved (a chunk
+// arena filling up, a SIGINT mid-round, a straggling pool worker) are nearly
+// impossible to hit on cue from the outside.
+//
+// `FaultInjector` makes them repeatable: a plan compiled into every build
+// (no #ifdef skew between tested and shipped code) and enabled per context
+// via `EngineConfig::fault_plan` can
+//
+//   * force budget exhaustion at exactly the Nth `Budget::Charge`,
+//   * fail exactly the Kth tracked allocation (`Budget::ChargeBytes`),
+//   * flip the cooperative-cancellation flag at the Nth charge, and
+//   * delay a chosen thread-pool worker at the start of each job,
+//
+// so a test matrix can walk a decision procedure through exhaustion at
+// every stage of its control flow deterministically.  Counters are monotone
+// over the context's lifetime: an injected fault fires exactly once, so a
+// `ResetBudget()` context re-decides the same instance cleanly (the
+// recovery guarantee under test).  `ResetFaults()` re-arms explicitly.
+//
+// When no plan is active the injector is a null pointer and the budget's
+// hot path pays one relaxed pointer load for it.
+
+#ifndef TPC_ENGINE_FAULT_INJECTION_H_
+#define TPC_ENGINE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "engine/budget.h"
+
+namespace tpc {
+
+/// A deterministic fault schedule.  All-zero (the default) means "no
+/// faults"; `EngineContext` only instantiates an injector for active plans.
+struct FaultPlan {
+  /// Seed for deriving pseudo-random fault points (see `DeriveFaultPoint`);
+  /// recorded so a failing schedule can be reproduced from logs.
+  uint64_t seed = 0;
+  /// > 0: the Nth `Budget::Charge` call reports exhaustion (reason kSteps).
+  int64_t exhaust_at_charge = 0;
+  /// > 0: the Nth `Budget::Charge` call flips the cancellation flag, as if
+  /// the caller had invoked `EngineContext::Cancel` at that moment.
+  int64_t cancel_at_charge = 0;
+  /// > 0: the Kth tracked allocation (`Budget::ChargeBytes` call) fails
+  /// (reason kMemory), as if the arena hit its memory limit.
+  int64_t fail_alloc_at = 0;
+  /// >= 0: the pool worker with this index (0 = the calling thread) sleeps
+  /// `delay_worker_ms` at the start of every parallel job, manufacturing
+  /// the straggler schedules that race cancellation against completion.
+  int delay_worker = -1;
+  int64_t delay_worker_ms = 0;
+
+  bool active() const {
+    return exhaust_at_charge > 0 || cancel_at_charge > 0 ||
+           fail_alloc_at > 0 || delay_worker >= 0;
+  }
+};
+
+/// Derives the `index`-th deterministic fault point in [1, space] from
+/// `seed` (splitmix64).  Test matrices use this to sample exhaustion points
+/// across a decision's full charge range without enumerating every one.
+int64_t DeriveFaultPoint(uint64_t seed, int64_t index, int64_t space);
+
+/// Runtime state of one plan: thread-safe monotone counters consulted by
+/// `Budget::Charge`/`ChargeBytes` and the thread pool's worker hook.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Re-arms the counters so every fault can fire again.  Deliberately NOT
+  /// called by `EngineContext::ResetBudget`: recovery after an injected
+  /// fault must behave like recovery after a real one.
+  void Reset() {
+    charges_.store(0, std::memory_order_relaxed);
+    allocs_.store(0, std::memory_order_relaxed);
+  }
+
+  int64_t charges_seen() const {
+    return charges_.load(std::memory_order_relaxed);
+  }
+  int64_t allocs_seen() const {
+    return allocs_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by `Budget::Charge` (via `Budget::InjectChargeFault`): counts
+  /// the call and returns the fault to apply — kNone, kSteps (forced
+  /// exhaustion) or kCancelled (flip the cancel flag).
+  ExhaustionReason OnCharge() {
+    const int64_t n = charges_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n == plan_.exhaust_at_charge) return ExhaustionReason::kSteps;
+    if (n == plan_.cancel_at_charge) return ExhaustionReason::kCancelled;
+    return ExhaustionReason::kNone;
+  }
+
+  /// Called by `Budget::ChargeBytes`: true when this tracked allocation
+  /// must fail.
+  bool OnAlloc() {
+    const int64_t k = allocs_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return k == plan_.fail_alloc_at;
+  }
+
+  /// Thread-pool worker hook: sleeps when `worker` matches the plan.
+  void OnWorkerStart(int worker) const;
+
+ private:
+  const FaultPlan plan_;
+  std::atomic<int64_t> charges_{0};
+  std::atomic<int64_t> allocs_{0};
+};
+
+}  // namespace tpc
+
+#endif  // TPC_ENGINE_FAULT_INJECTION_H_

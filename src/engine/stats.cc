@@ -26,12 +26,16 @@ void EngineStats::Reset() {
   for (auto& d : dispatch) d.store(0, std::memory_order_relaxed);
 }
 
-std::string EngineStats::ToJson(int64_t steps_used) const {
+std::string EngineStats::ToJson(const Budget& budget) const {
   auto field = [](const char* key, int64_t value) {
     return std::string("\"") + key + "\": " + std::to_string(value);
   };
   std::string out = "{";
-  out += field("steps_used", steps_used) + ", ";
+  out += field("steps_used", budget.steps_used()) + ", ";
+  out += field("bytes_tracked", budget.bytes_used()) + ", ";
+  out += field("bytes_peak", budget.bytes_peak()) + ", ";
+  out += std::string("\"exhaustion_reason\": \"") +
+         ExhaustionReasonName(budget.reason()) + "\", ";
   out += field("canonical_trees_enumerated",
                canonical_trees_enumerated.load(std::memory_order_relaxed)) +
          ", ";

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "engine/budget.h"
+
 namespace tpc {
 
 /// Number of dispatcher algorithms, mirroring `ContainmentAlgorithm` in
@@ -61,9 +63,10 @@ struct EngineStats {
   /// Zeroes every counter.
   void Reset();
 
-  /// One-line JSON object with every counter; `steps_used` (from the budget)
-  /// is included so one dump describes the whole run.
-  std::string ToJson(int64_t steps_used) const;
+  /// One-line JSON object with every counter plus the budget's resource
+  /// readings (steps, tracked bytes and peak, exhaustion reason) so one
+  /// dump describes the whole run.
+  std::string ToJson(const Budget& budget) const;
 };
 
 }  // namespace tpc

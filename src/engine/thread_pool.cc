@@ -20,11 +20,16 @@ void ThreadPool::EnsureStarted() {
   started_ = true;
   workers_.reserve(num_threads_ - 1);
   for (int i = 0; i < num_threads_ - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::set_worker_hook(std::function<void(int)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  worker_hook_ = std::move(hook);
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
   std::unique_lock<std::mutex> lock(mu_);
   uint64_t seen_generation = 0;
   for (;;) {
@@ -35,6 +40,8 @@ void ThreadPool::WorkerLoop() {
     seen_generation = job_generation_;
     const std::function<void(int64_t)>* fn = job_fn_;
     int64_t n = job_size_;
+    const std::function<void(int)>* hook =
+        worker_hook_ ? &worker_hook_ : nullptr;
     // A null job means the notification was for a job that already retired
     // (the caller drained it alone before this thread woke).  Claim nothing —
     // in particular don't touch next_index_, which may already belong to the
@@ -42,6 +49,7 @@ void ThreadPool::WorkerLoop() {
     if (fn == nullptr || n <= 0) continue;
     ++active_workers_;
     lock.unlock();
+    if (hook != nullptr) (*hook)(worker_index);
     for (int64_t i = next_index_.fetch_add(1); i < n;
          i = next_index_.fetch_add(1)) {
       (*fn)(i);
@@ -59,15 +67,18 @@ void ThreadPool::ParallelFor(int64_t n,
     return;
   }
   EnsureStarted();
+  const std::function<void(int)>* caller_hook = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_fn_ = &fn;
     job_size_ = n;
     next_index_.store(0, std::memory_order_relaxed);
     ++job_generation_;
+    if (worker_hook_) caller_hook = &worker_hook_;
   }
   work_cv_.notify_all();
-  // The caller is one of the `num_threads_` workers.
+  // The caller is one of the `num_threads_` workers (index 0).
+  if (caller_hook != nullptr) (*caller_hook)(0);
   for (int64_t i = next_index_.fetch_add(1); i < n;
        i = next_index_.fetch_add(1)) {
     fn(i);

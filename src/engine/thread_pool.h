@@ -41,8 +41,15 @@ class ThreadPool {
   /// when every invocation has finished.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
+  /// Installs a hook run once per job by every participating worker, with
+  /// its stable index (0 = the calling thread, 1..num_threads-1 = spawned
+  /// workers), before it claims its first chunk.  Used by the fault
+  /// injector to delay a chosen worker and manufacture straggler schedules.
+  /// Set between jobs only; pass an empty function to clear.
+  void set_worker_hook(std::function<void(int)> hook);
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   void EnsureStarted();  // spawns the workers on first use
 
   const int num_threads_;
@@ -56,6 +63,7 @@ class ThreadPool {
   const std::function<void(int64_t)>* job_fn_ = nullptr;
   int64_t job_size_ = 0;
   uint64_t job_generation_ = 0;
+  std::function<void(int)> worker_hook_;  // written under mu_, between jobs
   std::atomic<int64_t> next_index_{0};
   int active_workers_ = 0;
   std::vector<std::thread> workers_;

@@ -1,0 +1,85 @@
+// RAII byte-accounting shim over `Budget::ChargeBytes`.
+//
+// The big allocators (interner chunk arenas, schema configuration stores,
+// DP tables, graphdb reachability matrices) account their growth at
+// arena/table granularity through a `TrackedBytes` member: `Charge(n)`
+// before growing, and the destructor releases everything that was charged,
+// so a consumer that dies mid-decision (exhaustion, exception, early
+// return) never leaks tracked bytes from the budget.
+//
+// `Reserve(total)` is the high-water variant for reused scratch buffers
+// (matcher tables, per-symbol search scratch): it charges only the delta
+// above the largest total seen, matching capacity-retaining containers that
+// `clear()` between decisions without returning memory.
+
+#ifndef TPC_ENGINE_TRACKED_H_
+#define TPC_ENGINE_TRACKED_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "engine/budget.h"
+
+namespace tpc {
+
+class TrackedBytes {
+ public:
+  TrackedBytes() = default;
+  explicit TrackedBytes(Budget* budget) : budget_(budget) {}
+
+  TrackedBytes(const TrackedBytes&) = delete;
+  TrackedBytes& operator=(const TrackedBytes&) = delete;
+
+  ~TrackedBytes() { ReleaseAll(); }
+
+  /// Re-points the shim (e.g. a workspace adopted by a new context).  Any
+  /// bytes charged to the previous budget are released there first.
+  void Attach(Budget* budget) {
+    if (budget == budget_) return;
+    ReleaseAll();
+    budget_ = budget;
+  }
+
+  Budget* budget() const { return budget_; }
+
+  /// Accounts `n` more bytes.  False means the budget refused (memory limit
+  /// or injected allocation fault): the caller must not allocate.  The
+  /// refused bytes stay charged until release, mirroring
+  /// `Budget::ChargeBytes` semantics, so the destructor stays balanced.
+  bool Charge(int64_t n) {
+    if (n <= 0) return true;
+    charged_.fetch_add(n, std::memory_order_relaxed);
+    if (budget_ == nullptr) return true;
+    return budget_->ChargeBytes(n);
+  }
+
+  /// High-water charge: accounts only the growth of `total` beyond the
+  /// largest total ever charged through this shim.  For containers that
+  /// retain capacity across reuse.  Not thread-safe against concurrent
+  /// `Reserve` on the same shim (reused scratch is per-worker by design).
+  bool Reserve(int64_t total) {
+    const int64_t peak = peak_.load(std::memory_order_relaxed);
+    if (total <= peak) return true;
+    peak_.store(total, std::memory_order_relaxed);
+    return Charge(total - peak);
+  }
+
+  int64_t charged() const { return charged_.load(std::memory_order_relaxed); }
+
+  /// Returns everything charged so far (idempotent; also run by the
+  /// destructor).  Resets the high-water mark.
+  void ReleaseAll() {
+    const int64_t n = charged_.exchange(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+    if (n > 0 && budget_ != nullptr) budget_->ReleaseBytes(n);
+  }
+
+ private:
+  Budget* budget_ = nullptr;
+  std::atomic<int64_t> charged_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+}  // namespace tpc
+
+#endif  // TPC_ENGINE_TRACKED_H_

@@ -54,6 +54,7 @@ GraphMatchResult GraphSatisfiesDtdNodesOnly(const Graph& g, const Dtd& dtd,
   auto exhausted = [&] {
     if (!ctx->budget().Exhausted()) return false;
     out.outcome = Outcome::kResourceExhausted;
+    out.reason = ctx->budget().reason();
     out.matched = false;
     return true;
   };
@@ -77,6 +78,7 @@ GraphMatchResult TypedGraphSatisfiesDtd(const TypedGraph& g, const Dtd& dtd,
   auto exhausted = [&] {
     if (!ctx->budget().Exhausted()) return false;
     out.outcome = Outcome::kResourceExhausted;
+    out.reason = ctx->budget().reason();
     out.matched = false;
     return true;
   };

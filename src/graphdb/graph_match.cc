@@ -4,21 +4,30 @@
 #include <optional>
 #include <vector>
 
+#include "engine/tracked.h"
+
 namespace tpc {
 
 namespace {
 
 /// sat[v * |g| + x]: subquery(v) embeds with v -> graph node x.
 /// Returns nullopt when the context budget runs out mid-table.
+/// `tracked` accounts the reachability closure (n*n) and DP table (|q|*n)
+/// bytes; the caller owns it so the bytes are released on return.
 std::optional<std::vector<char>> ComputeSat(const Tpq& q, const Graph& g,
-                                            EngineContext* ctx) {
+                                            EngineContext* ctx,
+                                            TrackedBytes* tracked) {
   size_t n = static_cast<size_t>(g.size());
   // The reachability closure is the other super-linear ingredient; charge
   // it against the budget like a DP row per graph node.
-  if (!ctx->budget().Charge(static_cast<int64_t>(n) * g.size())) {
+  if (!ctx->budget().Charge(static_cast<int64_t>(n) * g.size()) ||
+      !tracked->Charge(static_cast<int64_t>(n) * g.size())) {
     return std::nullopt;
   }
   std::vector<char> reach = g.ProperReachability();
+  if (!tracked->Charge(static_cast<int64_t>(q.size()) * g.size())) {
+    return std::nullopt;
+  }
   std::vector<char> sat(static_cast<size_t>(q.size()) * n, 0);
   for (NodeId v = q.size() - 1; v >= 0; --v) {
     if (!ctx->budget().Charge(static_cast<int64_t>(n))) return std::nullopt;
@@ -49,15 +58,23 @@ std::optional<std::vector<char>> ComputeSat(const Tpq& q, const Graph& g,
   return sat;
 }
 
+/// Stamps `out` as resource-exhausted with the budget's recorded reason.
+void MarkExhausted(GraphMatchResult* out, EngineContext* ctx) {
+  out->outcome = Outcome::kResourceExhausted;
+  const ExhaustionReason r = ctx->budget().reason();
+  out->reason = r == ExhaustionReason::kNone ? ExhaustionReason::kSteps : r;
+}
+
 }  // namespace
 
 GraphMatchResult MatchesWeakGraph(const Tpq& q, const Graph& g,
                                   EngineContext* ctx) {
   GraphMatchResult out;
   if (q.empty() || g.size() == 0) return out;
-  std::optional<std::vector<char>> sat = ComputeSat(q, g, ctx);
+  TrackedBytes tracked(&ctx->budget());
+  std::optional<std::vector<char>> sat = ComputeSat(q, g, ctx, &tracked);
   if (!sat.has_value()) {
-    out.outcome = Outcome::kResourceExhausted;
+    MarkExhausted(&out, ctx);
     return out;
   }
   for (NodeId x = 0; x < g.size(); ++x) {
@@ -74,9 +91,10 @@ GraphMatchResult MatchesStrongGraph(const Tpq& q, const Graph& g,
   assert(g.HasRoot());
   GraphMatchResult out;
   if (q.empty() || g.size() == 0) return out;
-  std::optional<std::vector<char>> sat = ComputeSat(q, g, ctx);
+  TrackedBytes tracked(&ctx->budget());
+  std::optional<std::vector<char>> sat = ComputeSat(q, g, ctx, &tracked);
   if (!sat.has_value()) {
-    out.outcome = Outcome::kResourceExhausted;
+    MarkExhausted(&out, ctx);
     return out;
   }
   out.matched = (*sat)[static_cast<size_t>(g.root())] != 0;

@@ -18,6 +18,8 @@ namespace tpc {
 struct GraphMatchResult {
   bool matched = false;
   Outcome outcome = Outcome::kDecided;
+  /// Which resource ran out (kNone while decided).
+  ExhaustionReason reason = ExhaustionReason::kNone;
 };
 
 /// True iff a weak embedding of q into the graph exists.  The ctx overload

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "engine/stats.h"
+#include "engine/tracked.h"
 #include "pattern/tpq.h"
 #include "tree/tree.h"
 
@@ -34,6 +35,20 @@ namespace tpc {
 class MatcherWorkspace {
  public:
   MatcherWorkspace() = default;
+
+  /// Accounts the DP-table bytes an evaluation of `q` against `t` will
+  /// occupy, through `budget` (high-water: a reused workspace charges only
+  /// growth beyond the largest instance seen).  Returns false when the
+  /// budget refuses — the caller should then report memory exhaustion
+  /// instead of calling `Eval*`.  Sweep loops call this once per tree,
+  /// before the evaluation.
+  bool ChargeTables(const Tpq& q, const Tree& t, Budget* budget) {
+    tracked_.Attach(budget);
+    const int64_t words =
+        static_cast<int64_t>((q.size() + 63) / 64);
+    return tracked_.Reserve(2 * static_cast<int64_t>(t.size()) * words *
+                            static_cast<int64_t>(sizeof(uint64_t)));
+  }
 
   /// Evaluates `q` against `t` from scratch.  The pattern-side tables are
   /// rebuilt only when `q` is not the pattern of the previous evaluation.
@@ -103,6 +118,9 @@ class MatcherWorkspace {
   // Column scratch (accumulators over the children of the current node).
   std::vector<uint64_t> acc_child_;
   std::vector<uint64_t> acc_desc_;
+
+  // High-water accounting for the sat_/desc_ tables (see ChargeTables).
+  TrackedBytes tracked_;
 };
 
 /// Evaluates one pattern against one tree.  Cheap to construct; the dynamic

@@ -12,6 +12,11 @@ bool IsLabelChar(char c) {
          c == '\'' || c == '-' || c == '.';
 }
 
+/// Recursion cap for nested predicates: `a[a[a[...` otherwise recurses once
+/// per bracket and overflows the stack on adversarial input long before any
+/// semantic limit applies.
+constexpr int kMaxDepth = 256;
+
 class TpqParser {
  public:
   TpqParser(std::string_view input, LabelPool* pool)
@@ -59,13 +64,15 @@ class TpqParser {
   /// Parses `step (sep step)*`, attaching the first step below `parent` with
   /// `first_edge` (or as root if `parent == kNoNode`).
   bool ParsePattern(Tpq* q, NodeId parent, EdgeKind first_edge) {
+    if (++depth_ > kMaxDepth) return Fail("pattern nesting too deep");
     NodeId current;
-    if (!ParseStep(q, parent, first_edge, &current)) return false;
+    bool ok = ParseStep(q, parent, first_edge, &current);
     EdgeKind edge;
-    while (TrySeparator(&edge)) {
-      if (!ParseStep(q, current, edge, &current)) return false;
+    while (ok && TrySeparator(&edge)) {
+      ok = ParseStep(q, current, edge, &current);
     }
-    return true;
+    --depth_;
+    return ok;
   }
 
   bool ParseStep(Tpq* q, NodeId parent, EdgeKind edge, NodeId* out) {
@@ -103,6 +110,7 @@ class TpqParser {
   std::string_view input_;
   LabelPool* pool_;
   size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_;
 };
 
@@ -110,6 +118,16 @@ class TpqParser {
 
 ParseResult<Tpq> ParseTpq(std::string_view input, LabelPool* pool) {
   return TpqParser(input, pool).Parse();
+}
+
+std::optional<Tpq> ParseTpqChecked(std::string_view input, LabelPool* pool,
+                                   ParseDiagnostic* diag) {
+  ParseResult<Tpq> result = ParseTpq(input, pool);
+  if (!result.ok()) {
+    *diag = DiagnoseAt(input, result.error(), result.error_offset());
+    return std::nullopt;
+  }
+  return std::move(result.value());
 }
 
 Tpq MustParseTpq(std::string_view input, LabelPool* pool) {

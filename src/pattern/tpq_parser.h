@@ -16,6 +16,7 @@
 #ifndef TPC_PATTERN_TPQ_PARSER_H_
 #define TPC_PATTERN_TPQ_PARSER_H_
 
+#include <optional>
 #include <string_view>
 
 #include "base/label.h"
@@ -24,8 +25,15 @@
 
 namespace tpc {
 
-/// Parses `input` as a TPQ, interning labels into `pool`.
+/// Parses `input` as a TPQ, interning labels into `pool`.  Rejects (never
+/// crashes on) malformed input, including pathological nesting: predicate
+/// depth is capped (see `kMaxParseDepth` in parse_result usage notes).
 ParseResult<Tpq> ParseTpq(std::string_view input, LabelPool* pool);
+
+/// Non-aborting parse for untrusted input: on failure returns std::nullopt
+/// and fills `*diag` with the message and 1-based line/column.
+std::optional<Tpq> ParseTpqChecked(std::string_view input, LabelPool* pool,
+                                   ParseDiagnostic* diag);
 
 /// Convenience: parses or aborts.  For tests and examples on trusted input.
 Tpq MustParseTpq(std::string_view input, LabelPool* pool);

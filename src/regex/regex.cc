@@ -188,6 +188,10 @@ bool IsLabelChar(char c) {
          c == '\'' || c == '-';
 }
 
+/// Recursion cap: one level per `(`, so `(((((...` is rejected with a
+/// diagnostic instead of overflowing the stack.
+constexpr int kMaxDepth = 256;
+
 class RegexParser {
  public:
   RegexParser(std::string_view input, LabelPool* pool)
@@ -277,8 +281,10 @@ class RegexParser {
     SkipSpace();
     if (pos_ >= input_.size()) return Fail("expected an atom");
     if (input_[pos_] == '(') {
+      if (++depth_ > kMaxDepth) return Fail("expression nesting too deep");
       ++pos_;
       Regex r = ParseUnion();
+      --depth_;
       if (!ok_) return r;
       if (!Peek(')')) return Fail("expected ')'");
       ++pos_;
@@ -296,6 +302,7 @@ class RegexParser {
   std::string_view input_;
   LabelPool* pool_;
   size_t pos_ = 0;
+  int depth_ = 0;
   bool ok_ = true;
   std::string error_;
 };

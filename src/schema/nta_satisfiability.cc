@@ -12,6 +12,7 @@
 #include "automata/path_complement.h"
 #include "automata/state_interning.h"
 #include "automata/tpq_det.h"
+#include "engine/tracked.h"
 
 namespace tpc {
 
@@ -42,8 +43,12 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
                                   const SchemaEngineOptions& options) {
   Budget::ScopedDeadline scoped_deadline(&ctx->budget(),
                                          limits.max_milliseconds);
-  DetSide det(&p);
+  DetSide det(&p, &ctx->budget());
   StateSetInterner& interner = det.interner();
+  // Configuration-arena and search-frontier byte accounting; released when
+  // this decision returns.
+  TrackedBytes tracked_configs(&ctx->budget());
+  TrackedBytes tracked_frontier(&ctx->budget());
   EngineStats& stats = ctx->stats();
   // Candidate labels for wildcard-labelled transitions: the letters of p
   // plus one fresh letter (any label outside p behaves identically).
@@ -81,6 +86,14 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
   std::vector<HNode> nodes;
   std::unordered_set<std::array<int32_t, 3>, IntArrayHash<3>> seen;
   std::vector<int32_t> children_scratch;
+  // Frontier accounting fires only when `nodes` reallocates, keeping the
+  // charge at table granularity rather than per search node.
+  size_t reserved_capacity = 0;
+  auto reserve_frontier = [&]() {
+    reserved_capacity = nodes.capacity();
+    return tracked_frontier.Reserve(static_cast<int64_t>(
+        reserved_capacity * (sizeof(HNode) + 3 * sizeof(int32_t))));
+  };
 
   bool changed = true;
   while (changed && goal < 0 && !truncated) {
@@ -105,7 +118,8 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
       for (size_t i = 0; i < nodes.size() && goal < 0; ++i) {
         if (static_cast<int64_t>(nodes.size()) >=
                 limits.max_horizontal_nodes ||
-            !ctx->budget().Charge(1)) {
+            !ctx->budget().Charge(1) ||
+            (nodes.capacity() != reserved_capacity && !reserve_frontier())) {
           truncated = true;
           break;
         }
@@ -166,6 +180,12 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
                 }
               }
               int32_t id = static_cast<int32_t>(configs.size());
+              if (!tracked_configs.Charge(static_cast<int64_t>(
+                      sizeof(NtaConfig) +
+                      children_scratch.size() * sizeof(int32_t)))) {
+                truncated = true;
+                break;
+              }
               configs.push_back(NtaConfig{tr.state, ps, label, sat_id,
                                           below_id, children_scratch, true});
               actives.push_back(id);
@@ -216,6 +236,12 @@ SchemaDecision SatisfiableWithNta(const Tpq& p, Mode mode, const Nta& nta,
   out.configurations = static_cast<int64_t>(configs.size());
   out.decided = goal >= 0 || !truncated;
   out.outcome = out.decided ? Outcome::kDecided : Outcome::kResourceExhausted;
+  if (!out.decided) {
+    // Before the ScopedDeadline unwinds: legacy caps trip without a budget
+    // reason and report as the work-volume (kSteps) limit they are.
+    const ExhaustionReason r = ctx->budget().reason();
+    out.reason = r == ExhaustionReason::kNone ? ExhaustionReason::kSteps : r;
+  }
   out.yes = goal >= 0;
   stats.det_states_materialized.fetch_add(det.num_materialized(),
                                           std::memory_order_relaxed);
@@ -267,6 +293,7 @@ SchemaDecision ContainedViaConpRoute(const Tpq& p, const Tpq& q, Mode mode,
   SchemaDecision out;
   out.decided = sat.decided;
   out.outcome = sat.outcome;
+  out.reason = sat.reason;
   out.yes = !sat.yes;  // contained iff no witness of p ∧ d ∧ ¬q
   out.witness = std::move(sat.witness);
   out.configurations = sat.configurations;

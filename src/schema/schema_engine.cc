@@ -13,6 +13,7 @@
 #include "automata/nta.h"
 #include "automata/state_interning.h"
 #include "automata/tpq_det.h"
+#include "engine/tracked.h"
 
 namespace tpc {
 
@@ -70,16 +71,35 @@ struct SymbolScratch {
   std::unordered_set<std::array<int32_t, 4>, IntArrayHash<4>> realized;
   /// Union tuples already emitted during the current search.
   std::unordered_set<std::array<int32_t, 4>, IntArrayHash<4>> emitted;
+  /// High-water byte accounting for this scratch's search frontier (the
+  /// node vector plus its dedup-set entries); capacity is retained across
+  /// rounds, so only growth beyond the previous peak is charged.
+  TrackedBytes tracked;
+  /// `nodes.capacity()` at the last `tracked.Reserve`, so the hot expansion
+  /// loop re-charges only when the vector actually reallocates.
+  size_t reserved_capacity = 0;
 };
+
+/// Approximate retained bytes of a search frontier holding `nodes` HNodes:
+/// the vector storage plus one `seen` hash-set entry per node.  Accounting
+/// is table-granular by design (DESIGN.md "Failure model") — the goal is
+/// that a runaway frontier trips the memory budget, not byte-exact RSS.
+int64_t FrontierBytes(size_t nodes) {
+  return static_cast<int64_t>(nodes) *
+         static_cast<int64_t>(sizeof(HNode) + 5 * sizeof(int32_t) +
+                              2 * sizeof(void*));
+}
 
 class Engine {
  public:
   Engine(const Dtd& dtd, const Tpq* p, const Tpq* q, EngineContext* ctx,
          const EngineLimits& limits, const SchemaEngineOptions& options)
       : dtd_(dtd), ctx_(ctx), limits_(limits), options_(options),
-        p_side_(p), q_side_(q), alphabet_(dtd.alphabet()),
-        scratch_(dtd.alphabet().size()),
-        active_by_symbol_(dtd.alphabet().size()) {
+        p_side_(p, &ctx->budget()), q_side_(q, &ctx->budget()),
+        alphabet_(dtd.alphabet()), scratch_(dtd.alphabet().size()),
+        active_by_symbol_(dtd.alphabet().size()),
+        tracked_configs_(&ctx->budget()) {
+    for (SymbolScratch& s : scratch_) s.tracked.Attach(&ctx->budget());
     // Compile every content model up front: `Dtd::RuleNfa` caches through a
     // non-thread-safe mutable map, and parallel rounds read it from workers.
     for (LabelId a : alphabet_) dtd_.RuleNfa(a);
@@ -213,6 +233,14 @@ class Engine {
     }
   }
 
+  /// Accounts the frontier at its new capacity; called only when the node
+  /// vector reallocated, so the charge stays off the per-node hot path.
+  bool ReserveFrontier(SymbolScratch* s) {
+    s->reserved_capacity = s->nodes.capacity();
+    return s->tracked.Reserve(
+        FrontierBytes(s->reserved_capacity));
+  }
+
   /// Explores all words of `a`'s content model over the currently active
   /// configurations.  With `merge_inline` (sequential mode) realizations
   /// are merged immediately, so later search nodes already see them — the
@@ -245,7 +273,9 @@ class Engine {
     for (size_t i = 0; i < s.nodes.size(); ++i) {
       if (static_cast<int64_t>(s.nodes.size()) >=
               limits_.max_horizontal_nodes ||
-          !ctx_->budget().Charge(1)) {
+          !ctx_->budget().Charge(1) ||
+          (s.nodes.capacity() != s.reserved_capacity &&
+           !ReserveFrontier(&s))) {
         truncated_.store(true, std::memory_order_relaxed);
         return;
       }
@@ -348,6 +378,12 @@ class Engine {
       }
     }
     const int32_t id = static_cast<int32_t>(configs_.size());
+    if (!tracked_configs_.Charge(
+            static_cast<int64_t>(sizeof(ConfigRec)) +
+            static_cast<int64_t>(cand.children.size() * sizeof(int32_t)))) {
+      truncated_.store(true, std::memory_order_relaxed);
+      return;
+    }
     configs_.push_back(ConfigRec{a, ps, qs, p_sat, p_below, q_sat, q_below,
                                  std::move(cand.children), true});
     actives.push_back(id);
@@ -376,6 +412,9 @@ class Engine {
   std::vector<std::vector<int32_t>> active_by_symbol_;
   /// (a, ps, qs) -> arena index, or kDroppedConfig for a pruned arrival.
   std::map<std::tuple<LabelId, int32_t, int32_t>, int32_t> config_ids_;
+  /// Bytes of the configuration arena (records + derivation children),
+  /// released with the engine.
+  TrackedBytes tracked_configs_;
   int32_t goal_ = -1;
   bool changed_ = false;
   bool cap_hit_ = false;
@@ -391,6 +430,14 @@ SchemaDecision Finish(Engine* engine, EngineContext* ctx, int32_t goal,
   out.configurations = engine->num_configs();
   out.decided = goal != -2;
   out.outcome = out.decided ? Outcome::kDecided : Outcome::kResourceExhausted;
+  if (!out.decided) {
+    // Read the budget's reason here, before the caller's ScopedDeadline
+    // unwinds and clears transient exhaustion.  kNone means a legacy cap
+    // (configuration / horizontal-node volume) tripped without the budget:
+    // report it as the step-like work limit it is.
+    const ExhaustionReason r = ctx->budget().reason();
+    out.reason = r == ExhaustionReason::kNone ? ExhaustionReason::kSteps : r;
+  }
   out.yes = yes_when_exhausted_reachable ? goal == -1 : goal >= 0;
   if (goal >= 0) out.witness = engine->BuildWitness(goal);
   EngineStats& stats = ctx->stats();

@@ -69,6 +69,10 @@ struct SchemaDecision {
   /// Same information as `decided`, phrased in the engine's vocabulary
   /// (`kResourceExhausted` covers legacy caps and ctx budgets alike).
   Outcome outcome = Outcome::kDecided;
+  /// Which resource exhausted (kNone while decided).  Legacy caps
+  /// (`max_configurations`/`max_horizontal_nodes`) report kSteps: they are
+  /// work-volume limits that bypass the budget's own counters.
+  ExhaustionReason reason = ExhaustionReason::kNone;
   /// Answer to the *decision problem* as phrased in the paper:
   /// satisfiable? / valid? / contained?
   bool yes = false;

@@ -12,6 +12,10 @@ bool IsLabelChar(char c) {
          c == '\'' || c == '-' || c == '.';
 }
 
+/// Recursion cap: one level per `(`, so deep `a(a(a(...` input is rejected
+/// with a diagnostic instead of overflowing the stack.
+constexpr int kMaxDepth = 256;
+
 class TreeParser {
  public:
   TreeParser(std::string_view input, LabelPool* pool)
@@ -41,6 +45,13 @@ class TreeParser {
   }
 
   bool ParseNode(Tree* tree, NodeId parent) {
+    if (++depth_ > kMaxDepth) return Fail("tree nesting too deep");
+    bool ok = ParseNodeInner(tree, parent);
+    --depth_;
+    return ok;
+  }
+
+  bool ParseNodeInner(Tree* tree, NodeId parent) {
     SkipSpace();
     size_t start = pos_;
     while (pos_ < input_.size() && IsLabelChar(input_[pos_])) ++pos_;
@@ -74,6 +85,7 @@ class TreeParser {
   std::string_view input_;
   LabelPool* pool_;
   size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_;
 };
 
@@ -81,6 +93,16 @@ class TreeParser {
 
 ParseResult<Tree> ParseTree(std::string_view input, LabelPool* pool) {
   return TreeParser(input, pool).Parse();
+}
+
+std::optional<Tree> ParseTreeChecked(std::string_view input, LabelPool* pool,
+                                     ParseDiagnostic* diag) {
+  ParseResult<Tree> result = ParseTree(input, pool);
+  if (!result.ok()) {
+    *diag = DiagnoseAt(input, result.error(), result.error_offset());
+    return std::nullopt;
+  }
+  return std::move(result.value());
 }
 
 Tree MustParseTree(std::string_view input, LabelPool* pool) {

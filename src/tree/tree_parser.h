@@ -7,6 +7,7 @@
 #ifndef TPC_TREE_TREE_PARSER_H_
 #define TPC_TREE_TREE_PARSER_H_
 
+#include <optional>
 #include <string_view>
 
 #include "base/label.h"
@@ -16,7 +17,14 @@
 namespace tpc {
 
 /// Parses `input` as a tree in term syntax, interning labels into `pool`.
+/// Nesting depth is capped so adversarial `a(a(a(...` input is rejected
+/// instead of overflowing the stack.
 ParseResult<Tree> ParseTree(std::string_view input, LabelPool* pool);
+
+/// Non-aborting parse for untrusted input: on failure returns std::nullopt
+/// and fills `*diag` with the message and 1-based line/column.
+std::optional<Tree> ParseTreeChecked(std::string_view input, LabelPool* pool,
+                                     ParseDiagnostic* diag);
 
 /// Convenience: parses or aborts.  For tests and examples on trusted input.
 Tree MustParseTree(std::string_view input, LabelPool* pool);

@@ -1,0 +1,197 @@
+// Randomized mutation tests for the checked parser entry points (satellite
+// of the failure-model work).  The checked parsers promise: any input —
+// truncated, token-garbled, bracket-unbalanced, or absurdly deep — either
+// parses or is rejected with a meaningful line/column diagnostic.  Never a
+// crash, never an abort, never unbounded recursion (ASan runs this file in
+// the `faults` gate of scripts/check.sh).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/label.h"
+#include "base/parse_result.h"
+#include "dtd/dtd.h"
+#include "pattern/tpq_parser.h"
+#include "tree/tree_parser.h"
+
+namespace tpc {
+namespace {
+
+const char* const kTpqSeeds[] = {
+    "a/b//c",
+    "a[b][c/d]//*[e]",
+    "a//*//b[c//d]/e",
+    "r//a/*/*/b[c]",
+};
+
+const char* const kTreeSeeds[] = {
+    "a(b,c(d))",
+    "r(a(b,b),c(d(e)),f)",
+    "x(y(z),y(z,z))",
+};
+
+const char* const kDtdSeeds[] = {
+    "root: a; a -> b c*; b -> eps;",
+    "root: r; r -> a z; z -> z z | w | a; w -> w | b; b -> eps;",
+    "root: a | b; a -> (b | c)* d?; b -> eps; c -> eps; d -> eps;",
+};
+
+/// Junk drawn from tokens of all three grammars plus genuinely foreign
+/// bytes, so mutations produce near-miss inputs, not only line noise.
+const char kJunk[] = "()[]{}/|*,;:->a b1_#?\t\n\\\"$%&^!@`~";
+
+std::string Mutate(const std::string& base, std::mt19937* rng) {
+  std::string s = base;
+  std::uniform_int_distribution<int> op_dist(0, 4);
+  std::uniform_int_distribution<size_t> junk_dist(0, sizeof(kJunk) - 2);
+  int mutations = 1 + (*rng)() % 3;
+  for (int i = 0; i < mutations && !s.empty(); ++i) {
+    size_t pos = (*rng)() % s.size();
+    switch (op_dist(*rng)) {
+      case 0:  // truncate
+        s.resize(pos);
+        break;
+      case 1:  // delete one char
+        s.erase(pos, 1);
+        break;
+      case 2:  // replace with junk
+        s[pos] = kJunk[junk_dist(*rng)];
+        break;
+      case 3:  // insert junk
+        s.insert(pos, 1, kJunk[junk_dist(*rng)]);
+        break;
+      case 4:  // duplicate a span
+        s.insert(pos, s.substr(pos, 1 + (*rng)() % 8));
+        break;
+    }
+  }
+  return s;
+}
+
+void ExpectDiagnosticSane(const ParseDiagnostic& diag,
+                          const std::string& input) {
+  EXPECT_FALSE(diag.message.empty());
+  EXPECT_GE(diag.line, 1);
+  EXPECT_GE(diag.column, 1);
+  EXPECT_LE(diag.offset, input.size());
+  EXPECT_FALSE(diag.ToString().empty());
+}
+
+TEST(ParserMutationTest, MutatedPatternsNeverCrash) {
+  LabelPool pool;
+  std::mt19937 rng(2026);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string input = Mutate(kTpqSeeds[trial % 4], &rng);
+    ParseDiagnostic diag;
+    std::optional<Tpq> q = ParseTpqChecked(input, &pool, &diag);
+    if (!q.has_value()) ExpectDiagnosticSane(diag, input);
+  }
+}
+
+TEST(ParserMutationTest, MutatedTreesNeverCrash) {
+  LabelPool pool;
+  std::mt19937 rng(2027);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string input = Mutate(kTreeSeeds[trial % 3], &rng);
+    ParseDiagnostic diag;
+    std::optional<Tree> t = ParseTreeChecked(input, &pool, &diag);
+    if (!t.has_value()) ExpectDiagnosticSane(diag, input);
+  }
+}
+
+TEST(ParserMutationTest, MutatedDtdsNeverCrash) {
+  LabelPool pool;
+  std::mt19937 rng(2028);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string input = Mutate(kDtdSeeds[trial % 3], &rng);
+    ParseDiagnostic diag;
+    std::optional<Dtd> d = ParseDtdChecked(input, &pool, &diag);
+    if (!d.has_value()) ExpectDiagnosticSane(diag, input);
+  }
+}
+
+TEST(ParserMutationTest, DeepNestingIsRejectedNotOverflowed) {
+  LabelPool pool;
+  ParseDiagnostic diag;
+  // 100k levels would overflow the stack without the parser depth caps.
+  constexpr int kDepth = 100000;
+
+  std::string deep_pattern = "a";
+  for (int i = 0; i < kDepth; ++i) deep_pattern += "[a";
+  deep_pattern.append(kDepth, ']');
+  EXPECT_FALSE(ParseTpqChecked(deep_pattern, &pool, &diag).has_value());
+  ExpectDiagnosticSane(diag, deep_pattern);
+
+  std::string deep_tree;
+  for (int i = 0; i < kDepth; ++i) deep_tree += "a(";
+  deep_tree += "a";
+  deep_tree.append(kDepth, ')');
+  EXPECT_FALSE(ParseTreeChecked(deep_tree, &pool, &diag).has_value());
+  ExpectDiagnosticSane(diag, deep_tree);
+
+  std::string deep_dtd = "root: a; a -> ";
+  deep_dtd.append(kDepth, '(');
+  deep_dtd += "b";
+  deep_dtd.append(kDepth, ')');
+  deep_dtd += ";";
+  EXPECT_FALSE(ParseDtdChecked(deep_dtd, &pool, &diag).has_value());
+  ExpectDiagnosticSane(diag, deep_dtd);
+}
+
+TEST(ParserMutationTest, ModerateNestingStillParses) {
+  // The caps must not reject reasonable inputs: depth 200 < 256 parses.
+  LabelPool pool;
+  ParseDiagnostic diag;
+  constexpr int kDepth = 200;
+
+  std::string pattern = "a";
+  for (int i = 0; i < kDepth; ++i) pattern += "[a";
+  pattern.append(kDepth, ']');
+  EXPECT_TRUE(ParseTpqChecked(pattern, &pool, &diag).has_value())
+      << diag.ToString();
+
+  std::string tree;
+  for (int i = 0; i < kDepth; ++i) tree += "a(";
+  tree += "a";
+  tree.append(kDepth, ')');
+  EXPECT_TRUE(ParseTreeChecked(tree, &pool, &diag).has_value())
+      << diag.ToString();
+
+  std::string dtd = "root: a; a -> ";
+  dtd.append(kDepth, '(');
+  dtd += "b";
+  dtd.append(kDepth, ')');
+  dtd += ";";
+  EXPECT_TRUE(ParseDtdChecked(dtd, &pool, &diag).has_value())
+      << diag.ToString();
+}
+
+TEST(ParserMutationTest, DiagnosticsPointAtTheOffendingLineAndColumn) {
+  LabelPool pool;
+  ParseDiagnostic diag;
+  EXPECT_FALSE(ParseTpqChecked("a/(b", &pool, &diag).has_value());
+  EXPECT_EQ(diag.line, 1);
+  EXPECT_EQ(diag.column, 3);
+
+  // A DTD error on the second line reports line 2.
+  EXPECT_FALSE(
+      ParseDtdChecked("root: a;\na -> b |;", &pool, &diag).has_value());
+  EXPECT_EQ(diag.line, 2);
+  EXPECT_GT(diag.column, 1);
+}
+
+TEST(ParserMutationTest, EmptyAndWhitespaceInputsAreRejectedCleanly) {
+  LabelPool pool;
+  ParseDiagnostic diag;
+  for (const char* input : {"", " ", "\n\n", "\t"}) {
+    EXPECT_FALSE(ParseTpqChecked(input, &pool, &diag).has_value()) << input;
+    EXPECT_FALSE(ParseTreeChecked(input, &pool, &diag).has_value()) << input;
+  }
+}
+
+}  // namespace
+}  // namespace tpc
