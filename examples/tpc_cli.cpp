@@ -7,10 +7,21 @@
 //   tpc_cli [flags] valid    <q> <dtd> [weak|strong]
 //   tpc_cli [flags] minimize <q>
 //   tpc_cli [flags] match    <q> <tree> [weak|strong]
+//   tpc_cli [flags] --batch  <file>
+//
+// Batch mode decides one containment pair per line of <file> ("<p> <q>
+// [weak|strong]"; blank lines and #-comments skipped) through the query
+// service (src/service): canonical-hash verdict cache, prefilter cascade,
+// duplicate folding, and a parallel fan-out under --threads.  One verdict is
+// printed per line; the exit status is 0 when every pair was decided
+// (regardless of verdicts), 3 when any was undecided.
 //
 // Flags (anywhere on the command line):
 //   --stats          print the engine's instrumentation counters as JSON
 //                    (includes steps/bytes used and the exhaustion reason)
+//   --batch <file>   decide many pairs through the query service
+//   --no-cache       batch A/B: disable minimize+hash+verdict-cache layer
+//   --no-prefilter   batch A/B: disable homomorphism/probe prefilters
 //   --timeout <ms>   wall-clock budget; exceeding it exits 3 (UNDECIDED)
 //   --steps <n>      step budget; exceeding it exits 3 (UNDECIDED)
 //   --memory <bytes> tracked-memory budget; exceeding it exits 3 (UNDECIDED)
@@ -36,11 +47,14 @@
 //   tpc_cli sat 'a[b][c]' 'root: a; a -> b | c;'
 //   tpc_cli --stats --threads 4 contain 'a//b//c//d' 'a//b//c//d'
 //   tpc_cli minimize 'a[b][b/c]'
+//   tpc_cli --stats --threads 4 --batch pairs.txt
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -52,6 +66,7 @@
 #include "match/embedding.h"
 #include "pattern/tpq_parser.h"
 #include "schema/schema_engine.h"
+#include "service/query_service.h"
 #include "tree/tree_parser.h"
 
 using namespace tpc;
@@ -78,8 +93,13 @@ int Usage() {
                "  tpc_cli [flags] valid    <q> <dtd> [weak|strong]\n"
                "  tpc_cli [flags] minimize <q>\n"
                "  tpc_cli [flags] match    <q> <tree> [weak|strong]\n"
+               "  tpc_cli [flags] --batch  <file>\n"
                "flags:\n"
                "  --stats          print engine counters as JSON\n"
+               "  --batch <file>   decide '<p> <q> [weak|strong]' pairs, one\n"
+               "                   per line, through the query service\n"
+               "  --no-cache       batch: disable the verdict-cache layer\n"
+               "  --no-prefilter   batch: disable the prefilter cascade\n"
                "  --timeout <ms>   wall-clock budget (exit 3 when exceeded)\n"
                "  --steps <n>      step budget (exit 3 when exceeded)\n"
                "  --memory <bytes> tracked-memory budget (exit 3 when "
@@ -155,12 +175,20 @@ int main(int argc, char** argv) {
   EngineConfig config;
   bool print_stats = false;
   SchemaEngineOptions schema_options;
+  ServiceOptions service_options;
+  const char* batch_file = nullptr;
   std::vector<char*> args;  // positional arguments, flags stripped
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       print_stats = true;
     } else if (std::strcmp(argv[i], "--no-antichain") == 0) {
       schema_options.antichain = false;
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      service_options.use_cache = false;
+    } else if (std::strcmp(argv[i], "--no-prefilter") == 0) {
+      service_options.use_prefilters = false;
     } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
       config.deadline_ms = ParseCountOrDie("--timeout", argv[++i]);
     } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
@@ -188,11 +216,82 @@ int main(int argc, char** argv) {
       args.push_back(argv[i]);
     }
   }
-  if (args.size() < 2) return Usage();
+  if (batch_file == nullptr && args.size() < 2) return Usage();
   EngineContext ctx(config);
   g_signal_context = &ctx;
   std::signal(SIGINT, HandleSigint);
   LabelPool pool;
+
+  if (batch_file != nullptr) {
+    std::ifstream in(batch_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open batch file '%s'\n", batch_file);
+      return 2;
+    }
+    std::vector<QueryService::BatchItem> items;
+    std::vector<int> item_line;  // file line of each item, for the report
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const size_t comment = line.find('#');
+      if (comment != std::string::npos) line.resize(comment);
+      std::istringstream tokens(line);
+      std::string p_src, q_src, word;
+      if (!(tokens >> p_src)) continue;  // blank or comment-only line
+      if (!(tokens >> q_src)) {
+        std::fprintf(stderr, "%s:%d: expected '<p> <q> [weak|strong]'\n",
+                     batch_file, lineno);
+        return 2;
+      }
+      Mode mode = Mode::kWeak;
+      if (tokens >> word) {
+        if (!IsModeWord(word.c_str()) || (tokens >> word)) {
+          std::fprintf(stderr, "%s:%d: expected '<p> <q> [weak|strong]'\n",
+                       batch_file, lineno);
+          return 2;
+        }
+        mode = ParseMode(word.c_str());
+      }
+      QueryService::BatchItem item;
+      ParseDiagnostic diag;
+      std::optional<Tpq> p = ParseTpqChecked(p_src.c_str(), &pool, &diag);
+      std::optional<Tpq> q =
+          p.has_value() ? ParseTpqChecked(q_src.c_str(), &pool, &diag)
+                        : std::nullopt;
+      if (!p.has_value() || !q.has_value()) {
+        std::fprintf(stderr, "%s:%d: bad pattern '%s': %s\n", batch_file,
+                     lineno, p.has_value() ? q_src.c_str() : p_src.c_str(),
+                     diag.ToString().c_str());
+        return 2;
+      }
+      item.p = std::move(*p);
+      item.q = std::move(*q);
+      item.mode = mode;
+      items.push_back(std::move(item));
+      item_line.push_back(lineno);
+    }
+    QueryService service(&pool, &ctx, service_options);
+    std::vector<ContainmentResult> results = service.ContainsBatch(items);
+    bool any_undecided = false;
+    ExhaustionReason reason = ExhaustionReason::kNone;
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ContainmentResult& r = results[i];
+      if (r.outcome != Outcome::kDecided) {
+        any_undecided = true;
+        reason = r.reason;
+        std::printf("%d: UNDECIDED (%s)\n", item_line[i],
+                    ExhaustionReasonName(r.reason));
+      } else {
+        std::printf("%d: %s\n", item_line[i],
+                    r.contained ? "contained" : "NOT contained");
+      }
+    }
+    // Exit status reports decidability, not verdicts — a batch mixes both
+    // answers, so per-line output carries them.
+    return Finish(&ctx, print_stats, any_undecided, reason, 0);
+  }
+
   std::string command = args[0];
 
   if (command == "contain") {

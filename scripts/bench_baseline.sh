@@ -4,7 +4,10 @@
 #     and the incremental-sweep A/B) into BENCH_table1.json, and
 #   * bench_table45_schema_containment (the schema-aware P/coNP/EXPTIME
 #     cells, including the antichain on/off A/B twins) into
-#     BENCH_table45.json
+#     BENCH_table45.json, and
+#   * bench_service (the query-service fast path: zipf stream baseline vs
+#     cold vs warm cache, and the probe-prefilter vs sweep A/B on the coNP
+#     refutation family) into BENCH_service.json
 # at the repo root, for before/after comparison across PRs.
 #
 # Usage: scripts/bench_baseline.sh [benchmark_filter_regex]
@@ -18,7 +21,8 @@ filter="${1:-.}"
 cmake --preset release
 cmake --build --preset release -j "$(nproc)" \
   --target bench_table1_containment \
-  --target bench_table45_schema_containment
+  --target bench_table45_schema_containment \
+  --target bench_service
 
 ./build/bench/bench_table1_containment \
   --benchmark_filter="$filter" \
@@ -35,3 +39,11 @@ echo "wrote $(pwd)/BENCH_table1.json"
   --benchmark_format=console
 
 echo "wrote $(pwd)/BENCH_table45.json"
+
+./build/bench/bench_service \
+  --benchmark_filter="$filter" \
+  --benchmark_out=BENCH_service.json \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "wrote $(pwd)/BENCH_service.json"

@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FAULT_TESTS='fault_injection_test|exhaustion_audit_test|parser_mutation_test'
+FAULT_TESTS='fault_injection_test|exhaustion_audit_test|parser_mutation_test|service_fault_test'
 
 run_preset() {
   local preset="$1"; shift

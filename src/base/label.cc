@@ -7,7 +7,23 @@ LabelPool::LabelPool() {
   Intern("*");
 }
 
-LabelId LabelPool::Intern(std::string_view name) {
+LabelPool::LabelPool(LabelPool&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  names_ = std::move(other.names_);
+  ids_ = std::move(other.ids_);
+  fresh_counter_ = other.fresh_counter_;
+}
+
+LabelPool& LabelPool::operator=(LabelPool&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  names_ = std::move(other.names_);
+  ids_ = std::move(other.ids_);
+  fresh_counter_ = other.fresh_counter_;
+  return *this;
+}
+
+LabelId LabelPool::InternLocked(std::string_view name) {
   auto it = ids_.find(std::string(name));
   if (it != ids_.end()) return it->second;
   LabelId id = static_cast<LabelId>(names_.size());
@@ -16,21 +32,40 @@ LabelId LabelPool::Intern(std::string_view name) {
   return id;
 }
 
+LabelId LabelPool::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InternLocked(name);
+}
+
 LabelId LabelPool::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = ids_.find(std::string(name));
   return it == ids_.end() ? kNoLabel : it->second;
 }
 
+const std::string& LabelPool::Name(LabelId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Safe to hand the reference out past the unlock: deque elements never
+  // move and interned spellings are never mutated.
+  return names_[id];
+}
+
+size_t LabelPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
 LabelId LabelPool::Fresh(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string candidate(prefix);
-  if (ids_.count(candidate) == 0) return Intern(candidate);
+  if (ids_.count(candidate) == 0) return InternLocked(candidate);
   // Numeric suffixes keep Fresh amortized O(1) even when called once per
   // decision on a long-lived pool (the containment procedures mint a fresh
   // bottom label per call).
   while (true) {
     std::string numbered =
         candidate + "'" + std::to_string(fresh_counter_++);
-    if (ids_.count(numbered) == 0) return Intern(numbered);
+    if (ids_.count(numbered) == 0) return InternLocked(numbered);
   }
 }
 

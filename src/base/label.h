@@ -10,10 +10,11 @@
 #define TPC_BASE_LABEL_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace tpc {
 
@@ -28,11 +29,19 @@ inline constexpr LabelId kNoLabel = UINT32_MAX;
 
 /// Owns the mapping between label spellings and dense `LabelId`s.
 ///
-/// Thread-compatible (no internal synchronization).  Typical use is one pool
-/// per "universe" of related objects (patterns + trees + DTD under test).
+/// Thread-safe: the service layer fans one batch out over pool workers that
+/// each mint fresh bottom/root labels mid-decision, so interning takes an
+/// internal mutex.  Hot loops never touch the pool — they compare `LabelId`s
+/// — so the lock sits on parse/setup paths only.  Spellings are stored in a
+/// deque: the reference returned by `Name` stays valid across later interns.
 class LabelPool {
  public:
   LabelPool();
+
+  /// Movable (workload structs carry their pool by value); moving is a
+  /// setup-path operation and must not race with concurrent use.
+  LabelPool(LabelPool&& other) noexcept;
+  LabelPool& operator=(LabelPool&& other) noexcept;
 
   /// Returns the id for `name`, interning it if new.
   LabelId Intern(std::string_view name);
@@ -40,18 +49,22 @@ class LabelPool {
   /// Returns the id for `name` or `kNoLabel` if never interned.
   LabelId Find(std::string_view name) const;
 
-  /// Returns the spelling of `id`.  Precondition: `id < size()`.
-  const std::string& Name(LabelId id) const { return names_[id]; }
+  /// Returns the spelling of `id`.  Precondition: `id < size()`.  The
+  /// reference is stable: interning never moves stored spellings.
+  const std::string& Name(LabelId id) const;
 
   /// Number of interned labels (including the wildcard).
-  size_t size() const { return names_.size(); }
+  size_t size() const;
 
   /// Returns a label id guaranteed to be distinct from every id interned so
   /// far; spelled `prefix`, `prefix'`, `prefix''`, ... until fresh.
   LabelId Fresh(std::string_view prefix);
 
  private:
-  std::vector<std::string> names_;
+  LabelId InternLocked(std::string_view name);
+
+  mutable std::mutex mu_;
+  std::deque<std::string> names_;
   std::unordered_map<std::string, LabelId> ids_;
   uint64_t fresh_counter_ = 0;
 };

@@ -250,10 +250,16 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
         return result;
       }
       // The dispatcher can route many pairs here back to back (benchmarks,
-      // minimization loops); a per-thread scratch keeps the DP tables alive.
-      thread_local HomomorphismScratch scratch;
+      // minimization loops); a pooled scratch keeps the DP tables alive
+      // across calls while scoping their retention — and their tracked-byte
+      // charge — to this context rather than to the thread.
+      auto scratch = ctx->scratch().Acquire<HomomorphismScratch>();
+      if (!scratch->ChargeTables(qn, p, &ctx->budget())) {
+        MarkExhausted(&result, ctx);
+        return result;
+      }
       result.contained =
-          HomomorphismExists(qn, p, /*root_to_root=*/false, &scratch);
+          HomomorphismExists(qn, p, /*root_to_root=*/false, scratch.get());
       if (!result.contained) {
         std::vector<int32_t> ones(DescendantEdges(p).size(), 1);
         result.counterexample =
@@ -343,7 +349,7 @@ ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
                                 0, ctx->config().parallel_chunk)));
   const uint64_t max_parallel_total =
       static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) - chunk;
-  if (ctx->threads() > 1 && total.has_value() &&
+  if (!options.sequential_sweep && ctx->threads() > 1 && total.has_value() &&
       *total >= static_cast<uint64_t>(ctx->config().parallel_threshold) &&
       *total <= max_parallel_total) {
     return ParallelSweep(p, q, mode, bottom, num_edges, bound, *total, chunk,

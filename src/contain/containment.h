@@ -84,6 +84,11 @@ struct ContainmentOptions {
   /// invalidated columns; if false every model is built and evaluated from
   /// scratch (for A/B benchmarks and agreement tests).
   bool incremental = true;
+  /// If true, the canonical sweep never engages the thread pool even when
+  /// `ctx->threads() > 1`.  Callers that are *themselves* pool jobs (the
+  /// query service's batch fan-out) must set this: `ThreadPool::ParallelFor`
+  /// does not support reentrant submission from a worker.
+  bool sequential_sweep = false;
 };
 
 /// Decides L(p) ⊆ L(q) (weak or strong languages per `mode`) under the

@@ -11,19 +11,35 @@
 #ifndef TPC_CONTAIN_HOMOMORPHISM_H_
 #define TPC_CONTAIN_HOMOMORPHISM_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "engine/tracked.h"
 #include "pattern/tpq.h"
 
 namespace tpc {
 
 /// Reusable DP tables for `HomomorphismExists`.  Callers that decide many
-/// pairs in a loop (the Obs. 2.3 dispatcher fast path, minimization) keep
-/// one scratch alive so the check stops allocating per call; the buffers
-/// grow to the largest instance seen.  Not thread-safe: one per thread.
+/// pairs in a loop (the Obs. 2.3 dispatcher fast path, minimization) lease
+/// one from `EngineContext::scratch()` so the check stops allocating per
+/// call; the buffers grow to the largest instance seen.  Not thread-safe:
+/// one per worker (the scratch pool hands out disjoint instances).
 struct HomomorphismScratch {
   std::vector<char> sat;
   std::vector<char> below;
+  /// High-water accounting for the two q×p tables, attached to the budget of
+  /// whichever context leased this scratch.  The charge persists while the
+  /// scratch sits in the pool — mirroring the retained capacity — and is
+  /// released when the owning context dies.
+  TrackedBytes tracked;
+
+  /// Accounts the tables for a (q, p) instance against `budget` before
+  /// `HomomorphismExists` resizes them.  False means the memory budget
+  /// refused: the caller must not run the check.
+  bool ChargeTables(const Tpq& q, const Tpq& p, Budget* budget) {
+    tracked.Attach(budget);
+    return tracked.Reserve(2 * static_cast<int64_t>(q.size()) * p.size());
+  }
 };
 
 /// True iff there is a homomorphism from q into p.  If `root_to_root`, the

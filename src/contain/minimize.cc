@@ -24,11 +24,23 @@ Tpq RemoveSubtree(const Tpq& q, NodeId v) {
 }
 
 bool EquivalentTpq(const Tpq& p, const Tpq& q, Mode mode, LabelPool* pool) {
-  return Contains(p, q, mode, pool).contained &&
-         Contains(q, p, mode, pool).contained;
+  return EquivalentTpq(p, q, mode, pool, &EngineContext::Default());
+}
+
+bool EquivalentTpq(const Tpq& p, const Tpq& q, Mode mode, LabelPool* pool,
+                   EngineContext* ctx, const ContainmentOptions& options) {
+  ContainmentResult forward = Contains(p, q, mode, pool, ctx, options);
+  if (forward.outcome != Outcome::kDecided || !forward.contained) return false;
+  ContainmentResult backward = Contains(q, p, mode, pool, ctx, options);
+  return backward.outcome == Outcome::kDecided && backward.contained;
 }
 
 Tpq MinimizeTpq(const Tpq& q, Mode mode, LabelPool* pool) {
+  return MinimizeTpq(q, mode, pool, &EngineContext::Default());
+}
+
+Tpq MinimizeTpq(const Tpq& q, Mode mode, LabelPool* pool, EngineContext* ctx,
+                const ContainmentOptions& options) {
   Tpq current = q;
   bool changed = true;
   while (changed) {
@@ -36,9 +48,14 @@ Tpq MinimizeTpq(const Tpq& q, Mode mode, LabelPool* pool) {
     // Try removing each non-root subtree, preferring deeper (smaller) cuts
     // last so that single pass removals stay large.
     for (NodeId v = 1; v < current.size(); ++v) {
+      if (ctx->budget().Exhausted()) return current;
       Tpq candidate = RemoveSubtree(current, v);
-      // Removal weakens the pattern, so equivalence only needs one side.
-      if (Contains(candidate, current, mode, pool).contained) {
+      // Removal weakens the pattern, so equivalence only needs one side —
+      // and the removal is committed only on a *decided* yes: a budget-
+      // exhausted subcall keeps the subtree, preserving equivalence.
+      ContainmentResult sub = Contains(candidate, current, mode, pool, ctx,
+                                       options);
+      if (sub.outcome == Outcome::kDecided && sub.contained) {
         current = std::move(candidate);
         changed = true;
         break;

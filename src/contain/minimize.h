@@ -23,8 +23,21 @@ Tpq RemoveSubtree(const Tpq& q, NodeId v);
 /// preserving L_s/L_w per `mode`.  The result is equivalent to `q`.
 Tpq MinimizeTpq(const Tpq& q, Mode mode, LabelPool* pool);
 
+/// As above, under the budget of `ctx`.  A removal is committed only when
+/// the containment subcall *decided* it was redundant, so the result is
+/// equivalent to `q` even when the budget runs out mid-way (check
+/// `ctx->budget().Exhausted()` to learn whether minimization was complete —
+/// an exhausted run may simply return a less-minimized equivalent).
+Tpq MinimizeTpq(const Tpq& q, Mode mode, LabelPool* pool, EngineContext* ctx,
+                const ContainmentOptions& options = {});
+
 /// True iff p and q are equivalent (mutual containment) under `mode`.
 bool EquivalentTpq(const Tpq& p, const Tpq& q, Mode mode, LabelPool* pool);
+
+/// As above, under the budget of `ctx`.  Conservatively false when either
+/// direction exhausts the budget (check `ctx->budget().Exhausted()`).
+bool EquivalentTpq(const Tpq& p, const Tpq& q, Mode mode, LabelPool* pool,
+                   EngineContext* ctx, const ContainmentOptions& options = {});
 
 }  // namespace tpc
 

@@ -28,6 +28,7 @@
 
 #include "engine/budget.h"
 #include "engine/fault_injection.h"
+#include "engine/scratch.h"
 #include "engine/stats.h"
 #include "engine/thread_pool.h"
 
@@ -87,6 +88,13 @@ class EngineContext {
   /// The worker pool, created lazily on first use.
   ThreadPool& pool();
 
+  /// The context's reusable-scratch pool (homomorphism tables, matcher
+  /// workspaces).  Scratch leased here lives at most as long as the context,
+  /// so long-lived service threads do not pin peak-sized buffers forever the
+  /// way a function-local `thread_local` would, and `TrackedBytes` members
+  /// of pooled scratch stay attached to this context's budget.
+  ScratchPool& scratch() { return scratch_; }
+
   /// Re-arms the step/deadline/memory limits from now, zeroes the
   /// step/byte counters and clears exhaustion and any pending cancellation
   /// (counters in `stats()` are left to accumulate; call `stats().Reset()`
@@ -123,6 +131,9 @@ class EngineContext {
  private:
   EngineConfig config_;
   Budget budget_;
+  // Declared after budget_: pooled scratch may hold TrackedBytes attached to
+  // the budget, and members are destroyed in reverse declaration order.
+  ScratchPool scratch_;
   EngineStats stats_;
   std::unique_ptr<FaultInjector> injector_;
   std::once_flag pool_once_;

@@ -1,0 +1,110 @@
+// A type-erased pool of reusable scratch objects, owned by an
+// `EngineContext`.
+//
+// Decision procedures above the engine layer (contain/, match/, service/)
+// keep allocation-heavy scratch — homomorphism DP tables, matcher
+// workspaces — alive across calls.  A function-local `thread_local` does
+// that too, but it pins peak-sized buffers for the *thread's* lifetime,
+// which is wrong for long-lived service threads (one adversarial instance
+// inflates every later request's footprint, invisibly to the tracked-memory
+// accounting).  A context-owned pool scopes the retention to the context:
+// scratch leased here dies with the context, and any `TrackedBytes` inside
+// the scratch can stay attached to the context's budget for its whole
+// pooled life.
+//
+// The pool is keyed by the scratch type; `Acquire<T>()` hands out a free
+// instance (or default-constructs one) and the returned lease gives it back
+// on destruction.  Thread-safe: concurrent batch workers lease disjoint
+// instances.
+
+#ifndef TPC_ENGINE_SCRATCH_H_
+#define TPC_ENGINE_SCRATCH_H_
+
+#include <memory>
+#include <mutex>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tpc {
+
+class ScratchPool {
+ public:
+  ScratchPool() = default;
+
+  ScratchPool(const ScratchPool&) = delete;
+  ScratchPool& operator=(const ScratchPool&) = delete;
+
+  /// Move-only handle to a leased scratch object; returns it to the pool on
+  /// destruction.
+  template <typename T>
+  class Lease {
+   public:
+    Lease(ScratchPool* pool, std::unique_ptr<T> object)
+        : pool_(pool), object_(std::move(object)) {}
+
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), object_(std::move(other.object_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      Surrender();
+      pool_ = other.pool_;
+      object_ = std::move(other.object_);
+      return *this;
+    }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    ~Lease() { Surrender(); }
+
+    T* get() const { return object_.get(); }
+    T* operator->() const { return object_.get(); }
+    T& operator*() const { return *object_; }
+
+   private:
+    void Surrender() {
+      if (object_ == nullptr) return;
+      pool_->Return(std::type_index(typeid(T)),
+                    Erased(object_.release(), [](void* p) {
+                      delete static_cast<T*>(p);
+                    }));
+    }
+
+    ScratchPool* pool_;
+    std::unique_ptr<T> object_;
+  };
+
+  /// Leases a `T`, reusing a previously returned instance when one is free.
+  /// `T` must be default-constructible; reused instances keep whatever
+  /// capacity they grew on earlier leases (that is the point).
+  template <typename T>
+  Lease<T> Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = free_.find(std::type_index(typeid(T)));
+      if (it != free_.end() && !it->second.empty()) {
+        Erased erased = std::move(it->second.back());
+        it->second.pop_back();
+        return Lease<T>(this,
+                        std::unique_ptr<T>(static_cast<T*>(erased.release())));
+      }
+    }
+    return Lease<T>(this, std::make_unique<T>());
+  }
+
+ private:
+  using Erased = std::unique_ptr<void, void (*)(void*)>;
+
+  void Return(std::type_index type, Erased object) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_[type].push_back(std::move(object));
+  }
+
+  std::mutex mu_;
+  std::unordered_map<std::type_index, std::vector<Erased>> free_;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_ENGINE_SCRATCH_H_

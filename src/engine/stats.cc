@@ -23,6 +23,11 @@ void EngineStats::Reset() {
   unions_memoized.store(0, std::memory_order_relaxed);
   state_sets_interned.store(0, std::memory_order_relaxed);
   graph_dp_cells.store(0, std::memory_order_relaxed);
+  cache_hits.store(0, std::memory_order_relaxed);
+  cache_evictions.store(0, std::memory_order_relaxed);
+  prefilter_accepts.store(0, std::memory_order_relaxed);
+  prefilter_refutes.store(0, std::memory_order_relaxed);
+  batch_deduped.store(0, std::memory_order_relaxed);
   for (auto& d : dispatch) d.store(0, std::memory_order_relaxed);
 }
 
@@ -80,6 +85,20 @@ std::string EngineStats::ToJson(const Budget& budget) const {
          ", ";
   out += field("graph_dp_cells",
                graph_dp_cells.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("cache_hits", cache_hits.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("cache_evictions",
+               cache_evictions.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("prefilter_accepts",
+               prefilter_accepts.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("prefilter_refutes",
+               prefilter_refutes.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("batch_deduped",
+               batch_deduped.load(std::memory_order_relaxed)) +
          ", ";
   out += "\"dispatch\": {";
   for (int i = 0; i < kNumDispatchAlgorithms; ++i) {

@@ -57,6 +57,21 @@ struct EngineStats {
   // Graph semantics (src/graphdb).
   std::atomic<int64_t> graph_dp_cells{0};
 
+  // Query-service fast path (src/service).
+  /// Requests answered from the verdict cache (after witness replay
+  /// validation for refutations).
+  std::atomic<int64_t> cache_hits{0};
+  /// Verdict-cache entries evicted under the cache's byte budget.
+  std::atomic<int64_t> cache_evictions{0};
+  /// Requests accepted early by the sound q -> p homomorphism prefilter.
+  std::atomic<int64_t> prefilter_accepts{0};
+  /// Requests refuted early by a canonical-model probe (all-ones vector or
+  /// a recycled counterexample length vector).
+  std::atomic<int64_t> prefilter_refutes{0};
+  /// Batch requests answered by another request in the same batch (same
+  /// canonical pattern pair and mode).
+  std::atomic<int64_t> batch_deduped{0};
+
   // Dispatcher choices, indexed by `ContainmentAlgorithm`.
   std::atomic<int64_t> dispatch[kNumDispatchAlgorithms]{};
 

@@ -64,6 +64,23 @@ class TrackedBytes {
     return Charge(total - peak);
   }
 
+  /// Returns `n` of the charged bytes early (an evicted cache entry, a
+  /// shrunk table), clamped to the amount currently charged.  Does not lower
+  /// the `Reserve` high-water mark — mixing `Reserve` and `Release` on one
+  /// shim double-counts; consumers use either the high-water protocol or the
+  /// charge/release protocol, not both.
+  void Release(int64_t n) {
+    if (n <= 0) return;
+    int64_t current = charged_.load(std::memory_order_relaxed);
+    int64_t take;
+    do {
+      take = current < n ? current : n;
+    } while (take > 0 && !charged_.compare_exchange_weak(
+                             current, current - take,
+                             std::memory_order_relaxed));
+    if (take > 0 && budget_ != nullptr) budget_->ReleaseBytes(take);
+  }
+
   int64_t charged() const { return charged_.load(std::memory_order_relaxed); }
 
   /// Returns everything charged so far (idempotent; also run by the

@@ -1,0 +1,54 @@
+#include "pattern/tpq_hash.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace tpc {
+namespace {
+
+/// splitmix64 finalizer: a cheap full-avalanche mix.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent fold (applied to child digests only after sorting them).
+uint64_t Fold(uint64_t h, uint64_t v) {
+  return Mix(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+// Domain-separation tags so a label can never be confused with a child
+// digest or an edge kind.
+constexpr uint64_t kNodeTag = 0x746e70635f6e6f64ULL;
+constexpr uint64_t kChildEdgeTag = 0x2f;
+constexpr uint64_t kDescendantEdgeTag = 0x2f2f;
+
+}  // namespace
+
+uint64_t CanonicalTpqHash(const Tpq& q) {
+  if (q.empty()) return 0;
+  const int32_t n = q.size();
+  std::vector<uint64_t> digest(n);
+  std::vector<uint64_t> child_digests;
+  // Children have larger ids than their parent, so a reverse id scan is a
+  // bottom-up traversal.
+  for (NodeId v = n - 1; v >= 0; --v) {
+    child_digests.clear();
+    for (NodeId c = q.FirstChild(v); c != kNoNode; c = q.NextSibling(c)) {
+      const uint64_t edge_tag = q.Edge(c) == EdgeKind::kChild
+                                    ? kChildEdgeTag
+                                    : kDescendantEdgeTag;
+      child_digests.push_back(Mix(digest[c] ^ Mix(edge_tag)));
+    }
+    std::sort(child_digests.begin(), child_digests.end());
+    uint64_t h = Mix(kNodeTag ^ static_cast<uint64_t>(q.Label(v)));
+    h = Fold(h, static_cast<uint64_t>(child_digests.size()));
+    for (uint64_t c : child_digests) h = Fold(h, c);
+    digest[v] = h;
+  }
+  return digest[0];
+}
+
+}  // namespace tpc

@@ -1,0 +1,34 @@
+// Canonical structural hashing of tree pattern queries.
+//
+// Tree pattern semantics never constrain sibling order (an embedding maps
+// each pattern child independently — Definition 2.1), so two patterns that
+// differ only in the order of siblings denote the same language.  The
+// canonical hash makes such patterns collide on purpose: it is computed
+// bottom-up over interned labels and edge kinds with every node's child
+// digests sorted before mixing.  The query service hashes *minimized*
+// patterns (contain/minimize.h), so queries that are equivalent via
+// redundant-subtree removal collide too.
+//
+// Hashes are relative to a `LabelPool`: two patterns hash equal only if
+// their labels were interned in pools assigning the same ids (the service
+// keys one cache per pool).  Equal hashes do not *prove* structural
+// equality — consumers that must be sound against collisions revalidate
+// (the verdict cache replays refutation witnesses; see DESIGN.md).
+
+#ifndef TPC_PATTERN_TPQ_HASH_H_
+#define TPC_PATTERN_TPQ_HASH_H_
+
+#include <cstdint>
+
+#include "pattern/tpq.h"
+
+namespace tpc {
+
+/// Child-order-canonicalized structural hash of `q` (0 for the empty
+/// pattern).  Invariant under sibling permutation; sensitive to labels,
+/// wildcards, edge kinds and tree shape.
+uint64_t CanonicalTpqHash(const Tpq& q);
+
+}  // namespace tpc
+
+#endif  // TPC_PATTERN_TPQ_HASH_H_

@@ -1,0 +1,333 @@
+#include "service/query_service.h"
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+#include "contain/homomorphism.h"
+#include "contain/minimize.h"
+#include "match/embedding.h"
+#include "pattern/canonical.h"
+#include "pattern/tpq_hash.h"
+
+namespace tpc {
+namespace {
+
+ContainmentResult ExhaustedResult(EngineContext* ctx) {
+  ContainmentResult result;
+  result.outcome = Outcome::kResourceExhausted;
+  const ExhaustionReason r = ctx->budget().reason();
+  result.reason = r == ExhaustionReason::kNone ? ExhaustionReason::kSteps : r;
+  return result;
+}
+
+}  // namespace
+
+QueryService::QueryService(LabelPool* pool, EngineContext* ctx,
+                           const ServiceOptions& options)
+    : pool_(pool),
+      ctx_(ctx),
+      options_(options),
+      cache_(options.cache_shards, options.cache_bytes, &ctx->budget(),
+             &VerdictEntryCost) {
+  // All tracked shims release into ctx's budget on destruction, so the
+  // service must not outlive its context.
+  memo_tracked_.Attach(&ctx->budget());
+  probe_tracked_.Attach(&ctx->budget());
+}
+
+std::shared_ptr<const QueryService::MinimizedEntry> QueryService::Minimized(
+    const Tpq& pattern, Mode mode, const ContainmentOptions& options) {
+  // The memo key is the raw canonical hash (mode-salted: minimization under
+  // weak and strong may differ).  Like the verdict cache's "contained"
+  // entries, hits are trusted on the 64-bit hash; see DESIGN.md.
+  const uint64_t memo_key =
+      CanonicalTpqHash(pattern) ^
+      (mode == Mode::kStrong ? 0x94d049bb133111ebULL : 0);
+  {
+    std::lock_guard<std::mutex> lock(minimize_mu_);
+    auto it = minimize_memo_.find(memo_key);
+    if (it != minimize_memo_.end()) return it->second;
+  }
+  auto entry = std::make_shared<MinimizedEntry>();
+  entry->pattern = MinimizeTpq(pattern, mode, pool_, ctx_, options);
+  entry->hash = CanonicalTpqHash(entry->pattern);
+  // A budget-exhausted minimization is equivalent but possibly incomplete;
+  // keep it out of the memo so a later, funded request re-minimizes.
+  if (!ctx_->budget().Exhausted()) {
+    const int64_t bytes =
+        96 + static_cast<int64_t>(entry->pattern.size()) * 32;
+    std::lock_guard<std::mutex> lock(minimize_mu_);
+    auto it = minimize_memo_.find(memo_key);
+    if (it != minimize_memo_.end()) return it->second;
+    if (memo_tracked_.Charge(bytes)) {
+      minimize_memo_.emplace(memo_key, entry);
+    } else {
+      memo_tracked_.Release(bytes);
+    }
+  }
+  return entry;
+}
+
+std::vector<std::vector<int32_t>> QueryService::ProbesFor(
+    const ProbeKey& key) {
+  std::lock_guard<std::mutex> lock(probe_mu_);
+  auto it = probe_book_.find(key);
+  if (it == probe_book_.end()) return {};
+  return it->second;
+}
+
+void QueryService::RecordProbe(const ProbeKey& key,
+                               const std::vector<int32_t>& lengths) {
+  const int64_t bytes =
+      48 + static_cast<int64_t>(lengths.size()) * sizeof(int32_t);
+  std::lock_guard<std::mutex> lock(probe_mu_);
+  if (!probe_tracked_.Charge(bytes)) {
+    probe_tracked_.Release(bytes);
+    return;
+  }
+  auto& recorded = probe_book_[key];
+  for (const auto& existing : recorded) {
+    if (existing == lengths) {
+      probe_tracked_.Release(bytes);
+      return;
+    }
+  }
+  recorded.insert(recorded.begin(), lengths);
+  if (recorded.size() > options_.probe_pool_limit) {
+    probe_tracked_.Release(
+        48 + static_cast<int64_t>(recorded.back().size()) * sizeof(int32_t));
+    recorded.pop_back();
+  }
+}
+
+ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
+                                          Mode mode, bool in_worker) {
+  ContainmentOptions options = options_.containment;
+  if (in_worker) options.sequential_sweep = true;
+  EngineStats& stats = ctx_->stats();
+
+  std::shared_ptr<const MinimizedEntry> pm, qm;
+  const Tpq* pp = &p;
+  const Tpq* qq = &q;
+  VerdictKey key;
+  bool have_key = false;
+  uint64_t q_probe_hash = 0;
+  bool have_probe_hash = false;
+  if (options_.use_cache) {
+    pm = Minimized(p, mode, options);
+    qm = Minimized(q, mode, options);
+    pp = &pm->pattern;
+    qq = &qm->pattern;
+    key = VerdictKey{pm->hash, qm->hash, mode, options.bound};
+    have_key = true;
+    q_probe_hash = qm->hash;
+    have_probe_hash = true;
+  } else if (options_.use_prefilters) {
+    // No cache layer: the probe book still wants a q identity.
+    q_probe_hash = CanonicalTpqHash(q);
+    have_probe_hash = true;
+  }
+
+  if (have_key) {
+    if (std::optional<VerdictEntry> hit = cache_.Get(key)) {
+      if (hit->contained || !hit->counterexample_lengths.has_value()) {
+        // Positive (and witness-less negative) verdicts are served on hash
+        // trust alone; see the soundness discussion in verdict_cache.h.
+        stats.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        ContainmentResult result;
+        result.contained = hit->contained;
+        result.algorithm = hit->algorithm;
+        return result;
+      }
+      std::vector<int32_t> lengths = *hit->counterexample_lengths;
+      lengths.resize(DescendantEdges(*pp).size(), 1);
+      std::optional<Tree> replay =
+          ReplayRefutation(*pp, *qq, mode, lengths, pool_, ctx_);
+      if (replay.has_value()) {
+        stats.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        ContainmentResult result;
+        result.contained = false;
+        result.counterexample = std::move(*replay);
+        result.counterexample_lengths = std::move(lengths);
+        result.algorithm = hit->algorithm;
+        return result;
+      }
+      if (ctx_->budget().Exhausted()) return ExhaustedResult(ctx_);
+      // The cached witness did not transfer (key collision); fall through
+      // to the live pipeline.
+    }
+  }
+
+  if (options_.use_prefilters && !ctx_->budget().Exhausted()) {
+    // Accept filter: a homomorphism q -> p witnesses containment in every
+    // fragment (root-to-root for the strong flavour), skipping the general
+    // route for the contained majority of repeated workloads.
+    bool budget_ok = ctx_->budget().Charge(static_cast<int64_t>(qq->size()) *
+                                           pp->size());
+    if (budget_ok) {
+      stats.homomorphism_checks.fetch_add(1, std::memory_order_relaxed);
+      auto scratch = ctx_->scratch().Acquire<HomomorphismScratch>();
+      budget_ok = scratch->ChargeTables(*qq, *pp, &ctx_->budget());
+      if (budget_ok &&
+          HomomorphismExists(*qq, *pp, /*root_to_root=*/mode == Mode::kStrong,
+                             scratch.get())) {
+        stats.prefilter_accepts.fetch_add(1, std::memory_order_relaxed);
+        ContainmentResult result;
+        result.contained = true;
+        result.algorithm = ContainmentAlgorithm::kHomomorphism;
+        if (have_key) {
+          VerdictEntry entry;
+          entry.contained = true;
+          entry.algorithm = result.algorithm;
+          stats.cache_evictions.fetch_add(cache_.Put(key, std::move(entry)),
+                                          std::memory_order_relaxed);
+        }
+        return result;
+      }
+    }
+    if (budget_ok) {
+      // Refute filter: every canonical tree of p is in L_w(p) and L_s(p),
+      // so q failing to match one refutes containment outright.  Probe the
+      // two cheap extremes plus length vectors that refuted this q before.
+      const size_t num_edges = DescendantEdges(*pp).size();
+      std::vector<std::vector<int32_t>> probes;
+      probes.emplace_back(num_edges, 0);
+      probes.emplace_back(num_edges, 1);
+      if (have_probe_hash) {
+        for (std::vector<int32_t>& recorded :
+             ProbesFor(ProbeKey{q_probe_hash, mode})) {
+          recorded.resize(num_edges, 1);
+          probes.push_back(std::move(recorded));
+        }
+      }
+      auto ws = ctx_->scratch().Acquire<MatcherWorkspace>();
+      for (std::vector<int32_t>& lengths : probes) {
+        Tree t = CanonicalTree(*pp, lengths, pool_->Fresh("_bot"));
+        stats.canonical_trees_enumerated.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        if (!ctx_->budget().Charge(
+                1 + static_cast<int64_t>(qq->size()) * t.size()) ||
+            !ws->ChargeTables(*qq, t, &ctx_->budget())) {
+          budget_ok = false;
+          break;
+        }
+        ws->EvalFull(*qq, t, &stats);
+        const bool matches =
+            mode == Mode::kStrong ? ws->MatchesStrong() : ws->MatchesWeak();
+        if (!matches) {
+          stats.prefilter_refutes.fetch_add(1, std::memory_order_relaxed);
+          ContainmentResult result;
+          result.contained = false;
+          result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
+          result.counterexample = std::move(t);
+          result.counterexample_lengths = lengths;
+          if (have_probe_hash) {
+            RecordProbe(ProbeKey{q_probe_hash, mode}, lengths);
+          }
+          if (have_key) {
+            VerdictEntry entry;
+            entry.contained = false;
+            entry.algorithm = result.algorithm;
+            entry.counterexample_lengths = std::move(lengths);
+            stats.cache_evictions.fetch_add(cache_.Put(key, std::move(entry)),
+                                            std::memory_order_relaxed);
+          }
+          return result;
+        }
+      }
+    }
+    if (!budget_ok) return ExhaustedResult(ctx_);
+  }
+
+  ContainmentResult result = tpc::Contains(*pp, *qq, mode, pool_, ctx_,
+                                           options);
+  if (result.outcome == Outcome::kDecided) {
+    if (result.counterexample_lengths.has_value() && have_probe_hash) {
+      RecordProbe(ProbeKey{q_probe_hash, mode},
+                  *result.counterexample_lengths);
+    }
+    if (have_key) {
+      VerdictEntry entry;
+      entry.contained = result.contained;
+      entry.algorithm = result.algorithm;
+      entry.counterexample_lengths = result.counterexample_lengths;
+      stats.cache_evictions.fetch_add(cache_.Put(key, std::move(entry)),
+                                      std::memory_order_relaxed);
+    }
+  }
+  // Exhausted results are deliberately never cached: a partial sweep's
+  // verdict is not a verdict.
+  return result;
+}
+
+ContainmentResult QueryService::Contains(const Tpq& p, const Tpq& q,
+                                         Mode mode) {
+  return DecideOne(p, q, mode, /*in_worker=*/false);
+}
+
+std::vector<ContainmentResult> QueryService::ContainsBatch(
+    const std::vector<BatchItem>& items) {
+  std::vector<ContainmentResult> results(items.size());
+  if (items.empty()) return results;
+
+  // Fold exact repeats before any real work: zipf-style workloads repeat
+  // pairs verbatim, and one decision serves every copy.  (Dedup is by raw
+  // canonical hash — the same 64-bit trust as the cache key; minimization-
+  // equivalent variants are folded later by the verdict cache instead.)
+  struct DedupKey {
+    uint64_t p_hash;
+    uint64_t q_hash;
+    Mode mode;
+    bool operator==(const DedupKey& o) const {
+      return p_hash == o.p_hash && q_hash == o.q_hash && mode == o.mode;
+    }
+  };
+  struct DedupKeyHash {
+    size_t operator()(const DedupKey& k) const {
+      uint64_t h = k.p_hash * 0x9e3779b97f4a7c15ULL;
+      h ^= k.q_hash + (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(k.mode);
+      return static_cast<size_t>(h * 0xbf58476d1ce4e5b9ULL);
+    }
+  };
+  std::unordered_map<DedupKey, size_t, DedupKeyHash> slot_of;
+  std::vector<size_t> representative;  // unique slot -> item index
+  std::vector<size_t> owner(items.size());
+  int64_t folded = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    DedupKey k{CanonicalTpqHash(items[i].p), CanonicalTpqHash(items[i].q),
+               items[i].mode};
+    auto [it, inserted] = slot_of.emplace(k, representative.size());
+    if (inserted) {
+      representative.push_back(i);
+    } else {
+      ++folded;
+    }
+    owner[i] = it->second;
+  }
+  ctx_->stats().batch_deduped.fetch_add(folded, std::memory_order_relaxed);
+
+  std::vector<ContainmentResult> unique_results(representative.size());
+  if (ctx_->threads() > 1 && representative.size() > 1) {
+    // Workers force sequential sweeps: ParallelFor must not reenter.
+    ctx_->pool().ParallelFor(
+        static_cast<int64_t>(representative.size()), [&](int64_t u) {
+          const BatchItem& item = items[representative[static_cast<size_t>(u)]];
+          unique_results[static_cast<size_t>(u)] =
+              DecideOne(item.p, item.q, item.mode, /*in_worker=*/true);
+        });
+  } else {
+    for (size_t u = 0; u < representative.size(); ++u) {
+      const BatchItem& item = items[representative[u]];
+      unique_results[u] = DecideOne(item.p, item.q, item.mode,
+                                    /*in_worker=*/false);
+    }
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    results[i] = unique_results[owner[i]];
+  }
+  return results;
+}
+
+}  // namespace tpc

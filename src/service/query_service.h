@@ -1,0 +1,152 @@
+// The query-service fast path: a workload-level accelerator in front of the
+// containment dispatcher (contain/containment.h).
+//
+// Real containment workloads repeat themselves — the same handful of
+// patterns arrive again and again, syntactically varied — while the
+// dispatcher prices every call as if it were novel (the general route is
+// coNP).  The service exploits the repetition in four layers, each of which
+// can be switched off for A/B runs:
+//
+//   1. *Canonical hashing* (pattern/tpq_hash.h): both patterns are
+//      minimized (contain/minimize.h, memoized per raw hash) and hashed
+//      bottom-up with sorted child digests, so child-order permutations and
+//      redundant-subtree variants of one query collide on purpose.
+//   2. *Verdict cache* (service/verdict_cache.h): a sharded, byte-bounded
+//      LRU from (p_hash, q_hash, mode, bound) to the verdict plus the
+//      counterexample length certificate.  Refutation hits are replayed
+//      against the actual pair before being served; results computed under
+//      an exhausted budget are never stored.
+//   3. *Prefilter cascade*: a homomorphism q → p accepts containment early
+//      (sound in every fragment, Miklau & Suciu), and a small set of probe
+//      canonical models — the minimal tree, the all-ones tree, and
+//      previously successful counterexample vectors pooled per q-hash —
+//      refutes early, both long before the exponential sweep.
+//   4. *Batching*: `ContainsBatch` folds exact duplicates (one decision
+//      serves all copies) and fans the residue out over the context's
+//      thread pool, with each worker forced onto sequential sweeps
+//      (`ContainmentOptions::sequential_sweep`) because `ParallelFor` does
+//      not reenter.
+//
+// Every accepted/refuted/cached shortcut is sound — DESIGN.md ("Query
+// service fast path") gives the argument per layer — so verdicts are
+// identical to the uncached dispatcher's on decided instances.
+
+#ifndef TPC_SERVICE_QUERY_SERVICE_H_
+#define TPC_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/label.h"
+#include "contain/containment.h"
+#include "engine/engine.h"
+#include "pattern/tpq.h"
+#include "service/verdict_cache.h"
+
+namespace tpc {
+
+/// Construction-time knobs of a `QueryService`.
+struct ServiceOptions {
+  /// Minimize + hash + verdict-cache layer (switch off for A/B runs; also
+  /// skips minimization, so cold numbers stay honest).
+  bool use_cache = true;
+  /// Homomorphism-accept and probe-refute layer.
+  bool use_prefilters = true;
+  /// Shards of the verdict cache (contention knob, not capacity).
+  size_t cache_shards = 8;
+  /// Byte bound of the verdict cache, accounted against the context budget.
+  int64_t cache_bytes = 4 << 20;
+  /// Max remembered counterexample length vectors per (q-hash, mode).
+  size_t probe_pool_limit = 4;
+  /// Options forwarded to the underlying dispatcher (bound is part of the
+  /// cache key).
+  ContainmentOptions containment;
+};
+
+/// A long-lived containment front end over one `LabelPool` + `EngineContext`
+/// pair.  Thread-compatible from outside (callers serialize `Contains` /
+/// `ContainsBatch` per service); internally `ContainsBatch` runs its own
+/// workers, and all shared state (cache, memo, probe book, label pool) is
+/// synchronized for them.
+class QueryService {
+ public:
+  QueryService(LabelPool* pool, EngineContext* ctx,
+               const ServiceOptions& options = {});
+
+  struct BatchItem {
+    Tpq p;
+    Tpq q;
+    Mode mode = Mode::kWeak;
+  };
+
+  /// Decides L(p) ⊆ L(q) through the fast path.  Verdict-equivalent to
+  /// `tpc::Contains(p, q, mode, pool, ctx, options.containment)` whenever
+  /// that call decides.
+  ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode);
+
+  /// Decides every item: folds exact duplicates (counted in
+  /// `EngineStats::batch_deduped`) and fans unique items out over the
+  /// context's thread pool when `ctx->threads() > 1`.  Results are in item
+  /// order; duplicates share the representative's verdict (and a copy of
+  /// its counterexample).
+  std::vector<ContainmentResult> ContainsBatch(
+      const std::vector<BatchItem>& items);
+
+  const ServiceOptions& options() const { return options_; }
+  EngineContext* context() { return ctx_; }
+
+ private:
+  struct MinimizedEntry {
+    Tpq pattern;
+    uint64_t hash = 0;  // canonical hash of `pattern`
+  };
+  struct ProbeKey {
+    uint64_t q_hash = 0;
+    Mode mode = Mode::kWeak;
+    bool operator==(const ProbeKey& o) const {
+      return q_hash == o.q_hash && mode == o.mode;
+    }
+  };
+  struct ProbeKeyHash {
+    size_t operator()(const ProbeKey& k) const {
+      return static_cast<size_t>(
+          (k.q_hash ^ (static_cast<uint64_t>(k.mode) << 63)) *
+          0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  /// Minimizes `pattern` under `mode` and hashes the result, memoized on
+  /// the raw canonical hash.  Budget-exhausted minimizations are returned
+  /// (still equivalent — see MinimizeTpq) but not memoized.
+  std::shared_ptr<const MinimizedEntry> Minimized(
+      const Tpq& pattern, Mode mode, const ContainmentOptions& options);
+
+  /// The full per-pair pipeline; `in_worker` forces sequential sweeps.
+  ContainmentResult DecideOne(const Tpq& p, const Tpq& q, Mode mode,
+                              bool in_worker);
+
+  std::vector<std::vector<int32_t>> ProbesFor(const ProbeKey& key);
+  void RecordProbe(const ProbeKey& key, const std::vector<int32_t>& lengths);
+
+  LabelPool* pool_;
+  EngineContext* ctx_;
+  ServiceOptions options_;
+  VerdictLruCache cache_;
+
+  std::mutex minimize_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const MinimizedEntry>>
+      minimize_memo_;
+  TrackedBytes memo_tracked_;
+
+  std::mutex probe_mu_;
+  std::unordered_map<ProbeKey, std::vector<std::vector<int32_t>>, ProbeKeyHash>
+      probe_book_;
+  TrackedBytes probe_tracked_;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_SERVICE_QUERY_SERVICE_H_

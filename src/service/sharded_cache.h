@@ -1,0 +1,134 @@
+// A sharded, bounded, thread-safe LRU map for the query service.
+//
+// The verdict cache sits on the hot path of every service request and is
+// written from every batch worker, so a single global lock would serialize
+// exactly the workload the service exists to parallelize.  Keys are spread
+// over `num_shards` independent shards (hash-selected), each with its own
+// mutex, recency list and index; contention is limited to genuinely
+// colliding shards.
+//
+// Memory is bounded per shard (total budget / num_shards) and accounted
+// through a per-shard `TrackedBytes` attached to the owning context's
+// budget, so cache growth shows up in `--stats` byte counters like every
+// other allocator in this library and participates in the context memory
+// limit.  Inserting past the bound evicts least-recently-used entries.
+
+#ifndef TPC_SERVICE_SHARDED_CACHE_H_
+#define TPC_SERVICE_SHARDED_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/tracked.h"
+
+namespace tpc {
+
+template <typename Key, typename Value, typename KeyHash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// `cost(key, value)` estimates an entry's resident bytes (charged on
+  /// insert, released on evict/replace).  `budget` may be null (bytes are
+  /// still bounded, just not reported).
+  ShardedLruCache(size_t num_shards, int64_t max_bytes, Budget* budget,
+                  std::function<int64_t(const Key&, const Value&)> cost)
+      : cost_(std::move(cost)),
+        shard_bytes_limit_(max_bytes /
+                           static_cast<int64_t>(num_shards < 1 ? 1 : num_shards)) {
+    shards_.reserve(num_shards < 1 ? 1 : num_shards);
+    for (size_t i = 0; i < (num_shards < 1 ? 1 : num_shards); ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+      shards_.back()->tracked.Attach(budget);
+    }
+  }
+
+  /// Returns a copy of the value and bumps its recency, or nullopt.
+  std::optional<Value> Get(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return std::nullopt;
+    shard.entries.splice(shard.entries.begin(), shard.entries, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, evicting LRU entries while the shard is
+  /// over budget.  Returns the number of evictions (for
+  /// `EngineStats::cache_evictions`).  When the context memory budget
+  /// refuses the entry's bytes, the entry is not inserted (the cache is an
+  /// accelerator; under memory pressure it simply stops absorbing entries).
+  int64_t Put(const Key& key, Value value) {
+    const int64_t bytes = cost_(key, value);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.tracked.Release(it->second->bytes);
+      shard.bytes -= it->second->bytes;
+      shard.entries.erase(it->second);
+      shard.index.erase(it);
+    }
+    if (!shard.tracked.Charge(bytes)) {
+      // ChargeBytes keeps refused bytes charged (so RAII release stays
+      // balanced); hand them back explicitly since nothing was stored.
+      shard.tracked.Release(bytes);
+      return 0;
+    }
+    shard.entries.emplace_front(key, std::move(value));
+    shard.entries.front().bytes = bytes;
+    shard.index.emplace(key, shard.entries.begin());
+    shard.bytes += bytes;
+    int64_t evicted = 0;
+    while (shard.bytes > shard_bytes_limit_ && shard.entries.size() > 1) {
+      const Entry& victim = shard.entries.back();
+      shard.tracked.Release(victim.bytes);
+      shard.bytes -= victim.bytes;
+      shard.index.erase(victim.first);
+      shard.entries.pop_back();
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  /// Entry count over all shards (diagnostics/tests; O(shards)).
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      n += shard->index.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Entry : std::pair<Key, Value> {
+    using std::pair<Key, Value>::pair;
+    int64_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> entries;  // front = most recent
+    std::unordered_map<Key, typename std::list<Entry>::iterator, KeyHash>
+        index;
+    TrackedBytes tracked;
+    int64_t bytes = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[KeyHash{}(key) % shards_.size()];
+  }
+
+  std::function<int64_t(const Key&, const Value&)> cost_;
+  const int64_t shard_bytes_limit_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_SERVICE_SHARDED_CACHE_H_

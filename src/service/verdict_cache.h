@@ -1,0 +1,92 @@
+// Verdict cache for the query service: canonical-hash keys, cached
+// containment verdicts, and sound replay of cached refutation witnesses.
+//
+// A cache entry is keyed on the canonical hashes of the *minimized*
+// patterns (pattern/tpq_hash.h over contain/minimize.h output) plus the
+// mode and the canonical-model bound, so syntactically different but
+// equivalent-after-minimization queries share one entry.  Hash keys can
+// collide, so trust is asymmetric (see DESIGN.md, "Query service fast
+// path"):
+//
+//   * "not contained" entries carry the counterexample length vector and
+//     are *replayed* before being believed: the canonical tree those
+//     lengths induce on the actual minimized p is rebuilt and q is checked
+//     against it.  A successful replay is a proof — canonical trees of p
+//     are in both L_w(p) and L_s(p), so a q-mismatch refutes containment
+//     regardless of any hash collision.  A failed replay falls back to the
+//     full decision procedure.
+//   * "contained" entries (and the rare witness-less refutations from the
+//     recursive P routes) have no replayable certificate and are trusted on
+//     the 128 bits of combined key hash.
+//
+// Entries produced under an exhausted budget are never stored: a partial
+// sweep's verdict is meaningless and must not be served to later requests.
+
+#ifndef TPC_SERVICE_VERDICT_CACHE_H_
+#define TPC_SERVICE_VERDICT_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/label.h"
+#include "contain/containment.h"
+#include "pattern/tpq.h"
+#include "service/sharded_cache.h"
+
+namespace tpc {
+
+/// Cache key: canonical hashes of the minimized pair + decision parameters
+/// that change the answer surface (mode) or the procedure (bound).
+struct VerdictKey {
+  uint64_t p_hash = 0;
+  uint64_t q_hash = 0;
+  Mode mode = Mode::kWeak;
+  ContainmentOptions::Bound bound = ContainmentOptions::Bound::kSafe;
+
+  bool operator==(const VerdictKey& other) const {
+    return p_hash == other.p_hash && q_hash == other.q_hash &&
+           mode == other.mode && bound == other.bound;
+  }
+};
+
+struct VerdictKeyHash {
+  size_t operator()(const VerdictKey& k) const {
+    uint64_t h = k.p_hash * 0x9e3779b97f4a7c15ULL;
+    h ^= k.q_hash + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= (static_cast<uint64_t>(k.mode) << 1) ^
+         static_cast<uint64_t>(k.bound);
+    return static_cast<size_t>(h * 0xbf58476d1ce4e5b9ULL);
+  }
+};
+
+/// Cached outcome of a decided containment call.
+struct VerdictEntry {
+  bool contained = false;
+  ContainmentAlgorithm algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
+  /// Counterexample certificate (spine chain lengths) when the refuting
+  /// procedure produced one; refutations without it are served uncertified.
+  std::optional<std::vector<int32_t>> counterexample_lengths;
+};
+
+/// Approximate resident bytes of an entry (for the cache's byte bound).
+int64_t VerdictEntryCost(const VerdictKey& key, const VerdictEntry& entry);
+
+using VerdictLruCache =
+    ShardedLruCache<VerdictKey, VerdictEntry, VerdictKeyHash>;
+
+/// Replays a cached refutation against the *actual* minimized pair: builds
+/// the canonical tree of `p` induced by `lengths` (adapted to p's descendant
+/// edge count — padding with chains of length 1 — so even a collided entry
+/// yields a well-formed probe) and returns the rebuilt tree when `q` does
+/// not match it under `mode` — a sound counterexample.  Returns nullopt when
+/// q matches (the cached witness does not transfer; decide from scratch).
+/// Charges the tree and matcher table costs to `ctx`; nullopt on budget
+/// refusal too (check `ctx->budget().Exhausted()`).
+std::optional<Tree> ReplayRefutation(const Tpq& p, const Tpq& q, Mode mode,
+                                     std::vector<int32_t> lengths,
+                                     LabelPool* pool, EngineContext* ctx);
+
+}  // namespace tpc
+
+#endif  // TPC_SERVICE_VERDICT_CACHE_H_

@@ -1,0 +1,169 @@
+// Hardening for the minimization + canonical-hash layer the query service
+// keys its verdict cache on: minimization must be idempotent and preserve
+// exactly the language of the requested mode, and the canonical hash must
+// collapse child-order permutations (patterns are semantically unordered)
+// while separating genuinely different patterns.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "base/label.h"
+#include "contain/containment.h"
+#include "contain/minimize.h"
+#include "gen/random_instances.h"
+#include "pattern/tpq.h"
+#include "pattern/tpq_hash.h"
+
+namespace tpc {
+namespace {
+
+TEST(MinimizeHardeningTest, RemovesRedundantBranchAndIsIdempotent) {
+  LabelPool pool;
+  Tpq q(pool.Intern("a"));
+  NodeId b1 = q.AddChild(0, pool.Intern("b"), EdgeKind::kChild);
+  q.AddChild(b1, pool.Intern("c"), EdgeKind::kChild);
+  // A second bare b-branch is implied by the first (map both onto it).
+  q.AddChild(0, pool.Intern("b"), EdgeKind::kChild);
+  for (Mode mode : {Mode::kWeak, Mode::kStrong}) {
+    Tpq once = MinimizeTpq(q, mode, &pool);
+    EXPECT_EQ(once.size(), 3) << once.ToString(pool);
+    EXPECT_TRUE(EquivalentTpq(once, q, mode, &pool));
+    Tpq twice = MinimizeTpq(once, mode, &pool);
+    EXPECT_EQ(twice.ToString(pool), once.ToString(pool));
+    EXPECT_EQ(CanonicalTpqHash(twice), CanonicalTpqHash(once));
+  }
+}
+
+TEST(MinimizeHardeningTest, IdempotentOnRandomPatterns) {
+  LabelPool pool;
+  std::mt19937 rng(24680);
+  std::vector<LabelId> labels = MakeLabels(3, &pool);
+  for (int trial = 0; trial < 120; ++trial) {
+    RandomTpqOptions opts;
+    opts.labels = labels;
+    opts.fragment = fragments::kTpqFull;
+    opts.size = 3 + trial % 5;
+    Tpq q = RandomTpq(opts, &rng);
+    Mode mode = trial % 2 == 0 ? Mode::kWeak : Mode::kStrong;
+    Tpq once = MinimizeTpq(q, mode, &pool);
+    Tpq twice = MinimizeTpq(once, mode, &pool);
+    ASSERT_EQ(twice.ToString(pool), once.ToString(pool))
+        << "not idempotent on " << q.ToString(pool);
+    ASSERT_EQ(CanonicalTpqHash(twice), CanonicalTpqHash(once));
+  }
+}
+
+/// The containment subcalls that drive minimization must honour the mode:
+/// a[b] is weakly contained in b (any tree with an a-over-b has a b node)
+/// but not strongly (the roots differ).  A minimizer that ignored its mode
+/// argument would treat redundancy questions identically in both modes.
+TEST(MinimizeHardeningTest, ContainmentSubcallsAreModeSensitive) {
+  LabelPool pool;
+  Tpq p(pool.Intern("a"));
+  p.AddChild(0, pool.Intern("b"), EdgeKind::kChild);
+  Tpq q(pool.Intern("b"));
+  EXPECT_TRUE(Contains(p, q, Mode::kWeak, &pool).contained);
+  EXPECT_FALSE(Contains(p, q, Mode::kStrong, &pool).contained);
+}
+
+/// Each mode's minimization preserves exactly that mode's language.  (The
+/// result of a weak-mode run carries no guarantee for the strong language,
+/// which is why the service's minimize memo and cache keys are mode-salted.)
+TEST(MinimizeHardeningTest, PreservesTheRequestedLanguage) {
+  LabelPool pool;
+  std::mt19937 rng(13579);
+  std::vector<LabelId> labels = MakeLabels(3, &pool);
+  int shrunk = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    RandomTpqOptions opts;
+    opts.labels = labels;
+    opts.fragment = fragments::kTpqFull;
+    opts.size = 4 + trial % 4;
+    Tpq q = RandomTpq(opts, &rng);
+    Tpq min_weak = MinimizeTpq(q, Mode::kWeak, &pool);
+    Tpq min_strong = MinimizeTpq(q, Mode::kStrong, &pool);
+    ASSERT_TRUE(EquivalentTpq(min_weak, q, Mode::kWeak, &pool))
+        << q.ToString(pool) << " -> " << min_weak.ToString(pool);
+    ASSERT_TRUE(EquivalentTpq(min_strong, q, Mode::kStrong, &pool))
+        << q.ToString(pool) << " -> " << min_strong.ToString(pool);
+    if (min_weak.size() < q.size()) ++shrunk;
+  }
+  // The sample must actually exercise removals, not just no-ops.
+  EXPECT_GT(shrunk, 10);
+}
+
+TEST(MinimizeHardeningTest, HashInvariantUnderChildOrder) {
+  LabelPool pool;
+  const LabelId a = pool.Intern("a");
+  const LabelId b = pool.Intern("b");
+  const LabelId c = pool.Intern("c");
+
+  Tpq q1(a);  // a[b/d][//c]
+  NodeId q1b = q1.AddChild(0, b, EdgeKind::kChild);
+  q1.AddChild(q1b, pool.Intern("d"), EdgeKind::kChild);
+  q1.AddChild(0, c, EdgeKind::kDescendant);
+
+  Tpq q2(a);  // a[//c][b/d]: same children, opposite order
+  q2.AddChild(0, c, EdgeKind::kDescendant);
+  NodeId q2b = q2.AddChild(0, b, EdgeKind::kChild);
+  q2.AddChild(q2b, pool.Intern("d"), EdgeKind::kChild);
+
+  EXPECT_EQ(CanonicalTpqHash(q1), CanonicalTpqHash(q2));
+
+  // Sensitivity checks: edge kind, labels and wildcards must all matter.
+  Tpq q3(a);  // a[b/d][c] — the c-edge is a child edge now
+  NodeId q3b = q3.AddChild(0, b, EdgeKind::kChild);
+  q3.AddChild(q3b, pool.Intern("d"), EdgeKind::kChild);
+  q3.AddChild(0, c, EdgeKind::kChild);
+  EXPECT_NE(CanonicalTpqHash(q1), CanonicalTpqHash(q3));
+
+  Tpq q4(a);  // a[b/d][//*]
+  NodeId q4b = q4.AddChild(0, b, EdgeKind::kChild);
+  q4.AddChild(q4b, pool.Intern("d"), EdgeKind::kChild);
+  q4.AddChild(0, kWildcard, EdgeKind::kDescendant);
+  EXPECT_NE(CanonicalTpqHash(q1), CanonicalTpqHash(q4));
+}
+
+TEST(MinimizeHardeningTest, HashInvarianceOnRandomSiblingShuffles) {
+  LabelPool pool;
+  std::mt19937 rng(11111);
+  std::vector<LabelId> labels = MakeLabels(4, &pool);
+  int shuffled = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomTpqOptions opts;
+    opts.labels = labels;
+    opts.fragment = fragments::kTpqFull;
+    opts.size = 5 + trial % 4;
+    opts.branch_bias = 0.7;  // wide patterns, so sibling order exists
+    Tpq q = RandomTpq(opts, &rng);
+    // Rebuild q inserting every node's children in reverse order.
+    Tpq reversed(q.Label(0));
+    std::vector<NodeId> image(q.size(), kNoNode);
+    image[0] = 0;
+    std::vector<std::vector<NodeId>> children(q.size());
+    bool any_multi = false;
+    for (NodeId v = 0; v < q.size(); ++v) {
+      for (NodeId c = q.FirstChild(v); c != kNoNode; c = q.NextSibling(c)) {
+        children[v].push_back(c);
+      }
+      if (children[v].size() > 1) any_multi = true;
+    }
+    // BFS in original id order keeps parent images available.
+    for (NodeId v = 0; v < q.size(); ++v) {
+      for (auto it = children[v].rbegin(); it != children[v].rend(); ++it) {
+        image[*it] = reversed.AddChild(image[v], q.Label(*it), q.Edge(*it));
+      }
+    }
+    ASSERT_EQ(reversed.size(), q.size());
+    ASSERT_EQ(CanonicalTpqHash(reversed), CanonicalTpqHash(q))
+        << q.ToString(pool) << " vs " << reversed.ToString(pool);
+    if (any_multi) ++shuffled;
+  }
+  // The sample must contain genuinely permuted sibling lists.
+  EXPECT_GT(shuffled, 50);
+}
+
+}  // namespace
+}  // namespace tpc

@@ -1,0 +1,166 @@
+// Cached-vs-uncached agreement: the query service's verdicts must be
+// byte-identical to the plain dispatcher's on every decided instance, for
+// every combination of fast-path layers (cache × prefilters), thread count
+// (1/2/4) and cache temperature (each batch runs twice; the second pass is
+// served warm).  Counterexamples, wherever produced, must be genuine
+// members of L(p) \ L(q).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "base/label.h"
+#include "contain/containment.h"
+#include "engine/engine.h"
+#include "gen/random_instances.h"
+#include "match/embedding.h"
+#include "service/query_service.h"
+
+namespace tpc {
+namespace {
+
+struct ReferenceVerdict {
+  bool contained = false;
+};
+
+/// A random weakening of p — wildcard some labels, loosen some child edges
+/// to descendant, drop some branches.  Every weakening step only enlarges
+/// the language, so the pair (p, weakened p) is contained by construction
+/// in both modes; these seed the workload's positive verdicts (independent
+/// random pairs are almost always refuted).
+Tpq WeakenedCopy(const Tpq& p, std::mt19937* rng) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  Tpq q(coin(*rng) < 0.25 ? kWildcard : p.Label(0));
+  struct Frame {
+    NodeId src;
+    NodeId dst;
+  };
+  std::vector<Frame> stack = {{0, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    for (NodeId c = p.FirstChild(f.src); c != kNoNode; c = p.NextSibling(c)) {
+      if (coin(*rng) < 0.2) continue;  // drop the whole branch
+      LabelId label = coin(*rng) < 0.3 ? kWildcard : p.Label(c);
+      EdgeKind edge = coin(*rng) < 0.3 ? EdgeKind::kDescendant : p.Edge(c);
+      stack.push_back({c, q.AddChild(f.dst, label, edge)});
+    }
+  }
+  return q;
+}
+
+/// 320 full-fragment pairs with mixed modes: even trials pair independent
+/// random patterns (mostly refuted), odd trials pair p with a weakening of
+/// itself (always contained), and both halves cover both modes.
+std::vector<QueryService::BatchItem> MakeWorkload(LabelPool* pool) {
+  std::mt19937 rng(424242);
+  std::vector<LabelId> labels = MakeLabels(3, pool);
+  std::vector<QueryService::BatchItem> items;
+  for (int trial = 0; trial < 320; ++trial) {
+    RandomTpqOptions popts;
+    popts.labels = labels;
+    popts.fragment = fragments::kTpqFull;
+    popts.size = 3 + trial % 5;
+    QueryService::BatchItem item;
+    item.p = RandomTpq(popts, &rng);
+    if (trial % 2 == 1) {
+      item.q = WeakenedCopy(item.p, &rng);
+    } else {
+      RandomTpqOptions qopts = popts;
+      qopts.size = 3 + (trial / 5) % 5;
+      item.q = RandomTpq(qopts, &rng);
+    }
+    item.mode = trial % 4 <= 1 ? Mode::kStrong : Mode::kWeak;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+void CheckAgainstReference(const std::vector<QueryService::BatchItem>& items,
+                           const std::vector<ReferenceVerdict>& reference,
+                           const std::vector<ContainmentResult>& results,
+                           LabelPool* pool, const char* tag) {
+  ASSERT_EQ(results.size(), items.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ContainmentResult& r = results[i];
+    ASSERT_EQ(r.outcome, Outcome::kDecided) << tag << " item " << i;
+    ASSERT_EQ(r.contained, reference[i].contained)
+        << tag << " item " << i << ": "
+        << items[i].p.ToString(*pool) << " in " << items[i].q.ToString(*pool)
+        << (items[i].mode == Mode::kStrong ? " (strong)" : " (weak)");
+    if (r.counterexample.has_value()) {
+      ASSERT_FALSE(r.contained);
+      const Tree& t = *r.counterexample;
+      if (items[i].mode == Mode::kStrong) {
+        EXPECT_TRUE(MatchesStrong(items[i].p, t)) << tag << " item " << i;
+        EXPECT_FALSE(MatchesStrong(items[i].q, t)) << tag << " item " << i;
+      } else {
+        EXPECT_TRUE(MatchesWeak(items[i].p, t)) << tag << " item " << i;
+        EXPECT_FALSE(MatchesWeak(items[i].q, t)) << tag << " item " << i;
+      }
+    }
+  }
+}
+
+TEST(ServiceAgreementTest, AllLayersAllThreadCountsBothTemperatures) {
+  LabelPool pool;
+  std::vector<QueryService::BatchItem> items = MakeWorkload(&pool);
+
+  // The aggressive (wildcard-chain) bound keeps the sweep spaces small so
+  // the 12 service configurations below finish quickly under asan/tsan.
+  ContainmentOptions containment;
+  containment.bound = ContainmentOptions::Bound::kAggressive;
+
+  std::vector<ReferenceVerdict> reference;
+  reference.reserve(items.size());
+  {
+    EngineContext ref_ctx;
+    for (const QueryService::BatchItem& item : items) {
+      ContainmentResult r =
+          Contains(item.p, item.q, item.mode, &pool, &ref_ctx, containment);
+      ASSERT_EQ(r.outcome, Outcome::kDecided);
+      reference.push_back(ReferenceVerdict{r.contained});
+    }
+  }
+
+  int refutations = 0;
+  for (const ReferenceVerdict& v : reference) {
+    if (!v.contained) ++refutations;
+  }
+  // The workload must exercise both verdicts substantially.
+  ASSERT_GT(refutations, 40);
+  ASSERT_GT(static_cast<int>(reference.size()) - refutations, 40);
+
+  for (bool use_cache : {true, false}) {
+    for (bool use_prefilters : {true, false}) {
+      for (int threads : {1, 2, 4}) {
+        EngineConfig config;
+        config.threads = threads;
+        EngineContext ctx(config);
+        ServiceOptions options;
+        options.use_cache = use_cache;
+        options.use_prefilters = use_prefilters;
+        options.containment = containment;
+        QueryService service(&pool, &ctx, options);
+        char tag[64];
+        std::snprintf(tag, sizeof(tag), "cache=%d prefilters=%d threads=%d",
+                      use_cache, use_prefilters, threads);
+        std::vector<ContainmentResult> cold = service.ContainsBatch(items);
+        CheckAgainstReference(items, reference, cold, &pool, tag);
+        // Second pass: with the cache enabled this is served warm (hits +
+        // witness replays); it must not change a single verdict.
+        std::vector<ContainmentResult> warm = service.ContainsBatch(items);
+        CheckAgainstReference(items, reference, warm, &pool, tag);
+        if (use_cache) {
+          EXPECT_GT(ctx.stats().cache_hits.load(std::memory_order_relaxed), 0)
+              << tag;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpc

@@ -1,0 +1,193 @@
+// Fault matrix for the query service: exhaustion, cancellation and failed
+// allocations injected mid-batch must surface as structured
+// `kResourceExhausted` results — never as flipped verdicts — and must never
+// leave a partial verdict behind in the cache.  The recovery check is the
+// sharp one: after `ResetBudget()` the SAME service object (same cache, same
+// minimize memo, same probe book) re-decides the full batch correctly, so
+// any entry absorbed from a faulted decision would be caught as a wrong or
+// undecided warm answer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "base/label.h"
+#include "contain/containment.h"
+#include "engine/engine.h"
+#include "engine/fault_injection.h"
+#include "reductions/hardness_families.h"
+#include "service/query_service.h"
+
+namespace tpc {
+namespace {
+
+struct Workload {
+  std::vector<QueryService::BatchItem> items;
+  std::vector<bool> expected;  // ground truth from the plain dispatcher
+};
+
+/// A small batch that exercises both verdicts, both modes, the coNP sweep
+/// route and the duplicate-folding path.
+Workload MakeWorkload(LabelPool* pool) {
+  Workload w;
+  ConpFamilyInstance inst = BuildConpFamily(3, pool);
+  const LabelId a = pool->Intern("a");
+  const LabelId b = pool->Intern("b");
+  Tpq chain(a);  // a/b
+  chain.AddChild(0, b, EdgeKind::kChild);
+  Tpq deep(a);  // a//b
+  deep.AddChild(0, b, EdgeKind::kDescendant);
+
+  w.items.push_back({inst.p, inst.q_yes, Mode::kWeak});
+  w.items.push_back({inst.p, inst.q_no, Mode::kWeak});
+  w.items.push_back({chain, deep, Mode::kWeak});
+  w.items.push_back({deep, chain, Mode::kWeak});
+  w.items.push_back({chain, deep, Mode::kStrong});
+  w.items.push_back({inst.p, inst.q_yes, Mode::kStrong});
+  w.items.push_back({inst.p, inst.q_no, Mode::kWeak});  // duplicate of 1
+  w.items.push_back({chain, chain, Mode::kStrong});
+
+  EngineContext ref_ctx;
+  for (const QueryService::BatchItem& item : w.items) {
+    ContainmentResult r = Contains(item.p, item.q, item.mode, pool, &ref_ctx);
+    EXPECT_EQ(r.outcome, Outcome::kDecided);
+    w.expected.push_back(r.contained);
+  }
+  return w;
+}
+
+struct Probe {
+  int64_t charges = 0;
+  int64_t allocs = 0;
+};
+
+/// Runs the batch once under a never-firing counting plan to learn its total
+/// charge/alloc volume, so fault points can be sampled across the whole run.
+Probe ProbeBatch(const Workload& w, LabelPool* pool) {
+  EngineConfig config;
+  config.fault_plan.exhaust_at_charge = std::numeric_limits<int64_t>::max();
+  EngineContext ctx(config);
+  QueryService service(pool, &ctx);
+  std::vector<ContainmentResult> results = service.ContainsBatch(w.items);
+  for (const ContainmentResult& r : results) {
+    EXPECT_EQ(r.outcome, Outcome::kDecided);
+  }
+  Probe probe;
+  probe.charges = ctx.fault_injector()->charges_seen();
+  probe.allocs = ctx.fault_injector()->allocs_seen();
+  return probe;
+}
+
+/// Every point in [1, cap] plus seeded samples over the remaining range.
+std::vector<int64_t> FaultPoints(int64_t total, int64_t cap, uint64_t seed) {
+  std::vector<int64_t> points;
+  for (int64_t n = 1; n <= total && n <= cap; ++n) points.push_back(n);
+  if (total > cap) {
+    for (int64_t i = 0; i < 10; ++i) {
+      points.push_back(DeriveFaultPoint(seed, i, total));
+    }
+  }
+  return points;
+}
+
+/// The shared matrix body.  Faulted pass: every decided verdict must match
+/// the reference, every undecided one must carry `expected_reason`.
+/// Recovery pass: same service, budget reset (the one-shot fault does not
+/// re-arm) — everything must decide correctly, warm entries included.
+void CheckFaultedBatch(const Workload& w, LabelPool* pool,
+                       const FaultPlan& plan, int threads,
+                       ExhaustionReason expected_reason) {
+  EngineConfig config;
+  config.fault_plan = plan;
+  config.threads = threads;
+  EngineContext ctx(config);
+  QueryService service(pool, &ctx);
+
+  std::vector<ContainmentResult> faulted = service.ContainsBatch(w.items);
+  ASSERT_EQ(faulted.size(), w.items.size());
+  for (size_t i = 0; i < faulted.size(); ++i) {
+    if (faulted[i].outcome == Outcome::kDecided) {
+      EXPECT_EQ(faulted[i].contained, w.expected[i])
+          << "item " << i << " flipped its verdict under an injected fault";
+    } else {
+      EXPECT_EQ(faulted[i].outcome, Outcome::kResourceExhausted);
+      EXPECT_EQ(faulted[i].reason, expected_reason) << "item " << i;
+    }
+  }
+
+  ctx.ResetBudget();
+  std::vector<ContainmentResult> recovered = service.ContainsBatch(w.items);
+  ASSERT_EQ(recovered.size(), w.items.size());
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    ASSERT_EQ(recovered[i].outcome, Outcome::kDecided)
+        << "item " << i << " did not recover after ResetBudget";
+    EXPECT_EQ(recovered[i].contained, w.expected[i])
+        << "item " << i << " recovered to the wrong verdict — a faulted "
+        << "decision leaked into the cache";
+  }
+}
+
+TEST(ServiceFaultTest, ExhaustionAtEveryChargeNeverPoisonsTheCache) {
+  LabelPool pool;
+  Workload w = MakeWorkload(&pool);
+  Probe probe = ProbeBatch(w, &pool);
+  ASSERT_GT(probe.charges, 0);
+  for (int64_t n : FaultPoints(probe.charges, 32, /*seed=*/0xBADCAB1E)) {
+    FaultPlan plan;
+    plan.exhaust_at_charge = n;
+    CheckFaultedBatch(w, &pool, plan, /*threads=*/1,
+                      ExhaustionReason::kSteps);
+  }
+}
+
+TEST(ServiceFaultTest, CancellationMidBatchRecovers) {
+  LabelPool pool;
+  Workload w = MakeWorkload(&pool);
+  Probe probe = ProbeBatch(w, &pool);
+  for (int64_t n : FaultPoints(probe.charges, 16, /*seed=*/0x5EED5)) {
+    FaultPlan plan;
+    plan.cancel_at_charge = n;
+    CheckFaultedBatch(w, &pool, plan, /*threads=*/1,
+                      ExhaustionReason::kCancelled);
+  }
+}
+
+TEST(ServiceFaultTest, FailedAllocationMidBatchRecovers) {
+  LabelPool pool;
+  Workload w = MakeWorkload(&pool);
+  Probe probe = ProbeBatch(w, &pool);
+  ASSERT_GT(probe.allocs, 0);
+  for (int64_t k : FaultPoints(probe.allocs, 16, /*seed=*/0xA110C)) {
+    FaultPlan plan;
+    plan.fail_alloc_at = k;
+    CheckFaultedBatch(w, &pool, plan, /*threads=*/1,
+                      ExhaustionReason::kMemory);
+  }
+}
+
+TEST(ServiceFaultTest, ParallelBatchUnderFaultsRecovers) {
+  LabelPool pool;
+  Workload w = MakeWorkload(&pool);
+  Probe probe = ProbeBatch(w, &pool);
+  // With 2 worker threads the Nth charge lands on a nondeterministic item,
+  // so this samples schedules rather than stages; the invariants checked
+  // (no flipped verdict, correct reason, clean warm recovery) are
+  // schedule-independent.
+  for (int64_t i = 0; i < 6; ++i) {
+    FaultPlan plan;
+    plan.exhaust_at_charge = DeriveFaultPoint(0xF00D, i, probe.charges);
+    CheckFaultedBatch(w, &pool, plan, /*threads=*/2,
+                      ExhaustionReason::kSteps);
+  }
+  for (int64_t i = 0; i < 4; ++i) {
+    FaultPlan plan;
+    plan.cancel_at_charge = DeriveFaultPoint(0xCA4CE1, i, probe.charges);
+    CheckFaultedBatch(w, &pool, plan, /*threads=*/2,
+                      ExhaustionReason::kCancelled);
+  }
+}
+
+}  // namespace
+}  // namespace tpc
