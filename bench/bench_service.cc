@@ -172,6 +172,8 @@ void ExportServiceCounters(benchmark::State& state, EngineContext* ctx) {
       stats.batch_deduped.load(std::memory_order_relaxed));
   state.counters["trees"] = static_cast<double>(
       stats.canonical_trees_enumerated.load(std::memory_order_relaxed));
+  state.counters["dp_words_folded"] = static_cast<double>(
+      stats.dp_words_folded.load(std::memory_order_relaxed));
 }
 
 /// One pass over the whole stream, batch by batch.  Returns false (after

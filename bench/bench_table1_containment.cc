@@ -90,6 +90,10 @@ void RunCell(benchmark::State& state, Fragment fp, Fragment fq,
       ctx.stats().embeddings_attempted.load(std::memory_order_relaxed));
   state.counters["dp_cells"] = static_cast<double>(
       ctx.stats().dp_cells_filled.load(std::memory_order_relaxed));
+  state.counters["dp_words_folded"] = static_cast<double>(
+      ctx.stats().dp_words_folded.load(std::memory_order_relaxed));
+  state.counters["dp_rows_skipped"] = static_cast<double>(
+      ctx.stats().dp_rows_skipped.load(std::memory_order_relaxed));
 }
 
 void BM_P_Homomorphism(benchmark::State& state) {
@@ -188,18 +192,23 @@ BENCHMARK(BM_CoNP_ParallelSweep)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 /// A/B of the incremental canonical sweep against from-scratch rebuilds on
-/// the coNP family.  Args are (branches, incremental); compare the
-/// `dp_cells_filled` counter across the two incremental settings at fixed n
-/// — the spine-suffix memoization should cut it by well over 2x, with the
-/// saved work reported as `dp_cells_reused`.
+/// the coNP family.  Args are (branches, incremental, word_parallel); compare
+/// the `dp_cells_filled` counter across the two incremental settings at fixed
+/// n — the spine-suffix memoization should cut it by well over 2x, with the
+/// saved work reported as `dp_cells_reused` — and the wall time across the
+/// two word_parallel settings, where the fold kernel replaces the
+/// per-candidate scan (`dp_words_folded` / `dp_rows_skipped` report the
+/// word-path work; both stay 0 on the scalar path's leaf rows).
 void BM_CoNP_IncrementalSweep(benchmark::State& state) {
   int32_t n = static_cast<int32_t>(state.range(0));
   bool incremental = state.range(1) != 0;
+  bool word_parallel = state.range(2) != 0;
   LabelPool pool;
   ConpFamilyInstance inst = BuildConpFamily(n, &pool);
   ContainmentOptions options;
   options.bound = ContainmentOptions::Bound::kAggressive;
   options.incremental = incremental;
+  options.word_parallel = word_parallel;
   EngineContext ctx;
   int64_t decided = 0;
   for (auto _ : state) {
@@ -214,16 +223,22 @@ void BM_CoNP_IncrementalSweep(benchmark::State& state) {
   }
   state.counters["branches"] = n;
   state.counters["incremental"] = incremental ? 1 : 0;
+  state.counters["word_parallel"] = word_parallel ? 1 : 0;
   state.counters["decisions"] = static_cast<double>(decided);
   state.counters["dp_cells_filled"] = static_cast<double>(
       ctx.stats().dp_cells_filled.load(std::memory_order_relaxed));
   state.counters["dp_cells_reused"] = static_cast<double>(
       ctx.stats().dp_cells_reused.load(std::memory_order_relaxed));
+  state.counters["dp_words_folded"] = static_cast<double>(
+      ctx.stats().dp_words_folded.load(std::memory_order_relaxed));
+  state.counters["dp_rows_skipped"] = static_cast<double>(
+      ctx.stats().dp_rows_skipped.load(std::memory_order_relaxed));
   state.counters["trees_rebuilt_from_spine"] = static_cast<double>(
       ctx.stats().trees_rebuilt_from_spine.load(std::memory_order_relaxed));
 }
 BENCHMARK(BM_CoNP_IncrementalSweep)
-    ->ArgsProduct({{4, 5, 6, 7}, {0, 1}});
+    ->ArgsProduct({{4, 5, 6, 7}, {0, 1}, {1}})
+    ->ArgsProduct({{5, 6, 7}, {1}, {0}});
 
 /// Same cell, non-contained side: the witness is found without a full sweep.
 void BM_CoNP_CounterexampleSearch(benchmark::State& state) {

@@ -27,6 +27,8 @@
 //   --memory <bytes> tracked-memory budget; exceeding it exits 3 (UNDECIDED)
 //   --threads <n>    worker threads for canonical sweeps and schema rounds
 //   --no-antichain   disable the schema engine's subsumption pruning (A/B)
+//   --no-word-parallel  scalar embedding-DP fill instead of the word-parallel
+//                    kernel (A/B: verdicts must be identical)
 //   --fault-exhaust-at <n> / --fault-alloc-at <k> / --fault-cancel-at <n>
 //                    deterministic fault injection (chaos drills): force
 //                    budget exhaustion at the nth charge, fail the kth
@@ -107,6 +109,7 @@ int Usage() {
                "  --threads <n>    worker threads (canonical sweeps and\n"
                "                   schema-engine saturation rounds)\n"
                "  --no-antichain   disable schema-engine subsumption pruning\n"
+               "  --no-word-parallel  scalar embedding-DP fill (A/B)\n"
                "  --fault-exhaust-at <n>  force exhaustion at the nth charge\n"
                "  --fault-alloc-at <k>    fail the kth tracked allocation\n"
                "  --fault-cancel-at <n>   cancel at the nth charge\n");
@@ -176,6 +179,7 @@ int main(int argc, char** argv) {
   bool print_stats = false;
   SchemaEngineOptions schema_options;
   ServiceOptions service_options;
+  ContainmentOptions contain_options;
   const char* batch_file = nullptr;
   std::vector<char*> args;  // positional arguments, flags stripped
   for (int i = 1; i < argc; ++i) {
@@ -183,6 +187,9 @@ int main(int argc, char** argv) {
       print_stats = true;
     } else if (std::strcmp(argv[i], "--no-antichain") == 0) {
       schema_options.antichain = false;
+    } else if (std::strcmp(argv[i], "--no-word-parallel") == 0) {
+      contain_options.word_parallel = false;
+      service_options.containment.word_parallel = false;
     } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
       batch_file = argv[++i];
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
@@ -308,7 +315,7 @@ int main(int argc, char** argv) {
       }
     }
     if (dtd_src == nullptr) {
-      ContainmentResult r = Contains(p, q, mode, &pool, &ctx);
+      ContainmentResult r = Contains(p, q, mode, &pool, &ctx, contain_options);
       if (r.outcome == Outcome::kDecided) {
         std::printf("%s\n", r.contained ? "contained" : "NOT contained");
         if (r.counterexample.has_value()) {
@@ -382,9 +389,9 @@ int main(int argc, char** argv) {
     }
     Mode mode = args.size() > 3 && IsModeWord(args[3]) ? ParseMode(args[3])
                                                        : Mode::kWeak;
-    bool matches = mode == Mode::kStrong
-                       ? MatchesStrong(q, *t, &ctx.stats())
-                       : MatchesWeak(q, *t, &ctx.stats());
+    Matcher matcher(q, *t, &ctx.stats(), contain_options.word_parallel);
+    bool matches =
+        mode == Mode::kStrong ? matcher.MatchesStrong() : matcher.MatchesWeak();
     std::printf("%s\n", matches ? "match" : "no match");
     return Finish(&ctx, print_stats, false, ExhaustionReason::kNone,
                   matches ? 0 : 1);

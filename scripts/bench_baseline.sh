@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Records the benchmark baselines: builds the release preset and runs
 #   * bench_table1_containment (the P/coNP grid, the chunked-parallel sweep
-#     and the incremental-sweep A/B) into BENCH_table1.json, and
+#     and the incremental-sweep A/B — which now also twins the word-parallel
+#     vs scalar DP fill, reporting the `dp_words_folded`/`dp_rows_skipped`
+#     kernel counters) into BENCH_table1.json, and
 #   * bench_table45_schema_containment (the schema-aware P/coNP/EXPTIME
 #     cells, including the antichain on/off A/B twins) into
 #     BENCH_table45.json, and
 #   * bench_service (the query-service fast path: zipf stream baseline vs
 #     cold vs warm cache, and the probe-prefilter vs sweep A/B on the coNP
-#     refutation family) into BENCH_service.json
+#     refutation family, with `dp_words_folded` recorded per run) into
+#     BENCH_service.json
 # at the repo root, for before/after comparison across PRs.
 #
 # Usage: scripts/bench_baseline.sh [benchmark_filter_regex]

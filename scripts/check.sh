@@ -12,10 +12,17 @@
 #                                    mutation suites under asan AND tsan
 #                                    (leaks + races of every injected-fault
 #                                    unwind path)
+#   scripts/check.sh layout          the columnar-layout gate: the TreeView
+#                                    property sweep, the word-parallel vs
+#                                    scalar agreement suite and the matcher
+#                                    property suite under asan AND ubsan
+#                                    (out-of-bounds column reads and shift
+#                                    UB in the fold kernels)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAULT_TESTS='fault_injection_test|exhaustion_audit_test|parser_mutation_test|service_fault_test'
+LAYOUT_TESTS='tree_view_test|word_parallel_agreement_test|matcher_property_test'
 
 run_preset() {
   local preset="$1"; shift
@@ -33,6 +40,12 @@ elif [[ $1 == faults ]]; then
     run_preset "$preset" -R "$FAULT_TESTS"
   done
   exit 0
+elif [[ $1 == layout ]]; then
+  echo "== columnar-layout gate (view + kernel agreement under asan + ubsan) =="
+  for preset in asan ubsan; do
+    run_preset "$preset" -R "$LAYOUT_TESTS"
+  done
+  exit 0
 else
   presets=("$1")
 fi
@@ -40,7 +53,7 @@ fi
 for preset in "${presets[@]}"; do
   case "$preset" in
     asan|tsan|ubsan|release) ;;
-    *) echo "usage: $0 [asan|tsan|ubsan|release|faults]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|ubsan|release|faults|layout]" >&2; exit 2 ;;
   esac
 done
 

@@ -75,20 +75,31 @@ void Nta::AddAlphabetLabel(LabelId label) {
 
 std::vector<uint64_t> Nta::RunSets(const Tree& t) const {
   const size_t stride = (static_cast<size_t>(num_states_) + 63) >> 6;
-  std::vector<uint64_t> states(static_cast<size_t>(t.size()) * stride, 0);
+  const TreeView view = t.View();
+  const int32_t n = view.size();
+  std::vector<uint64_t> states(static_cast<size_t>(n) * stride, 0);
+  std::vector<int32_t> children;  // child positions, reused across nodes
   std::vector<uint64_t> current, next;
-  for (NodeId v = t.size() - 1; v >= 0; --v) {
-    std::vector<NodeId> children = t.Children(v);
-    uint64_t* row = states.data() + static_cast<size_t>(v) * stride;
+  // One ascending sweep over postorder positions: child rows are finished
+  // before their parent's.  The span walk yields children right-to-left;
+  // the horizontal NFA consumes them left-to-right, so reverse.
+  for (int32_t i = 0; i < n; ++i) {
+    children.clear();
+    for (int32_t c = view.LastChild(i); c >= view.SpanBegin(i);
+         c = view.PrevSibling(c)) {
+      children.push_back(c);
+    }
+    std::reverse(children.begin(), children.end());
+    uint64_t* row = states.data() + static_cast<size_t>(i) * stride;
     for (const Transition& tr : transitions_) {
-      if (tr.label != kWildcard && tr.label != t.Label(v)) continue;
+      if (tr.label != kWildcard && tr.label != view.LabelAtPost(i)) continue;
       if (TestWordBit(row, tr.state)) continue;
       // Does some choice of child states form a word in tr.horizontal?
       const size_t hwords =
           (static_cast<size_t>(tr.horizontal.num_states) + 63) >> 6;
       current.assign(hwords, 0);
       SetWordBit(current.data(), tr.horizontal.initial);
-      for (NodeId c : children) {
+      for (int32_t c : children) {
         next.assign(hwords, 0);
         const uint64_t* child_row =
             states.data() + static_cast<size_t>(c) * stride;
@@ -116,9 +127,13 @@ std::vector<uint64_t> Nta::RunSets(const Tree& t) const {
 
 bool Nta::Accepts(const Tree& t) const {
   if (t.empty()) return false;
-  std::vector<uint64_t> states = RunSets(t);  // root's set is the first row
+  std::vector<uint64_t> states = RunSets(t);
+  // The root occupies the last postorder position.
+  const size_t stride = (static_cast<size_t>(num_states_) + 63) >> 6;
+  const uint64_t* root_row =
+      states.data() + static_cast<size_t>(t.size() - 1) * stride;
   for (int32_t q = 0; q < num_states_; ++q) {
-    if (final_[q] && TestWordBit(states.data(), q)) return true;
+    if (final_[q] && TestWordBit(root_row, q)) return true;
   }
   return false;
 }

@@ -71,8 +71,10 @@ class Nta {
 
  private:
   /// States of `t`'s nodes under all runs (bottom-up simulation), as packed
-  /// uint64-word bitsets: node v's set occupies words
-  /// [v * stride, (v+1) * stride) with stride = ceil(num_states / 64).
+  /// uint64-word bitsets streamed over `t.View()`'s postorder columns: the
+  /// node at postorder position i has its set in words
+  /// [i * stride, (i+1) * stride) with stride = ceil(num_states / 64); the
+  /// root's set is the last row.
   std::vector<uint64_t> RunSets(const Tree& t) const;
 
   int32_t num_states_ = 0;

@@ -30,9 +30,11 @@ int32_t CanonicalBound(const Tpq& q, ContainmentOptions::Bound bound) {
 
 namespace {
 
-bool Matches(const Tpq& q, const Tree& t, Mode mode, EngineStats* stats) {
-  return mode == Mode::kStrong ? MatchesStrong(q, t, stats)
-                               : MatchesWeak(q, t, stats);
+bool Matches(const Tpq& q, const Tree& t, Mode mode, EngineStats* stats,
+             bool word_parallel) {
+  Matcher matcher(q, t, stats, word_parallel);
+  return mode == Mode::kStrong ? matcher.MatchesStrong()
+                               : matcher.MatchesWeak();
 }
 
 /// Returns a copy of `q` with the root label replaced.
@@ -69,7 +71,7 @@ std::optional<bool> SweepStep(const Tpq& q, Mode mode,
                               CanonicalTreeBuilder* builder,
                               MatcherWorkspace* ws, Tree* scratch,
                               const CanonicalLengthEnumerator& lengths,
-                              bool fresh, bool incremental,
+                              bool fresh, bool incremental, bool word_parallel,
                               EngineContext* ctx) {
   EngineStats& stats = ctx->stats();
   stats.canonical_trees_enumerated.fetch_add(1, std::memory_order_relaxed);
@@ -88,9 +90,9 @@ std::optional<bool> SweepStep(const Tpq& q, Mode mode,
   }
   if (suffix_only) {
     ws->EvalIncremental(q, *scratch, builder->spine_start(first_changed),
-                        &stats);
+                        &stats, word_parallel);
   } else {
-    ws->EvalFull(q, *scratch, &stats);
+    ws->EvalFull(q, *scratch, &stats, word_parallel);
   }
   return mode == Mode::kStrong ? ws->MatchesStrong() : ws->MatchesWeak();
 }
@@ -100,7 +102,7 @@ std::optional<bool> SweepStep(const Tpq& q, Mode mode,
 ContainmentResult SequentialSweep(const Tpq& p, const Tpq& q, Mode mode,
                                   LabelId bottom, size_t num_edges,
                                   int32_t bound, bool incremental,
-                                  EngineContext* ctx) {
+                                  bool word_parallel, EngineContext* ctx) {
   ContainmentResult result;
   result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
   CanonicalTreeBuilder builder(p, bottom);
@@ -109,8 +111,9 @@ ContainmentResult SequentialSweep(const Tpq& p, const Tpq& q, Mode mode,
   CanonicalLengthEnumerator lengths(num_edges, bound);
   bool fresh = true;
   do {
-    std::optional<bool> matched = SweepStep(
-        q, mode, &builder, &ws, &scratch, lengths, fresh, incremental, ctx);
+    std::optional<bool> matched =
+        SweepStep(q, mode, &builder, &ws, &scratch, lengths, fresh,
+                  incremental, word_parallel, ctx);
     fresh = false;
     if (!matched.has_value()) {
       MarkExhausted(&result, ctx);
@@ -133,7 +136,8 @@ ContainmentResult SequentialSweep(const Tpq& p, const Tpq& q, Mode mode,
 ContainmentResult ParallelSweep(const Tpq& p, const Tpq& q, Mode mode,
                                 LabelId bottom, size_t num_edges,
                                 int32_t bound, uint64_t total, uint64_t chunk,
-                                bool incremental, EngineContext* ctx) {
+                                bool incremental, bool word_parallel,
+                                EngineContext* ctx) {
   ContainmentResult result;
   result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
   // The caller guarantees chunk >= 1 and total + chunk - 1 <= INT64_MAX, so
@@ -162,7 +166,7 @@ ContainmentResult ParallelSweep(const Tpq& p, const Tpq& q, Mode mode,
           if (stop.load(std::memory_order_relaxed)) return;
           std::optional<bool> matched =
               SweepStep(q, mode, &builder, &ws, &scratch, lengths, fresh,
-                        incremental, ctx);
+                        incremental, word_parallel, ctx);
           fresh = false;
           if (!matched.has_value()) {
             out_of_budget.store(true, std::memory_order_relaxed);
@@ -282,7 +286,8 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
         MarkExhausted(&result, ctx);
         return result;
       }
-      result.contained = Matches(qn, t, Mode::kWeak, &stats);
+      result.contained =
+          Matches(qn, t, Mode::kWeak, &stats, options.word_parallel);
       if (!result.contained) {
         result.counterexample = std::move(t);
         result.counterexample_lengths =
@@ -301,7 +306,8 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
         MarkExhausted(&result, ctx);
         return result;
       }
-      result.contained = Matches(qn, t, Mode::kWeak, &stats);
+      result.contained =
+          Matches(qn, t, Mode::kWeak, &stats, options.word_parallel);
       if (!result.contained) {
         result.counterexample = std::move(t);
         result.counterexample_lengths =
@@ -353,10 +359,10 @@ ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
       *total >= static_cast<uint64_t>(ctx->config().parallel_threshold) &&
       *total <= max_parallel_total) {
     return ParallelSweep(p, q, mode, bottom, num_edges, bound, *total, chunk,
-                         options.incremental, ctx);
+                         options.incremental, options.word_parallel, ctx);
   }
   return SequentialSweep(p, q, mode, bottom, num_edges, bound,
-                         options.incremental, ctx);
+                         options.incremental, options.word_parallel, ctx);
 }
 
 ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,

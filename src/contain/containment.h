@@ -89,6 +89,12 @@ struct ContainmentOptions {
   /// query service's batch fan-out) must set this: `ThreadPool::ParallelFor`
   /// does not support reentrant submission from a worker.
   bool sequential_sweep = false;
+  /// If true (default) the embedding DP uses the word-parallel fill kernel
+  /// (missing-bits scatter + branch-free leaf columns); if false it uses the
+  /// scalar per-candidate kernel.  Both produce bit-identical tables — the
+  /// flag exists for A/B benchmarks and the agreement suites
+  /// (`tpc_cli --no-word-parallel`).
+  bool word_parallel = true;
 };
 
 /// Decides L(p) ⊆ L(q) (weak or strong languages per `mode`) under the

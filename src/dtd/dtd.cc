@@ -150,13 +150,20 @@ const Nta& Dtd::Automaton() const {
 
 bool Dtd::SatisfiesRules(const Tree& t) const {
   if (t.empty()) return false;
-  for (NodeId v = 0; v < t.size(); ++v) {
-    if (!InAlphabet(t.Label(v))) return false;
-    std::vector<Symbol> word;
-    for (NodeId c = t.FirstChild(v); c != kNoNode; c = t.NextSibling(c)) {
-      word.push_back(t.Label(c));
+  const TreeView view = t.View();
+  std::vector<Symbol> word;
+  for (int32_t i = 0; i < view.size(); ++i) {
+    const LabelId label = view.LabelAtPost(i);
+    if (!InAlphabet(label)) return false;
+    // Child roots via span jumps, right-to-left; the content-model word
+    // reads left-to-right, so reverse.
+    word.clear();
+    for (int32_t c = view.LastChild(i); c >= view.SpanBegin(i);
+         c = view.PrevSibling(c)) {
+      word.push_back(view.LabelAtPost(c));
     }
-    if (!RuleNfa(t.Label(v)).Accepts(word)) return false;
+    std::reverse(word.begin(), word.end());
+    if (!RuleNfa(label).Accepts(word)) return false;
   }
   return true;
 }

@@ -13,6 +13,8 @@ void EngineStats::Reset() {
   dp_cells_filled.store(0, std::memory_order_relaxed);
   dp_cells_reused.store(0, std::memory_order_relaxed);
   trees_rebuilt_from_spine.store(0, std::memory_order_relaxed);
+  dp_words_folded.store(0, std::memory_order_relaxed);
+  dp_rows_skipped.store(0, std::memory_order_relaxed);
   homomorphism_checks.store(0, std::memory_order_relaxed);
   schema_configurations.store(0, std::memory_order_relaxed);
   horizontal_nodes.store(0, std::memory_order_relaxed);
@@ -55,6 +57,12 @@ std::string EngineStats::ToJson(const Budget& budget) const {
          ", ";
   out += field("trees_rebuilt_from_spine",
                trees_rebuilt_from_spine.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("dp_words_folded",
+               dp_words_folded.load(std::memory_order_relaxed)) +
+         ", ";
+  out += field("dp_rows_skipped",
+               dp_rows_skipped.load(std::memory_order_relaxed)) +
          ", ";
   out += field("homomorphism_checks",
                homomorphism_checks.load(std::memory_order_relaxed)) +

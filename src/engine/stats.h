@@ -38,6 +38,12 @@ struct EngineStats {
   /// Canonical trees rebuilt incrementally from the first changed spine
   /// (prefix kept) rather than from scratch.
   std::atomic<int64_t> trees_rebuilt_from_spine{0};
+  /// uint64 words OR-folded from child DP rows into parent accumulators by
+  /// the postorder matcher fill (both kernels fold the same way).
+  std::atomic<int64_t> dp_words_folded{0};
+  /// Leaf columns answered by the branch-free leaf kernel — no fold, no
+  /// missing-bits scatter (word-parallel fill only).
+  std::atomic<int64_t> dp_rows_skipped{0};
   std::atomic<int64_t> homomorphism_checks{0};
 
   // Schema-aware engine (src/schema) and automata substrate (src/automata).

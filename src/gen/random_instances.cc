@@ -26,6 +26,25 @@ Tree RandomTree(const RandomTreeOptions& options, std::mt19937* rng) {
   return t;
 }
 
+Tree ChainTree(const std::vector<LabelId>& labels, int32_t size) {
+  assert(!labels.empty() && size >= 1);
+  Tree t(labels[0]);
+  NodeId tip = 0;
+  for (int32_t i = 1; i < size; ++i) {
+    tip = t.AddChild(tip, labels[i % labels.size()]);
+  }
+  return t;
+}
+
+Tree StarTree(const std::vector<LabelId>& labels, int32_t size) {
+  assert(!labels.empty() && size >= 1);
+  Tree t(labels[0]);
+  for (int32_t i = 1; i < size; ++i) {
+    t.AddChild(0, labels[i % labels.size()]);
+  }
+  return t;
+}
+
 Tpq RandomTpq(const RandomTpqOptions& options, std::mt19937* rng) {
   assert(!options.labels.empty() && options.size >= 1);
   const Fragment& f = options.fragment;

@@ -28,6 +28,15 @@ struct RandomTreeOptions {
 /// A uniform-ish random tree with exactly `size` nodes.
 Tree RandomTree(const RandomTreeOptions& options, std::mt19937* rng);
 
+/// Adversarial shapes for layout/property tests: a root-to-leaf chain of
+/// `size` nodes (maximum depth — worst case for ancestor walks and the
+/// postorder index's span nesting) with labels drawn round-robin.
+Tree ChainTree(const std::vector<LabelId>& labels, int32_t size);
+
+/// A root with `size - 1` leaf children (maximum fan-out — worst case for
+/// child folds), labels round-robin.
+Tree StarTree(const std::vector<LabelId>& labels, int32_t size);
+
 struct RandomTpqOptions {
   std::vector<LabelId> labels;
   int32_t size = 6;               // exact node count

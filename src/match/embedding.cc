@@ -12,15 +12,25 @@ void MatcherWorkspace::BindPattern(const Tpq& q) {
   req_child_.assign(static_cast<size_t>(q.size()) * words_, 0);
   req_desc_.assign(req_child_.size(), 0);
   wildcard_mask_.assign(words_, 0);
+  child_targets_.assign(words_, 0);
+  desc_targets_.assign(words_, 0);
+  internal_mask_.assign(words_, 0);
+  parent_word_.assign(static_cast<size_t>(q.size()), 0);
+  parent_mask_.assign(static_cast<size_t>(q.size()), 0);
   label_mask_store_.clear();
   label_mask_offset_.clear();
   for (NodeId v = 0; v < q.size(); ++v) {
     size_t word = static_cast<size_t>(v) >> 6;
     uint64_t bit = uint64_t{1} << (static_cast<size_t>(v) & 63);
     if (v != 0) {
-      std::vector<uint64_t>& req =
-          q.Edge(v) == EdgeKind::kChild ? req_child_ : req_desc_;
-      req[static_cast<size_t>(q.Parent(v)) * words_ + word] |= bit;
+      bool child_edge = q.Edge(v) == EdgeKind::kChild;
+      std::vector<uint64_t>& req = child_edge ? req_child_ : req_desc_;
+      size_t p = static_cast<size_t>(q.Parent(v));
+      req[p * words_ + word] |= bit;
+      (child_edge ? child_targets_ : desc_targets_)[word] |= bit;
+      internal_mask_[p >> 6] |= uint64_t{1} << (p & 63);
+      parent_word_[v] = static_cast<uint32_t>(p >> 6);
+      parent_mask_[v] = uint64_t{1} << (p & 63);
     }
     if (q.IsWildcard(v)) {
       wildcard_mask_[word] |= bit;
@@ -46,24 +56,86 @@ const uint64_t* MatcherWorkspace::LabelMask(LabelId label) const {
   return &label_mask_store_[it->second];
 }
 
-void MatcherWorkspace::ComputeColumn(NodeId x) {
-  const Tree& t = *t_;
+void MatcherWorkspace::ComputeColumnWord(int32_t i) {
+  const size_t W = words_;
+  const uint64_t* labels_ok = LabelMask(view_.LabelAtPost(i));
+  uint64_t* sat_row = &sat_[RowOffset(i)];
+  uint64_t* desc_row = &desc_[RowOffset(i)];
+  const int32_t subtree = view_.SubtreeSizeAtPost(i);
+  if (subtree == 1) {
+    // Leaf column, branch-free: no fold, no scatter.  A pattern node with
+    // any child requirement cannot embed at a tree leaf.
+    const uint64_t* internal = internal_mask_.data();
+    for (size_t w = 0; w < W; ++w) {
+      sat_row[w] = labels_ok[w] & ~internal[w];
+      desc_row[w] = sat_row[w];
+    }
+    ++rows_skipped_;
+    return;
+  }
+  uint64_t* acc_c = acc_child_.data();
+  uint64_t* acc_d = acc_desc_.data();
+  uint64_t* failed = failed_.data();
+  std::fill_n(acc_c, W, uint64_t{0});
+  std::fill_n(acc_d, W, uint64_t{0});
+  std::fill_n(failed, W, uint64_t{0});
+  // Child subtree roots tile the span [i - subtree + 1, i - 1] and are
+  // reached right-to-left by span jumps; their rows were computed earlier in
+  // this ascending sweep.
+  const int32_t begin = i - subtree + 1;
+  for (int32_t c = i - 1; c >= begin; c -= view_.SubtreeSizeAtPost(c)) {
+    const uint64_t* child_sat = &sat_[RowOffset(c)];
+    const uint64_t* child_desc = &desc_[RowOffset(c)];
+    for (size_t w = 0; w < W; ++w) {
+      acc_c[w] |= child_sat[w];
+      acc_d[w] |= child_desc[w];
+    }
+    words_folded_ += static_cast<int64_t>(2 * W);
+  }
+  // Missing-bits scatter: a requirement bit absent from its accumulator
+  // fails its pattern *parent*.  This replaces the per-candidate submask
+  // loop — cost O(W + popcount(missing)) instead of O(popcount(labels) * W).
+  for (size_t w = 0; w < W; ++w) {
+    uint64_t missing = child_targets_[w] & ~acc_c[w];
+    while (missing != 0) {
+      int b = std::countr_zero(missing);
+      missing &= missing - 1;
+      size_t v = (w << 6) + static_cast<size_t>(b);
+      failed[parent_word_[v]] |= parent_mask_[v];
+    }
+    missing = desc_targets_[w] & ~acc_d[w];
+    while (missing != 0) {
+      int b = std::countr_zero(missing);
+      missing &= missing - 1;
+      size_t v = (w << 6) + static_cast<size_t>(b);
+      failed[parent_word_[v]] |= parent_mask_[v];
+    }
+  }
+  for (size_t w = 0; w < W; ++w) {
+    sat_row[w] = labels_ok[w] & ~failed[w];
+    desc_row[w] = sat_row[w] | acc_d[w];
+  }
+}
+
+void MatcherWorkspace::ComputeColumnScalar(int32_t i) {
   const size_t W = words_;
   uint64_t* acc_c = acc_child_.data();
   uint64_t* acc_d = acc_desc_.data();
   std::fill_n(acc_c, W, uint64_t{0});
   std::fill_n(acc_d, W, uint64_t{0});
-  for (NodeId y = t.FirstChild(x); y != kNoNode; y = t.NextSibling(y)) {
-    const uint64_t* child_sat = &sat_[RowOffset(y)];
-    const uint64_t* child_desc = &desc_[RowOffset(y)];
+  const int32_t begin = i - view_.SubtreeSizeAtPost(i) + 1;
+  for (int32_t c = i - 1; c >= begin; c -= view_.SubtreeSizeAtPost(c)) {
+    const uint64_t* child_sat = &sat_[RowOffset(c)];
+    const uint64_t* child_desc = &desc_[RowOffset(c)];
     for (size_t w = 0; w < W; ++w) {
       acc_c[w] |= child_sat[w];
       acc_d[w] |= child_desc[w];
     }
+    words_folded_ += static_cast<int64_t>(2 * W);
   }
-  const uint64_t* labels_ok = LabelMask(t.Label(x));
-  uint64_t* sat_row = &sat_[RowOffset(x)];
-  uint64_t* desc_row = &desc_[RowOffset(x)];
+  const uint64_t* labels_ok = LabelMask(view_.LabelAtPost(i));
+  uint64_t* sat_row = &sat_[RowOffset(i)];
+  uint64_t* desc_row = &desc_[RowOffset(i)];
   for (size_t w = 0; w < W; ++w) {
     uint64_t candidates = labels_ok[w];
     uint64_t bits = 0;
@@ -90,53 +162,71 @@ void MatcherWorkspace::ComputeColumn(NodeId x) {
   }
 }
 
-void MatcherWorkspace::EvalFull(const Tpq& q, const Tree& t,
-                                EngineStats* stats) {
-  if (q_ != &q) BindPattern(q);
+void MatcherWorkspace::PrepareTables(const Tree& t) {
   t_ = &t;
+  view_ = t.View();
   size_t table = static_cast<size_t>(t.size()) * words_;
   sat_.resize(table);
   desc_.resize(table);
   acc_child_.resize(words_);
   acc_desc_.resize(words_);
+  failed_.resize(words_);
+  words_folded_ = 0;
+  rows_skipped_ = 0;
+}
+
+void MatcherWorkspace::EvalFull(const Tpq& q, const Tree& t,
+                                EngineStats* stats, bool word_parallel) {
+  if (q_ != &q) BindPattern(q);
+  PrepareTables(t);
+  // One linear sweep over postorder positions: every child span precedes its
+  // parent, so the fold always reads finished rows.
+  const int32_t n = t.size();
+  if (word_parallel) {
+    for (int32_t i = 0; i < n; ++i) ComputeColumnWord(i);
+  } else {
+    for (int32_t i = 0; i < n; ++i) ComputeColumnScalar(i);
+  }
   if (stats != nullptr) {
     stats->embeddings_attempted.fetch_add(1, std::memory_order_relaxed);
     stats->dp_cells_filled.fetch_add(
         static_cast<int64_t>(q.size()) * t.size(), std::memory_order_relaxed);
+    stats->dp_words_folded.fetch_add(words_folded_, std::memory_order_relaxed);
+    stats->dp_rows_skipped.fetch_add(rows_skipped_, std::memory_order_relaxed);
   }
-  // Tree nodes bottom-up (children have larger ids than parents).
-  for (NodeId x = t.size() - 1; x >= 0; --x) ComputeColumn(x);
 }
 
 void MatcherWorkspace::EvalIncremental(const Tpq& q, const Tree& t,
                                        NodeId stable_limit,
-                                       EngineStats* stats) {
+                                       EngineStats* stats, bool word_parallel) {
   assert(q_ == &q && t_ == &t && "EvalIncremental needs a prior Eval* on the "
                                  "same pattern and tree object");
   assert(stable_limit >= 0 && stable_limit < t.size());
-  size_t table = static_cast<size_t>(t.size()) * words_;
-  sat_.resize(table);
-  desc_.resize(table);
-  int64_t recomputed = 0;
-  // The changed suffix, bottom-up ...
-  for (NodeId x = t.size() - 1; x >= stable_limit; --x) {
-    ComputeColumn(x);
-    ++recomputed;
-  }
-  // ... then the ancestor path of the cut: those columns kept their ids but
-  // their subtrees reach into the rebuilt region.  Every other column's
-  // subtree lies wholly inside [0, stable_limit) and is reused as-is.
-  for (NodeId a = t.Parent(stable_limit); a != kNoNode; a = t.Parent(a)) {
-    ComputeColumn(a);
-    ++recomputed;
+  assert(t.IsDfsOrdered() && "postorder prefix stability needs DFS order");
+  PrepareTables(t);
+  // For DFS-built trees the nodes with id < stable_limit that are *not*
+  // ancestors of the cut keep their postorder positions across the rebuild
+  // and occupy exactly the postorder prefix [0, stable_post): each such
+  // node's subtree and left context are unchanged.  The suffix holds the
+  // rebuilt tail plus the ancestor path of the cut — precisely the columns
+  // the old pointer-chasing scheme recomputed.
+  const int32_t stable_post = stable_limit - t.Depth(stable_limit);
+  const int32_t n = t.size();
+  if (word_parallel) {
+    for (int32_t i = stable_post; i < n; ++i) ComputeColumnWord(i);
+  } else {
+    for (int32_t i = stable_post; i < n; ++i) ComputeColumnScalar(i);
   }
   if (stats != nullptr) {
+    const int64_t recomputed = n - stable_post;
     stats->embeddings_attempted.fetch_add(1, std::memory_order_relaxed);
     stats->dp_cells_filled.fetch_add(recomputed * q.size(),
                                      std::memory_order_relaxed);
     stats->dp_cells_reused.fetch_add(
-        (static_cast<int64_t>(t.size()) - recomputed) * q.size(),
+        static_cast<int64_t>(stable_post) * q.size(),
         std::memory_order_relaxed);
+    stats->dp_words_folded.fetch_add(words_folded_, std::memory_order_relaxed);
+    stats->dp_rows_skipped.fetch_add(rows_skipped_, std::memory_order_relaxed);
   }
 }
 
@@ -144,14 +234,15 @@ bool MatcherWorkspace::MatchesWeak() const {
   if (q_ == nullptr || t_ == nullptr || q_->empty() || t_->empty()) {
     return false;
   }
-  return desc_[0] & 1;  // bit (v=0) of column (x=0)
+  // Bit (v=0) of the root's row — the root is last in postorder.
+  return desc_[RowOffset(view_.size() - 1)] & 1;
 }
 
 bool MatcherWorkspace::MatchesStrong() const {
   if (q_ == nullptr || t_ == nullptr || q_->empty() || t_->empty()) {
     return false;
   }
-  return sat_[0] & 1;
+  return sat_[RowOffset(view_.size() - 1)] & 1;
 }
 
 void MatcherWorkspace::ExtractAt(NodeId v, NodeId x,
@@ -203,7 +294,8 @@ std::optional<std::vector<NodeId>> MatcherWorkspace::Witness(
   if (strong) {
     if (SatAt(0, 0)) start = 0;
   } else {
-    // Find any node where the root satisfies, topmost first.
+    // Find any node where the root satisfies, topmost first (node ids are
+    // created parents-before-children).
     for (NodeId x = 0; x < t_->size(); ++x) {
       if (SatAt(0, x)) {
         start = x;

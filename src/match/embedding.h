@@ -3,12 +3,29 @@
 //
 // `MatcherWorkspace` runs a bottom-up dynamic program over (pattern node,
 // tree node) pairs in O(|q| * |t| * ceil(|q|/64)) time, with the per-tree-node
-// DP rows packed into uint64 bitset words over pattern nodes: the inner
-// "some child of x satisfies c" loops become word-wide ORs and submask
-// tests.  The workspace keeps its tables alive across evaluations, so the
+// DP rows packed into uint64 bitset words over pattern nodes.  Rows are laid
+// out in *postorder* (via `Tree::View()`), so the fill is one linear sweep
+// over contiguous columns: children of the node at postorder position `i`
+// occupy the span `[i - subtree_size + 1, i - 1]` and are folded with
+// whole-word ORs before `i` itself is computed.
+//
+// Two fill kernels share that layout and produce bit-identical tables:
+//
+//  * the *word-parallel* kernel (default) never tests candidates one by one.
+//    It computes the set of unsatisfied requirement bits in whole words —
+//    `missing = targets & ~acc` — and scatters each missing bit to a
+//    `failed` bit on its pattern parent; a row is then
+//    `labels_ok & ~failed`.  Leaf columns skip the fold entirely:
+//    `labels_ok & ~internal_mask` (a pattern node with children can never
+//    embed at a tree leaf).  Work per column: O(words + #missing bits).
+//  * the *scalar* kernel keeps the per-candidate submask tests, as the A/B
+//    baseline pinned by the agreement suites
+//    (`ContainmentOptions::word_parallel = false`).
+//
+// The workspace keeps its tables alive across evaluations, so the
 // canonical-sweep hot loops run allocation-free, and `EvalIncremental`
-// refills only the columns invalidated by a spine-suffix rebuild (the
-// changed tail plus the ancestor path of the cut), reusing all others.
+// refills only the postorder suffix invalidated by a spine-suffix rebuild
+// (the changed tail plus the ancestor path of the cut), reusing all others.
 //
 // `Matcher` is the one-shot wrapper (evaluates in the constructor) kept for
 // call sites that check a single pattern/tree pair.
@@ -36,36 +53,45 @@ class MatcherWorkspace {
  public:
   MatcherWorkspace() = default;
 
-  /// Accounts the DP-table bytes an evaluation of `q` against `t` will
-  /// occupy, through `budget` (high-water: a reused workspace charges only
-  /// growth beyond the largest instance seen).  Returns false when the
-  /// budget refuses — the caller should then report memory exhaustion
-  /// instead of calling `Eval*`.  Sweep loops call this once per tree,
-  /// before the evaluation.
+  /// Accounts the bytes an evaluation of `q` against `t` will occupy — the
+  /// DP tables plus the tree's columnar storage (creation-order and derived
+  /// postorder columns) — through `budget` (high-water: a reused workspace
+  /// charges only growth beyond the largest instance seen).  Returns false
+  /// when the budget refuses — the caller should then report memory
+  /// exhaustion instead of calling `Eval*`.  Sweep loops call this once per
+  /// tree, before the evaluation.
   bool ChargeTables(const Tpq& q, const Tree& t, Budget* budget) {
     tracked_.Attach(budget);
     const int64_t words =
         static_cast<int64_t>((q.size() + 63) / 64);
     return tracked_.Reserve(2 * static_cast<int64_t>(t.size()) * words *
-                            static_cast<int64_t>(sizeof(uint64_t)));
+                                static_cast<int64_t>(sizeof(uint64_t)) +
+                            t.ColumnBytes());
   }
 
   /// Evaluates `q` against `t` from scratch.  The pattern-side tables are
   /// rebuilt only when `q` is not the pattern of the previous evaluation.
-  /// With a non-null `stats`, reports one attempted embedding and
-  /// `|q| * |t|` DP cells filled.
-  void EvalFull(const Tpq& q, const Tree& t, EngineStats* stats = nullptr);
+  /// With a non-null `stats`, reports one attempted embedding,
+  /// `|q| * |t|` DP cells filled, and the kernel counters
+  /// (`dp_words_folded`, `dp_rows_skipped`).  `word_parallel` selects the
+  /// fill kernel; both produce identical tables.
+  void EvalFull(const Tpq& q, const Tree& t, EngineStats* stats = nullptr,
+                bool word_parallel = true);
 
   /// Re-evaluates after an incremental tree rebuild.  Precondition: the
   /// previous `Eval*` call on this workspace used the same `q` and the same
   /// tree object, whose nodes with id < `stable_limit` (ids, labels and
   /// subtree structure) are unchanged — exactly what
   /// `CanonicalTreeBuilder::BuildSuffix` guarantees with
-  /// `stable_limit = spine_start(first_changed)`.  Recomputes the columns of
-  /// nodes >= `stable_limit` plus the ancestor path of the cut; every other
-  /// column is reused and reported via `EngineStats::dp_cells_reused`.
+  /// `stable_limit = spine_start(first_changed)`.  For such DFS-built trees
+  /// the unchanged nodes that are not ancestors of the cut keep their
+  /// postorder positions and form the postorder prefix
+  /// `[0, stable_limit - depth(stable_limit))`; only the suffix after it —
+  /// the rebuilt tail plus the ancestor path of the cut — is recomputed.
+  /// Every reused column is reported via `EngineStats::dp_cells_reused`.
   void EvalIncremental(const Tpq& q, const Tree& t, NodeId stable_limit,
-                       EngineStats* stats = nullptr);
+                       EngineStats* stats = nullptr,
+                       bool word_parallel = true);
 
   /// True iff `t` is in the weak language L_w(q).
   bool MatchesWeak() const;
@@ -75,14 +101,14 @@ class MatcherWorkspace {
 
   /// True iff subquery(v) embeds with `v` mapped to tree node `x`.
   bool SatAt(NodeId v, NodeId x) const {
-    return (sat_[RowOffset(x) + (static_cast<size_t>(v) >> 6)] >>
+    return (sat_[RowOffset(view_.PostOf(x)) + (static_cast<size_t>(v) >> 6)] >>
             (static_cast<size_t>(v) & 63)) &
            1;
   }
 
   /// True iff subquery(v) embeds with `v` mapped somewhere in subtree(x).
   bool SatBelow(NodeId v, NodeId x) const {
-    return (desc_[RowOffset(x) + (static_cast<size_t>(v) >> 6)] >>
+    return (desc_[RowOffset(view_.PostOf(x)) + (static_cast<size_t>(v) >> 6)] >>
             (static_cast<size_t>(v) & 63)) &
            1;
   }
@@ -92,16 +118,21 @@ class MatcherWorkspace {
   std::optional<std::vector<NodeId>> Witness(bool strong) const;
 
  private:
-  size_t RowOffset(NodeId x) const {
-    return static_cast<size_t>(x) * words_;
+  // Rows are indexed by *postorder position*; translate node ids through
+  // `view_.PostOf` at the API boundary (SatAt / SatBelow).
+  size_t RowOffset(int32_t post) const {
+    return static_cast<size_t>(post) * words_;
   }
   void BindPattern(const Tpq& q);
-  void ComputeColumn(NodeId x);
+  void ComputeColumnWord(int32_t i);
+  void ComputeColumnScalar(int32_t i);
+  void PrepareTables(const Tree& t);
   const uint64_t* LabelMask(LabelId label) const;
   void ExtractAt(NodeId v, NodeId x, std::vector<NodeId>* map) const;
 
   const Tpq* q_ = nullptr;
   const Tree* t_ = nullptr;
+  TreeView view_;     // postorder index of t_, captured at Eval* time
   size_t words_ = 0;  // ceil(|q| / 64) bitset words per DP row
 
   // Pattern-side tables, rebuilt on BindPattern.
@@ -110,14 +141,30 @@ class MatcherWorkspace {
   std::vector<uint64_t> wildcard_mask_;  // wildcard pattern nodes
   std::vector<uint64_t> label_mask_store_;   // per-letter masks, |wildcard'd
   std::unordered_map<LabelId, size_t> label_mask_offset_;
+  // Word-parallel kernel tables: the requirement sets transposed.  A pattern
+  // node missing from the child/descendant accumulator *fails its parent*;
+  // the scatter needs each node's edge kind (targets masks) and its parent's
+  // bit address.
+  std::vector<uint64_t> child_targets_;  // nodes with a child edge to parent
+  std::vector<uint64_t> desc_targets_;   // nodes with a descendant edge
+  std::vector<uint64_t> internal_mask_;  // pattern nodes with >= 1 child
+  std::vector<uint32_t> parent_word_;    // v -> word index of Parent(v)'s bit
+  std::vector<uint64_t> parent_mask_;    // v -> single-bit mask of Parent(v)
 
-  // Tree-side tables: row x holds bits {v : ...} packed into `words_` words.
-  std::vector<uint64_t> sat_;   // subquery(v) embeds at x
-  std::vector<uint64_t> desc_;  // OR of sat_ over subtree(x)
+  // Tree-side tables: the row at postorder position i holds bits
+  // {v : ...} packed into `words_` words.
+  std::vector<uint64_t> sat_;   // subquery(v) embeds at the node at post i
+  std::vector<uint64_t> desc_;  // OR of sat_ over the subtree span of i
 
-  // Column scratch (accumulators over the children of the current node).
+  // Column scratch (accumulators over the children of the current node,
+  // and the failed-parent bits of the word kernel).
   std::vector<uint64_t> acc_child_;
   std::vector<uint64_t> acc_desc_;
+  std::vector<uint64_t> failed_;
+
+  // Per-evaluation kernel counters, flushed to EngineStats once per Eval*.
+  int64_t words_folded_ = 0;
+  int64_t rows_skipped_ = 0;
 
   // High-water accounting for the sat_/desc_ tables (see ChargeTables).
   TrackedBytes tracked_;
@@ -129,8 +176,9 @@ class Matcher {
  public:
   /// With a non-null `stats`, reports one attempted embedding and the number
   /// of DP cells filled.
-  Matcher(const Tpq& q, const Tree& t, EngineStats* stats = nullptr) {
-    ws_.EvalFull(q, t, stats);
+  Matcher(const Tpq& q, const Tree& t, EngineStats* stats = nullptr,
+          bool word_parallel = true) {
+    ws_.EvalFull(q, t, stats, word_parallel);
   }
 
   bool MatchesWeak() const { return ws_.MatchesWeak(); }

@@ -212,7 +212,7 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
           budget_ok = false;
           break;
         }
-        ws->EvalFull(*qq, t, &stats);
+        ws->EvalFull(*qq, t, &stats, options.word_parallel);
         const bool matches =
             mode == Mode::kStrong ? ws->MatchesStrong() : ws->MatchesWeak();
         if (!matches) {

@@ -12,6 +12,7 @@ NodeId Tree::AddRoot(LabelId label) {
   first_child_.push_back(kNoNode);
   next_sibling_.push_back(kNoNode);
   last_child_.push_back(kNoNode);
+  ++version_;
   return 0;
 }
 
@@ -29,11 +30,35 @@ NodeId Tree::AddChild(NodeId parent, LabelId label) {
     next_sibling_[last_child_[parent]] = v;
   }
   last_child_[parent] = v;
+  ++version_;
   return v;
+}
+
+bool Tree::IsDfsOrdered() const {
+  const int32_t n = size();
+  if (n <= 1) return true;
+  // Subtree sizes and maximum descendant ids in one reverse pass (parents
+  // precede children); the layout is depth-first iff every subtree occupies
+  // exactly the id range [v, v + size(v)).
+  std::vector<int32_t> sz(n, 1);
+  std::vector<NodeId> max_id(n);
+  for (NodeId v = 0; v < n; ++v) max_id[v] = v;
+  for (NodeId v = n - 1; v >= 1; --v) {
+    NodeId p = parents_[v];
+    sz[p] += sz[v];
+    max_id[p] = std::max(max_id[p], max_id[v]);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (max_id[v] != v + sz[v] - 1) return false;
+  }
+  return true;
 }
 
 void Tree::TruncateTo(int32_t new_size) {
   assert(new_size >= 0 && new_size <= size());
+  assert(IsDfsOrdered() &&
+         "Tree::TruncateTo requires depth-first creation order; truncating "
+         "any other layout would cut through subtrees and corrupt links");
   if (new_size == size()) return;
   if (new_size == 0) {
     Clear();
@@ -59,6 +84,42 @@ void Tree::TruncateTo(int32_t new_size) {
     if (last_child_[parent] >= new_size) last_child_[parent] = v;
     v = parent;
   }
+  ++version_;
+}
+
+void Tree::RebuildPostorder() const {
+  const int32_t n = size();
+  post_of_.resize(n);
+  node_at_post_.resize(n);
+  size_at_post_.resize(n);
+  label_at_post_.resize(n);
+  columns_version_ = version_;
+  if (n == 0) return;
+  // Mirror-preorder emitted at descending positions is postorder: pop v,
+  // place it at the highest free slot, push its children left-to-right so
+  // subtrees are visited rightmost-first.  Read ascending, the result lists
+  // every child subtree left-to-right before its parent.
+  dfs_stack_.clear();
+  dfs_stack_.push_back(0);
+  int32_t next = n - 1;
+  while (!dfs_stack_.empty()) {
+    NodeId v = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    post_of_[v] = next;
+    node_at_post_[next] = v;
+    label_at_post_[next] = labels_[v];
+    --next;
+    for (NodeId c = first_child_[v]; c != kNoNode; c = next_sibling_[c]) {
+      dfs_stack_.push_back(c);
+    }
+  }
+  assert(next == -1 && "postorder pass must visit every node");
+  // Subtree sizes in one reverse pass over ids (parents precede children),
+  // using the DFS stack buffer as by-id scratch before scattering into
+  // postorder coordinates.
+  dfs_stack_.assign(n, 1);
+  for (NodeId v = n - 1; v >= 1; --v) dfs_stack_[parents_[v]] += dfs_stack_[v];
+  for (NodeId v = 0; v < n; ++v) size_at_post_[post_of_[v]] = dfs_stack_[v];
 }
 
 NodeId Tree::Graft(NodeId parent, const Tree& subtree, NodeId subtree_root) {
@@ -120,6 +181,12 @@ int32_t Tree::depth() const {
 }
 
 bool Tree::IsProperAncestor(NodeId ancestor, NodeId v) const {
+  // When the postorder index is current this is a span-inclusion test;
+  // otherwise walk the parent chain rather than paying an O(n) rebuild for
+  // one query.
+  if (columns_version_ == version_) {
+    return View().IsProperAncestor(ancestor, v);
+  }
   for (NodeId u = parents_[v]; u != kNoNode; u = parents_[u]) {
     if (u == ancestor) return true;
   }

@@ -1,15 +1,33 @@
-// Node-labelled, rooted, unranked, ordered trees (Section 2.1 of the paper).
+// Node-labelled, rooted, unranked, ordered trees (Section 2.1 of the paper),
+// stored as postorder-indexable columnar arrays.
 //
-// Trees are stored in a flat arena: node 0 is the root and every node records
-// its parent, first child and next sibling.  Nodes are created in document
-// order (a parent is always created before its children), which many
-// algorithms in this library exploit: iterating node ids `0..size()-1` is a
-// pre-order traversal, iterating them backwards visits children before
-// parents (bottom-up).
+// Trees are stored as a struct-of-arrays arena: node 0 is the root and every
+// node records its parent, first child and next sibling in parallel columns.
+// Nodes are created parents-before-children, which many algorithms exploit:
+// iterating node ids `size()-1..0` visits children before parents
+// (bottom-up).  Builders that emit depth-first (document) order — the
+// canonical-model builder, the tree parser — additionally get contiguous
+// subtree id ranges, which `TruncateTo` relies on.
+//
+// On top of the creation-order columns the tree maintains a *postorder
+// index*: derived columns mapping node ids to postorder positions and back,
+// with per-position subtree sizes and labels.  In postorder coordinates the
+// subtree of the node at position `i` is exactly the contiguous span
+// `[i - subtree_size + 1, i]`, so bottom-up dynamic programs (the embedding
+// matcher, NTA runs) stream the tree linearly instead of chasing
+// first-child/next-sibling pointers, and ancestor tests become O(1) span
+// inclusions.  The index is computed lazily by `View()` and invalidated by
+// every mutation; `TreeView` exposes it as raw spans.
+//
+// `View()` is lazy and cached: the *first* call after a mutation writes the
+// cache, so it is not safe to race.  Callers that share a const tree across
+// threads must call `View()` (or run any evaluation) once before publishing
+// the tree; every subsequent concurrent `View()` is a pure read.
 
 #ifndef TPC_TREE_TREE_H_
 #define TPC_TREE_TREE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,6 +40,74 @@ namespace tpc {
 using NodeId = int32_t;
 
 inline constexpr NodeId kNoNode = -1;
+
+/// Read-only raw-span view of a tree's columns plus its postorder index.
+/// Invalidated by any mutation of the owning tree (re-obtain via
+/// `Tree::View()`); cheap to copy (pointers + size).
+///
+/// Two coordinate systems coexist: *node ids* (creation order, what the
+/// `Tree` API speaks) and *postorder positions* `0..size()-1` (leaves before
+/// parents, root last).  `PostOf` / `NodeAtPost` translate between them.
+class TreeView {
+ public:
+  int32_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Postorder position of node `v`.
+  int32_t PostOf(NodeId v) const { return post_of_[v]; }
+  /// Node id occupying postorder position `i`.
+  NodeId NodeAtPost(int32_t i) const { return node_at_post_[i]; }
+  /// Number of nodes in the subtree rooted at the node at position `i`.
+  int32_t SubtreeSizeAtPost(int32_t i) const { return size_at_post_[i]; }
+  /// Number of nodes in `subtree(v)`.
+  int32_t SubtreeSize(NodeId v) const { return size_at_post_[post_of_[v]]; }
+  /// Label of the node at postorder position `i`.
+  LabelId LabelAtPost(int32_t i) const { return label_at_post_[i]; }
+  /// Parent of node `v` (kNoNode for the root).
+  NodeId Parent(NodeId v) const { return parent_[v]; }
+  LabelId Label(NodeId v) const { return labels_[v]; }
+
+  /// First position of the subtree span ending at position `i`:
+  /// `subtree` = `[SpanBegin(i), i]`, with `i` the subtree's root.
+  int32_t SpanBegin(int32_t i) const { return i - size_at_post_[i] + 1; }
+
+  /// O(1) ancestorship via span inclusion: `v` is in `subtree(a)` iff its
+  /// postorder position falls inside a's span.
+  bool IsAncestorOrSelf(NodeId a, NodeId v) const {
+    int32_t pa = post_of_[a];
+    int32_t pv = post_of_[v];
+    return SpanBegin(pa) <= pv && pv <= pa;
+  }
+  bool IsProperAncestor(NodeId a, NodeId v) const {
+    return a != v && IsAncestorOrSelf(a, v);
+  }
+
+  /// Iterates the child *roots* of the subtree span ending at `i`, right to
+  /// left: the last child's root sits at `i-1`, and each previous sibling's
+  /// root is found by skipping the intervening subtree span.  Usage:
+  ///   for (int32_t c = view.LastChild(i); c >= view.SpanBegin(i);
+  ///        c = view.PrevSibling(c)) { ... }
+  int32_t LastChild(int32_t i) const { return i - 1; }
+  int32_t PrevSibling(int32_t c) const { return c - size_at_post_[c]; }
+
+  // Raw spans (length `size()`), for kernels that index directly.
+  const LabelId* labels() const { return labels_; }
+  const NodeId* parent() const { return parent_; }
+  const int32_t* post_of() const { return post_of_; }
+  const NodeId* node_at_post() const { return node_at_post_; }
+  const int32_t* size_at_post() const { return size_at_post_; }
+  const LabelId* label_at_post() const { return label_at_post_; }
+
+ private:
+  friend class Tree;
+  const LabelId* labels_ = nullptr;
+  const NodeId* parent_ = nullptr;
+  const int32_t* post_of_ = nullptr;
+  const NodeId* node_at_post_ = nullptr;
+  const int32_t* size_at_post_ = nullptr;
+  const LabelId* label_at_post_ = nullptr;
+  int32_t n_ = 0;
+};
 
 /// A finite node-labelled ordered tree.
 ///
@@ -45,6 +131,7 @@ class Tree {
     first_child_.clear();
     next_sibling_.clear();
     last_child_.clear();
+    ++version_;
   }
 
   /// Adds a new rightmost child of `parent`.  Returns its id.
@@ -56,6 +143,8 @@ class Tree {
   /// whole subtrees and the only dangling links are on the ancestor path of
   /// the cut, which this repairs in O(depth).  `CanonicalTreeBuilder` emits
   /// trees this way; trees built in other orders must not be truncated.
+  /// Debug builds validate the precondition (`IsDfsOrdered`) and abort on
+  /// violation instead of silently corrupting sibling links.
   void TruncateTo(int32_t new_size);
 
   /// Grafts a copy of `subtree` as a new rightmost child of `parent`
@@ -67,11 +156,47 @@ class Tree {
   bool empty() const { return labels_.empty(); }
 
   LabelId Label(NodeId v) const { return labels_[v]; }
-  void SetLabel(NodeId v, LabelId label) { labels_[v] = label; }
+  void SetLabel(NodeId v, LabelId label) {
+    labels_[v] = label;
+    ++version_;  // the postorder label column mirrors labels_
+  }
   NodeId Parent(NodeId v) const { return parents_[v]; }
   NodeId FirstChild(NodeId v) const { return first_child_[v]; }
   NodeId NextSibling(NodeId v) const { return next_sibling_[v]; }
   bool IsLeaf(NodeId v) const { return first_child_[v] == kNoNode; }
+
+  /// The postorder index over the current tree, computed on first use after
+  /// a mutation and cached (see the thread-safety note in the file header).
+  /// Returned by value — a handful of span pointers — so the view survives
+  /// copies/moves of the `Tree`; its *pointers* are invalidated by the next
+  /// mutation (or destruction) of this tree.
+  TreeView View() const {
+    if (columns_version_ != version_) RebuildPostorder();
+    TreeView view;
+    view.labels_ = labels_.data();
+    view.parent_ = parents_.data();
+    view.post_of_ = post_of_.data();
+    view.node_at_post_ = node_at_post_.data();
+    view.size_at_post_ = size_at_post_.data();
+    view.label_at_post_ = label_at_post_.data();
+    view.n_ = size();
+    return view;
+  }
+
+  /// Bytes occupied by the columnar storage — creation-order columns plus
+  /// the derived postorder columns — for `TrackedBytes` accounting by
+  /// consumers that evaluate against this tree under a memory budget (the
+  /// matcher charges this alongside its DP tables).
+  int64_t ColumnBytes() const {
+    return static_cast<int64_t>(size()) *
+           static_cast<int64_t>(5 * sizeof(NodeId) + 2 * sizeof(LabelId) +
+                                2 * sizeof(int32_t));
+  }
+
+  /// True iff nodes were created in depth-first (document) order, i.e. every
+  /// subtree occupies a contiguous id range.  O(size); the `TruncateTo`
+  /// precondition, debug-asserted there.
+  bool IsDfsOrdered() const;
 
   /// Children of `v`, left to right.
   std::vector<NodeId> Children(NodeId v) const;
@@ -101,12 +226,25 @@ class Tree {
  private:
   bool EqualsUnorderedAt(NodeId v, const Tree& other, NodeId w) const;
   void AppendTerm(NodeId v, const LabelPool& pool, std::string* out) const;
+  void RebuildPostorder() const;
 
+  // Creation-order columns (index = node id).
   std::vector<LabelId> labels_;
   std::vector<NodeId> parents_;
   std::vector<NodeId> first_child_;
   std::vector<NodeId> next_sibling_;
   std::vector<NodeId> last_child_;  // for O(1) AddChild
+
+  // Derived postorder columns, rebuilt lazily by View().  `version_` bumps
+  // on every mutation; `columns_version_` records the version the cache was
+  // built at.  Mutable: View() is logically const.
+  mutable std::vector<int32_t> post_of_;      // node id -> postorder position
+  mutable std::vector<NodeId> node_at_post_;  // postorder position -> node id
+  mutable std::vector<int32_t> size_at_post_;  // subtree size, by position
+  mutable std::vector<LabelId> label_at_post_;  // label, by position
+  mutable std::vector<NodeId> dfs_stack_;       // RebuildPostorder scratch
+  mutable uint64_t columns_version_ = 0;
+  uint64_t version_ = 1;
 };
 
 }  // namespace tpc

@@ -132,5 +132,61 @@ TEST(TreeTest, DeepTreeDepth) {
   EXPECT_EQ(t.Depth(v), 100);
 }
 
+TEST(TreeTest, IsDfsOrdered) {
+  LabelPool pool;
+  // The parser emits depth-first document order.
+  EXPECT_TRUE(MustParseTree("a(b(c,d),e)", &pool).IsDfsOrdered());
+  EXPECT_TRUE(MustParseTree("a", &pool).IsDfsOrdered());
+  // Attaching to an interior node after a sibling subtree was emitted breaks
+  // subtree-range contiguity.
+  Tree t(pool.Intern("a"));
+  NodeId b = t.AddChild(0, pool.Intern("b"));
+  t.AddChild(0, pool.Intern("c"));
+  EXPECT_TRUE(t.IsDfsOrdered());
+  t.AddChild(b, pool.Intern("d"));  // d's id is outside b's old range
+  EXPECT_FALSE(t.IsDfsOrdered());
+}
+
+TEST(TreeTest, ViewPostorderBasics) {
+  LabelPool pool;
+  // a(b(c,d),e): postorder c,d,b,e,a — ids 0=a,1=b,2=c,3=d,4=e.
+  Tree t = MustParseTree("a(b(c,d),e)", &pool);
+  TreeView view = t.View();
+  ASSERT_EQ(view.size(), 5);
+  EXPECT_EQ(view.PostOf(0), 4);  // root last
+  EXPECT_EQ(view.PostOf(2), 0);  // leftmost leaf first
+  EXPECT_EQ(view.PostOf(3), 1);
+  EXPECT_EQ(view.PostOf(1), 2);
+  EXPECT_EQ(view.PostOf(4), 3);
+  for (int32_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view.PostOf(view.NodeAtPost(i)), i);
+    EXPECT_EQ(view.LabelAtPost(i), t.Label(view.NodeAtPost(i)));
+  }
+  EXPECT_EQ(view.SubtreeSize(0), 5);
+  EXPECT_EQ(view.SubtreeSize(1), 3);
+  EXPECT_EQ(view.SubtreeSize(2), 1);
+  // Subtree spans: b's subtree is positions [0, 2].
+  EXPECT_EQ(view.SpanBegin(view.PostOf(1)), 0);
+  EXPECT_TRUE(view.IsAncestorOrSelf(1, 3));
+  EXPECT_TRUE(view.IsProperAncestor(0, 4));
+  EXPECT_FALSE(view.IsProperAncestor(1, 4));
+  EXPECT_FALSE(view.IsProperAncestor(2, 3));
+}
+
+TEST(TreeTest, ViewFollowsMutationAndTruncate) {
+  LabelPool pool;
+  Tree t = MustParseTree("a(b(c,d),e)", &pool);
+  TreeView before = t.View();
+  EXPECT_EQ(before.SubtreeSize(0), 5);
+  t.TruncateTo(4);  // drop e
+  TreeView after = t.View();
+  EXPECT_EQ(after.size(), 4);
+  EXPECT_EQ(after.SubtreeSize(0), 4);
+  EXPECT_EQ(after.PostOf(0), 3);
+  t.AddChild(0, pool.Intern("f"));
+  EXPECT_EQ(t.View().SubtreeSize(0), 5);
+  EXPECT_EQ(t.ToString(pool), "a(b(c,d),f)");
+}
+
 }  // namespace
 }  // namespace tpc
