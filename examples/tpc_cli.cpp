@@ -29,6 +29,9 @@
 //   --no-antichain   disable the schema engine's subsumption pruning (A/B)
 //   --no-word-parallel  scalar embedding-DP fill instead of the word-parallel
 //                    kernel (A/B: verdicts must be identical)
+//   --no-compile     never lower patterns to flat matcher programs
+//                    (src/compile/); always use the generic embedding DP
+//                    (A/B: verdicts must be identical)
 //   --fault-exhaust-at <n> / --fault-alloc-at <k> / --fault-cancel-at <n>
 //                    deterministic fault injection (chaos drills): force
 //                    budget exhaustion at the nth charge, fail the kth
@@ -110,6 +113,7 @@ int Usage() {
                "                   schema-engine saturation rounds)\n"
                "  --no-antichain   disable schema-engine subsumption pruning\n"
                "  --no-word-parallel  scalar embedding-DP fill (A/B)\n"
+               "  --no-compile     disable compiled matcher programs (A/B)\n"
                "  --fault-exhaust-at <n>  force exhaustion at the nth charge\n"
                "  --fault-alloc-at <k>    fail the kth tracked allocation\n"
                "  --fault-cancel-at <n>   cancel at the nth charge\n");
@@ -190,6 +194,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--no-word-parallel") == 0) {
       contain_options.word_parallel = false;
       service_options.containment.word_parallel = false;
+    } else if (std::strcmp(argv[i], "--no-compile") == 0) {
+      contain_options.compiled_matcher = false;
+      service_options.containment.compiled_matcher = false;
     } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
       batch_file = argv[++i];
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {

@@ -8,9 +8,17 @@
 #     cells, including the antichain on/off A/B twins) into
 #     BENCH_table45.json, and
 #   * bench_service (the query-service fast path: zipf stream baseline vs
-#     cold vs warm cache, and the probe-prefilter vs sweep A/B on the coNP
-#     refutation family, with `dp_words_folded` recorded per run) into
-#     BENCH_service.json
+#     cold vs warm cache — the warm run now twinned with a no-compile axis
+#     (BM_Service_ZipfWarmNoCompile) so the compiled matcher programs'
+#     contribution is separable — and the probe-prefilter vs sweep A/B on
+#     the coNP refutation family, with `dp_words_folded` and the
+#     `programs_compiled`/`program_exec_hits` counters recorded per run)
+#     into BENCH_service.json, and
+#   * bench_compile (pattern compilation: compile latency, the compiled vs
+#     generic per-decision DP work units — `folded_per_decision` must be
+#     >= 5x smaller compiled — and the zipf steady state, which must report
+#     `programs_compiled_steady` == 0, i.e. compile cost fully amortized
+#     into warmup) into BENCH_compile.json
 # at the repo root, for before/after comparison across PRs.
 #
 # Usage: scripts/bench_baseline.sh [benchmark_filter_regex]
@@ -25,7 +33,8 @@ cmake --preset release
 cmake --build --preset release -j "$(nproc)" \
   --target bench_table1_containment \
   --target bench_table45_schema_containment \
-  --target bench_service
+  --target bench_service \
+  --target bench_compile
 
 ./build/bench/bench_table1_containment \
   --benchmark_filter="$filter" \
@@ -50,3 +59,11 @@ echo "wrote $(pwd)/BENCH_table45.json"
   --benchmark_format=console
 
 echo "wrote $(pwd)/BENCH_service.json"
+
+./build/bench/bench_compile \
+  --benchmark_filter="$filter" \
+  --benchmark_out=BENCH_compile.json \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "wrote $(pwd)/BENCH_compile.json"

@@ -18,11 +18,17 @@
 #                                    property suite under asan AND ubsan
 #                                    (out-of-bounds column reads and shift
 #                                    UB in the fold kernels)
+#   scripts/check.sh compile         the pattern-compilation gate: the
+#                                    compiled-vs-generic agreement suite and
+#                                    the program-cache suite under asan AND
+#                                    ubsan (bit/shift UB in the fused ops,
+#                                    lifetime bugs in the shared programs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAULT_TESTS='fault_injection_test|exhaustion_audit_test|parser_mutation_test|service_fault_test'
 LAYOUT_TESTS='tree_view_test|word_parallel_agreement_test|matcher_property_test'
+COMPILE_TESTS='compiled_agreement_test|program_cache_test'
 
 run_preset() {
   local preset="$1"; shift
@@ -46,6 +52,12 @@ elif [[ $1 == layout ]]; then
     run_preset "$preset" -R "$LAYOUT_TESTS"
   done
   exit 0
+elif [[ $1 == compile ]]; then
+  echo "== pattern-compilation gate (compiled-vs-generic under asan + ubsan) =="
+  for preset in asan ubsan; do
+    run_preset "$preset" -R "$COMPILE_TESTS"
+  done
+  exit 0
 else
   presets=("$1")
 fi
@@ -53,7 +65,7 @@ fi
 for preset in "${presets[@]}"; do
   case "$preset" in
     asan|tsan|ubsan|release) ;;
-    *) echo "usage: $0 [asan|tsan|ubsan|release|faults|layout]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|ubsan|release|faults|layout|compile]" >&2; exit 2 ;;
   esac
 done
 

@@ -1,8 +1,15 @@
 #include "base/label.h"
 
+#include <atomic>
+
 namespace tpc {
 
-LabelPool::LabelPool() {
+uint64_t LabelPool::NextGeneration() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+LabelPool::LabelPool() : generation_(NextGeneration()) {
   // The wildcard is pre-interned so that kWildcard == 0 in every pool.
   Intern("*");
 }
@@ -12,6 +19,10 @@ LabelPool::LabelPool(LabelPool&& other) noexcept {
   names_ = std::move(other.names_);
   ids_ = std::move(other.ids_);
   fresh_counter_ = other.fresh_counter_;
+  // The generation travels with the mapping; the moved-from pool is a new
+  // (empty) mapping and must not keep answering for the old identity.
+  generation_ = other.generation_;
+  other.generation_ = NextGeneration();
 }
 
 LabelPool& LabelPool::operator=(LabelPool&& other) noexcept {
@@ -20,6 +31,8 @@ LabelPool& LabelPool::operator=(LabelPool&& other) noexcept {
   names_ = std::move(other.names_);
   ids_ = std::move(other.ids_);
   fresh_counter_ = other.fresh_counter_;
+  generation_ = other.generation_;
+  other.generation_ = NextGeneration();
   return *this;
 }
 

@@ -60,13 +60,24 @@ class LabelPool {
   /// far; spelled `prefix`, `prefix'`, `prefix''`, ... until fresh.
   LabelId Fresh(std::string_view prefix);
 
+  /// Process-unique identity of this pool's id ↔ spelling mapping.  Two
+  /// pools never share a generation, and moving a pool moves the generation
+  /// *with the mapping* (the moved-from pool gets a fresh one).  Caches keyed
+  /// on hashes of interned ids — the minimize memo, the compiled-program
+  /// pool — fold the generation into their keys, so entries built against
+  /// one pool can never be served for numerically identical ids of another
+  /// (e.g. after a workload move-assigns a fresh pool between batches).
+  uint64_t generation() const { return generation_; }
+
  private:
   LabelId InternLocked(std::string_view name);
+  static uint64_t NextGeneration();
 
   mutable std::mutex mu_;
   std::deque<std::string> names_;
   std::unordered_map<std::string, LabelId> ids_;
   uint64_t fresh_counter_ = 0;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace tpc

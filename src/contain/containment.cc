@@ -6,10 +6,13 @@
 #include <limits>
 #include <mutex>
 
+#include "compile/matcher_program.h"
+#include "compile/program_cache.h"
 #include "contain/homomorphism.h"
 #include "match/embedding.h"
 #include "pattern/canonical.h"
 #include "pattern/normalize.h"
+#include "pattern/tpq_hash.h"
 
 namespace tpc {
 
@@ -37,6 +40,81 @@ bool Matches(const Tpq& q, const Tree& t, Mode mode, EngineStats* stats,
                                : matcher.MatchesWeak();
 }
 
+ProgramKey KeyFor(const Tpq& q, Mode mode, LabelPool* pool) {
+  return ProgramKey{CanonicalTpqHash(q), pool->generation(),
+                    static_cast<uint32_t>(mode)};
+}
+
+/// Compiled program for a canonical-enumeration sweep.  Sweeps compile
+/// unconditionally (one sweep executes the program across the whole
+/// length-vector space, amortizing the compile internally), but still go
+/// through `options.program_cache` when one is wired so repeated hot sweeps
+/// skip the compile and later single-tree requests start warm.  Null means:
+/// use the generic DP (disabled, >64 nodes, or the soft compile charge was
+/// refused — never an error, never an exhausted budget).
+std::shared_ptr<const MatcherProgram> SweepProgram(
+    const Tpq& q, Mode mode, LabelPool* pool, EngineContext* ctx,
+    const ContainmentOptions& options) {
+  if (!options.compiled_matcher || !MatcherProgram::Compilable(q)) {
+    return nullptr;
+  }
+  ProgramCache* cache = options.program_cache;
+  if (cache == nullptr) {
+    // Uncached program: lives for this sweep only, charged to this context.
+    return MatcherProgram::Compile(q, &ctx->budget(), &ctx->stats());
+  }
+  const ProgramKey key = KeyFor(q, mode, pool);
+  bool should_compile = false;
+  if (auto program = cache->Get(key, &should_compile)) return program;
+  auto program =
+      MatcherProgram::Compile(q, cache->budget(), &ctx->stats());
+  if (program != nullptr) {
+    ctx->stats().program_cache_evictions.fetch_add(
+        cache->Put(key, program), std::memory_order_relaxed);
+  }
+  return program;
+}
+
+/// Compiled program for the single-tree routes (minimal/single canonical).
+/// Here a compile only pays off across *calls*, so it is gated on the
+/// cache's hotness threshold: no cache, or a key that has not been seen
+/// `compile_threshold` times, means the generic DP.
+std::shared_ptr<const MatcherProgram> HotProgram(
+    const Tpq& q, Mode mode, LabelPool* pool, EngineContext* ctx,
+    const ContainmentOptions& options) {
+  ProgramCache* cache = options.program_cache;
+  if (!options.compiled_matcher || cache == nullptr ||
+      !MatcherProgram::Compilable(q)) {
+    return nullptr;
+  }
+  const ProgramKey key = KeyFor(q, mode, pool);
+  bool should_compile = false;
+  auto program = cache->Get(key, &should_compile);
+  if (program != nullptr || !should_compile) return program;
+  program = MatcherProgram::Compile(q, cache->budget(), &ctx->stats());
+  if (program != nullptr) {
+    ctx->stats().program_cache_evictions.fetch_add(
+        cache->Put(key, program), std::memory_order_relaxed);
+  }
+  return program;
+}
+
+/// `Matches` with the compiled fast path in front: when the pattern is hot
+/// a pooled `ProgramExec` answers from the flat program; otherwise (or when
+/// the soft scratch charge is refused) the generic matcher decides.
+bool MatchesRouted(const Tpq& q, const Tree& t, Mode mode, LabelPool* pool,
+                   EngineContext* ctx, const ContainmentOptions& options) {
+  if (auto program = HotProgram(q, mode, pool, ctx, options)) {
+    auto exec = ctx->scratch().Acquire<ProgramExec>();
+    if (exec->ChargeRun(t, &ctx->budget())) {
+      const MatcherProgram::ExecResult r =
+          exec->Run(*program, t, &ctx->stats());
+      return mode == Mode::kStrong ? r.strong : r.weak;
+    }
+  }
+  return Matches(q, t, mode, &ctx->stats(), options.word_parallel);
+}
+
 /// Returns a copy of `q` with the root label replaced.
 Tpq WithRootLabel(const Tpq& q, LabelId label) {
   Tpq out = q;
@@ -61,15 +139,21 @@ void MarkExhausted(ContainmentResult* result, EngineContext* ctx) {
 
 /// One incremental-sweep step shared by the sequential and parallel sweeps:
 /// (re)builds the canonical model for the enumerator's current length vector,
-/// charges the budget, and (re)runs the embedding DP in `ws`.  When
+/// charges the budget, and (re)runs the embedding DP — in `psweep` when the
+/// sweep holds a compiled `program`, in the generic `ws` otherwise.  When
 /// `incremental` and this is not the first iteration on this
-/// (builder, ws, scratch) triple, only the suffix from the first changed
-/// spine is rebuilt and only the invalidated DP columns are refilled.
-/// Returns the `Matches` verdict, or std::nullopt when the budget ran out
-/// (the tree is built but not evaluated, mirroring the from-scratch path).
+/// (builder, executor, scratch) triple, only the suffix from the first
+/// changed spine is rebuilt and only the invalidated DP columns are
+/// refilled.  Returns the `Matches` verdict, or std::nullopt when the budget
+/// ran out (the tree is built but not evaluated, mirroring the from-scratch
+/// path).  The compiled and generic twins charge identical table bytes for
+/// compilable (single-word) patterns, so exhaustion points agree across A/B
+/// runs.
 std::optional<bool> SweepStep(const Tpq& q, Mode mode,
                               CanonicalTreeBuilder* builder,
-                              MatcherWorkspace* ws, Tree* scratch,
+                              const MatcherProgram* program,
+                              ProgramSweep* psweep, MatcherWorkspace* ws,
+                              Tree* scratch,
                               const CanonicalLengthEnumerator& lengths,
                               bool fresh, bool incremental, bool word_parallel,
                               EngineContext* ctx) {
@@ -84,10 +168,19 @@ std::optional<bool> SweepStep(const Tpq& q, Mode mode,
   } else {
     builder->BuildFull(lengths.lengths(), scratch);
   }
-  if (!ctx->budget().Charge(TreeCost(q, *scratch)) ||
-      !ws->ChargeTables(q, *scratch, &ctx->budget())) {
-    return std::nullopt;
+  if (!ctx->budget().Charge(TreeCost(q, *scratch))) return std::nullopt;
+  if (program != nullptr) {
+    if (!psweep->ChargeTables(*scratch, &ctx->budget())) return std::nullopt;
+    if (suffix_only) {
+      psweep->EvalIncremental(*program, *scratch,
+                              builder->spine_start(first_changed), &stats);
+    } else {
+      psweep->EvalFull(*program, *scratch, &stats);
+    }
+    return mode == Mode::kStrong ? psweep->MatchesStrong()
+                                 : psweep->MatchesWeak();
   }
+  if (!ws->ChargeTables(q, *scratch, &ctx->budget())) return std::nullopt;
   if (suffix_only) {
     ws->EvalIncremental(q, *scratch, builder->spine_start(first_changed),
                         &stats, word_parallel);
@@ -98,22 +191,27 @@ std::optional<bool> SweepStep(const Tpq& q, Mode mode,
 }
 
 /// Sequential sweep over the whole length-vector space, reusing one scratch
-/// tree and one matcher workspace across iterations.
+/// tree and one matcher executor (compiled or generic) across iterations.
 ContainmentResult SequentialSweep(const Tpq& p, const Tpq& q, Mode mode,
                                   LabelId bottom, size_t num_edges,
-                                  int32_t bound, bool incremental,
-                                  bool word_parallel, EngineContext* ctx) {
+                                  int32_t bound, LabelPool* pool,
+                                  const ContainmentOptions& options,
+                                  EngineContext* ctx) {
   ContainmentResult result;
   result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
   CanonicalTreeBuilder builder(p, bottom);
+  std::shared_ptr<const MatcherProgram> program =
+      SweepProgram(q, mode, pool, ctx, options);
+  ProgramSweep psweep;
   MatcherWorkspace ws;
   Tree scratch;
   CanonicalLengthEnumerator lengths(num_edges, bound);
   bool fresh = true;
   do {
     std::optional<bool> matched =
-        SweepStep(q, mode, &builder, &ws, &scratch, lengths, fresh,
-                  incremental, word_parallel, ctx);
+        SweepStep(q, mode, &builder, program.get(), &psweep, &ws, &scratch,
+                  lengths, fresh, options.incremental, options.word_parallel,
+                  ctx);
     fresh = false;
     if (!matched.has_value()) {
       MarkExhausted(&result, ctx);
@@ -136,10 +234,14 @@ ContainmentResult SequentialSweep(const Tpq& p, const Tpq& q, Mode mode,
 ContainmentResult ParallelSweep(const Tpq& p, const Tpq& q, Mode mode,
                                 LabelId bottom, size_t num_edges,
                                 int32_t bound, uint64_t total, uint64_t chunk,
-                                bool incremental, bool word_parallel,
+                                LabelPool* pool,
+                                const ContainmentOptions& options,
                                 EngineContext* ctx) {
   ContainmentResult result;
   result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
+  // One immutable program shared by every worker (executors are per-chunk).
+  std::shared_ptr<const MatcherProgram> program =
+      SweepProgram(q, mode, pool, ctx, options);
   // The caller guarantees chunk >= 1 and total + chunk - 1 <= INT64_MAX, so
   // neither the rounding below nor the int64 cast can overflow.
   const uint64_t num_chunks = (total + chunk - 1) / chunk;
@@ -156,17 +258,19 @@ ContainmentResult ParallelSweep(const Tpq& p, const Tpq& q, Mode mode,
         uint64_t end = std::min(begin + chunk, total);
         CanonicalLengthEnumerator lengths(num_edges, bound);
         lengths.SeekTo(begin);
-        // Builder, workspace and scratch tree live for the whole chunk, so
+        // Builder, executor and scratch tree live for the whole chunk, so
         // within a chunk every step after the first runs incrementally.
         CanonicalTreeBuilder builder(p, bottom);
+        ProgramSweep psweep;
         MatcherWorkspace ws;
         Tree scratch;
         bool fresh = true;
         for (uint64_t i = begin; i < end; ++i) {
           if (stop.load(std::memory_order_relaxed)) return;
           std::optional<bool> matched =
-              SweepStep(q, mode, &builder, &ws, &scratch, lengths, fresh,
-                        incremental, word_parallel, ctx);
+              SweepStep(q, mode, &builder, program.get(), &psweep, &ws,
+                        &scratch, lengths, fresh, options.incremental,
+                        options.word_parallel, ctx);
           fresh = false;
           if (!matched.has_value()) {
             out_of_budget.store(true, std::memory_order_relaxed);
@@ -287,7 +391,7 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
         return result;
       }
       result.contained =
-          Matches(qn, t, Mode::kWeak, &stats, options.word_parallel);
+          MatchesRouted(qn, t, Mode::kWeak, pool, ctx, options);
       if (!result.contained) {
         result.counterexample = std::move(t);
         result.counterexample_lengths =
@@ -307,7 +411,7 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
         return result;
       }
       result.contained =
-          Matches(qn, t, Mode::kWeak, &stats, options.word_parallel);
+          MatchesRouted(qn, t, Mode::kWeak, pool, ctx, options);
       if (!result.contained) {
         result.counterexample = std::move(t);
         result.counterexample_lengths =
@@ -359,10 +463,10 @@ ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
       *total >= static_cast<uint64_t>(ctx->config().parallel_threshold) &&
       *total <= max_parallel_total) {
     return ParallelSweep(p, q, mode, bottom, num_edges, bound, *total, chunk,
-                         options.incremental, options.word_parallel, ctx);
+                         pool, options, ctx);
   }
-  return SequentialSweep(p, q, mode, bottom, num_edges, bound,
-                         options.incremental, options.word_parallel, ctx);
+  return SequentialSweep(p, q, mode, bottom, num_edges, bound, pool, options,
+                         ctx);
 }
 
 ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,

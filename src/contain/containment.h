@@ -35,6 +35,8 @@
 
 namespace tpc {
 
+class ProgramCache;
+
 enum class Mode { kWeak, kStrong };
 
 /// Which decision procedure the dispatcher selected (for logging, tests and
@@ -95,6 +97,21 @@ struct ContainmentOptions {
   /// flag exists for A/B benchmarks and the agreement suites
   /// (`tpc_cli --no-word-parallel`).
   bool word_parallel = true;
+  /// If true (default) patterns with at most 64 nodes may be lowered to a
+  /// flat `MatcherProgram` (src/compile/) executed over the tree's postorder
+  /// columns instead of the generic DP fill.  Canonical sweeps compile
+  /// unconditionally (one sweep amortizes the compile internally); the
+  /// single-tree routes compile only once `program_cache` reports the
+  /// pattern hot.  Verdicts are bit-identical either way — the flag exists
+  /// for A/B benchmarks and the agreement suites (`tpc_cli --no-compile`).
+  bool compiled_matcher = true;
+  /// Number of sightings of a `(pattern, pool, mode)` key in
+  /// `program_cache` before the single-tree routes pay the compile.
+  int32_t compile_threshold = 4;
+  /// Optional pool of compiled programs shared across calls (the query
+  /// service owns one beside its verdict cache).  Null means: sweeps still
+  /// compile per call, single-tree routes never do (no hotness evidence).
+  ProgramCache* program_cache = nullptr;
 };
 
 /// Decides L(p) ⊆ L(q) (weak or strong languages per `mode`) under the

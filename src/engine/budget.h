@@ -146,6 +146,17 @@ class Budget {
     return !exhausted_.load(std::memory_order_relaxed);
   }
 
+  /// Soft variant of `ChargeBytes` for *speculative* allocations that have a
+  /// non-allocating fallback (the pattern compiler's program tables: a
+  /// refused compile falls back to the generic DP).  On refusal — memory
+  /// limit, injected allocation fault, or an already-exhausted budget — the
+  /// bytes are refunded and the budget is NOT marked exhausted, so the
+  /// fallback path keeps running under the same budget.  Injected faults
+  /// still consume their allocation slot, so fault schedules stay
+  /// deterministic across hard and soft call sites.  Out of line: the
+  /// injector hook needs the injector's definition.
+  bool TryChargeBytes(int64_t n);
+
   /// Returns `n` tracked bytes (a consumer freeing its arenas).
   void ReleaseBytes(int64_t n) {
     bytes_.fetch_sub(n, std::memory_order_relaxed);

@@ -69,4 +69,26 @@ bool Budget::InjectAllocFault(FaultInjector* injector) {
   return false;
 }
 
+bool Budget::TryChargeBytes(int64_t n) {
+  if (n <= 0) return true;
+  const int64_t used = bytes_.fetch_add(n, std::memory_order_relaxed) + n;
+  bool ok = !exhausted_.load(std::memory_order_relaxed);
+  FaultInjector* injector = injector_.load(std::memory_order_relaxed);
+  if (ok && injector != nullptr && injector->OnAlloc()) ok = false;
+  const int64_t limit = memory_limit_.load(std::memory_order_relaxed);
+  if (ok && limit > 0 && used > limit) ok = false;
+  if (!ok) {
+    // Refund and stay un-exhausted: a refused speculative charge must leave
+    // the budget exactly as it found it (peak included).
+    bytes_.fetch_sub(n, std::memory_order_relaxed);
+    return false;
+  }
+  int64_t peak = bytes_peak_.load(std::memory_order_relaxed);
+  while (used > peak &&
+         !bytes_peak_.compare_exchange_weak(peak, used,
+                                            std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
 }  // namespace tpc

@@ -1,5 +1,10 @@
 #include "engine/stats.h"
 
+#include <algorithm>
+#include <string_view>
+#include <utility>
+#include <vector>
+
 namespace tpc {
 
 const char* const kDispatchAlgorithmNames[kNumDispatchAlgorithms] = {
@@ -30,91 +35,91 @@ void EngineStats::Reset() {
   prefilter_accepts.store(0, std::memory_order_relaxed);
   prefilter_refutes.store(0, std::memory_order_relaxed);
   batch_deduped.store(0, std::memory_order_relaxed);
+  programs_compiled.store(0, std::memory_order_relaxed);
+  program_exec_hits.store(0, std::memory_order_relaxed);
+  program_cache_evictions.store(0, std::memory_order_relaxed);
   for (auto& d : dispatch) d.store(0, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Appends `{"a": 1, "b": 2}` with the fields sorted by name, so the dump is
+/// independent of declaration order (stable bench diffs).
+void AppendGroup(std::vector<std::pair<const char*, int64_t>> fields,
+                 std::string* out) {
+  std::sort(fields.begin(), fields.end(), [](const auto& a, const auto& b) {
+    return std::string_view(a.first) < std::string_view(b.first);
+  });
+  *out += "{";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += std::string("\"") + fields[i].first +
+            "\": " + std::to_string(fields[i].second);
+  }
+  *out += "}";
+}
+
+}  // namespace
+
 std::string EngineStats::ToJson(const Budget& budget) const {
-  auto field = [](const char* key, int64_t value) {
-    return std::string("\"") + key + "\": " + std::to_string(value);
+  auto v = [](const std::atomic<int64_t>& counter) {
+    return counter.load(std::memory_order_relaxed);
   };
   std::string out = "{";
-  out += field("steps_used", budget.steps_used()) + ", ";
-  out += field("bytes_tracked", budget.bytes_used()) + ", ";
-  out += field("bytes_peak", budget.bytes_peak()) + ", ";
+  out += "\"steps_used\": " + std::to_string(budget.steps_used()) + ", ";
+  out += "\"bytes_tracked\": " + std::to_string(budget.bytes_used()) + ", ";
+  out += "\"bytes_peak\": " + std::to_string(budget.bytes_peak()) + ", ";
   out += std::string("\"exhaustion_reason\": \"") +
          ExhaustionReasonName(budget.reason()) + "\", ";
-  out += field("canonical_trees_enumerated",
-               canonical_trees_enumerated.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("embeddings_attempted",
-               embeddings_attempted.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("dp_cells_filled",
-               dp_cells_filled.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("dp_cells_reused",
-               dp_cells_reused.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("trees_rebuilt_from_spine",
-               trees_rebuilt_from_spine.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("dp_words_folded",
-               dp_words_folded.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("dp_rows_skipped",
-               dp_rows_skipped.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("homomorphism_checks",
-               homomorphism_checks.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("schema_configurations",
-               schema_configurations.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("horizontal_nodes",
-               horizontal_nodes.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("det_states_materialized",
-               det_states_materialized.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("nta_states_built",
-               nta_states_built.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("nta_transitions_built",
-               nta_transitions_built.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("configs_subsumed",
-               configs_subsumed.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("unions_memoized",
-               unions_memoized.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("state_sets_interned",
-               state_sets_interned.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("graph_dp_cells",
-               graph_dp_cells.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("cache_hits", cache_hits.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("cache_evictions",
-               cache_evictions.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("prefilter_accepts",
-               prefilter_accepts.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("prefilter_refutes",
-               prefilter_refutes.load(std::memory_order_relaxed)) +
-         ", ";
-  out += field("batch_deduped",
-               batch_deduped.load(std::memory_order_relaxed)) +
-         ", ";
-  out += "\"dispatch\": {";
-  for (int i = 0; i < kNumDispatchAlgorithms; ++i) {
-    if (i > 0) out += ", ";
-    out += field(kDispatchAlgorithmNames[i],
-                 dispatch[i].load(std::memory_order_relaxed));
+  out += "\"engine\": ";
+  AppendGroup(
+      {
+          {"canonical_trees_enumerated", v(canonical_trees_enumerated)},
+          {"configs_subsumed", v(configs_subsumed)},
+          {"det_states_materialized", v(det_states_materialized)},
+          {"dp_cells_filled", v(dp_cells_filled)},
+          {"dp_cells_reused", v(dp_cells_reused)},
+          {"dp_rows_skipped", v(dp_rows_skipped)},
+          {"dp_words_folded", v(dp_words_folded)},
+          {"embeddings_attempted", v(embeddings_attempted)},
+          {"graph_dp_cells", v(graph_dp_cells)},
+          {"homomorphism_checks", v(homomorphism_checks)},
+          {"horizontal_nodes", v(horizontal_nodes)},
+          {"nta_states_built", v(nta_states_built)},
+          {"nta_transitions_built", v(nta_transitions_built)},
+          {"schema_configurations", v(schema_configurations)},
+          {"state_sets_interned", v(state_sets_interned)},
+          {"trees_rebuilt_from_spine", v(trees_rebuilt_from_spine)},
+          {"unions_memoized", v(unions_memoized)},
+      },
+      &out);
+  out += ", \"cache\": ";
+  AppendGroup(
+      {
+          {"batch_deduped", v(batch_deduped)},
+          {"cache_evictions", v(cache_evictions)},
+          {"cache_hits", v(cache_hits)},
+          {"prefilter_accepts", v(prefilter_accepts)},
+          {"prefilter_refutes", v(prefilter_refutes)},
+      },
+      &out);
+  out += ", \"compile\": ";
+  AppendGroup(
+      {
+          {"program_cache_evictions", v(program_cache_evictions)},
+          {"program_exec_hits", v(program_exec_hits)},
+          {"programs_compiled", v(programs_compiled)},
+      },
+      &out);
+  out += ", \"dispatch\": ";
+  {
+    std::vector<std::pair<const char*, int64_t>> fields;
+    for (int i = 0; i < kNumDispatchAlgorithms; ++i) {
+      fields.emplace_back(kDispatchAlgorithmNames[i], v(dispatch[i]));
+    }
+    AppendGroup(std::move(fields), &out);
   }
-  out += "}}";
+  out += "}";
   return out;
 }
 

@@ -78,6 +78,17 @@ struct EngineStats {
   /// canonical pattern pair and mode).
   std::atomic<int64_t> batch_deduped{0};
 
+  // Compiled matcher programs (src/compile).
+  /// TPQs lowered into flat `MatcherProgram` bytecode by the pattern
+  /// compiler (cache misses past the hotness threshold, plus the per-sweep
+  /// compiles of the canonical enumeration).
+  std::atomic<int64_t> programs_compiled{0};
+  /// Tree evaluations answered by a compiled program instead of the generic
+  /// `MatcherWorkspace` fill.
+  std::atomic<int64_t> program_exec_hits{0};
+  /// Program-pool entries evicted under the pool's byte bound.
+  std::atomic<int64_t> program_cache_evictions{0};
+
   // Dispatcher choices, indexed by `ContainmentAlgorithm`.
   std::atomic<int64_t> dispatch[kNumDispatchAlgorithms]{};
 
@@ -86,7 +97,9 @@ struct EngineStats {
 
   /// One-line JSON object with every counter plus the budget's resource
   /// readings (steps, tracked bytes and peak, exhaustion reason) so one
-  /// dump describes the whole run.
+  /// dump describes the whole run.  Counters are grouped — `engine`, `cache`,
+  /// `compile`, `dispatch` — and sorted by name within each group, so dumps
+  /// diff stably across counter additions (bench reports rely on this).
   std::string ToJson(const Budget& budget) const;
 };
 

@@ -53,6 +53,18 @@ class TrackedBytes {
     return budget_->ChargeBytes(n);
   }
 
+  /// Soft charge for speculative allocations: accounts `n` bytes only when
+  /// the budget accepts them without tripping (`Budget::TryChargeBytes`).  A
+  /// refusal leaves *nothing* charged on this shim and does not exhaust the
+  /// budget, so the caller can fall back to a non-allocating path.  Injected
+  /// allocation faults still consume their slot on refusal.
+  bool TryCharge(int64_t n) {
+    if (n <= 0) return true;
+    if (budget_ != nullptr && !budget_->TryChargeBytes(n)) return false;
+    charged_.fetch_add(n, std::memory_order_relaxed);
+    return true;
+  }
+
   /// High-water charge: accounts only the growth of `total` beyond the
   /// largest total ever charged through this shim.  For containers that
   /// retain capacity across reuse.  Not thread-safe against concurrent

@@ -34,16 +34,25 @@ QueryService::QueryService(LabelPool* pool, EngineContext* ctx,
   // service must not outlive its context.
   memo_tracked_.Attach(&ctx->budget());
   probe_tracked_.Attach(&ctx->budget());
+  if (options_.containment.compiled_matcher) {
+    programs_ = std::make_unique<ProgramCache>(
+        options_.cache_shards, options_.program_cache_bytes,
+        options_.containment.compile_threshold, &ctx->budget());
+  }
 }
 
 std::shared_ptr<const QueryService::MinimizedEntry> QueryService::Minimized(
     const Tpq& pattern, Mode mode, const ContainmentOptions& options) {
   // The memo key is the raw canonical hash (mode-salted: minimization under
-  // weak and strong may differ).  Like the verdict cache's "contained"
-  // entries, hits are trusted on the 64-bit hash; see DESIGN.md.
+  // weak and strong may differ) folded with the pool generation — hashes
+  // are relative to one pool's id assignment, so a memo built against a
+  // replaced pool must miss rather than serve a stale minimization.  Like
+  // the verdict cache's "contained" entries, hits are trusted on the 64-bit
+  // hash; see DESIGN.md.
   const uint64_t memo_key =
       CanonicalTpqHash(pattern) ^
-      (mode == Mode::kStrong ? 0x94d049bb133111ebULL : 0);
+      (mode == Mode::kStrong ? 0x94d049bb133111ebULL : 0) ^
+      (pool_->generation() * 0xd6e8feb86659fd93ULL);
   {
     std::lock_guard<std::mutex> lock(minimize_mu_);
     auto it = minimize_memo_.find(memo_key);
@@ -105,6 +114,9 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
                                           Mode mode, bool in_worker) {
   ContainmentOptions options = options_.containment;
   if (in_worker) options.sequential_sweep = true;
+  // Share the program pool with the dispatcher: its sweeps publish compiled
+  // patterns here and its single-tree routes consult the hotness tracker.
+  options.program_cache = programs_.get();
   EngineStats& stats = ctx_->stats();
 
   std::shared_ptr<const MinimizedEntry> pm, qm;
@@ -119,7 +131,8 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
     qm = Minimized(q, mode, options);
     pp = &pm->pattern;
     qq = &qm->pattern;
-    key = VerdictKey{pm->hash, qm->hash, mode, options.bound};
+    key = VerdictKey{pm->hash, qm->hash, mode, options.bound,
+                     pool_->generation()};
     have_key = true;
     q_probe_hash = qm->hash;
     have_probe_hash = true;
@@ -201,20 +214,51 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
           probes.push_back(std::move(recorded));
         }
       }
+      // Compiled probe path: the probe loop evaluates one minimized q
+      // against a handful of canonical trees — exactly the single-tree
+      // shape the program pool's hotness threshold gates, so only patterns
+      // seen often enough pay the compile.
+      std::shared_ptr<const MatcherProgram> program;
+      if (programs_ != nullptr && MatcherProgram::Compilable(*qq)) {
+        const ProgramKey pkey{
+            have_probe_hash ? q_probe_hash : CanonicalTpqHash(*qq),
+            pool_->generation(), static_cast<uint32_t>(mode)};
+        bool should_compile = false;
+        program = programs_->Get(pkey, &should_compile);
+        if (program == nullptr && should_compile) {
+          program = MatcherProgram::Compile(*qq, programs_->budget(), &stats);
+          if (program != nullptr) {
+            stats.program_cache_evictions.fetch_add(
+                programs_->Put(pkey, program), std::memory_order_relaxed);
+          }
+        }
+      }
       auto ws = ctx_->scratch().Acquire<MatcherWorkspace>();
+      auto exec = ctx_->scratch().Acquire<ProgramExec>();
       for (std::vector<int32_t>& lengths : probes) {
         Tree t = CanonicalTree(*pp, lengths, pool_->Fresh("_bot"));
         stats.canonical_trees_enumerated.fetch_add(1,
                                                    std::memory_order_relaxed);
         if (!ctx_->budget().Charge(
-                1 + static_cast<int64_t>(qq->size()) * t.size()) ||
-            !ws->ChargeTables(*qq, t, &ctx_->budget())) {
+                1 + static_cast<int64_t>(qq->size()) * t.size())) {
           budget_ok = false;
           break;
         }
-        ws->EvalFull(*qq, t, &stats, options.word_parallel);
-        const bool matches =
-            mode == Mode::kStrong ? ws->MatchesStrong() : ws->MatchesWeak();
+        bool matches;
+        if (program != nullptr && exec->ChargeRun(t, &ctx_->budget())) {
+          const MatcherProgram::ExecResult r = exec->Run(*program, t, &stats);
+          matches = mode == Mode::kStrong ? r.strong : r.weak;
+        } else {
+          // Generic fallback (also taken when the soft scratch charge for
+          // the compiled run is refused).
+          if (!ws->ChargeTables(*qq, t, &ctx_->budget())) {
+            budget_ok = false;
+            break;
+          }
+          ws->EvalFull(*qq, t, &stats, options.word_parallel);
+          matches =
+              mode == Mode::kStrong ? ws->MatchesStrong() : ws->MatchesWeak();
+        }
         if (!matches) {
           stats.prefilter_refutes.fetch_add(1, std::memory_order_relaxed);
           ContainmentResult result;

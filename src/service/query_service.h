@@ -4,7 +4,7 @@
 // Real containment workloads repeat themselves — the same handful of
 // patterns arrive again and again, syntactically varied — while the
 // dispatcher prices every call as if it were novel (the general route is
-// coNP).  The service exploits the repetition in four layers, each of which
+// coNP).  The service exploits the repetition in five layers, each of which
 // can be switched off for A/B runs:
 //
 //   1. *Canonical hashing* (pattern/tpq_hash.h): both patterns are
@@ -26,6 +26,10 @@
 //      thread pool, with each worker forced onto sequential sweeps
 //      (`ContainmentOptions::sequential_sweep`) because `ParallelFor` does
 //      not reenter.
+//   5. *Pattern compilation* (src/compile/): hot minimized patterns are
+//      lowered to flat matcher programs pooled beside the verdict cache and
+//      shared with the dispatcher (`ContainmentOptions::program_cache`), so
+//      probes and sweeps on repeated patterns skip the generic DP fill.
 //
 // Every accepted/refuted/cached shortcut is sound — DESIGN.md ("Query
 // service fast path") gives the argument per layer — so verdicts are
@@ -41,6 +45,7 @@
 #include <vector>
 
 #include "base/label.h"
+#include "compile/program_cache.h"
 #include "contain/containment.h"
 #include "engine/engine.h"
 #include "pattern/tpq.h"
@@ -61,6 +66,11 @@ struct ServiceOptions {
   int64_t cache_bytes = 4 << 20;
   /// Max remembered counterexample length vectors per (q-hash, mode).
   size_t probe_pool_limit = 4;
+  /// Byte bound of the compiled-program pool (src/compile/), which sits
+  /// beside the verdict cache and serves the dispatcher's sweeps, the
+  /// single-tree routes and the probe cascade.  Only built when
+  /// `containment.compiled_matcher` is on.
+  int64_t program_cache_bytes = 1 << 20;
   /// Options forwarded to the underlying dispatcher (bound is part of the
   /// cache key).
   ContainmentOptions containment;
@@ -135,6 +145,7 @@ class QueryService {
   EngineContext* ctx_;
   ServiceOptions options_;
   VerdictLruCache cache_;
+  std::unique_ptr<ProgramCache> programs_;
 
   std::mutex minimize_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<const MinimizedEntry>>

@@ -37,16 +37,22 @@
 namespace tpc {
 
 /// Cache key: canonical hashes of the minimized pair + decision parameters
-/// that change the answer surface (mode) or the procedure (bound).
+/// that change the answer surface (mode) or the procedure (bound) + the
+/// label-pool generation (base/label.h) the hashes were computed under.
+/// Canonical hashes are relative to a pool's id assignment, so without the
+/// generation an entry could be served for numerically identical ids of a
+/// *different* pool (e.g. after a workload move-assigns a fresh pool).
 struct VerdictKey {
   uint64_t p_hash = 0;
   uint64_t q_hash = 0;
   Mode mode = Mode::kWeak;
   ContainmentOptions::Bound bound = ContainmentOptions::Bound::kSafe;
+  uint64_t pool_generation = 0;
 
   bool operator==(const VerdictKey& other) const {
     return p_hash == other.p_hash && q_hash == other.q_hash &&
-           mode == other.mode && bound == other.bound;
+           mode == other.mode && bound == other.bound &&
+           pool_generation == other.pool_generation;
   }
 };
 
@@ -56,6 +62,7 @@ struct VerdictKeyHash {
     h ^= k.q_hash + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
     h ^= (static_cast<uint64_t>(k.mode) << 1) ^
          static_cast<uint64_t>(k.bound);
+    h ^= k.pool_generation * 0xd6e8feb86659fd93ULL;
     return static_cast<size_t>(h * 0xbf58476d1ce4e5b9ULL);
   }
 };
