@@ -105,6 +105,13 @@ int Usage() {
                "                   per line, through the query service\n"
                "  --no-cache       batch: disable the verdict-cache layer\n"
                "  --no-prefilter   batch: disable the prefilter cascade\n"
+               "  --no-lattice     batch: disable the subsumption lattice\n"
+               "                   (stitch/borrow derivation of cache misses)\n"
+               "  --snapshot-load <file>  batch: warm-start the service from\n"
+               "                   a snapshot before deciding (a bad file\n"
+               "                   warns and starts cold)\n"
+               "  --snapshot-save <file>  batch: persist the warm tier after\n"
+               "                   deciding (verdicts, patterns, hot keys)\n"
                "  --timeout <ms>   wall-clock budget (exit 3 when exceeded)\n"
                "  --steps <n>      step budget (exit 3 when exceeded)\n"
                "  --memory <bytes> tracked-memory budget (exit 3 when "
@@ -185,6 +192,8 @@ int main(int argc, char** argv) {
   ServiceOptions service_options;
   ContainmentOptions contain_options;
   const char* batch_file = nullptr;
+  const char* snapshot_load = nullptr;
+  const char* snapshot_save = nullptr;
   std::vector<char*> args;  // positional arguments, flags stripped
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
@@ -201,6 +210,12 @@ int main(int argc, char** argv) {
       batch_file = argv[++i];
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       service_options.use_cache = false;
+    } else if (std::strcmp(argv[i], "--no-lattice") == 0) {
+      service_options.use_lattice = false;
+    } else if (std::strcmp(argv[i], "--snapshot-load") == 0 && i + 1 < argc) {
+      snapshot_load = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot-save") == 0 && i + 1 < argc) {
+      snapshot_save = argv[++i];
     } else if (std::strcmp(argv[i], "--no-prefilter") == 0) {
       service_options.use_prefilters = false;
     } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
@@ -286,7 +301,23 @@ int main(int argc, char** argv) {
       item_line.push_back(lineno);
     }
     QueryService service(&pool, &ctx, service_options);
+    if (snapshot_load != nullptr) {
+      std::string error;
+      if (!service.LoadSnapshot(snapshot_load, &error)) {
+        // A rejected snapshot (corrupt, truncated, version skew, budget)
+        // costs warmth, not correctness: warn and decide cold.
+        std::fprintf(stderr, "warning: %s: %s (starting cold)\n",
+                     snapshot_load, error.c_str());
+      }
+    }
     std::vector<ContainmentResult> results = service.ContainsBatch(items);
+    if (snapshot_save != nullptr) {
+      std::string error;
+      if (!service.SaveSnapshot(snapshot_save, &error)) {
+        std::fprintf(stderr, "warning: %s: %s (snapshot not written)\n",
+                     snapshot_save, error.c_str());
+      }
+    }
     bool any_undecided = false;
     ExhaustionReason reason = ExhaustionReason::kNone;
     for (size_t i = 0; i < results.size(); ++i) {

@@ -18,8 +18,19 @@
 #     generic per-decision DP work units — `folded_per_decision` must be
 #     >= 5x smaller compiled — and the zipf steady state, which must report
 #     `programs_compiled_steady` == 0, i.e. compile cost fully amortized
-#     into warmup) into BENCH_compile.json
+#     into warmup) into BENCH_compile.json, and
+#   * bench_persist (the warm-start tier: cold vs warm time-to-first-verdict
+#     — the warm restart must win by >= 10x — the transitive-chain stitch
+#     conversion with its 30% floor enforced in-bench, and the mmap-open vs
+#     heap-rebuild twin) into BENCH_persist.json
 # at the repo root, for before/after comparison across PRs.
+#
+# Baselines from non-optimized builds are worse than useless — they look
+# like regressions to the next PR — so the script refuses to run unless the
+# release preset's cache really selected an optimized CMAKE_BUILD_TYPE.
+# (The system Google Benchmark library reports library_build_type=debug no
+# matter what, so the check reads the repo's own cache instead; the real
+# build type is also stamped into every JSON as tpc_build_type.)
 #
 # Usage: scripts/bench_baseline.sh [benchmark_filter_regex]
 # The optional regex is passed to --benchmark_filter of both suites
@@ -30,40 +41,37 @@ cd "$(dirname "$0")/.."
 filter="${1:-.}"
 
 cmake --preset release
+
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' build/CMakeCache.txt)"
+case "$build_type" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "error: refusing to record baselines from a '$build_type' build;" >&2
+    echo "       the release preset must select Release or RelWithDebInfo" >&2
+    exit 1
+    ;;
+esac
+
 cmake --build --preset release -j "$(nproc)" \
   --target bench_table1_containment \
   --target bench_table45_schema_containment \
   --target bench_service \
-  --target bench_compile
+  --target bench_compile \
+  --target bench_persist
 
-./build/bench/bench_table1_containment \
-  --benchmark_filter="$filter" \
-  --benchmark_out=BENCH_table1.json \
-  --benchmark_out_format=json \
-  --benchmark_format=console
+run_suite() {
+  local bin="$1" out="$2"
+  "./build/bench/$bin" \
+    --benchmark_filter="$filter" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_format=console \
+    --benchmark_context=tpc_build_type="$build_type"
+  echo "wrote $(pwd)/$out"
+}
 
-echo "wrote $(pwd)/BENCH_table1.json"
-
-./build/bench/bench_table45_schema_containment \
-  --benchmark_filter="$filter" \
-  --benchmark_out=BENCH_table45.json \
-  --benchmark_out_format=json \
-  --benchmark_format=console
-
-echo "wrote $(pwd)/BENCH_table45.json"
-
-./build/bench/bench_service \
-  --benchmark_filter="$filter" \
-  --benchmark_out=BENCH_service.json \
-  --benchmark_out_format=json \
-  --benchmark_format=console
-
-echo "wrote $(pwd)/BENCH_service.json"
-
-./build/bench/bench_compile \
-  --benchmark_filter="$filter" \
-  --benchmark_out=BENCH_compile.json \
-  --benchmark_out_format=json \
-  --benchmark_format=console
-
-echo "wrote $(pwd)/BENCH_compile.json"
+run_suite bench_table1_containment BENCH_table1.json
+run_suite bench_table45_schema_containment BENCH_table45.json
+run_suite bench_service BENCH_service.json
+run_suite bench_compile BENCH_compile.json
+run_suite bench_persist BENCH_persist.json

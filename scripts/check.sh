@@ -23,12 +23,20 @@
 #                                    the program-cache suite under asan AND
 #                                    ubsan (bit/shift UB in the fused ops,
 #                                    lifetime bugs in the shared programs)
+#   scripts/check.sh persist         the persistence gate: the snapshot
+#                                    round-trip/corruption suite, the
+#                                    lattice agreement suite and the service
+#                                    fault matrix under asan AND ubsan
+#                                    (mmap lifetime/out-of-bounds reads over
+#                                    the mapped columns, unaligned-load UB
+#                                    in the record cursors)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAULT_TESTS='fault_injection_test|exhaustion_audit_test|parser_mutation_test|service_fault_test'
 LAYOUT_TESTS='tree_view_test|word_parallel_agreement_test|matcher_property_test'
 COMPILE_TESTS='compiled_agreement_test|program_cache_test'
+PERSIST_TESTS='snapshot_roundtrip_test|lattice_agreement_test|service_fault_test'
 
 run_preset() {
   local preset="$1"; shift
@@ -58,6 +66,12 @@ elif [[ $1 == compile ]]; then
     run_preset "$preset" -R "$COMPILE_TESTS"
   done
   exit 0
+elif [[ $1 == persist ]]; then
+  echo "== persistence gate (snapshot + lattice + faults under asan + ubsan) =="
+  for preset in asan ubsan; do
+    run_preset "$preset" -R "$PERSIST_TESTS"
+  done
+  exit 0
 else
   presets=("$1")
 fi
@@ -65,7 +79,7 @@ fi
 for preset in "${presets[@]}"; do
   case "$preset" in
     asan|tsan|ubsan|release) ;;
-    *) echo "usage: $0 [asan|tsan|ubsan|release|faults|layout|compile]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|ubsan|release|faults|layout|compile|persist]" >&2; exit 2 ;;
   esac
 done
 

@@ -79,6 +79,36 @@ size_t ProgramCache::resident_programs() const {
   return n;
 }
 
+std::vector<ProgramKey> ProgramCache::HotKeys() const {
+  std::vector<ProgramKey> keys;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& e : shard->entries) {
+      if (e.program != nullptr || e.hits >= hot_threshold_) {
+        keys.push_back(e.key);
+      }
+    }
+  }
+  return keys;
+}
+
+void ProgramCache::Warm(const ProgramKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->hits = std::max<int64_t>(it->second->hits, hot_threshold_);
+    return;
+  }
+  if (!shard.tracked.TryCharge(kTrackerBytes)) return;
+  // Hits start at threshold, so the next Get (which adds its own hit) fires
+  // should_compile right away.
+  shard.entries.push_front(Entry{key, nullptr, kTrackerBytes, hot_threshold_});
+  shard.index.emplace(key, shard.entries.begin());
+  shard.bytes += kTrackerBytes;
+  EvictOverLimitLocked(&shard);
+}
+
 int64_t ProgramCache::EvictOverLimitLocked(Shard* shard) {
   int64_t evicted = 0;
   while (shard->bytes > shard_bytes_limit_ && shard->entries.size() > 1) {

@@ -89,6 +89,18 @@ class ProgramCache {
   /// Resident programs (not trackers), over all shards.  O(entries).
   size_t resident_programs() const;
 
+  /// Keys of every resident program plus every tracker at/over the hotness
+  /// threshold — the warm set a snapshot persists.  O(entries).
+  std::vector<ProgramKey> HotKeys() const;
+
+  /// Pre-heats `key`: marks its tracker as already at the hotness threshold,
+  /// so the *next* `Get` miss reports `should_compile` immediately instead
+  /// of re-counting hits from zero.  Snapshot load runs this for each
+  /// persisted hot key — the program itself is recompiled on first use (the
+  /// bytecode is cheap to rebuild and label-remap-sensitive, so the file
+  /// stores only the key).  No-op if the tracker charge is refused.
+  void Warm(const ProgramKey& key);
+
   int32_t hot_threshold() const { return hot_threshold_; }
 
   /// The budget cached programs must be compiled against: entries outlive

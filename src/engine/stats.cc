@@ -35,6 +35,9 @@ void EngineStats::Reset() {
   prefilter_accepts.store(0, std::memory_order_relaxed);
   prefilter_refutes.store(0, std::memory_order_relaxed);
   batch_deduped.store(0, std::memory_order_relaxed);
+  lattice_stitch_hits.store(0, std::memory_order_relaxed);
+  witness_borrow_refutes.store(0, std::memory_order_relaxed);
+  snapshot_trees_mapped.store(0, std::memory_order_relaxed);
   programs_compiled.store(0, std::memory_order_relaxed);
   program_exec_hits.store(0, std::memory_order_relaxed);
   program_cache_evictions.store(0, std::memory_order_relaxed);
@@ -101,6 +104,14 @@ std::string EngineStats::ToJson(const Budget& budget) const {
           {"cache_hits", v(cache_hits)},
           {"prefilter_accepts", v(prefilter_accepts)},
           {"prefilter_refutes", v(prefilter_refutes)},
+      },
+      &out);
+  out += ", \"persist\": ";
+  AppendGroup(
+      {
+          {"lattice_stitch_hits", v(lattice_stitch_hits)},
+          {"snapshot_trees_mapped", v(snapshot_trees_mapped)},
+          {"witness_borrow_refutes", v(witness_borrow_refutes)},
       },
       &out);
   out += ", \"compile\": ";

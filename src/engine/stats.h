@@ -78,6 +78,18 @@ struct EngineStats {
   /// canonical pattern pair and mode).
   std::atomic<int64_t> batch_deduped{0};
 
+  // Persistent warm-start tier (src/persist + the service lattice).
+  /// Cache misses answered by stitching cached "contained" edges through the
+  /// subsumption lattice (p ⊑ r and r ⊑ q cached ⇒ p ⊑ q).
+  std::atomic<int64_t> lattice_stitch_hits{0};
+  /// Cache misses refuted by replaying a lattice neighbour's borrowed
+  /// counterexample witness against the live pair (replay-validated, so a
+  /// borrowed witness can never fake a refutation).
+  std::atomic<int64_t> witness_borrow_refutes{0};
+  /// Snapshot trees served zero-copy as `TreeView`s over the mapped file
+  /// (witness validations that skipped the canonical-tree rebuild).
+  std::atomic<int64_t> snapshot_trees_mapped{0};
+
   // Compiled matcher programs (src/compile).
   /// TPQs lowered into flat `MatcherProgram` bytecode by the pattern
   /// compiler (cache misses past the hotness threshold, plus the per-sweep

@@ -5,9 +5,31 @@
 #include <cassert>
 
 namespace tpc {
+namespace {
+
+// Structural identity of a pattern, for the rebind guard below.  FNV-1a over
+// (size, labels, parents, edge kinds); O(|q|) — noise next to the O(|q|*|t|)
+// table fill it guards.
+uint64_t PatternFingerprint(const Tpq& q) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<uint64_t>(q.size()));
+  for (NodeId v = 0; v < q.size(); ++v) {
+    mix(static_cast<uint64_t>(q.Label(v)));
+    mix(static_cast<uint64_t>(q.Parent(v)) + 1);
+    if (v != 0) mix(static_cast<uint64_t>(q.Edge(v)));
+  }
+  return h;
+}
+
+}  // namespace
 
 void MatcherWorkspace::BindPattern(const Tpq& q) {
   q_ = &q;
+  bound_fingerprint_ = PatternFingerprint(q);
   words_ = (static_cast<size_t>(q.size()) + 63) / 64;
   req_child_.assign(static_cast<size_t>(q.size()) * words_, 0);
   req_desc_.assign(req_child_.size(), 0);
@@ -177,7 +199,11 @@ void MatcherWorkspace::PrepareTables(const Tree& t) {
 
 void MatcherWorkspace::EvalFull(const Tpq& q, const Tree& t,
                                 EngineStats* stats, bool word_parallel) {
-  if (q_ != &q) BindPattern(q);
+  // Pointer identity alone is unsound for a shared workspace: a temporary
+  // (e.g. ReplayRefutation's normalized q) can reoccupy the previous
+  // pattern's address with different content, and a stale bind would then
+  // evaluate the wrong pattern.  Verify the structure too.
+  if (q_ != &q || bound_fingerprint_ != PatternFingerprint(q)) BindPattern(q);
   PrepareTables(t);
   // One linear sweep over postorder positions: every child span precedes its
   // parent, so the fold always reads finished rows.

@@ -131,6 +131,7 @@ class MatcherWorkspace {
   void ExtractAt(NodeId v, NodeId x, std::vector<NodeId>* map) const;
 
   const Tpq* q_ = nullptr;
+  uint64_t bound_fingerprint_ = 0;  // structural hash of *q_ at bind time
   const Tree* t_ = nullptr;
   TreeView view_;     // postorder index of t_, captured at Eval* time
   size_t words_ = 0;  // ceil(|q| / 64) bitset words per DP row

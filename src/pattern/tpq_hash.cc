@@ -51,4 +51,39 @@ uint64_t CanonicalTpqHash(const Tpq& q) {
   return digest[0];
 }
 
+TpqDigest CanonicalTpqDigest(const Tpq& q) {
+  if (q.empty()) return {};
+  const int32_t n = q.size();
+  // The hi lane repeats the lo-lane construction under a different node tag
+  // (domain separation), so the lanes are independent mixes of the same
+  // structure.  Child digests are sorted as (lo, hi) pairs: where lo values
+  // differ the order matches the lo-only sort, and where they tie the lo
+  // fold is order-independent (equal values), so the lo lane reproduces
+  // `CanonicalTpqHash` bit for bit.
+  constexpr uint64_t kNodeTagHi = 0x746e70635f686933ULL;
+  std::vector<std::pair<uint64_t, uint64_t>> digest(n);
+  std::vector<std::pair<uint64_t, uint64_t>> child_digests;
+  for (NodeId v = n - 1; v >= 0; --v) {
+    child_digests.clear();
+    for (NodeId c = q.FirstChild(v); c != kNoNode; c = q.NextSibling(c)) {
+      const uint64_t edge_tag = q.Edge(c) == EdgeKind::kChild
+                                    ? kChildEdgeTag
+                                    : kDescendantEdgeTag;
+      child_digests.emplace_back(Mix(digest[c].first ^ Mix(edge_tag)),
+                                 Mix(digest[c].second ^ Mix(edge_tag * 33)));
+    }
+    std::sort(child_digests.begin(), child_digests.end());
+    uint64_t lo = Mix(kNodeTag ^ static_cast<uint64_t>(q.Label(v)));
+    uint64_t hi = Mix(kNodeTagHi ^ static_cast<uint64_t>(q.Label(v)));
+    lo = Fold(lo, static_cast<uint64_t>(child_digests.size()));
+    hi = Fold(hi, static_cast<uint64_t>(child_digests.size()));
+    for (const auto& [clo, chi] : child_digests) {
+      lo = Fold(lo, clo);
+      hi = Fold(hi, chi);
+    }
+    digest[v] = {lo, hi};
+  }
+  return {digest[0].first, digest[0].second};
+}
+
 }  // namespace tpc

@@ -29,6 +29,32 @@ namespace tpc {
 /// wildcards, edge kinds and tree shape.
 uint64_t CanonicalTpqHash(const Tpq& q);
 
+/// 128-bit widening of `CanonicalTpqHash`: two independently-mixed 64-bit
+/// lanes computed in one bottom-up pass, with child digests sorted as
+/// (lo, hi) pairs so both lanes stay sibling-order invariant.  `lo` equals
+/// `CanonicalTpqHash(q)` exactly (pair order and lo order fold lo
+/// identically: ties in lo commute), so the 64-bit value remains the
+/// in-memory fast-path key while `hi` shrinks the residual collision risk on
+/// trusted "contained" entries to 2^-128 for the persistent tiers — the
+/// subsumption lattice keys its nodes on the full digest, and snapshot
+/// loading re-checks every reconstructed pattern against its stored digest.
+struct TpqDigest {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const TpqDigest& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+struct TpqDigestHash {
+  size_t operator()(const TpqDigest& d) const {
+    return static_cast<size_t>(d.lo ^ (d.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+TpqDigest CanonicalTpqDigest(const Tpq& q);
+
 }  // namespace tpc
 
 #endif  // TPC_PATTERN_TPQ_HASH_H_

@@ -39,6 +39,13 @@ QueryService::QueryService(LabelPool* pool, EngineContext* ctx,
         options_.cache_shards, options_.program_cache_bytes,
         options_.containment.compile_threshold, &ctx->budget());
   }
+  if (options_.use_cache) {
+    // Built whenever the cache layer is: even with `use_lattice` off the
+    // lattice records verdicts (cheap), because it doubles as the pattern
+    // registry snapshot persistence resolves cache keys through.
+    lattice_ = std::make_unique<VerdictLattice>(options_.lattice_bytes,
+                                                &ctx->budget());
+  }
 }
 
 std::shared_ptr<const QueryService::MinimizedEntry> QueryService::Minimized(
@@ -60,7 +67,9 @@ std::shared_ptr<const QueryService::MinimizedEntry> QueryService::Minimized(
   }
   auto entry = std::make_shared<MinimizedEntry>();
   entry->pattern = MinimizeTpq(pattern, mode, pool_, ctx_, options);
-  entry->hash = CanonicalTpqHash(entry->pattern);
+  // One bottom-up pass yields both lanes; the lo lane *is* CanonicalTpqHash.
+  entry->digest = CanonicalTpqDigest(entry->pattern);
+  entry->hash = entry->digest.lo;
   // A budget-exhausted minimization is equivalent but possibly incomplete;
   // keep it out of the memo so a later, funded request re-minimizes.
   if (!ctx_->budget().Exhausted()) {
@@ -110,6 +119,48 @@ void QueryService::RecordProbe(const ProbeKey& key,
   }
 }
 
+void QueryService::SeedMinimized(const Tpq& pattern, const TpqDigest& digest,
+                                 Mode mode) {
+  // Mirror of the Minimized() memo insertion, for patterns a snapshot
+  // already stores in minimized form (minimization is idempotent, so the
+  // raw-hash key of an already-minimal pattern is its own digest lo lane).
+  const uint64_t memo_key =
+      digest.lo ^ (mode == Mode::kStrong ? 0x94d049bb133111ebULL : 0) ^
+      (pool_->generation() * 0xd6e8feb86659fd93ULL);
+  auto entry = std::make_shared<MinimizedEntry>();
+  entry->pattern = pattern;
+  entry->hash = digest.lo;
+  entry->digest = digest;
+  const int64_t bytes = 96 + static_cast<int64_t>(pattern.size()) * 32;
+  std::lock_guard<std::mutex> lock(minimize_mu_);
+  if (minimize_memo_.find(memo_key) != minimize_memo_.end()) return;
+  if (memo_tracked_.Charge(bytes)) {
+    minimize_memo_.emplace(memo_key, std::move(entry));
+  } else {
+    memo_tracked_.Release(bytes);
+  }
+}
+
+std::shared_ptr<const MatcherProgram> QueryService::PooledProgram(
+    const Tpq& pattern, uint64_t hash, Mode mode) {
+  if (programs_ == nullptr || !MatcherProgram::Compilable(pattern)) {
+    return nullptr;
+  }
+  const ProgramKey key{hash, pool_->generation(), static_cast<uint32_t>(mode)};
+  bool should_compile = false;
+  std::shared_ptr<const MatcherProgram> program =
+      programs_->Get(key, &should_compile);
+  if (program == nullptr && should_compile) {
+    program =
+        MatcherProgram::Compile(pattern, programs_->budget(), &ctx_->stats());
+    if (program != nullptr) {
+      ctx_->stats().program_cache_evictions.fetch_add(
+          programs_->Put(key, program), std::memory_order_relaxed);
+    }
+  }
+  return program;
+}
+
 ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
                                           Mode mode, bool in_worker) {
   ContainmentOptions options = options_.containment;
@@ -155,6 +206,50 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
       }
       std::vector<int32_t> lengths = *hit->counterexample_lengths;
       lengths.resize(DescendantEdges(*pp).size(), 1);
+      // Mapped-tree fast path: when the refutation's canonical
+      // counterexample tree came in with a snapshot, validate it zero-copy
+      // against the mapped columns instead of rebuilding the canonical
+      // tree.  Sound without any trust in the file: the mapped tree is
+      // checked to be in L(p) and outside L(q) right here, and *any* such
+      // tree refutes p ⊑ q whatever the cache key hashed to.
+      if (mapped_snapshot_ != nullptr) {
+        auto mt = mapped_trees_.find(key);
+        if (mt != mapped_trees_.end()) {
+          const TreeView tv = mapped_snapshot_->TreeAt(mt->second);
+          std::shared_ptr<const MatcherProgram> p_prog =
+              PooledProgram(*pp, pm->hash, mode);
+          std::shared_ptr<const MatcherProgram> q_prog =
+              PooledProgram(*qq, qm->hash, mode);
+          if (p_prog != nullptr && q_prog != nullptr &&
+              ctx_->budget().Charge(2 * static_cast<int64_t>(tv.size()))) {
+            std::vector<MatcherProgram::StackFrame> stack;
+            int64_t words_folded = 0, rows_skipped = 0;
+            const MatcherProgram::ExecResult rp =
+                p_prog->Run(tv, &stack, &words_folded, &rows_skipped);
+            const MatcherProgram::ExecResult rq =
+                q_prog->Run(tv, &stack, &words_folded, &rows_skipped);
+            stats.dp_words_folded.fetch_add(words_folded,
+                                            std::memory_order_relaxed);
+            stats.dp_rows_skipped.fetch_add(rows_skipped,
+                                            std::memory_order_relaxed);
+            stats.program_exec_hits.fetch_add(2, std::memory_order_relaxed);
+            const bool p_ok = mode == Mode::kStrong ? rp.strong : rp.weak;
+            const bool q_ok = mode == Mode::kStrong ? rq.strong : rq.weak;
+            if (p_ok && !q_ok) {
+              stats.snapshot_trees_mapped.fetch_add(1,
+                                                    std::memory_order_relaxed);
+              stats.cache_hits.fetch_add(1, std::memory_order_relaxed);
+              ContainmentResult result;
+              result.contained = false;
+              result.counterexample_lengths = std::move(lengths);
+              result.algorithm = hit->algorithm;
+              return result;
+            }
+            // The mapped tree did not certify (p or q disagreed): fall
+            // through to the ordinary replay, which decides from scratch.
+          }
+        }
+      }
       std::optional<Tree> replay =
           ReplayRefutation(*pp, *qq, mode, lengths, pool_, ctx_);
       if (replay.has_value()) {
@@ -169,6 +264,63 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
       if (ctx_->budget().Exhausted()) return ExhaustedResult(ctx_);
       // The cached witness did not transfer (key collision); fall through
       // to the live pipeline.
+    }
+  }
+
+  // Subsumption-lattice layer: on a cache miss, try to *derive* the verdict
+  // from neighbouring cached verdicts before running any decision
+  // procedure.  Stitching walks validated "contained" edges forward only
+  // (p ⊑ r, r ⊑ q ⇒ p ⊑ q by transitivity); borrowing replays a
+  // neighbour's counterexample lengths through ReplayRefutation, which
+  // rebuilds the induced canonical tree of the *live* p — so neither path
+  // can be fooled by a digest collision.  Derived verdicts are cached, so
+  // the derivation happens once per pair.
+  if (have_key && lattice_ != nullptr && options_.use_lattice &&
+      !ctx_->budget().Exhausted()) {
+    if (lattice_->Stitch(pm->digest, qm->digest, mode, options.bound,
+                         key.pool_generation, &ctx_->budget())) {
+      stats.lattice_stitch_hits.fetch_add(1, std::memory_order_relaxed);
+      ContainmentResult result;
+      result.contained = true;
+      result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
+      VerdictEntry entry;
+      entry.contained = true;
+      entry.algorithm = result.algorithm;
+      stats.cache_evictions.fetch_add(cache_.Put(key, std::move(entry)),
+                                      std::memory_order_relaxed);
+      // Short-circuit future stitches of this pair to one hop.
+      lattice_->Record(*pp, pm->digest, *qq, qm->digest, mode, options.bound,
+                       key.pool_generation, /*contained=*/true, nullptr);
+      return result;
+    }
+    if (ctx_->budget().Exhausted()) return ExhaustedResult(ctx_);
+    const size_t num_edges = DescendantEdges(*pp).size();
+    std::vector<std::vector<int32_t>> candidates = lattice_->BorrowCandidates(
+        pm->digest, qm->digest, mode, options.bound, key.pool_generation,
+        VerdictLattice::kWitnessLimit);
+    for (std::vector<int32_t>& lengths : candidates) {
+      lengths.resize(num_edges, 1);
+      std::optional<Tree> replay =
+          ReplayRefutation(*pp, *qq, mode, lengths, pool_, ctx_);
+      if (replay.has_value()) {
+        stats.witness_borrow_refutes.fetch_add(1, std::memory_order_relaxed);
+        ContainmentResult result;
+        result.contained = false;
+        result.counterexample = std::move(*replay);
+        result.counterexample_lengths = lengths;
+        result.algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
+        RecordProbe(ProbeKey{qm->hash, mode}, lengths);
+        lattice_->Record(*pp, pm->digest, *qq, qm->digest, mode, options.bound,
+                         key.pool_generation, /*contained=*/false, &lengths);
+        VerdictEntry entry;
+        entry.contained = false;
+        entry.algorithm = result.algorithm;
+        entry.counterexample_lengths = std::move(lengths);
+        stats.cache_evictions.fetch_add(cache_.Put(key, std::move(entry)),
+                                        std::memory_order_relaxed);
+        return result;
+      }
+      if (ctx_->budget().Exhausted()) return ExhaustedResult(ctx_);
     }
   }
 
@@ -195,6 +347,11 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
           entry.algorithm = result.algorithm;
           stats.cache_evictions.fetch_add(cache_.Put(key, std::move(entry)),
                                           std::memory_order_relaxed);
+          if (lattice_ != nullptr) {
+            lattice_->Record(*pp, pm->digest, *qq, qm->digest, mode,
+                             options.bound, key.pool_generation,
+                             /*contained=*/true, nullptr);
+          }
         }
         return result;
       }
@@ -218,21 +375,8 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
       // against a handful of canonical trees — exactly the single-tree
       // shape the program pool's hotness threshold gates, so only patterns
       // seen often enough pay the compile.
-      std::shared_ptr<const MatcherProgram> program;
-      if (programs_ != nullptr && MatcherProgram::Compilable(*qq)) {
-        const ProgramKey pkey{
-            have_probe_hash ? q_probe_hash : CanonicalTpqHash(*qq),
-            pool_->generation(), static_cast<uint32_t>(mode)};
-        bool should_compile = false;
-        program = programs_->Get(pkey, &should_compile);
-        if (program == nullptr && should_compile) {
-          program = MatcherProgram::Compile(*qq, programs_->budget(), &stats);
-          if (program != nullptr) {
-            stats.program_cache_evictions.fetch_add(
-                programs_->Put(pkey, program), std::memory_order_relaxed);
-          }
-        }
-      }
+      std::shared_ptr<const MatcherProgram> program = PooledProgram(
+          *qq, have_probe_hash ? q_probe_hash : CanonicalTpqHash(*qq), mode);
       auto ws = ctx_->scratch().Acquire<MatcherWorkspace>();
       auto exec = ctx_->scratch().Acquire<ProgramExec>();
       for (std::vector<int32_t>& lengths : probes) {
@@ -270,6 +414,11 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
             RecordProbe(ProbeKey{q_probe_hash, mode}, lengths);
           }
           if (have_key) {
+            if (lattice_ != nullptr) {
+              lattice_->Record(*pp, pm->digest, *qq, qm->digest, mode,
+                               options.bound, key.pool_generation,
+                               /*contained=*/false, &lengths);
+            }
             VerdictEntry entry;
             entry.contained = false;
             entry.algorithm = result.algorithm;
@@ -298,6 +447,13 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
       entry.counterexample_lengths = result.counterexample_lengths;
       stats.cache_evictions.fetch_add(cache_.Put(key, std::move(entry)),
                                       std::memory_order_relaxed);
+      if (lattice_ != nullptr) {
+        lattice_->Record(*pp, pm->digest, *qq, qm->digest, mode, options.bound,
+                         key.pool_generation, result.contained,
+                         result.counterexample_lengths.has_value()
+                             ? &*result.counterexample_lengths
+                             : nullptr);
+      }
     }
   }
   // Exhausted results are deliberately never cached: a partial sweep's
@@ -372,6 +528,222 @@ std::vector<ContainmentResult> QueryService::ContainsBatch(
     results[i] = unique_results[owner[i]];
   }
   return results;
+}
+
+bool QueryService::SaveSnapshot(const std::string& path, std::string* error) {
+  if (!options_.use_cache || lattice_ == nullptr) {
+    if (error != nullptr) *error = "snapshot: save requires the cache layer";
+    return false;
+  }
+  // The bottom label of persisted counterexample trees must be interned
+  // *before* the label section is frozen, so every tree label is in-file.
+  const LabelId bottom = pool_->Fresh("_snapbot");
+  const uint64_t generation = pool_->generation();
+  SnapshotWriter writer(&ctx_->budget());
+  if (!writer.SetLabels(*pool_)) {
+    if (error != nullptr) *error = "snapshot: label-section charge refused";
+    return false;
+  }
+
+  std::vector<std::pair<VerdictKey, VerdictEntry>> entries;
+  cache_.ForEach([&entries](const VerdictKey& k, const VerdictEntry& e) {
+    entries.emplace_back(k, e);
+  });
+
+  // Cache keys are 64-bit hashes; the lattice maps them back to the
+  // minimized patterns the file stores verbatim.  Unresolvable or
+  // lane-ambiguous hashes drop their entries — persisting under the wrong
+  // pattern would be unsound, skipping is merely cold.
+  std::unordered_map<uint64_t, uint32_t> pattern_index;
+  std::unordered_map<uint64_t, Tpq> pattern_of;
+  auto index_of = [&](uint64_t hash) -> std::optional<uint32_t> {
+    if (auto it = pattern_index.find(hash); it != pattern_index.end()) {
+      return it->second;
+    }
+    std::optional<std::pair<Tpq, TpqDigest>> found = lattice_->FindByHash(hash, generation);
+    if (!found.has_value()) return std::nullopt;
+    std::optional<uint32_t> idx =
+        writer.AddPattern(found->first, found->second);
+    if (!idx.has_value()) return std::nullopt;
+    pattern_index.emplace(hash, *idx);
+    pattern_of.emplace(hash, std::move(found->first));
+    return idx;
+  };
+
+  for (const auto& [key, entry] : entries) {
+    // One budget step per entry: cancellation or step faults abort the save
+    // before any file exists — never a partial snapshot.
+    if (!ctx_->budget().Charge(1)) {
+      if (error != nullptr) *error = "snapshot: save aborted (budget)";
+      return false;
+    }
+    if (key.pool_generation != generation) continue;
+    const std::optional<uint32_t> pi = index_of(key.p_hash);
+    const std::optional<uint32_t> qi = index_of(key.q_hash);
+    if (!pi.has_value() || !qi.has_value()) continue;
+    SnapshotVerdict v;
+    v.p_index = *pi;
+    v.q_index = *qi;
+    v.mode_tag = static_cast<uint8_t>(key.mode);
+    v.bound_tag = static_cast<uint8_t>(key.bound);
+    v.contained = entry.contained;
+    v.algorithm_tag = static_cast<uint8_t>(entry.algorithm);
+    if (!entry.contained && entry.counterexample_lengths.has_value()) {
+      std::vector<int32_t> lengths = *entry.counterexample_lengths;
+      const Tpq& pm = pattern_of.at(key.p_hash);
+      lengths.resize(DescendantEdges(pm).size(), 1);
+      // Materialize the counterexample canonical tree so a warm start can
+      // validate the refutation zero-copy against the mapped columns.
+      Tree t = CanonicalTree(pm, lengths, bottom);
+      if (std::optional<uint32_t> ti = writer.AddTree(t)) {
+        v.tree_index = static_cast<int32_t>(*ti);
+      }
+      v.witness = std::move(lengths);
+    }
+    writer.AddVerdict(v);  // a refused entry is simply absent from the file
+  }
+
+  if (programs_ != nullptr) {
+    for (const ProgramKey& pk : programs_->HotKeys()) {
+      if (pk.pool_generation != generation) continue;
+      const std::optional<uint32_t> idx = index_of(pk.pattern_hash);
+      if (!idx.has_value()) continue;
+      writer.AddHotProgram(SnapshotHotProgram{*idx, pk.mode_tag});
+    }
+  }
+  return writer.WriteTo(path, error);
+}
+
+bool QueryService::LoadSnapshot(const std::string& path, std::string* error) {
+  if (!options_.use_cache || lattice_ == nullptr) {
+    if (error != nullptr) *error = "snapshot: load requires the cache layer";
+    return false;
+  }
+  auto reader = std::make_unique<SnapshotReader>();
+  if (!reader->Open(path, &ctx_->budget(), error)) return false;
+  EngineStats& stats = ctx_->stats();
+  const uint64_t generation = pool_->generation();
+
+  // Intern the snapshot's spellings into the live pool.  When the live ids
+  // come out identical (the fresh-pool warm-start case), the mapped trees'
+  // label columns are valid against the live pool and can serve zero-copy.
+  std::vector<LabelId> remap(reader->label_count());
+  bool identity = true;
+  for (uint32_t i = 0; i < reader->label_count(); ++i) {
+    remap[i] = pool_->Intern(reader->LabelAt(i));
+    identity = identity && remap[i] == i;
+  }
+
+  struct LoadedPattern {
+    Tpq tpq;
+    TpqDigest digest;
+    bool ok = false;
+  };
+  std::vector<LoadedPattern> pats(reader->pattern_count());
+  for (uint32_t i = 0; i < reader->pattern_count(); ++i) {
+    if (!ctx_->budget().Charge(1)) {
+      if (error != nullptr) *error = "snapshot: load aborted (budget)";
+      return false;
+    }
+    const SnapshotReader::PatternRecord& rec = reader->PatternAt(i);
+    // The wide-digest equality re-check: recompute both 64-bit lanes in the
+    // file's own id space and compare with the stored digest, so a record
+    // whose structure silently drifted from its digest never seeds a key.
+    if (!VerifySnapshotPatternDigest(rec)) continue;
+    std::optional<Tpq> q = BuildSnapshotTpq(rec, remap);
+    if (!q.has_value()) continue;
+    pats[i].tpq = std::move(*q);
+    pats[i].digest = CanonicalTpqDigest(pats[i].tpq);
+    pats[i].ok = true;
+  }
+
+  // Stage every accepted verdict first, commit only after all charged loops
+  // pass: a budget abort anywhere in the scan must leave the service exactly
+  // as cold as before — never with a partially seeded cache or lattice.
+  struct StagedVerdict {
+    VerdictKey key;
+    VerdictEntry entry;
+    uint32_t p_index = 0;
+    uint32_t q_index = 0;
+    int32_t tree_index = -1;
+  };
+  std::vector<StagedVerdict> staged;
+  for (uint32_t i = 0; i < reader->verdict_count(); ++i) {
+    if (!ctx_->budget().Charge(1)) {
+      if (error != nullptr) *error = "snapshot: load aborted (budget)";
+      return false;
+    }
+    const SnapshotReader::VerdictRecord& rec = reader->VerdictAt(i);
+    if (rec.mode_tag > 1 || rec.bound_tag > 1 ||
+        rec.algorithm_tag >= kNumDispatchAlgorithms) {
+      continue;
+    }
+    const LoadedPattern& pl = pats[rec.p_index];
+    const LoadedPattern& ql = pats[rec.q_index];
+    if (!pl.ok || !ql.ok) continue;
+    const Mode mode = static_cast<Mode>(rec.mode_tag);
+    const auto bound = static_cast<ContainmentOptions::Bound>(rec.bound_tag);
+    StagedVerdict sv;
+    sv.key = VerdictKey{pl.digest.lo, ql.digest.lo, mode, bound, generation};
+    sv.p_index = rec.p_index;
+    sv.q_index = rec.q_index;
+    sv.entry.contained = rec.contained;
+    sv.entry.algorithm = static_cast<ContainmentAlgorithm>(rec.algorithm_tag);
+    if (!rec.contained && rec.witness_len > 0) {
+      std::vector<int32_t> lengths(rec.witness,
+                                   rec.witness + rec.witness_len);
+      bool sane = true;
+      for (int32_t len : lengths) sane = sane && len >= 0;
+      if (sane) sv.entry.counterexample_lengths = std::move(lengths);
+    }
+    if (sv.entry.counterexample_lengths.has_value() && rec.tree_index >= 0 &&
+        identity) {
+      sv.tree_index = rec.tree_index;
+    }
+    staged.push_back(std::move(sv));
+  }
+
+  // Commit phase: no budget charges from here on, so the adoption below is
+  // all-or-nothing with respect to injected faults.  (Individual Put/Record
+  // refusals under byte pressure still just drop that entry — the usual
+  // accelerator semantics, not a partial-file hazard.)
+  std::unordered_map<VerdictKey, uint32_t, VerdictKeyHash> mapped;
+  for (StagedVerdict& sv : staged) {
+    const LoadedPattern& pl = pats[sv.p_index];
+    const LoadedPattern& ql = pats[sv.q_index];
+    const Mode mode = sv.key.mode;
+    if (sv.entry.counterexample_lengths.has_value()) {
+      RecordProbe(ProbeKey{ql.digest.lo, mode},
+                  *sv.entry.counterexample_lengths);
+      if (sv.tree_index >= 0) {
+        mapped.emplace(sv.key, static_cast<uint32_t>(sv.tree_index));
+      }
+    }
+    lattice_->Record(pl.tpq, pl.digest, ql.tpq, ql.digest, mode, sv.key.bound,
+                     generation, sv.entry.contained,
+                     sv.entry.counterexample_lengths.has_value()
+                         ? &*sv.entry.counterexample_lengths
+                         : nullptr);
+    SeedMinimized(pl.tpq, pl.digest, mode);
+    SeedMinimized(ql.tpq, ql.digest, mode);
+    stats.cache_evictions.fetch_add(cache_.Put(sv.key, std::move(sv.entry)),
+                                    std::memory_order_relaxed);
+  }
+
+  if (programs_ != nullptr) {
+    for (uint32_t i = 0; i < reader->hot_program_count(); ++i) {
+      const SnapshotHotProgram& rec = reader->HotProgramAt(i);
+      const LoadedPattern& pl = pats[rec.pattern_index];
+      if (!pl.ok || rec.mode_tag > 1) continue;
+      programs_->Warm(ProgramKey{pl.digest.lo, generation, rec.mode_tag});
+    }
+  }
+
+  // Adopt the mapping last: the fast path only ever sees a fully-loaded
+  // snapshot, and an aborted load above leaves the service merely cold.
+  mapped_snapshot_ = std::move(reader);
+  mapped_trees_ = std::move(mapped);
+  return true;
 }
 
 }  // namespace tpc

@@ -49,7 +49,10 @@
 #include "contain/containment.h"
 #include "engine/engine.h"
 #include "pattern/tpq.h"
+#include "pattern/tpq_hash.h"
+#include "persist/snapshot.h"
 #include "service/verdict_cache.h"
+#include "service/verdict_lattice.h"
 
 namespace tpc {
 
@@ -60,6 +63,14 @@ struct ServiceOptions {
   bool use_cache = true;
   /// Homomorphism-accept and probe-refute layer.
   bool use_prefilters = true;
+  /// Subsumption-lattice layer (service/verdict_lattice.h): answer cache
+  /// misses by stitching cached contained edges (transitivity) or by
+  /// replaying a neighbour's borrowed counterexample witness.  Off for A/B
+  /// runs (`tpc_cli --no-lattice`); recording continues either way so the
+  /// pattern registry stays complete for snapshot persistence.
+  bool use_lattice = true;
+  /// Byte bound of the lattice (nodes + edges + stored witnesses).
+  int64_t lattice_bytes = 1 << 20;
   /// Shards of the verdict cache (contention knob, not capacity).
   size_t cache_shards = 8;
   /// Byte bound of the verdict cache, accounted against the context budget.
@@ -105,13 +116,30 @@ class QueryService {
   std::vector<ContainmentResult> ContainsBatch(
       const std::vector<BatchItem>& items);
 
+  /// Persists the warm tier — verdict cache, minimized-pattern pool,
+  /// refutation counterexample trees, hot program keys — to `path`
+  /// (atomically; src/persist/snapshot.h).  Requires the cache layer.
+  /// False with `*error` on refusal or I/O failure; an aborted save never
+  /// leaves a partial file behind.  Serialize with Contains/ContainsBatch.
+  bool SaveSnapshot(const std::string& path, std::string* error);
+
+  /// Warm-starts from `path`: maps the snapshot, re-fences every entry on
+  /// the live pool generation and recomputed 128-bit digests, seeds the
+  /// verdict cache, lattice, probe book, minimize memo and program-pool
+  /// hotness, and keeps the mapping alive so cached refutations can be
+  /// validated zero-copy against the mapped counterexample trees.  False
+  /// with `*error` on a corrupt/truncated/version-skewed file (the service
+  /// then simply stays cold).  Serialize with Contains/ContainsBatch.
+  bool LoadSnapshot(const std::string& path, std::string* error);
+
   const ServiceOptions& options() const { return options_; }
   EngineContext* context() { return ctx_; }
 
  private:
   struct MinimizedEntry {
     Tpq pattern;
-    uint64_t hash = 0;  // canonical hash of `pattern`
+    uint64_t hash = 0;   // canonical hash of `pattern` (== digest.lo)
+    TpqDigest digest;    // wide digest of `pattern` (lattice/snapshot key)
   };
   struct ProbeKey {
     uint64_t q_hash = 0;
@@ -141,11 +169,30 @@ class QueryService {
   std::vector<std::vector<int32_t>> ProbesFor(const ProbeKey& key);
   void RecordProbe(const ProbeKey& key, const std::vector<int32_t>& lengths);
 
+  /// Seeds the minimize memo with an already-minimized pattern (snapshot
+  /// load), so warm requests whose raw form is already minimal skip the
+  /// minimization pass entirely.
+  void SeedMinimized(const Tpq& pattern, const TpqDigest& digest, Mode mode);
+
+  /// Compiles-or-fetches the pooled program for a minimized pattern (the
+  /// shared hotness-gated path of the probe cascade and the mapped-tree
+  /// validation).  nullptr when not compilable, not yet hot, or refused.
+  std::shared_ptr<const MatcherProgram> PooledProgram(const Tpq& pattern,
+                                                      uint64_t hash,
+                                                      Mode mode);
+
   LabelPool* pool_;
   EngineContext* ctx_;
   ServiceOptions options_;
   VerdictLruCache cache_;
   std::unique_ptr<ProgramCache> programs_;
+  std::unique_ptr<VerdictLattice> lattice_;
+
+  // Warm-start state (LoadSnapshot): the mapped snapshot plus the verdict
+  // keys whose counterexample trees it serves zero-copy.  Written only
+  // under the caller-serialization contract; read-only during decisions.
+  std::unique_ptr<SnapshotReader> mapped_snapshot_;
+  std::unordered_map<VerdictKey, uint32_t, VerdictKeyHash> mapped_trees_;
 
   std::mutex minimize_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<const MinimizedEntry>>

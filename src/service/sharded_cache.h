@@ -96,6 +96,17 @@ class ShardedLruCache {
     return evicted;
   }
 
+  /// Visits every entry, shard by shard, most-recent first within a shard
+  /// (snapshot persistence iterates the cache with this).  Each shard's lock
+  /// is held only for the duration of its own walk; `fn` must not re-enter
+  /// the cache.
+  void ForEach(const std::function<void(const Key&, const Value&)>& fn) const {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (const Entry& e : shard->entries) fn(e.first, e.second);
+    }
+  }
+
   /// Entry count over all shards (diagnostics/tests; O(shards)).
   size_t size() const {
     size_t n = 0;

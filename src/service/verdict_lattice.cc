@@ -1,0 +1,246 @@
+#include "service/verdict_lattice.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace tpc {
+namespace {
+
+int64_t NodeBytes(const Tpq& pattern) {
+  return 160 + static_cast<int64_t>(pattern.size()) * 32;
+}
+
+int64_t WitnessBytes(const std::vector<int32_t>& lengths) {
+  return 64 + static_cast<int64_t>(lengths.size()) * sizeof(int32_t);
+}
+
+}  // namespace
+
+VerdictLattice::VerdictLattice(int64_t max_bytes, Budget* budget)
+    : max_bytes_(max_bytes) {
+  tracked_.Attach(budget);
+}
+
+int32_t VerdictLattice::InternLocked(const Tpq& pattern,
+                                     const TpqDigest& digest) {
+  auto it = index_.find(digest);
+  if (it != index_.end()) {
+    Node& node = nodes_[it->second];
+    lru_.splice(lru_.begin(), lru_, node.lru_it);
+    return static_cast<int32_t>(it->second);
+  }
+  const int64_t bytes = NodeBytes(pattern);
+  if (!tracked_.TryCharge(bytes)) return -1;
+  uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_[idx];
+  node.pattern = pattern;
+  node.digest = digest;
+  node.bytes = bytes;
+  node.alive = true;
+  lru_.push_front(idx);
+  node.lru_it = lru_.begin();
+  index_.emplace(digest, idx);
+  auto [hit, inserted] = by_hash_.emplace(digest.lo, static_cast<int32_t>(idx));
+  if (!inserted && hit->second != static_cast<int32_t>(idx)) hit->second = -1;
+  bytes_ += bytes;
+  EvictLocked();
+  // Eviction never removes the two most recent nodes, so `idx` survives.
+  return static_cast<int32_t>(idx);
+}
+
+void VerdictLattice::RemoveNodeLocked(uint32_t idx) {
+  Node& node = nodes_[idx];
+  int64_t released = node.bytes;
+  // Detach incident edges.  Outgoing edges are charged to this node's
+  // ledger; incoming ones to their origin's — release both here, since both
+  // disappear with this node.
+  for (const auto& [combo, to] : node.succ) {
+    auto& pred = nodes_[to].pred;
+    pred.erase(std::remove(pred.begin(), pred.end(),
+                           std::make_pair(combo, idx)),
+               pred.end());
+    released += kEdgeBytes;
+  }
+  for (const auto& [combo, from] : node.pred) {
+    auto& succ = nodes_[from].succ;
+    succ.erase(std::remove(succ.begin(), succ.end(),
+                           std::make_pair(combo, idx)),
+               succ.end());
+    released += kEdgeBytes;
+  }
+  for (const Witness& w : node.wit_as_p) released += WitnessBytes(w.lengths);
+  for (const Witness& w : node.wit_as_q) released += WitnessBytes(w.lengths);
+  index_.erase(node.digest);
+  auto hit = by_hash_.find(node.digest.lo);
+  if (hit != by_hash_.end() && hit->second == static_cast<int32_t>(idx)) {
+    by_hash_.erase(hit);
+  }
+  lru_.erase(node.lru_it);
+  node = Node{};
+  free_.push_back(idx);
+  bytes_ -= released;
+  tracked_.Release(released);
+}
+
+void VerdictLattice::EvictLocked() {
+  while (bytes_ > max_bytes_ && lru_.size() > 2) {
+    RemoveNodeLocked(lru_.back());
+  }
+}
+
+bool VerdictLattice::AddWitnessLocked(std::vector<Witness>* store,
+                                      uint8_t combo,
+                                      const std::vector<int32_t>& lengths) {
+  size_t same_combo = 0;
+  for (const Witness& w : *store) {
+    if (w.combo != combo) continue;
+    if (w.lengths == lengths) return false;
+    ++same_combo;
+  }
+  const int64_t bytes = WitnessBytes(lengths);
+  if (!tracked_.TryCharge(bytes)) return false;
+  if (same_combo >= kWitnessLimit) {
+    // Drop the oldest witness of this combo to make room.
+    for (auto it = store->begin(); it != store->end(); ++it) {
+      if (it->combo == combo) {
+        const int64_t old = WitnessBytes(it->lengths);
+        store->erase(it);
+        bytes_ -= old;
+        tracked_.Release(old);
+        break;
+      }
+    }
+  }
+  store->push_back(Witness{combo, lengths});
+  bytes_ += bytes;
+  return true;
+}
+
+void VerdictLattice::Record(const Tpq& p, const TpqDigest& pd, const Tpq& q,
+                            const TpqDigest& qd, Mode mode,
+                            ContainmentOptions::Bound bound,
+                            uint64_t generation, bool contained,
+                            const std::vector<int32_t>* witness) {
+  const uint8_t combo = Combo(mode, bound);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) {
+    // The pool moved under us: every resident digest is relative to a dead
+    // id assignment.  Drop them all before recording the first verdict of
+    // the new generation.
+    while (!lru_.empty()) RemoveNodeLocked(lru_.back());
+    generation_ = generation;
+  }
+  const int32_t pi = InternLocked(p, pd);
+  if (pi < 0) return;
+  const int32_t qi = InternLocked(q, qd);
+  if (qi < 0) return;
+  Node& pn = nodes_[static_cast<uint32_t>(pi)];
+  Node& qn = nodes_[static_cast<uint32_t>(qi)];
+  if (contained) {
+    if (pi == qi) return;  // p ⊑ p is vacuous, no self-loops
+    const auto edge = std::make_pair(combo, static_cast<uint32_t>(qi));
+    if (std::find(pn.succ.begin(), pn.succ.end(), edge) != pn.succ.end()) {
+      return;
+    }
+    if (!tracked_.TryCharge(kEdgeBytes)) return;
+    pn.succ.push_back(edge);
+    qn.pred.emplace_back(combo, static_cast<uint32_t>(pi));
+    bytes_ += kEdgeBytes;
+    EvictLocked();
+    return;
+  }
+  if (witness == nullptr || witness->empty()) return;
+  AddWitnessLocked(&pn.wit_as_p, combo, *witness);
+  AddWitnessLocked(&qn.wit_as_q, combo, *witness);
+  EvictLocked();
+}
+
+bool VerdictLattice::Stitch(const TpqDigest& pd, const TpqDigest& qd,
+                            Mode mode, ContainmentOptions::Bound bound,
+                            uint64_t generation, Budget* budget) {
+  const uint8_t combo = Combo(mode, bound);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) return false;
+  auto ps = index_.find(pd);
+  auto qs = index_.find(qd);
+  if (ps == index_.end() || qs == index_.end()) return false;
+  const uint32_t target = qs->second;
+  if (ps->second == target) return false;  // equal digests never cache-miss
+  std::unordered_set<uint32_t> visited{ps->second};
+  std::deque<uint32_t> frontier{ps->second};
+  while (!frontier.empty()) {
+    // One budget step per expansion: a cancellation or step fault lands
+    // here and aborts the walk — the caller falls back to the direct route.
+    if (budget != nullptr && !budget->Charge(1)) return false;
+    const uint32_t at = frontier.front();
+    frontier.pop_front();
+    for (const auto& [ec, to] : nodes_[at].succ) {
+      if (ec != combo) continue;
+      if (to == target) return true;
+      if (visited.size() >= kStitchVisitLimit) continue;
+      if (visited.insert(to).second) frontier.push_back(to);
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<int32_t>> VerdictLattice::BorrowCandidates(
+    const TpqDigest& pd, const TpqDigest& qd, Mode mode,
+    ContainmentOptions::Bound bound, uint64_t generation,
+    size_t limit) const {
+  const uint8_t combo = Combo(mode, bound);
+  std::vector<std::vector<int32_t>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) return out;
+  auto add_from = [&](const std::vector<Witness>& store) {
+    for (const Witness& w : store) {
+      if (w.combo != combo || out.size() >= limit) continue;
+      if (std::find(out.begin(), out.end(), w.lengths) == out.end()) {
+        out.push_back(w.lengths);
+      }
+    }
+  };
+  // Same-p witnesses first: they are length vectors of canonical trees that
+  // already escaped some q', so they replay on this p without adaptation.
+  if (auto it = index_.find(pd); it != index_.end()) {
+    add_from(nodes_[it->second].wit_as_p);
+  }
+  if (auto it = index_.find(qd); it != index_.end()) {
+    add_from(nodes_[it->second].wit_as_q);
+  }
+  return out;
+}
+
+std::optional<std::pair<Tpq, TpqDigest>> VerdictLattice::FindByHash(
+    uint64_t hash, uint64_t generation) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) return std::nullopt;
+  auto it = by_hash_.find(hash);
+  if (it == by_hash_.end() || it->second < 0) return std::nullopt;
+  const Node& node = nodes_[static_cast<uint32_t>(it->second)];
+  return std::make_pair(node.pattern, node.digest);
+}
+
+void VerdictLattice::ForEachNode(
+    const std::function<void(const Tpq&, const TpqDigest&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const uint32_t idx : lru_) {
+    const Node& node = nodes_[idx];
+    if (node.alive) fn(node.pattern, node.digest);
+  }
+}
+
+size_t VerdictLattice::node_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+}  // namespace tpc

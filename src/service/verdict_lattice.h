@@ -1,0 +1,166 @@
+// A transitivity-aware subsumption lattice over cached minimized patterns.
+//
+// Containment is a preorder: p ⊑ r and r ⊑ q imply p ⊑ q.  The verdict
+// cache (service/verdict_cache.h) memoizes *pairs*, so a workload that has
+// decided p ⊑ r and r ⊑ q still pays the full (coNP in general) procedure
+// for p ⊑ q.  The lattice closes that gap: it is a small DAG whose nodes
+// are the minimized patterns the service has seen — keyed by their 128-bit
+// canonical digest (pattern/tpq_hash.h) — and whose edges are the cached
+// "contained" verdicts, kept per (mode, bound).  On a verdict-cache miss
+// the service asks two questions before running any decision procedure:
+//
+//   * *Stitch*: is q reachable from p along contained edges?  A bounded
+//     BFS; a path proves p ⊑ q by transitivity.  Soundness needs every
+//     edge to be a *validated* containment under the same (mode, bound) —
+//     which it is, because edges are only recorded from decided verdicts —
+//     and stitching only ever walks edges *forward* (p ⊑ r then r ⊑ q).
+//     Walking an edge backwards, or mixing modes, proves nothing, so the
+//     adjacency is directed and combo-keyed.
+//   * *Borrow*: did a refutation against a neighbour leave a witness that
+//     transfers?  Candidate counterexample length vectors are nominated
+//     from refutations that shared either endpoint (witnesses where this p
+//     already escaped some other q, and witnesses some other p used to
+//     escape this q).  Each candidate is *replayed* through
+//     `ReplayRefutation` — the canonical tree it induces on the live p is
+//     rebuilt and q is matched against it — so a borrowed witness can
+//     refute only by exhibiting an actual tree in L(p) \ L(q).  Hash or
+//     digest collisions can therefore never fake a refutation; a borrowed
+//     vector that does not transfer is simply discarded.
+//
+// The lattice is byte-bounded with LRU eviction (nodes plus their incident
+// edges and stored witnesses), soft-charged against the context budget like
+// every accelerator tier.  It also doubles as the service's pattern
+// registry for snapshot persistence: it is the one place that can map a
+// cached verdict's 64-bit key hash back to the minimized `Tpq` that must be
+// serialized (src/persist/snapshot.h).
+
+#ifndef TPC_SERVICE_VERDICT_LATTICE_H_
+#define TPC_SERVICE_VERDICT_LATTICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "contain/containment.h"
+#include "engine/tracked.h"
+#include "pattern/tpq.h"
+#include "pattern/tpq_hash.h"
+
+namespace tpc {
+
+class VerdictLattice {
+ public:
+  /// `budget` may be null.  `max_bytes` bounds nodes + edges + witnesses.
+  VerdictLattice(int64_t max_bytes, Budget* budget);
+
+  /// Records a decided verdict for minimized `p` ⊑ `q`: registers both
+  /// patterns (copying them — the lattice outlives the per-request
+  /// minimization entries), adds the contained edge or stores the
+  /// refutation witness on both endpoints.  Charge refusals drop the
+  /// recording silently (the lattice is an accelerator).
+  ///
+  /// `generation` is the label-pool generation the digests were computed
+  /// under (base/label.h): digests are relative to a pool's id assignment,
+  /// so when the generation moves the whole lattice is cleared before the
+  /// new verdict is recorded — stale edges must never certify a stitch for
+  /// numerically identical ids of a *different* pool.
+  void Record(const Tpq& p, const TpqDigest& pd, const Tpq& q,
+              const TpqDigest& qd, Mode mode, ContainmentOptions::Bound bound,
+              uint64_t generation, bool contained,
+              const std::vector<int32_t>* witness);
+
+  /// True iff q's node is reachable from p's along contained edges of the
+  /// same (mode, bound) — a transitivity proof of p ⊑ q.  The BFS visits at
+  /// most `kStitchVisitLimit` nodes and charges one budget step per
+  /// expansion, so cancellation or step exhaustion degrades to "no" (the
+  /// caller then runs the direct route, which observes the exhaustion).
+  /// Answers "no" outright when `generation` differs from the recorded one.
+  bool Stitch(const TpqDigest& pd, const TpqDigest& qd, Mode mode,
+              ContainmentOptions::Bound bound, uint64_t generation,
+              Budget* budget);
+
+  /// Candidate counterexample length vectors for refuting p ⊑ q, nominated
+  /// from same-endpoint refutations (deduplicated, at most `limit`).  The
+  /// caller MUST replay each through `ReplayRefutation` before believing it.
+  /// Empty when `generation` differs from the recorded one.
+  std::vector<std::vector<int32_t>> BorrowCandidates(
+      const TpqDigest& pd, const TpqDigest& qd, Mode mode,
+      ContainmentOptions::Bound bound, uint64_t generation,
+      size_t limit) const;
+
+  /// The minimized pattern whose 64-bit canonical hash (digest lo lane) is
+  /// `hash`, for snapshot persistence.  nullopt when the hash is unknown or
+  /// *ambiguous* (two resident nodes share the lo lane — the entry is then
+  /// skipped rather than persisted under the wrong pattern), or when
+  /// `generation` differs from the recorded one.
+  std::optional<std::pair<Tpq, TpqDigest>> FindByHash(uint64_t hash,
+                                                      uint64_t generation) const;
+
+  /// Visits every resident pattern (persistence iteration; `fn` must not
+  /// re-enter the lattice).
+  void ForEachNode(
+      const std::function<void(const Tpq&, const TpqDigest&)>& fn) const;
+
+  size_t node_count() const;
+
+  static constexpr size_t kStitchVisitLimit = 64;
+  /// Per-endpoint, per-combo cap on stored refutation witnesses.
+  static constexpr size_t kWitnessLimit = 4;
+
+ private:
+  /// (mode, bound) folded into one adjacency tag; edges never mix combos.
+  static uint8_t Combo(Mode mode, ContainmentOptions::Bound bound) {
+    return static_cast<uint8_t>((static_cast<uint8_t>(mode) << 1) |
+                                static_cast<uint8_t>(bound));
+  }
+
+  struct Witness {
+    uint8_t combo = 0;
+    std::vector<int32_t> lengths;
+  };
+  struct Node {
+    Tpq pattern;
+    TpqDigest digest;
+    int64_t bytes = 0;                              // node's own charge
+    std::vector<std::pair<uint8_t, uint32_t>> succ;  // contained: this ⊑ succ
+    std::vector<std::pair<uint8_t, uint32_t>> pred;  // mirror, for eviction
+    std::vector<Witness> wit_as_p;  // refuted (this ⊑ x) length vectors
+    std::vector<Witness> wit_as_q;  // refuted (x ⊑ this) length vectors
+    std::list<uint32_t>::iterator lru_it;
+    bool alive = false;
+  };
+
+  /// Registers (or touches) the node for `pattern`; returns its index or -1
+  /// on charge refusal.  Caller holds `mu_`.
+  int32_t InternLocked(const Tpq& pattern, const TpqDigest& digest);
+  void EvictLocked();
+  void RemoveNodeLocked(uint32_t idx);
+  bool AddWitnessLocked(std::vector<Witness>* store, uint8_t combo,
+                        const std::vector<int32_t>& lengths);
+
+  static constexpr int64_t kEdgeBytes = 48;
+
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> free_;
+  std::unordered_map<TpqDigest, uint32_t, TpqDigestHash> index_;
+  /// lo-lane hash -> node index, or -1 once two resident digests collide on
+  /// the lane (conservative: stays ambiguous until both nodes die).
+  std::unordered_map<uint64_t, int32_t> by_hash_;
+  std::list<uint32_t> lru_;  // front = most recently touched
+  int64_t bytes_ = 0;
+  /// Label-pool generation of every resident digest (one fence for the whole
+  /// lattice: `Record` under a newer generation clears it first).
+  uint64_t generation_ = 0;
+  const int64_t max_bytes_;
+  TrackedBytes tracked_;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_SERVICE_VERDICT_LATTICE_H_

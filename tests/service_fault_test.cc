@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "base/label.h"
@@ -164,6 +166,269 @@ TEST(ServiceFaultTest, FailedAllocationMidBatchRecovers) {
     plan.fail_alloc_at = k;
     CheckFaultedBatch(w, &pool, plan, /*threads=*/1,
                       ExhaustionReason::kMemory);
+  }
+}
+
+std::string SnapTempPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/tpc_fault_" + tag + ".snap";
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f != nullptr) std::fclose(f);
+  return f != nullptr;
+}
+
+// Step faults and cancellations injected *during SaveSnapshot* must abort
+// the save before any file exists — no partial snapshot, no stale temp file
+// — and after ResetBudget the same service saves a file a fresh service can
+// load.
+TEST(ServiceFaultTest, FaultedSnapshotSaveNeverLeavesAFile) {
+  LabelPool pool;
+  Workload w = MakeWorkload(&pool);
+  const std::string path = SnapTempPath("save");
+
+  // Probe run: learn how many budget steps the batch and then the save
+  // consume, so fault points can be pinned inside the save window.
+  int64_t batch_charges = 0, save_charges = 0;
+  {
+    EngineConfig config;
+    config.fault_plan.exhaust_at_charge = std::numeric_limits<int64_t>::max();
+    EngineContext ctx(config);
+    QueryService service(&pool, &ctx);
+    service.ContainsBatch(w.items);
+    batch_charges = ctx.fault_injector()->charges_seen();
+    std::string error;
+    ASSERT_TRUE(service.SaveSnapshot(path, &error)) << error;
+    save_charges = ctx.fault_injector()->charges_seen() - batch_charges;
+    std::remove(path.c_str());
+  }
+  ASSERT_GT(save_charges, 0);
+
+  for (bool cancel : {false, true}) {
+    for (int64_t k = 1; k <= save_charges; ++k) {
+      FaultPlan plan;
+      if (cancel) {
+        plan.cancel_at_charge = batch_charges + k;
+      } else {
+        plan.exhaust_at_charge = batch_charges + k;
+      }
+      EngineConfig config;
+      config.fault_plan = plan;
+      EngineContext ctx(config);
+      QueryService service(&pool, &ctx);
+      std::vector<ContainmentResult> warmup = service.ContainsBatch(w.items);
+      for (size_t i = 0; i < warmup.size(); ++i) {
+        ASSERT_EQ(warmup[i].outcome, Outcome::kDecided) << i;
+      }
+      std::string error;
+      EXPECT_FALSE(service.SaveSnapshot(path, &error))
+          << "save survived a fault at step " << k;
+      EXPECT_EQ(error.rfind("snapshot: ", 0), 0u) << error;
+      EXPECT_FALSE(FileExists(path)) << "partial snapshot at step " << k;
+      EXPECT_FALSE(FileExists(path + ".tmp")) << "temp leaked at step " << k;
+
+      ctx.ResetBudget();
+      error.clear();
+      ASSERT_TRUE(service.SaveSnapshot(path, &error)) << error;
+      EngineContext fresh_ctx;
+      QueryService fresh(&pool, &fresh_ctx);
+      ASSERT_TRUE(fresh.LoadSnapshot(path, &error)) << error;
+      std::remove(path.c_str());
+    }
+  }
+}
+
+// Alloc faults during a save may refuse individual sections or entries; the
+// contract is weaker but still sharp: either the save fails with no file at
+// all, or it succeeds and the (possibly colder) file is fully loadable with
+// unchanged verdicts.
+TEST(ServiceFaultTest, AllocFaultedSnapshotSaveIsAllOrValid) {
+  LabelPool pool;
+  Workload w = MakeWorkload(&pool);
+  const std::string path = SnapTempPath("savealloc");
+
+  int64_t batch_allocs = 0, save_allocs = 0;
+  {
+    EngineConfig config;
+    config.fault_plan.exhaust_at_charge = std::numeric_limits<int64_t>::max();
+    EngineContext ctx(config);
+    QueryService service(&pool, &ctx);
+    service.ContainsBatch(w.items);
+    batch_allocs = ctx.fault_injector()->allocs_seen();
+    std::string error;
+    ASSERT_TRUE(service.SaveSnapshot(path, &error)) << error;
+    save_allocs = ctx.fault_injector()->allocs_seen() - batch_allocs;
+    std::remove(path.c_str());
+  }
+  ASSERT_GT(save_allocs, 0);
+
+  for (int64_t k = 1; k <= save_allocs; ++k) {
+    EngineConfig config;
+    config.fault_plan.fail_alloc_at = batch_allocs + k;
+    EngineContext ctx(config);
+    QueryService service(&pool, &ctx);
+    std::vector<ContainmentResult> warmup = service.ContainsBatch(w.items);
+    for (size_t i = 0; i < warmup.size(); ++i) {
+      ASSERT_EQ(warmup[i].outcome, Outcome::kDecided) << i;
+    }
+    std::string error;
+    const bool saved = service.SaveSnapshot(path, &error);
+    EXPECT_FALSE(FileExists(path + ".tmp")) << "temp leaked at alloc " << k;
+    if (!saved) {
+      EXPECT_FALSE(FileExists(path)) << "failed save left a file, alloc " << k;
+      continue;
+    }
+    // A colder-but-valid file: a fresh service must load it and keep every
+    // verdict identical to the reference.
+    EngineContext fresh_ctx;
+    QueryService fresh(&pool, &fresh_ctx);
+    ASSERT_TRUE(fresh.LoadSnapshot(path, &error)) << error << " alloc " << k;
+    std::vector<ContainmentResult> warm = fresh.ContainsBatch(w.items);
+    for (size_t i = 0; i < warm.size(); ++i) {
+      ASSERT_EQ(warm[i].outcome, Outcome::kDecided) << i;
+      EXPECT_EQ(warm[i].contained, w.expected[i])
+          << "item " << i << " flipped after an alloc-faulted save";
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// Faults injected *during LoadSnapshot* must leave the service exactly as
+// cold as a never-loaded one: the staged commit means no cache entry, no
+// lattice node and no probe vector survives an aborted load.  Measured by
+// comparing post-recovery cache hits against a genuinely cold baseline.
+TEST(ServiceFaultTest, FaultedSnapshotLoadLeavesTheServiceCold) {
+  LabelPool pool;
+  Workload w = MakeWorkload(&pool);
+  const std::string path = SnapTempPath("load");
+  {
+    EngineContext ctx;
+    QueryService writer(&pool, &ctx);
+    writer.ContainsBatch(w.items);
+    std::string error;
+    ASSERT_TRUE(writer.SaveSnapshot(path, &error)) << error;
+  }
+
+  // Baselines: the cold batch's cache-hit count, and a clean load's charge
+  // volume plus its (strictly larger) warm hit count.
+  int64_t cold_hits = 0;
+  {
+    EngineContext ctx;
+    QueryService cold(&pool, &ctx);
+    cold.ContainsBatch(w.items);
+    cold_hits = ctx.stats().cache_hits.load(std::memory_order_relaxed);
+  }
+  int64_t load_charges = 0;
+  {
+    EngineConfig config;
+    config.fault_plan.exhaust_at_charge = std::numeric_limits<int64_t>::max();
+    EngineContext ctx(config);
+    QueryService warm(&pool, &ctx);
+    std::string error;
+    ASSERT_TRUE(warm.LoadSnapshot(path, &error)) << error;
+    load_charges = ctx.fault_injector()->charges_seen();
+    warm.ContainsBatch(w.items);
+    ASSERT_GT(ctx.stats().cache_hits.load(std::memory_order_relaxed),
+              cold_hits)
+        << "a clean warm start must out-hit the cold baseline";
+  }
+  ASSERT_GT(load_charges, 0);
+
+  for (bool cancel : {false, true}) {
+    for (int64_t k = 1; k <= load_charges; ++k) {
+      FaultPlan plan;
+      if (cancel) {
+        plan.cancel_at_charge = k;
+      } else {
+        plan.exhaust_at_charge = k;
+      }
+      EngineConfig config;
+      config.fault_plan = plan;
+      EngineContext ctx(config);
+      QueryService service(&pool, &ctx);
+      std::string error;
+      EXPECT_FALSE(service.LoadSnapshot(path, &error))
+          << "load survived a fault at step " << k;
+      EXPECT_EQ(error.rfind("snapshot: ", 0), 0u) << error;
+
+      ctx.ResetBudget();
+      std::vector<ContainmentResult> results = service.ContainsBatch(w.items);
+      ASSERT_EQ(results.size(), w.items.size());
+      for (size_t i = 0; i < results.size(); ++i) {
+        ASSERT_EQ(results[i].outcome, Outcome::kDecided) << i;
+        EXPECT_EQ(results[i].contained, w.expected[i])
+            << "item " << i << " flipped after an aborted load";
+      }
+      EXPECT_EQ(ctx.stats().cache_hits.load(std::memory_order_relaxed),
+                cold_hits)
+          << "aborted load at step " << k << " left warm state behind";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+/// A stitch/borrow-heavy workload: one child-edge weakening chain whose
+/// adjacent pairs seed contained edges, distant pairs stitch, reversals
+/// refute and leave witnesses, and a shared-endpoint pair borrows them.
+Workload MakeLatticeWorkload(LabelPool* pool) {
+  Workload w;
+  const LabelId a = pool->Intern("a");
+  const LabelId b = pool->Intern("b");
+  const LabelId c = pool->Intern("c");
+  const LabelId d = pool->Intern("d");
+  std::vector<Tpq> chain;
+  const LabelId spine[] = {a, b, c, d};
+  for (int len = 4; len >= 1; --len) {
+    Tpq p(a);
+    NodeId at = 0;
+    for (int i = 1; i < len; ++i) {
+      at = p.AddChild(at, spine[i], EdgeKind::kChild);
+    }
+    chain.push_back(std::move(p));
+  }
+  for (size_t i = 0; i + 1 < chain.size(); ++i) {
+    w.items.push_back({chain[i], chain[i + 1], Mode::kWeak});
+  }
+  for (size_t i = 0; i < chain.size(); ++i) {
+    for (size_t j = i + 2; j < chain.size(); ++j) {
+      w.items.push_back({chain[i], chain[j], Mode::kWeak});
+      w.items.push_back({chain[j], chain[i], Mode::kWeak});
+    }
+  }
+  Tpq deep(a);  // a//b: refutations carry a nonempty witness vector
+  deep.AddChild(0, b, EdgeKind::kDescendant);
+  Tpq qc(c), qd(d);
+  w.items.push_back({deep, qc, Mode::kWeak});
+  w.items.push_back({deep, qd, Mode::kWeak});  // borrowable witness
+
+  EngineContext ref_ctx;
+  for (const QueryService::BatchItem& item : w.items) {
+    ContainmentResult r = Contains(item.p, item.q, item.mode, pool, &ref_ctx);
+    EXPECT_EQ(r.outcome, Outcome::kDecided);
+    w.expected.push_back(r.contained);
+  }
+  return w;
+}
+
+// Faults landing inside the lattice layer itself — mid-stitch BFS, witness
+// borrowing, replay validation — must degrade exactly like every other
+// layer: structured exhaustion or the reference verdict, and clean recovery.
+TEST(ServiceFaultTest, FaultsDuringStitchAndBorrowDegradeCleanly) {
+  LabelPool pool;
+  Workload w = MakeLatticeWorkload(&pool);
+  Probe probe = ProbeBatch(w, &pool);
+  ASSERT_GT(probe.charges, 0);
+  for (int64_t n : FaultPoints(probe.charges, 24, /*seed=*/0x5717C4)) {
+    FaultPlan plan;
+    plan.exhaust_at_charge = n;
+    CheckFaultedBatch(w, &pool, plan, /*threads=*/1, ExhaustionReason::kSteps);
+  }
+  for (int64_t n : FaultPoints(probe.charges, 12, /*seed=*/0xB0440)) {
+    FaultPlan plan;
+    plan.cancel_at_charge = n;
+    CheckFaultedBatch(w, &pool, plan, /*threads=*/1,
+                      ExhaustionReason::kCancelled);
   }
 }
 
