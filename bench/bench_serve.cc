@@ -1,0 +1,325 @@
+// The containment daemon under adversarial multi-tenancy.
+//
+// The paper's dichotomy turns scheduling into the benchmark: a PTIME tenant
+// round-trips microsecond queries while a coNP tenant can legally submit
+// full canonical-sweep instances that each burn milliseconds.  Three
+// questions, each a socket round-trip measurement against a live server:
+//
+//   * BM_Serve_PTimeSolo — the wire floor: one tenant, one worker, a PTIME
+//     pair per iteration (frame encode + socket + admission + DRR + decide).
+//   * BM_Serve_PTimeWithAggressor — the isolation number: the same PTIME
+//     round-trips while an aggressor tenant keeps a deep window of
+//     full-sweep instances queued on the single worker.  Under FIFO the
+//     light tenant would wait behind the whole window; under DRR it waits
+//     for at most the (non-preemptible) request in flight plus its own
+//     turn.  The in-bench assert enforces exactly that: light p95 must stay
+//     under half the window's total sweep cost, else SkipWithError.
+//   * BM_Serve_AdmissionShed — the shed path: a tenant whose single
+//     outstanding slot is parked on an effectively-endless sweep; every
+//     further query must be refused O(1) with kShedOverload + retry hint,
+//     never queued behind the parked request.
+//
+// All three servers force the canonical sweep (no cache, no prefilters) so
+// the aggressor's instances really cost what the coNP regime costs.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/label.h"
+#include "engine/engine.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "service/query_service.h"
+
+namespace tpc {
+namespace {
+
+using serve::Client;
+using serve::DrainReport;
+using serve::ResponseFrame;
+using serve::Server;
+using serve::ServerOptions;
+using serve::WireStatus;
+
+/// Sweep-only service: every decision pays the canonical enumeration, which
+/// is the regime the daemon's admission/fairness layers exist for.
+ServiceOptions SweepOnlyOptions() {
+  ServiceOptions o;
+  o.use_cache = false;
+  o.use_prefilters = false;
+  o.containment.force_canonical = true;
+  return o;
+}
+
+/// A contained pair whose sweep enumerates (|q|+2)^4 = 2401 canonical trees
+/// (4 descendant edges): the aggressor's per-request unit of work.
+std::string SlowPattern(int salt) {
+  return "a//b//c//d//s" + std::to_string(salt);
+}
+
+/// 8 descendant edges: ~10^8 canonical trees, minutes of sweep — parks an
+/// admission slot for the whole benchmark; the drain cancels it.
+constexpr char kEndlessPattern[] = "x//x1//x2//x3//x4//x5//x6//x7//x8";
+
+struct LiveServer {
+  LabelPool pool;
+  std::unique_ptr<EngineContext> ctx;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<Server> server;
+  std::string sock_path;
+  bool ok = false;
+  std::string error;
+
+  explicit LiveServer(ServerOptions options, const char* tag) {
+    ctx = std::make_unique<EngineContext>();
+    service = std::make_unique<QueryService>(&pool, ctx.get(),
+                                             SweepOnlyOptions());
+    sock_path = std::string("/tmp/tpc_bench_serve_") + tag + "_" +
+                std::to_string(getpid()) + ".sock";
+    options.unix_path = sock_path;
+    server = std::make_unique<Server>(service.get(), &pool, options);
+    ok = server->Start(&error);
+  }
+
+  DrainReport Drain() {
+    server->RequestDrain();
+    return server->Wait();
+  }
+};
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void BM_Serve_PTimeSolo(benchmark::State& state) {
+  ServerOptions options;
+  options.workers = 1;
+  LiveServer live(options, "solo");
+  if (!live.ok) {
+    state.SkipWithError(live.error.c_str());
+    return;
+  }
+  Client client;
+  std::string error;
+  if (!client.ConnectUnix(live.sock_path, "ptime", &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  uint64_t id = 0;
+  for (auto _ : state) {
+    ResponseFrame resp;
+    if (!client.SendQuery(++id, Mode::kWeak, "a/b", "a//b", &error) ||
+        !client.ReadResponse(&resp, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    if (resp.status != WireStatus::kOk || !resp.contained) {
+      state.SkipWithError("wrong verdict on the PTIME pair");
+      return;
+    }
+  }
+  client.Close();
+  const DrainReport report = live.Drain();
+  if (report.accepted != report.responded) {
+    state.SkipWithError("dropped a response");
+    return;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Serve_PTimeSolo)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_Serve_PTimeWithAggressor(benchmark::State& state) {
+  const int kWindow = 8;  // aggressor's outstanding full-sweep requests
+  ServerOptions options;
+  options.workers = 1;  // one core, one worker: fairness does all the work
+  LiveServer live(options, "aggr");
+  if (!live.ok) {
+    state.SkipWithError(live.error.c_str());
+    return;
+  }
+  Client light;
+  std::string error;
+  if (!light.ConnectUnix(live.sock_path, "ptime", &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  // Baseline: one full-sweep unit, solo, on this machine right now.  The
+  // FIFO failure mode would cost the light tenant ~kWindow of these.
+  int64_t unit_ns = 0;
+  {
+    Client probe;
+    if (!probe.ConnectUnix(live.sock_path, "aggressor", &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    const int64_t t0 = NowNs();
+    ResponseFrame resp;
+    if (!probe.SendQuery(1, Mode::kWeak, SlowPattern(0), SlowPattern(0),
+                         &error) ||
+        !probe.ReadResponse(&resp, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    unit_ns = NowNs() - t0;
+    probe.Close();
+  }
+
+  // The aggressor keeps `kWindow` sweeps outstanding until told to stop.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> aggressor_ok{true};
+  std::thread aggressor([&] {
+    Client agg;
+    std::string agg_error;
+    if (!agg.ConnectUnix(live.sock_path, "aggressor", &agg_error)) {
+      aggressor_ok.store(false);
+      return;
+    }
+    uint64_t sent = 0, read = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      while (sent - read < static_cast<uint64_t>(kWindow)) {
+        const std::string p = SlowPattern(static_cast<int>(++sent));
+        if (!agg.SendQuery(sent, Mode::kWeak, p, p, &agg_error)) {
+          aggressor_ok.store(false);
+          return;
+        }
+      }
+      ResponseFrame resp;
+      if (!agg.ReadResponse(&resp, &agg_error)) {
+        aggressor_ok.store(false);
+        return;
+      }
+      ++read;
+    }
+    while (read < sent) {  // collect the tail so the drain stays clean
+      ResponseFrame resp;
+      if (!agg.ReadResponse(&resp, &agg_error)) break;
+      ++read;
+    }
+    agg.Close();
+  });
+
+  std::vector<int64_t> latencies_ns;
+  uint64_t id = 0;
+  for (auto _ : state) {
+    const int64_t t0 = NowNs();
+    ResponseFrame resp;
+    if (!light.SendQuery(++id, Mode::kWeak, "a/b", "a//b", &error) ||
+        !light.ReadResponse(&resp, &error)) {
+      stop.store(true);
+      aggressor.join();
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    latencies_ns.push_back(NowNs() - t0);
+    if (resp.status != WireStatus::kOk || !resp.contained) {
+      stop.store(true);
+      aggressor.join();
+      state.SkipWithError("wrong verdict under aggression");
+      return;
+    }
+  }
+  stop.store(true);
+  aggressor.join();
+  light.Close();
+  const DrainReport report = live.Drain();
+
+  if (!latencies_ns.empty()) {
+    std::sort(latencies_ns.begin(), latencies_ns.end());
+    const int64_t p95 = latencies_ns[latencies_ns.size() * 95 / 100];
+    state.counters["light_p95_us"] = static_cast<double>(p95) / 1e3;
+    state.counters["sweep_unit_us"] = static_cast<double>(unit_ns) / 1e3;
+    // The isolation assert.  FIFO would put the light tenant behind the
+    // aggressor's whole window (~kWindow * unit); DRR bounds its wait by
+    // the one non-preemptible sweep in flight plus scheduling noise.  Half
+    // the window is a generous ceiling that still rules FIFO out.
+    if (!aggressor_ok.load() || report.accepted != report.responded) {
+      state.SkipWithError("aggressor stream broke");
+      return;
+    }
+    if (p95 > unit_ns * kWindow / 2) {
+      state.SkipWithError(
+          "isolation violated: light p95 ~ the aggressor's whole backlog");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+// Real time is the honest clock here: the round trip spends its life
+// blocked on the socket while the worker sweeps, which CPU time cannot see.
+BENCHMARK(BM_Serve_PTimeWithAggressor)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime()
+    ->MinTime(0.5);
+
+void BM_Serve_AdmissionShed(benchmark::State& state) {
+  ServerOptions options;
+  options.workers = 1;
+  options.drain_ms = 50;  // the parked sweep is cancelled, not awaited
+  options.default_quota.max_outstanding = 1;
+  LiveServer live(options, "shed");
+  if (!live.ok) {
+    state.SkipWithError(live.error.c_str());
+    return;
+  }
+  Client client;
+  std::string error;
+  if (!client.ConnectUnix(live.sock_path, "capped", &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  // Park the tenant's only slot on an effectively-endless sweep.
+  if (!client.SendQuery(1, Mode::kWeak, kEndlessPattern, kEndlessPattern,
+                        &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  uint64_t id = 1;
+  for (auto _ : state) {
+    ResponseFrame resp;
+    if (!client.SendQuery(++id, Mode::kWeak, "a/b", "a//b", &error) ||
+        !client.ReadResponse(&resp, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    // O(1) refusal is the measured path; being admitted would mean the
+    // parked request finished (it cannot within the benchmark's horizon).
+    if (resp.status != WireStatus::kShedOverload || resp.retry_after_ms == 0) {
+      state.SkipWithError("expected kShedOverload with a retry hint");
+      return;
+    }
+  }
+  // The drain cancels the parked sweep; its response must still arrive.
+  live.server->RequestDrain();
+  ResponseFrame parked;
+  if (!client.ReadResponse(&parked, &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  client.Close();
+  const DrainReport report = live.server->Wait();
+  if (parked.request_id != 1 || report.accepted != report.responded) {
+    state.SkipWithError("the parked request lost its response");
+    return;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Serve_AdmissionShed)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime()
+    ->Iterations(2000);
+
+}  // namespace
+}  // namespace tpc
+
+BENCHMARK_MAIN();

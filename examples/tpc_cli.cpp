@@ -37,9 +37,13 @@
 //                    budget exhaustion at the nth charge, fail the kth
 //                    tracked allocation, or cancel at the nth charge
 //
-// SIGINT (Ctrl-C) requests cooperative cancellation: the decision in flight
-// unwinds at its next budget charge and the run exits 3 with reason
-// "cancelled" instead of dying mid-computation.
+// SIGINT (Ctrl-C) and SIGTERM request cooperative cancellation: the decision
+// in flight unwinds at its next budget charge and the run exits 3 with
+// reason "cancelled" instead of dying mid-computation (the same helper wires
+// tpc_serve's graceful drain; see serve/signals.h).  UNDECIDED lines carry
+// the stable wire code and retryable bit from the error-code table in
+// README.md, so scripts driving the CLI and clients of the daemon key retry
+// policies on the same numbers.
 //
 // Malformed patterns/trees/DTDs exit 2 with a line/column diagnostic.
 //
@@ -54,7 +58,6 @@
 //   tpc_cli minimize 'a[b][b/c]'
 //   tpc_cli --stats --threads 4 --batch pairs.txt
 
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +74,8 @@
 #include "match/embedding.h"
 #include "pattern/tpq_parser.h"
 #include "schema/schema_engine.h"
+#include "serve/protocol.h"
+#include "serve/signals.h"
 #include "service/query_service.h"
 #include "tree/tree_parser.h"
 
@@ -81,14 +86,6 @@ namespace {
 /// Exit status for a run that hit its resource budget before the answer was
 /// certain (distinct from yes=0 / no=1 / usage-or-parse-error=2).
 constexpr int kExitUndecided = 3;
-
-/// The context whose budget the SIGINT handler cancels.  A handler can only
-/// touch lock-free atomics; `Budget::Cancel` is exactly one such store.
-EngineContext* g_signal_context = nullptr;
-
-void HandleSigint(int) {
-  if (g_signal_context != nullptr) g_signal_context->Cancel();
-}
 
 int Usage() {
   std::fprintf(stderr,
@@ -176,8 +173,16 @@ int Finish(EngineContext* ctx, bool print_stats, bool undecided,
   if (print_stats) std::printf("%s\n", ctx->StatsJson().c_str());
   if (undecided) {
     if (reason == ExhaustionReason::kNone) reason = ExhaustionReason::kSteps;
-    std::printf("UNDECIDED (resource budget exhausted: %s)\n",
-                ExhaustionReasonName(reason));
+    // The wire code and retryable bit come from the frozen table shared
+    // with tpc_serve (README "Error codes"), so a script wrapping the CLI
+    // and a client of the daemon retry on identical grounds.
+    const serve::WireStatus status = serve::WireStatusForReason(reason);
+    std::printf("UNDECIDED (resource budget exhausted: %s; wire code %d %s, "
+                "%s)\n",
+                ExhaustionReasonName(reason), static_cast<int>(status),
+                serve::WireStatusName(status),
+                serve::WireStatusRetryable(status) ? "retryable"
+                                                   : "not retryable");
     return kExitUndecided;
   }
   return decided_status;
@@ -247,8 +252,7 @@ int main(int argc, char** argv) {
   }
   if (batch_file == nullptr && args.size() < 2) return Usage();
   EngineContext ctx(config);
-  g_signal_context = &ctx;
-  std::signal(SIGINT, HandleSigint);
+  serve::InstallCancelOnSignals(&ctx);  // SIGINT and SIGTERM both cancel
   LabelPool pool;
 
   if (batch_file != nullptr) {

@@ -22,7 +22,12 @@
 #   * bench_persist (the warm-start tier: cold vs warm time-to-first-verdict
 #     — the warm restart must win by >= 10x — the transitive-chain stitch
 #     conversion with its 30% floor enforced in-bench, and the mmap-open vs
-#     heap-rebuild twin) into BENCH_persist.json
+#     heap-rebuild twin) into BENCH_persist.json, and
+#   * bench_serve (the daemon under adversarial multi-tenancy: the PTIME
+#     wire floor solo vs with a coNP aggressor window — the in-bench
+#     isolation assert skips-with-error if the light tenant's p95 degrades
+#     to the aggressor's whole backlog, i.e. FIFO behaviour — plus the O(1)
+#     admission-shed round-trip) into BENCH_serve.json
 # at the repo root, for before/after comparison across PRs.
 #
 # Baselines from non-optimized builds are worse than useless — they look
@@ -57,7 +62,8 @@ cmake --build --preset release -j "$(nproc)" \
   --target bench_table45_schema_containment \
   --target bench_service \
   --target bench_compile \
-  --target bench_persist
+  --target bench_persist \
+  --target bench_serve
 
 run_suite() {
   local bin="$1" out="$2"
@@ -75,3 +81,4 @@ run_suite bench_table45_schema_containment BENCH_table45.json
 run_suite bench_service BENCH_service.json
 run_suite bench_compile BENCH_compile.json
 run_suite bench_persist BENCH_persist.json
+run_suite bench_serve BENCH_serve.json

@@ -8,10 +8,10 @@
 #   scripts/check.sh                 tier-1 gate (release, asan, tsan)
 #   scripts/check.sh <preset>        one preset (release|asan|tsan|ubsan)
 #   scripts/check.sh faults          the failure-model gate: the fault
-#                                    matrix, exhaustion audit and parser
-#                                    mutation suites under asan AND tsan
-#                                    (leaks + races of every injected-fault
-#                                    unwind path)
+#                                    matrix, exhaustion audit, parser
+#                                    mutation and daemon fault suites under
+#                                    asan AND tsan (leaks + races of every
+#                                    injected-fault unwind path)
 #   scripts/check.sh layout          the columnar-layout gate: the TreeView
 #                                    property sweep, the word-parallel vs
 #                                    scalar agreement suite and the matcher
@@ -23,6 +23,14 @@
 #                                    the program-cache suite under asan AND
 #                                    ubsan (bit/shift UB in the fused ops,
 #                                    lifetime bugs in the shared programs)
+#   scripts/check.sh serve           the daemon gate: the wire-protocol
+#                                    mutation matrix, the fair-scheduler
+#                                    invariants and the end-to-end fault /
+#                                    drain / disconnect suite under asan AND
+#                                    tsan (the server is the most
+#                                    thread-shaped subsystem in the repo:
+#                                    IO thread + runner + workers + client
+#                                    threads all live in these tests)
 #   scripts/check.sh persist         the persistence gate: the snapshot
 #                                    round-trip/corruption suite, the
 #                                    lattice agreement suite and the service
@@ -33,10 +41,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FAULT_TESTS='fault_injection_test|exhaustion_audit_test|parser_mutation_test|service_fault_test'
+FAULT_TESTS='fault_injection_test|exhaustion_audit_test|parser_mutation_test|service_fault_test|serve_fault_test'
 LAYOUT_TESTS='tree_view_test|word_parallel_agreement_test|matcher_property_test'
 COMPILE_TESTS='compiled_agreement_test|program_cache_test'
 PERSIST_TESTS='snapshot_roundtrip_test|lattice_agreement_test|service_fault_test'
+SERVE_TESTS='serve_protocol_test|serve_scheduler_test|serve_fault_test'
 
 run_preset() {
   local preset="$1"; shift
@@ -66,6 +75,12 @@ elif [[ $1 == compile ]]; then
     run_preset "$preset" -R "$COMPILE_TESTS"
   done
   exit 0
+elif [[ $1 == serve ]]; then
+  echo "== daemon gate (protocol + scheduler + e2e faults under asan + tsan) =="
+  for preset in asan tsan; do
+    run_preset "$preset" -R "$SERVE_TESTS"
+  done
+  exit 0
 elif [[ $1 == persist ]]; then
   echo "== persistence gate (snapshot + lattice + faults under asan + ubsan) =="
   for preset in asan ubsan; do
@@ -79,7 +94,7 @@ fi
 for preset in "${presets[@]}"; do
   case "$preset" in
     asan|tsan|ubsan|release) ;;
-    *) echo "usage: $0 [asan|tsan|ubsan|release|faults|layout|compile|persist]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|ubsan|release|faults|layout|compile|persist|serve]" >&2; exit 2 ;;
   esac
 done
 

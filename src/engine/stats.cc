@@ -44,6 +44,44 @@ void EngineStats::Reset() {
   for (auto& d : dispatch) d.store(0, std::memory_order_relaxed);
 }
 
+void EngineStats::MergeFrom(const EngineStats& other) {
+  auto add = [](std::atomic<int64_t>& into, const std::atomic<int64_t>& from) {
+    into.fetch_add(from.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  };
+  add(canonical_trees_enumerated, other.canonical_trees_enumerated);
+  add(embeddings_attempted, other.embeddings_attempted);
+  add(dp_cells_filled, other.dp_cells_filled);
+  add(dp_cells_reused, other.dp_cells_reused);
+  add(trees_rebuilt_from_spine, other.trees_rebuilt_from_spine);
+  add(dp_words_folded, other.dp_words_folded);
+  add(dp_rows_skipped, other.dp_rows_skipped);
+  add(homomorphism_checks, other.homomorphism_checks);
+  add(schema_configurations, other.schema_configurations);
+  add(horizontal_nodes, other.horizontal_nodes);
+  add(det_states_materialized, other.det_states_materialized);
+  add(nta_states_built, other.nta_states_built);
+  add(nta_transitions_built, other.nta_transitions_built);
+  add(configs_subsumed, other.configs_subsumed);
+  add(unions_memoized, other.unions_memoized);
+  add(state_sets_interned, other.state_sets_interned);
+  add(graph_dp_cells, other.graph_dp_cells);
+  add(cache_hits, other.cache_hits);
+  add(cache_evictions, other.cache_evictions);
+  add(prefilter_accepts, other.prefilter_accepts);
+  add(prefilter_refutes, other.prefilter_refutes);
+  add(batch_deduped, other.batch_deduped);
+  add(lattice_stitch_hits, other.lattice_stitch_hits);
+  add(witness_borrow_refutes, other.witness_borrow_refutes);
+  add(snapshot_trees_mapped, other.snapshot_trees_mapped);
+  add(programs_compiled, other.programs_compiled);
+  add(program_exec_hits, other.program_exec_hits);
+  add(program_cache_evictions, other.program_cache_evictions);
+  for (int i = 0; i < kNumDispatchAlgorithms; ++i) {
+    add(dispatch[i], other.dispatch[i]);
+  }
+}
+
 namespace {
 
 /// Appends `{"a": 1, "b": 2}` with the fields sorted by name, so the dump is

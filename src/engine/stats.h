@@ -107,6 +107,13 @@ struct EngineStats {
   /// Zeroes every counter.
   void Reset();
 
+  /// Adds every counter of `other` into this block.  The serve daemon gives
+  /// each worker its own `EngineContext` (per-tenant budgets must not share
+  /// a step counter), so the STATS frame folds the worker blocks into one
+  /// aggregate dump with this.  Relaxed reads: counters merged while
+  /// workers run are a consistent-enough snapshot for observability.
+  void MergeFrom(const EngineStats& other);
+
   /// One-line JSON object with every counter plus the budget's resource
   /// readings (steps, tracked bytes and peak, exhaustion reason) so one
   /// dump describes the whole run.  Counters are grouped — `engine`, `cache`,

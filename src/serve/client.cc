@@ -1,0 +1,176 @@
+#include "serve/client.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace tpc {
+namespace serve {
+
+Client::~Client() { Close(); }
+
+bool Client::ConnectUnix(const std::string& path, std::string_view tenant_id,
+                         std::string* error) {
+  fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "unix path too long";
+    Abort();
+    return false;
+  }
+  strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = "connect: " + std::string(strerror(errno));
+    Abort();
+    return false;
+  }
+  return FinishConnect(tenant_id, error);
+}
+
+bool Client::ConnectTcp(int port, std::string_view tenant_id,
+                        std::string* error) {
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = "connect: " + std::string(strerror(errno));
+    Abort();
+    return false;
+  }
+  return FinishConnect(tenant_id, error);
+}
+
+bool Client::FinishConnect(std::string_view tenant_id, std::string* error) {
+  if (!SendAll(EncodeHello(tenant_id), error)) return false;
+  Frame frame;
+  if (!ReadFrame(&frame, error)) return false;
+  if (frame.type == FrameType::kError) {
+    // ERROR payload = status byte + message bytes.
+    if (error != nullptr) {
+      *error = frame.payload.size() > 1 ? frame.payload.substr(1)
+                                        : "server rejected HELLO";
+    }
+    Abort();
+    return false;
+  }
+  if (frame.type != FrameType::kHelloOk) {
+    if (error != nullptr) *error = "unexpected frame in place of HELLO_OK";
+    Abort();
+    return false;
+  }
+  return true;
+}
+
+bool Client::SendQuery(uint64_t request_id, Mode mode, std::string_view p,
+                       std::string_view q, std::string* error) {
+  return SendAll(EncodeQuery(request_id, mode, p, q), error);
+}
+
+bool Client::ReadResponse(ResponseFrame* out, std::string* error,
+                          std::string* stats_json) {
+  while (true) {
+    Frame frame;
+    if (!ReadFrame(&frame, error)) return false;
+    switch (frame.type) {
+      case FrameType::kResponse:
+        return DecodeResponse(frame.payload, out, error);
+      case FrameType::kStatsJson:
+        if (stats_json != nullptr) *stats_json = frame.payload;
+        continue;
+      case FrameType::kError:
+        if (error != nullptr) {
+          *error = frame.payload.size() > 1 ? frame.payload.substr(1)
+                                            : "server error";
+        }
+        return false;
+      default:
+        if (error != nullptr) *error = "unexpected server frame";
+        return false;
+    }
+  }
+}
+
+bool Client::Stats(std::string* json, std::string* error) {
+  if (!SendAll(EncodeStatsRequest(), error)) return false;
+  while (true) {
+    Frame frame;
+    if (!ReadFrame(&frame, error)) return false;
+    if (frame.type == FrameType::kStatsJson) {
+      *json = frame.payload;
+      return true;
+    }
+    // Interleaved responses while waiting for stats are dropped — callers
+    // that care about both run Stats() only between query bursts.
+    if (frame.type != FrameType::kResponse) {
+      if (error != nullptr) *error = "unexpected server frame";
+      return false;
+    }
+  }
+}
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  std::string unused;
+  SendAll(EncodeGoodbye(), &unused);
+  close(fd_);
+  fd_ = -1;
+}
+
+void Client::Abort() {
+  if (fd_ < 0) return;
+  close(fd_);
+  fd_ = -1;
+}
+
+bool Client::SendAll(const std::string& bytes, std::string* error) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (error != nullptr) *error = "send: " + std::string(strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool Client::ReadFrame(Frame* out, std::string* error) {
+  while (true) {
+    const FrameReader::Result r = reader_.Poll(out, error);
+    if (r == FrameReader::Result::kFrame) return true;
+    if (r == FrameReader::Result::kError) return false;
+    char buf[16384];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (error != nullptr) {
+      *error = n == 0 ? "connection closed"
+                      : "recv: " + std::string(strerror(errno));
+    }
+    return false;
+  }
+}
+
+}  // namespace serve
+}  // namespace tpc

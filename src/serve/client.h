@@ -1,0 +1,72 @@
+// A minimal blocking client for the containment daemon.
+//
+// Used by serve_fault_test, bench_serve and anyone scripting against
+// `tpc_serve` from C++: connect, HELLO, stream queries, read responses.
+// Deliberately synchronous and single-threaded — the interesting
+// concurrency lives on the server side; tests drive parallelism by running
+// several clients on several threads.
+
+#ifndef TPC_SERVE_CLIENT_H_
+#define TPC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.h"
+
+namespace tpc {
+namespace serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects over a Unix-domain socket (`ConnectUnix`) or loopback TCP
+  /// (`ConnectTcp`) and performs the HELLO exchange.  False with `*error`
+  /// on connect failure, rejection, or version mismatch.
+  bool ConnectUnix(const std::string& path, std::string_view tenant_id,
+                   std::string* error);
+  bool ConnectTcp(int port, std::string_view tenant_id, std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one QUERY frame.  Does not wait for the response — responses
+  /// arrive in completion order; correlate by id via `ReadResponse`.
+  bool SendQuery(uint64_t request_id, Mode mode, std::string_view p,
+                 std::string_view q, std::string* error);
+
+  /// Blocks for the next RESPONSE frame.  Other frame types arriving first
+  /// (STATS_JSON) are surfaced through the optional `stats_json` sink or
+  /// skipped.  False on disconnect, protocol error, or an ERROR frame
+  /// (whose status/message land in `*error`).
+  bool ReadResponse(ResponseFrame* out, std::string* error,
+                    std::string* stats_json = nullptr);
+
+  /// Requests and returns the server's STATS dump.
+  bool Stats(std::string* json, std::string* error);
+
+  /// Sends GOODBYE and closes.  Safe to call on a dead connection.
+  void Close();
+
+  /// Severs the transport without GOODBYE — the fault tests' mid-stream
+  /// disconnect.
+  void Abort();
+
+ private:
+  bool FinishConnect(std::string_view tenant_id, std::string* error);
+  bool SendAll(const std::string& bytes, std::string* error);
+  bool ReadFrame(Frame* out, std::string* error);
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace serve
+}  // namespace tpc
+
+#endif  // TPC_SERVE_CLIENT_H_

@@ -1,0 +1,351 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace tpc {
+namespace serve {
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Bounds-checked little-endian cursor over one payload.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool U16(uint16_t* v) {
+    if (pos_ + 2 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 2; ++i) {
+      *v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+    }
+    return true;
+  }
+
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+    }
+    return true;
+  }
+
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+    }
+    return true;
+  }
+
+  bool Bytes(size_t n, std::string* out) {
+    if (pos_ + n > data_.size()) return false;
+    out->assign(data_.substr(pos_, n));
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::string_view Rest() const { return data_.substr(pos_); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+bool Fail(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+std::string WithHeader(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+  return out;
+}
+
+bool KnownFrameType(uint8_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello:
+    case FrameType::kQuery:
+    case FrameType::kStats:
+    case FrameType::kGoodbye:
+    case FrameType::kHelloOk:
+    case FrameType::kResponse:
+    case FrameType::kStatsJson:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+WireStatus WireStatusForReason(ExhaustionReason reason) {
+  switch (reason) {
+    case ExhaustionReason::kNone:
+      return WireStatus::kOk;
+    case ExhaustionReason::kSteps:
+      return WireStatus::kExhaustedSteps;
+    case ExhaustionReason::kDeadline:
+      return WireStatus::kExhaustedDeadline;
+    case ExhaustionReason::kMemory:
+      return WireStatus::kExhaustedMemory;
+    case ExhaustionReason::kCancelled:
+      return WireStatus::kCancelledDrain;
+  }
+  return WireStatus::kExhaustedSteps;
+}
+
+bool WireStatusRetryable(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return false;  // nothing to retry
+    case WireStatus::kExhaustedSteps:
+    case WireStatus::kExhaustedDeadline:
+    case WireStatus::kCancelledDrain:
+    case WireStatus::kShedOverload:
+      return true;
+    case WireStatus::kExhaustedMemory:
+    case WireStatus::kBadRequest:
+    case WireStatus::kProtocolError:
+    case WireStatus::kUnknownTenant:
+      return false;
+  }
+  return false;
+}
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "OK";
+    case WireStatus::kExhaustedSteps:
+      return "EXHAUSTED_STEPS";
+    case WireStatus::kExhaustedDeadline:
+      return "EXHAUSTED_DEADLINE";
+    case WireStatus::kExhaustedMemory:
+      return "EXHAUSTED_MEMORY";
+    case WireStatus::kCancelledDrain:
+      return "CANCELLED_DRAIN";
+    case WireStatus::kShedOverload:
+      return "SHED_OVERLOAD";
+    case WireStatus::kBadRequest:
+      return "BAD_REQUEST";
+    case WireStatus::kProtocolError:
+      return "PROTOCOL_ERROR";
+    case WireStatus::kUnknownTenant:
+      return "UNKNOWN_TENANT";
+  }
+  return "UNKNOWN";
+}
+
+bool ValidTenantId(std::string_view id) {
+  if (id.empty() || id.size() > kMaxTenantIdBytes) return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void FrameReader::Feed(const void* data, size_t n) {
+  if (errored_ || n == 0) return;
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // steady-state feeding is append-only.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(static_cast<const char*>(data), n);
+}
+
+FrameReader::Result FrameReader::Poll(Frame* out, std::string* error) {
+  if (errored_) {
+    if (error != nullptr) *error = error_;
+    return Result::kError;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return Result::kNeedMore;
+  const uint8_t* head =
+      reinterpret_cast<const uint8_t*>(buffer_.data()) + consumed_;
+  uint32_t declared = 0;
+  for (int i = 0; i < 4; ++i) {
+    declared |= static_cast<uint32_t>(head[i]) << (8 * i);
+  }
+  const uint8_t type = head[4];
+  // Reject before buffering the body: the declared length is attacker
+  // controlled, the cap is ours.
+  if (declared > max_payload_) {
+    errored_ = true;
+    error_ = "frame declares " + std::to_string(declared) +
+             " payload bytes (cap " + std::to_string(max_payload_) + ")";
+    if (error != nullptr) *error = error_;
+    return Result::kError;
+  }
+  if (!KnownFrameType(type)) {
+    errored_ = true;
+    error_ = "unknown frame type " + std::to_string(type);
+    if (error != nullptr) *error = error_;
+    return Result::kError;
+  }
+  if (available < kFrameHeaderBytes + declared) return Result::kNeedMore;
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(buffer_, consumed_ + kFrameHeaderBytes, declared);
+  consumed_ += kFrameHeaderBytes + declared;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return Result::kFrame;
+}
+
+std::string EncodeHello(std::string_view tenant_id, uint32_t version) {
+  std::string payload;
+  PutU32(&payload, version);
+  PutU16(&payload, static_cast<uint16_t>(tenant_id.size()));
+  payload.append(tenant_id);
+  return WithHeader(FrameType::kHello, payload);
+}
+
+std::string EncodeQuery(uint64_t request_id, Mode mode, std::string_view p,
+                        std::string_view q) {
+  std::string payload;
+  PutU64(&payload, request_id);
+  payload.push_back(static_cast<char>(mode == Mode::kStrong ? 1 : 0));
+  PutU16(&payload, static_cast<uint16_t>(p.size()));
+  payload.append(p);
+  PutU16(&payload, static_cast<uint16_t>(q.size()));
+  payload.append(q);
+  return WithHeader(FrameType::kQuery, payload);
+}
+
+std::string EncodeStatsRequest() {
+  return WithHeader(FrameType::kStats, {});
+}
+
+std::string EncodeGoodbye() { return WithHeader(FrameType::kGoodbye, {}); }
+
+std::string EncodeHelloOk(uint32_t version) {
+  std::string payload;
+  PutU32(&payload, version);
+  return WithHeader(FrameType::kHelloOk, payload);
+}
+
+std::string EncodeResponse(const ResponseFrame& response) {
+  std::string payload;
+  PutU64(&payload, response.request_id);
+  payload.push_back(static_cast<char>(response.status));
+  uint8_t flags = 0;
+  if (response.contained) flags |= 1;
+  if (response.retryable) flags |= 2;
+  payload.push_back(static_cast<char>(flags));
+  PutU32(&payload, response.retry_after_ms);
+  PutU32(&payload, static_cast<uint32_t>(response.detail.size()));
+  payload.append(response.detail);
+  return WithHeader(FrameType::kResponse, payload);
+}
+
+std::string EncodeStatsJson(std::string_view json) {
+  return WithHeader(FrameType::kStatsJson, json);
+}
+
+std::string EncodeError(WireStatus status, std::string_view message) {
+  std::string payload;
+  payload.push_back(static_cast<char>(status));
+  payload.append(message);
+  return WithHeader(FrameType::kError, payload);
+}
+
+bool DecodeHello(std::string_view payload, HelloFrame* out,
+                 std::string* error) {
+  Cursor c(payload);
+  uint16_t len = 0;
+  if (!c.U32(&out->version) || !c.U16(&len)) {
+    return Fail(error, "hello: truncated header");
+  }
+  if (!c.Bytes(len, &out->tenant_id)) {
+    return Fail(error, "hello: tenant id shorter than declared");
+  }
+  if (!c.AtEnd()) return Fail(error, "hello: trailing bytes");
+  if (!ValidTenantId(out->tenant_id)) {
+    return Fail(error, "hello: invalid tenant id");
+  }
+  return true;
+}
+
+bool DecodeQuery(std::string_view payload, QueryFrame* out,
+                 std::string* error) {
+  Cursor c(payload);
+  uint8_t mode_tag = 0;
+  uint16_t len = 0;
+  if (!c.U64(&out->request_id) || !c.U8(&mode_tag)) {
+    return Fail(error, "query: truncated header");
+  }
+  if (mode_tag > 1) return Fail(error, "query: bad mode tag");
+  out->mode = mode_tag == 1 ? Mode::kStrong : Mode::kWeak;
+  if (!c.U16(&len)) return Fail(error, "query: truncated p length");
+  if (len > kMaxPatternBytes) return Fail(error, "query: p too long");
+  if (!c.Bytes(len, &out->p)) {
+    return Fail(error, "query: p shorter than declared");
+  }
+  if (!c.U16(&len)) return Fail(error, "query: truncated q length");
+  if (len > kMaxPatternBytes) return Fail(error, "query: q too long");
+  if (!c.Bytes(len, &out->q)) {
+    return Fail(error, "query: q shorter than declared");
+  }
+  if (!c.AtEnd()) return Fail(error, "query: trailing bytes");
+  return true;
+}
+
+bool DecodeResponse(std::string_view payload, ResponseFrame* out,
+                    std::string* error) {
+  Cursor c(payload);
+  uint8_t status = 0;
+  uint8_t flags = 0;
+  uint32_t detail_len = 0;
+  if (!c.U64(&out->request_id) || !c.U8(&status) || !c.U8(&flags) ||
+      !c.U32(&out->retry_after_ms) || !c.U32(&detail_len)) {
+    return Fail(error, "response: truncated header");
+  }
+  if (status > static_cast<uint8_t>(WireStatus::kUnknownTenant)) {
+    return Fail(error, "response: unknown status code");
+  }
+  out->status = static_cast<WireStatus>(status);
+  out->contained = (flags & 1) != 0;
+  out->retryable = (flags & 2) != 0;
+  if (!c.Bytes(detail_len, &out->detail)) {
+    return Fail(error, "response: detail shorter than declared");
+  }
+  if (!c.AtEnd()) return Fail(error, "response: trailing bytes");
+  return true;
+}
+
+}  // namespace serve
+}  // namespace tpc

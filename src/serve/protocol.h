@@ -1,0 +1,197 @@
+// Wire protocol of the containment daemon (`tpc_serve`).
+//
+// The daemon speaks a length-prefixed binary framing protocol over a
+// Unix-domain or loopback TCP socket.  Every frame is
+//
+//   uint32  payload_length   (little-endian, excludes this 5-byte header)
+//   uint8   frame_type       (FrameType)
+//   bytes   payload          (payload_length bytes)
+//
+// A session is: client sends HELLO carrying its tenant id, server answers
+// HELLO_OK (or ERROR and closes); the client then streams QUERY frames and
+// the server streams RESPONSE frames back, one per query, in completion
+// order (ids correlate them — the fair-share scheduler deliberately
+// reorders across tenants).  STATS may be interleaved at any time.
+//
+// Robustness contract (serve_protocol_test.cc): any byte stream — truncated
+// mid-frame, declaring absurd lengths, carrying garbage tenant ids or
+// unknown frame types — is either parsed or rejected with a structured
+// error.  The reader never crashes, never allocates more than the declared
+// frame cap, and never spins: every `Poll` consumes input or asks for more.
+//
+// `WireStatus` is the stable error-code table shared by `tpc_serve`
+// responses and `tpc_cli`'s UNDECIDED reporting; the mapping from
+// `ExhaustionReason` (engine/budget.h) and the retryable bit per code are
+// documented in README.md and must never be renumbered — clients and
+// orchestrators key retry policies on them.
+
+#ifndef TPC_SERVE_PROTOCOL_H_
+#define TPC_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "contain/containment.h"
+#include "engine/budget.h"
+
+namespace tpc {
+namespace serve {
+
+/// Bumped on any incompatible frame-layout change; HELLO carries the
+/// client's version and the server rejects mismatches.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Bytes of the fixed frame header (length + type).
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+/// Hard cap on a declared payload length.  A frame claiming more is a
+/// protocol error — the reader must reject it *before* buffering that much,
+/// so a hostile client cannot make the server allocate gigabytes.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+/// Tenant ids are short tokens over [A-Za-z0-9_.-]; anything else (empty,
+/// overlong, embedded NUL, shell junk) is rejected at HELLO.
+inline constexpr size_t kMaxTenantIdBytes = 64;
+
+/// Per-pattern source cap inside a QUERY frame.
+inline constexpr size_t kMaxPatternBytes = 1u << 16;
+
+enum class FrameType : uint8_t {
+  // Client -> server.
+  kHello = 1,    // uint32 version, uint16 len, tenant id bytes
+  kQuery = 2,    // uint64 id, uint8 mode, uint16 p_len, p, uint16 q_len, q
+  kStats = 3,    // empty
+  kGoodbye = 4,  // empty; server flushes and closes
+  // Server -> client.
+  kHelloOk = 16,    // uint32 version
+  kResponse = 17,   // see ResponseFrame
+  kStatsJson = 18,  // JSON bytes
+  kError = 19,      // uint8 status, message bytes; connection closes after
+};
+
+/// Stable wire/exit error codes.  The numbering is frozen (see README
+/// "Error codes"): orchestrators and clients persist these.
+enum class WireStatus : uint8_t {
+  kOk = 0,                 // decided; the verdict bit is valid
+  kExhaustedSteps = 1,     // step budget — retry with a larger budget
+  kExhaustedDeadline = 2,  // deadline — retry with a larger budget
+  kExhaustedMemory = 3,    // tracked-memory budget — shed, do not retry as-is
+  kCancelledDrain = 4,     // server draining — retry against the successor
+  kShedOverload = 5,       // admission refused — retry after retry_after_ms
+  kBadRequest = 6,         // malformed pattern/mode — do not retry
+  kProtocolError = 7,      // framing violation — connection closed
+  kUnknownTenant = 8,      // tenant not registered — do not retry
+};
+
+/// Maps an engine `ExhaustionReason` to its wire code.  kNone maps to kOk;
+/// legacy kNone-with-undecided callers should normalize to kSteps first
+/// (tpc_cli does).
+WireStatus WireStatusForReason(ExhaustionReason reason);
+
+/// The retryable bit of the table: true when resubmitting the identical
+/// request (possibly with a larger budget, or to a successor process) can
+/// succeed.
+bool WireStatusRetryable(WireStatus status);
+
+/// Stable uppercase name ("OK", "EXHAUSTED_STEPS", ...); "UNKNOWN" for
+/// out-of-range bytes from the wire.
+const char* WireStatusName(WireStatus status);
+
+/// True iff `id` is a valid tenant id (nonempty, <= kMaxTenantIdBytes,
+/// characters in [A-Za-z0-9_.-]).
+bool ValidTenantId(std::string_view id);
+
+/// One decoded frame: the type byte and the raw payload.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+struct HelloFrame {
+  uint32_t version = 0;
+  std::string tenant_id;
+};
+
+struct QueryFrame {
+  uint64_t request_id = 0;
+  Mode mode = Mode::kWeak;
+  std::string p;
+  std::string q;
+};
+
+/// The per-request answer.  Exactly one RESPONSE is sent for every QUERY
+/// the server read, admitted or not (shed and drain rejections carry their
+/// own status codes); `retry_after_ms` is a hint, nonzero only for
+/// kShedOverload.
+struct ResponseFrame {
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  bool contained = false;
+  bool retryable = false;
+  uint32_t retry_after_ms = 0;
+  /// Optional human-readable detail: a counterexample tree for refutations,
+  /// a parse diagnostic for kBadRequest.  Bounded by the frame cap.
+  std::string detail;
+};
+
+/// Incremental frame parser over a raw byte stream.  Feed() appends socket
+/// bytes; Poll() extracts at most one complete frame per call.  A protocol
+/// violation (oversized declared length, unknown frame type) is sticky:
+/// every later Poll() reports kError, and the connection must be closed.
+class FrameReader {
+ public:
+  enum class Result {
+    kNeedMore,  // no complete frame buffered yet
+    kFrame,     // *out holds the next frame
+    kError,     // protocol violation; *error names it; sticky
+  };
+
+  explicit FrameReader(uint32_t max_payload_bytes = kMaxPayloadBytes)
+      : max_payload_(max_payload_bytes) {}
+
+  /// Appends `n` raw bytes from the transport.
+  void Feed(const void* data, size_t n);
+
+  /// Extracts the next complete frame, if any.  `error` may be null.
+  Result Poll(Frame* out, std::string* error);
+
+  /// Bytes buffered but not yet consumed (tests assert boundedness).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  bool errored() const { return errored_; }
+
+ private:
+  const uint32_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  bool errored_ = false;
+  std::string error_;
+};
+
+// ---- Frame encoders (append the full header + payload) ----
+
+std::string EncodeHello(std::string_view tenant_id,
+                        uint32_t version = kProtocolVersion);
+std::string EncodeQuery(uint64_t request_id, Mode mode, std::string_view p,
+                        std::string_view q);
+std::string EncodeStatsRequest();
+std::string EncodeGoodbye();
+std::string EncodeHelloOk(uint32_t version = kProtocolVersion);
+std::string EncodeResponse(const ResponseFrame& response);
+std::string EncodeStatsJson(std::string_view json);
+std::string EncodeError(WireStatus status, std::string_view message);
+
+// ---- Payload decoders (bounds-checked; false + *error on malformed) ----
+
+bool DecodeHello(std::string_view payload, HelloFrame* out,
+                 std::string* error);
+bool DecodeQuery(std::string_view payload, QueryFrame* out,
+                 std::string* error);
+bool DecodeResponse(std::string_view payload, ResponseFrame* out,
+                    std::string* error);
+
+}  // namespace serve
+}  // namespace tpc
+
+#endif  // TPC_SERVE_PROTOCOL_H_

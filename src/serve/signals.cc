@@ -1,0 +1,76 @@
+#include "serve/signals.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+
+#include "engine/engine.h"
+
+namespace tpc {
+namespace serve {
+
+namespace {
+
+// Handler state.  Plain atomics: everything a handler touches must be
+// async-signal-safe, which rules out mutexes and heap allocation.
+std::atomic<EngineContext*> g_cancel_ctx{nullptr};
+std::atomic<int> g_wake_fd{-1};
+std::atomic<bool> g_drain_signalled{false};
+
+void RestoreDefault(int signo) {
+  struct sigaction dfl;
+  sigemptyset(&dfl.sa_mask);
+  dfl.sa_flags = 0;
+  dfl.sa_handler = SIG_DFL;
+  sigaction(signo, &dfl, nullptr);
+}
+
+void HandleCancel(int signo) {
+  // Second delivery kills: if cancellation did not unwind the process, the
+  // operator's next ^C must still work.
+  RestoreDefault(signo);
+  EngineContext* ctx = g_cancel_ctx.load(std::memory_order_acquire);
+  if (ctx != nullptr) ctx->Cancel();
+}
+
+void HandleDrain(int signo) {
+  RestoreDefault(signo);
+  g_drain_signalled.store(true, std::memory_order_release);
+  const int fd = g_wake_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const char byte = 1;
+    // A full pipe is fine: the IO thread is already awake in that case.
+    [[maybe_unused]] ssize_t n = write(fd, &byte, 1);
+  }
+}
+
+void Install(void (*handler)(int)) {
+  struct sigaction sa;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a poll()/read() blocked when the signal lands must
+  // return EINTR so the drain is noticed even if the wake byte is lost.
+  sa.sa_flags = 0;
+  sa.sa_handler = handler;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace
+
+void InstallCancelOnSignals(EngineContext* ctx) {
+  g_cancel_ctx.store(ctx, std::memory_order_release);
+  Install(&HandleCancel);
+}
+
+void InstallDrainOnSignals(int wake_fd) {
+  g_wake_fd.store(wake_fd, std::memory_order_release);
+  Install(&HandleDrain);
+}
+
+bool DrainSignalled() {
+  return g_drain_signalled.load(std::memory_order_acquire);
+}
+
+}  // namespace serve
+}  // namespace tpc

@@ -1,0 +1,45 @@
+// Shared POSIX signal wiring for the two binaries.
+//
+// Both termination signals get the same meaning in both programs —
+// "stop computing, finish attributably" — but the mechanics differ:
+//
+//   * `tpc_cli` (InstallCancelOnSignals): SIGINT and SIGTERM request
+//     cooperative cancellation of the decision in flight via
+//     `EngineContext::Cancel()`, which is documented signal-safe (lock-free
+//     atomics only).  The CLI then reports UNDECIDED with the CANCELLED wire
+//     code instead of dying mid-sweep.
+//   * `tpc_serve` (InstallDrainOnSignals): a daemon must not run the drain
+//     state machine inside a signal handler, so the handler only sets a
+//     flag and writes one byte to the server's self-pipe — both
+//     async-signal-safe — and the IO thread picks the drain up on its next
+//     poll() wakeup.
+//
+// Handlers are installed with SA_RESTART off for the serve flavour so a
+// blocked poll() returns with EINTR even if the wake byte races the call.
+
+#ifndef TPC_SERVE_SIGNALS_H_
+#define TPC_SERVE_SIGNALS_H_
+
+namespace tpc {
+
+class EngineContext;
+
+namespace serve {
+
+/// SIGINT + SIGTERM -> `ctx->Cancel()`.  `ctx` must outlive the handlers
+/// (in practice: install on a main()-scoped context and never uninstall).
+/// The second delivery of either signal restores the default disposition,
+/// so a wedged process can still be killed by a repeated ^C.
+void InstallCancelOnSignals(EngineContext* ctx);
+
+/// SIGINT + SIGTERM -> set the drain flag and write one byte to `wake_fd`
+/// (the server's self-pipe).  Same second-signal escape hatch as above.
+void InstallDrainOnSignals(int wake_fd);
+
+/// True once a drain signal has been delivered (readable from any thread).
+bool DrainSignalled();
+
+}  // namespace serve
+}  // namespace tpc
+
+#endif  // TPC_SERVE_SIGNALS_H_

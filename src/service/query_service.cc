@@ -49,7 +49,8 @@ QueryService::QueryService(LabelPool* pool, EngineContext* ctx,
 }
 
 std::shared_ptr<const QueryService::MinimizedEntry> QueryService::Minimized(
-    const Tpq& pattern, Mode mode, const ContainmentOptions& options) {
+    const Tpq& pattern, Mode mode, const ContainmentOptions& options,
+    EngineContext* ctx) {
   // The memo key is the raw canonical hash (mode-salted: minimization under
   // weak and strong may differ) folded with the pool generation — hashes
   // are relative to one pool's id assignment, so a memo built against a
@@ -66,13 +67,13 @@ std::shared_ptr<const QueryService::MinimizedEntry> QueryService::Minimized(
     if (it != minimize_memo_.end()) return it->second;
   }
   auto entry = std::make_shared<MinimizedEntry>();
-  entry->pattern = MinimizeTpq(pattern, mode, pool_, ctx_, options);
+  entry->pattern = MinimizeTpq(pattern, mode, pool_, ctx, options);
   // One bottom-up pass yields both lanes; the lo lane *is* CanonicalTpqHash.
   entry->digest = CanonicalTpqDigest(entry->pattern);
   entry->hash = entry->digest.lo;
   // A budget-exhausted minimization is equivalent but possibly incomplete;
   // keep it out of the memo so a later, funded request re-minimizes.
-  if (!ctx_->budget().Exhausted()) {
+  if (!ctx->budget().Exhausted()) {
     const int64_t bytes =
         96 + static_cast<int64_t>(entry->pattern.size()) * 32;
     std::lock_guard<std::mutex> lock(minimize_mu_);
@@ -142,7 +143,7 @@ void QueryService::SeedMinimized(const Tpq& pattern, const TpqDigest& digest,
 }
 
 std::shared_ptr<const MatcherProgram> QueryService::PooledProgram(
-    const Tpq& pattern, uint64_t hash, Mode mode) {
+    const Tpq& pattern, uint64_t hash, Mode mode, EngineContext* ctx) {
   if (programs_ == nullptr || !MatcherProgram::Compilable(pattern)) {
     return nullptr;
   }
@@ -152,9 +153,9 @@ std::shared_ptr<const MatcherProgram> QueryService::PooledProgram(
       programs_->Get(key, &should_compile);
   if (program == nullptr && should_compile) {
     program =
-        MatcherProgram::Compile(pattern, programs_->budget(), &ctx_->stats());
+        MatcherProgram::Compile(pattern, programs_->budget(), &ctx->stats());
     if (program != nullptr) {
-      ctx_->stats().program_cache_evictions.fetch_add(
+      ctx->stats().program_cache_evictions.fetch_add(
           programs_->Put(key, program), std::memory_order_relaxed);
     }
   }
@@ -162,13 +163,14 @@ std::shared_ptr<const MatcherProgram> QueryService::PooledProgram(
 }
 
 ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
-                                          Mode mode, bool in_worker) {
+                                          Mode mode, bool in_worker,
+                                          EngineContext* ctx) {
   ContainmentOptions options = options_.containment;
   if (in_worker) options.sequential_sweep = true;
   // Share the program pool with the dispatcher: its sweeps publish compiled
   // patterns here and its single-tree routes consult the hotness tracker.
   options.program_cache = programs_.get();
-  EngineStats& stats = ctx_->stats();
+  EngineStats& stats = ctx->stats();
 
   std::shared_ptr<const MinimizedEntry> pm, qm;
   const Tpq* pp = &p;
@@ -178,8 +180,8 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
   uint64_t q_probe_hash = 0;
   bool have_probe_hash = false;
   if (options_.use_cache) {
-    pm = Minimized(p, mode, options);
-    qm = Minimized(q, mode, options);
+    pm = Minimized(p, mode, options, ctx);
+    qm = Minimized(q, mode, options, ctx);
     pp = &pm->pattern;
     qq = &qm->pattern;
     key = VerdictKey{pm->hash, qm->hash, mode, options.bound,
@@ -217,11 +219,11 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
         if (mt != mapped_trees_.end()) {
           const TreeView tv = mapped_snapshot_->TreeAt(mt->second);
           std::shared_ptr<const MatcherProgram> p_prog =
-              PooledProgram(*pp, pm->hash, mode);
+              PooledProgram(*pp, pm->hash, mode, ctx);
           std::shared_ptr<const MatcherProgram> q_prog =
-              PooledProgram(*qq, qm->hash, mode);
+              PooledProgram(*qq, qm->hash, mode, ctx);
           if (p_prog != nullptr && q_prog != nullptr &&
-              ctx_->budget().Charge(2 * static_cast<int64_t>(tv.size()))) {
+              ctx->budget().Charge(2 * static_cast<int64_t>(tv.size()))) {
             std::vector<MatcherProgram::StackFrame> stack;
             int64_t words_folded = 0, rows_skipped = 0;
             const MatcherProgram::ExecResult rp =
@@ -251,7 +253,7 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
         }
       }
       std::optional<Tree> replay =
-          ReplayRefutation(*pp, *qq, mode, lengths, pool_, ctx_);
+          ReplayRefutation(*pp, *qq, mode, lengths, pool_, ctx);
       if (replay.has_value()) {
         stats.cache_hits.fetch_add(1, std::memory_order_relaxed);
         ContainmentResult result;
@@ -261,7 +263,7 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
         result.algorithm = hit->algorithm;
         return result;
       }
-      if (ctx_->budget().Exhausted()) return ExhaustedResult(ctx_);
+      if (ctx->budget().Exhausted()) return ExhaustedResult(ctx);
       // The cached witness did not transfer (key collision); fall through
       // to the live pipeline.
     }
@@ -276,9 +278,9 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
   // can be fooled by a digest collision.  Derived verdicts are cached, so
   // the derivation happens once per pair.
   if (have_key && lattice_ != nullptr && options_.use_lattice &&
-      !ctx_->budget().Exhausted()) {
+      !ctx->budget().Exhausted()) {
     if (lattice_->Stitch(pm->digest, qm->digest, mode, options.bound,
-                         key.pool_generation, &ctx_->budget())) {
+                         key.pool_generation, &ctx->budget())) {
       stats.lattice_stitch_hits.fetch_add(1, std::memory_order_relaxed);
       ContainmentResult result;
       result.contained = true;
@@ -293,7 +295,7 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
                        key.pool_generation, /*contained=*/true, nullptr);
       return result;
     }
-    if (ctx_->budget().Exhausted()) return ExhaustedResult(ctx_);
+    if (ctx->budget().Exhausted()) return ExhaustedResult(ctx);
     const size_t num_edges = DescendantEdges(*pp).size();
     std::vector<std::vector<int32_t>> candidates = lattice_->BorrowCandidates(
         pm->digest, qm->digest, mode, options.bound, key.pool_generation,
@@ -301,7 +303,7 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
     for (std::vector<int32_t>& lengths : candidates) {
       lengths.resize(num_edges, 1);
       std::optional<Tree> replay =
-          ReplayRefutation(*pp, *qq, mode, lengths, pool_, ctx_);
+          ReplayRefutation(*pp, *qq, mode, lengths, pool_, ctx);
       if (replay.has_value()) {
         stats.witness_borrow_refutes.fetch_add(1, std::memory_order_relaxed);
         ContainmentResult result;
@@ -320,20 +322,20 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
                                         std::memory_order_relaxed);
         return result;
       }
-      if (ctx_->budget().Exhausted()) return ExhaustedResult(ctx_);
+      if (ctx->budget().Exhausted()) return ExhaustedResult(ctx);
     }
   }
 
-  if (options_.use_prefilters && !ctx_->budget().Exhausted()) {
+  if (options_.use_prefilters && !ctx->budget().Exhausted()) {
     // Accept filter: a homomorphism q -> p witnesses containment in every
     // fragment (root-to-root for the strong flavour), skipping the general
     // route for the contained majority of repeated workloads.
-    bool budget_ok = ctx_->budget().Charge(static_cast<int64_t>(qq->size()) *
+    bool budget_ok = ctx->budget().Charge(static_cast<int64_t>(qq->size()) *
                                            pp->size());
     if (budget_ok) {
       stats.homomorphism_checks.fetch_add(1, std::memory_order_relaxed);
-      auto scratch = ctx_->scratch().Acquire<HomomorphismScratch>();
-      budget_ok = scratch->ChargeTables(*qq, *pp, &ctx_->budget());
+      auto scratch = ctx->scratch().Acquire<HomomorphismScratch>();
+      budget_ok = scratch->ChargeTables(*qq, *pp, &ctx->budget());
       if (budget_ok &&
           HomomorphismExists(*qq, *pp, /*root_to_root=*/mode == Mode::kStrong,
                              scratch.get())) {
@@ -376,26 +378,27 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
       // shape the program pool's hotness threshold gates, so only patterns
       // seen often enough pay the compile.
       std::shared_ptr<const MatcherProgram> program = PooledProgram(
-          *qq, have_probe_hash ? q_probe_hash : CanonicalTpqHash(*qq), mode);
-      auto ws = ctx_->scratch().Acquire<MatcherWorkspace>();
-      auto exec = ctx_->scratch().Acquire<ProgramExec>();
+          *qq, have_probe_hash ? q_probe_hash : CanonicalTpqHash(*qq), mode,
+          ctx);
+      auto ws = ctx->scratch().Acquire<MatcherWorkspace>();
+      auto exec = ctx->scratch().Acquire<ProgramExec>();
       for (std::vector<int32_t>& lengths : probes) {
         Tree t = CanonicalTree(*pp, lengths, pool_->Fresh("_bot"));
         stats.canonical_trees_enumerated.fetch_add(1,
                                                    std::memory_order_relaxed);
-        if (!ctx_->budget().Charge(
+        if (!ctx->budget().Charge(
                 1 + static_cast<int64_t>(qq->size()) * t.size())) {
           budget_ok = false;
           break;
         }
         bool matches;
-        if (program != nullptr && exec->ChargeRun(t, &ctx_->budget())) {
+        if (program != nullptr && exec->ChargeRun(t, &ctx->budget())) {
           const MatcherProgram::ExecResult r = exec->Run(*program, t, &stats);
           matches = mode == Mode::kStrong ? r.strong : r.weak;
         } else {
           // Generic fallback (also taken when the soft scratch charge for
           // the compiled run is refused).
-          if (!ws->ChargeTables(*qq, t, &ctx_->budget())) {
+          if (!ws->ChargeTables(*qq, t, &ctx->budget())) {
             budget_ok = false;
             break;
           }
@@ -430,10 +433,10 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
         }
       }
     }
-    if (!budget_ok) return ExhaustedResult(ctx_);
+    if (!budget_ok) return ExhaustedResult(ctx);
   }
 
-  ContainmentResult result = tpc::Contains(*pp, *qq, mode, pool_, ctx_,
+  ContainmentResult result = tpc::Contains(*pp, *qq, mode, pool_, ctx,
                                            options);
   if (result.outcome == Outcome::kDecided) {
     if (result.counterexample_lengths.has_value() && have_probe_hash) {
@@ -463,7 +466,15 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
 
 ContainmentResult QueryService::Contains(const Tpq& p, const Tpq& q,
                                          Mode mode) {
-  return DecideOne(p, q, mode, /*in_worker=*/false);
+  return DecideOne(p, q, mode, /*in_worker=*/false, ctx_);
+}
+
+ContainmentResult QueryService::ContainsFor(const Tpq& p, const Tpq& q,
+                                            Mode mode,
+                                            EngineContext* request_ctx) {
+  // in_worker: the caller is (by contract) one of many concurrent threads,
+  // so sweeps must stay sequential exactly as in the batch fan-out.
+  return DecideOne(p, q, mode, /*in_worker=*/true, request_ctx);
 }
 
 std::vector<ContainmentResult> QueryService::ContainsBatch(
@@ -515,13 +526,13 @@ std::vector<ContainmentResult> QueryService::ContainsBatch(
         static_cast<int64_t>(representative.size()), [&](int64_t u) {
           const BatchItem& item = items[representative[static_cast<size_t>(u)]];
           unique_results[static_cast<size_t>(u)] =
-              DecideOne(item.p, item.q, item.mode, /*in_worker=*/true);
+              DecideOne(item.p, item.q, item.mode, /*in_worker=*/true, ctx_);
         });
   } else {
     for (size_t u = 0; u < representative.size(); ++u) {
       const BatchItem& item = items[representative[u]];
       unique_results[u] = DecideOne(item.p, item.q, item.mode,
-                                    /*in_worker=*/false);
+                                    /*in_worker=*/false, ctx_);
     }
   }
   for (size_t i = 0; i < items.size(); ++i) {

@@ -91,7 +91,10 @@ struct ServiceOptions {
 /// pair.  Thread-compatible from outside (callers serialize `Contains` /
 /// `ContainsBatch` per service); internally `ContainsBatch` runs its own
 /// workers, and all shared state (cache, memo, probe book, label pool) is
-/// synchronized for them.
+/// synchronized for them.  `ContainsFor` — the serve daemon's entry point —
+/// may additionally be called concurrently from many threads, each with its
+/// own per-request context, relying on exactly that synchronization.
+/// Save/LoadSnapshot still serialize against everything.
 class QueryService {
  public:
   QueryService(LabelPool* pool, EngineContext* ctx,
@@ -107,6 +110,18 @@ class QueryService {
   /// `tpc::Contains(p, q, mode, pool, ctx, options.containment)` whenever
   /// that call decides.
   ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode);
+
+  /// `Contains` under a caller-provided per-request context: the decision's
+  /// budget, stats and scratch come from `request_ctx` while the shared
+  /// accelerator state (verdict cache, lattice, minimize memo, probe book,
+  /// program pool) stays owned by — and byte-charged to — the service's own
+  /// context.  This is the serve daemon's entry point: each worker owns one
+  /// context, arms it with the tenant's quota, and calls here concurrently
+  /// with the other workers (the shared layers are synchronized; sweeps are
+  /// forced sequential, so a single-threaded `request_ctx` is the intended
+  /// shape).  Do not pass the service's own context from two threads.
+  ContainmentResult ContainsFor(const Tpq& p, const Tpq& q, Mode mode,
+                                EngineContext* request_ctx);
 
   /// Decides every item: folds exact duplicates (counted in
   /// `EngineStats::batch_deduped`) and fans unique items out over the
@@ -158,13 +173,18 @@ class QueryService {
 
   /// Minimizes `pattern` under `mode` and hashes the result, memoized on
   /// the raw canonical hash.  Budget-exhausted minimizations are returned
-  /// (still equivalent — see MinimizeTpq) but not memoized.
+  /// (still equivalent — see MinimizeTpq) but not memoized.  The work is
+  /// charged to `ctx` (the per-request context); the memo bytes stay on the
+  /// service budget.
   std::shared_ptr<const MinimizedEntry> Minimized(
-      const Tpq& pattern, Mode mode, const ContainmentOptions& options);
+      const Tpq& pattern, Mode mode, const ContainmentOptions& options,
+      EngineContext* ctx);
 
   /// The full per-pair pipeline; `in_worker` forces sequential sweeps.
+  /// `ctx` carries the budget/stats/scratch of this decision — the service's
+  /// own context for Contains/ContainsBatch, the caller's for ContainsFor.
   ContainmentResult DecideOne(const Tpq& p, const Tpq& q, Mode mode,
-                              bool in_worker);
+                              bool in_worker, EngineContext* ctx);
 
   std::vector<std::vector<int32_t>> ProbesFor(const ProbeKey& key);
   void RecordProbe(const ProbeKey& key, const std::vector<int32_t>& lengths);
@@ -177,9 +197,11 @@ class QueryService {
   /// Compiles-or-fetches the pooled program for a minimized pattern (the
   /// shared hotness-gated path of the probe cascade and the mapped-tree
   /// validation).  nullptr when not compilable, not yet hot, or refused.
+  /// Compile bytes go to the pool's (service) budget; compile counters to
+  /// `ctx`'s stats.
   std::shared_ptr<const MatcherProgram> PooledProgram(const Tpq& pattern,
-                                                      uint64_t hash,
-                                                      Mode mode);
+                                                      uint64_t hash, Mode mode,
+                                                      EngineContext* ctx);
 
   LabelPool* pool_;
   EngineContext* ctx_;
