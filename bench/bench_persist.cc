@@ -19,6 +19,13 @@
 //     opening a snapshot maps and validates every tree in place, while the
 //     rebuild twin re-materializes each tree node by node on the heap (what
 //     any re-parse of a textual dump would have to do at minimum).
+//   * BM_Persist_RemapLoad — the non-identity remap axis: the same snapshot
+//     is adopted into a pool whose ids were shifted by decoy interns, so
+//     every label column must be translated and the zero-copy tree adoption
+//     is declined (snapshot_trees_mapped must stay 0).  The cache and
+//     lattice still warm up — both the contained head and its refuted twin
+//     must serve as cache hits with verdicts identical to the cold
+//     dispatcher, the refutation replayed from stored lengths.
 
 #include <benchmark/benchmark.h>
 
@@ -169,6 +176,86 @@ void BM_Persist_WarmTimeToFirstVerdict(benchmark::State& state) {
   std::remove(path.c_str());
 }
 BENCHMARK(BM_Persist_WarmTimeToFirstVerdict)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Non-identity remap load.
+
+/// Re-interns every label of `p` from `from` into `to`, preserving structure.
+/// (The wildcard is pre-interned as id 0 in every pool, so it maps to
+/// itself.)
+Tpq ReinternTpq(const Tpq& p, const LabelPool& from, LabelPool* to) {
+  Tpq out(to->Intern(from.Name(p.Label(0))));
+  for (NodeId v = 1; v < p.size(); ++v) {
+    out.AddChild(p.Parent(v), to->Intern(from.Name(p.Label(v))), p.Edge(v));
+  }
+  return out;
+}
+
+void BM_Persist_RemapLoad(benchmark::State& state) {
+  FirstVerdictWorkload w = MakeFirstVerdictWorkload();
+  const std::string path = BenchSnapPath("remap");
+  std::string error;
+  if (!WriteWarmSnapshot(&w, path, &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  // The probe pair and its refuted twin (indices 2 and 3 of the stream: the
+  // n = 5 coNP instance against q_yes and q_no).
+  const QueryService::BatchItem& head = w.stream[w.head];
+  const QueryService::BatchItem& twin = w.stream[w.head + 1];
+  int64_t hits = 0, mapped = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Decoy interns shift every snapshot label to a different live id, so
+    // LoadSnapshot must take the translation path rather than the identity
+    // fast path; the queries themselves are re-interned to the live pool.
+    LabelPool live;
+    for (int i = 0; i < 17; ++i) live.Intern("zz_decoy_" + std::to_string(i));
+    Tpq head_p = ReinternTpq(head.p, w.pool, &live);
+    Tpq head_q = ReinternTpq(head.q, w.pool, &live);
+    Tpq twin_p = ReinternTpq(twin.p, w.pool, &live);
+    Tpq twin_q = ReinternTpq(twin.q, w.pool, &live);
+    state.ResumeTiming();
+    // The timed region mirrors the warm twin: map + translate + seed, then
+    // serve the head pair and its refuted twin.
+    EngineContext ctx;
+    QueryService service(&live, &ctx, PersistServiceOptions());
+    if (!service.LoadSnapshot(path, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    ContainmentResult r = service.Contains(head_p, head_q, head.mode);
+    if (r.outcome != Outcome::kDecided || r.contained != w.expected[w.head]) {
+      state.SkipWithError("remap verdict mismatch (head)");
+      return;
+    }
+    ContainmentResult rt = service.Contains(twin_p, twin_q, twin.mode);
+    if (rt.outcome != Outcome::kDecided ||
+        rt.contained != w.expected[w.head + 1]) {
+      state.SkipWithError("remap verdict mismatch (refuted twin)");
+      return;
+    }
+    hits = ctx.stats().cache_hits.load(std::memory_order_relaxed);
+    mapped =
+        ctx.stats().snapshot_trees_mapped.load(std::memory_order_relaxed);
+    benchmark::DoNotOptimize(r.contained);
+    benchmark::DoNotOptimize(rt.contained);
+  }
+  if (state.iterations() > 0) {
+    if (hits == 0) {
+      state.SkipWithError("remap load served no cache hit");
+      return;
+    }
+    if (mapped != 0) {
+      state.SkipWithError("non-identity remap must not adopt zero-copy trees");
+      return;
+    }
+    state.counters["remap_cache_hits"] = static_cast<double>(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_Persist_RemapLoad)->Unit(benchmark::kMicrosecond);
 
 // ---------------------------------------------------------------------------
 // Transitive-chain stitch conversion.

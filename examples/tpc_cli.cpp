@@ -32,6 +32,13 @@
 //   --no-compile     never lower patterns to flat matcher programs
 //                    (src/compile/); always use the generic embedding DP
 //                    (A/B: verdicts must be identical)
+//   --no-group-sweep batch A/B: decide every pair by an independent
+//                    containment call instead of grouping pairs that share
+//                    the enumeration-side pattern into one canonical-model
+//                    sweep (verdicts and attribution must be identical);
+//                    with --stats the batch run also prints one coalescing
+//                    summary line (groups formed, mean size, early-retire
+//                    rate) before the counter JSON
 //   --fault-exhaust-at <n> / --fault-alloc-at <k> / --fault-cancel-at <n>
 //                    deterministic fault injection (chaos drills): force
 //                    budget exhaustion at the nth charge, fail the kth
@@ -118,6 +125,9 @@ int Usage() {
                "  --no-antichain   disable schema-engine subsumption pruning\n"
                "  --no-word-parallel  scalar embedding-DP fill (A/B)\n"
                "  --no-compile     disable compiled matcher programs (A/B)\n"
+               "  --no-group-sweep batch: decide pairs independently instead\n"
+               "                   of sharing one canonical sweep per\n"
+               "                   enumeration-side pattern (A/B)\n"
                "  --fault-exhaust-at <n>  force exhaustion at the nth charge\n"
                "  --fault-alloc-at <k>    fail the kth tracked allocation\n"
                "  --fault-cancel-at <n>   cancel at the nth charge\n");
@@ -211,6 +221,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--no-compile") == 0) {
       contain_options.compiled_matcher = false;
       service_options.containment.compiled_matcher = false;
+    } else if (std::strcmp(argv[i], "--no-group-sweep") == 0) {
+      contain_options.grouped_sweep = false;
+      service_options.containment.grouped_sweep = false;
     } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
       batch_file = argv[++i];
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
@@ -335,6 +348,22 @@ int main(int argc, char** argv) {
         std::printf("%d: %s\n", item_line[i],
                     r.contained ? "contained" : "NOT contained");
       }
+    }
+    if (print_stats) {
+      // Coalescing summary for the grouped canonical sweep (one line; the
+      // full counter JSON from Finish carries the raw values too).
+      const EngineStats& s = ctx.stats();
+      const long long groups =
+          s.sweep_groups_formed.load(std::memory_order_relaxed);
+      const long long members =
+          s.sweep_group_members.load(std::memory_order_relaxed);
+      const long long retired =
+          s.group_members_retired_early.load(std::memory_order_relaxed);
+      std::printf("group sweep: %lld groups, mean size %.2f, "
+                  "early-retire rate %.2f\n",
+                  groups,
+                  groups > 0 ? static_cast<double>(members) / groups : 0.0,
+                  members > 0 ? static_cast<double>(retired) / members : 0.0);
     }
     // Exit status reports decidability, not verdicts — a batch mixes both
     // answers, so per-line output carries them.

@@ -24,6 +24,11 @@
 //   --snapshot-save <f> flush the warm tier after the drain completes
 //   --no-cache / --no-prefilter / --no-lattice / --no-compile
 //                       service A/B switches (as in tpc_cli --batch)
+//   --group-window <n>  coalesce up to n same-tenant requests sharing the
+//                       head's (pattern p, mode) key into one grouped
+//                       canonical sweep at dequeue (default 4; 1 disables)
+//   --no-group-sweep    A/B twin: window 1 AND independent containment
+//                       calls inside the service (grouped_sweep off)
 //   --fault-exhaust-at / --fault-alloc-at / --fault-cancel-at <n>
 //                       per-worker deterministic fault injection (drills)
 //
@@ -63,6 +68,9 @@ int Usage() {
       "  --snapshot-load <f>    warm-start from a snapshot\n"
       "  --snapshot-save <f>    flush the warm tier on drain\n"
       "  --no-cache | --no-prefilter | --no-lattice | --no-compile\n"
+      "  --group-window <n>     coalescing window for the grouped sweep\n"
+      "                         (default 4; 1 disables)\n"
+      "  --no-group-sweep       window 1 + independent containment calls\n"
       "  --fault-exhaust-at <n> | --fault-alloc-at <k> | --fault-cancel-at "
       "<n>\n");
   return 2;
@@ -165,6 +173,12 @@ int main(int argc, char** argv) {
       service_options.use_lattice = false;
     } else if (std::strcmp(argv[i], "--no-compile") == 0) {
       service_options.containment.compiled_matcher = false;
+    } else if (std::strcmp(argv[i], "--group-window") == 0) {
+      options.group_window = static_cast<int>(
+          ParseCountOrDie("--group-window", next("--group-window")));
+    } else if (std::strcmp(argv[i], "--no-group-sweep") == 0) {
+      options.group_window = 1;
+      service_options.containment.grouped_sweep = false;
     } else if (std::strcmp(argv[i], "--fault-exhaust-at") == 0) {
       options.worker_config.fault_plan.exhaust_at_charge =
           ParseCountOrDie("--fault-exhaust-at", next("--fault-exhaust-at"));

@@ -21,8 +21,15 @@
 #     into warmup) into BENCH_compile.json, and
 #   * bench_persist (the warm-start tier: cold vs warm time-to-first-verdict
 #     — the warm restart must win by >= 10x — the transitive-chain stitch
-#     conversion with its 30% floor enforced in-bench, and the mmap-open vs
-#     heap-rebuild twin) into BENCH_persist.json, and
+#     conversion with its 30% floor enforced in-bench, the mmap-open vs
+#     heap-rebuild twin, and the non-identity remap load: the same snapshot
+#     adopted into a shifted label pool must still serve cache hits with
+#     snapshot_trees_mapped == 0) into BENCH_persist.json, and
+#   * bench_group (the grouped canonical sweep: grouped vs independent
+#     rebuilds-per-decision across group sizes — the in-bench amortization
+#     floor skips-with-error unless the group-of-8 reduction is >= 5x —
+#     the mixed early-retire family, and the daemon coalescing-window
+#     round-trip floor) into BENCH_group.json, and
 #   * bench_serve (the daemon under adversarial multi-tenancy: the PTIME
 #     wire floor solo vs with a coNP aggressor window — the in-bench
 #     isolation assert skips-with-error if the light tenant's p95 degrades
@@ -63,6 +70,7 @@ cmake --build --preset release -j "$(nproc)" \
   --target bench_service \
   --target bench_compile \
   --target bench_persist \
+  --target bench_group \
   --target bench_serve
 
 run_suite() {
@@ -81,4 +89,5 @@ run_suite bench_table45_schema_containment BENCH_table45.json
 run_suite bench_service BENCH_service.json
 run_suite bench_compile BENCH_compile.json
 run_suite bench_persist BENCH_persist.json
+run_suite bench_group BENCH_group.json
 run_suite bench_serve BENCH_serve.json

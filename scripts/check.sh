@@ -38,6 +38,13 @@
 #                                    (mmap lifetime/out-of-bounds reads over
 #                                    the mapped columns, unaligned-load UB
 #                                    in the record cursors)
+#   scripts/check.sh group           the grouped-sweep gate: the 500-instance
+#                                    grouped-vs-independent agreement suite
+#                                    and the member fault matrix under asan
+#                                    AND tsan (the parallel sweep shares one
+#                                    undecided mask across worker threads,
+#                                    and a faulted member's unwind must
+#                                    never touch a groupmate's attribution)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,6 +53,7 @@ LAYOUT_TESTS='tree_view_test|word_parallel_agreement_test|matcher_property_test'
 COMPILE_TESTS='compiled_agreement_test|program_cache_test'
 PERSIST_TESTS='snapshot_roundtrip_test|lattice_agreement_test|service_fault_test'
 SERVE_TESTS='serve_protocol_test|serve_scheduler_test|serve_fault_test'
+GROUP_TESTS='group_agreement_test|group_fault_test'
 
 run_preset() {
   local preset="$1"; shift
@@ -87,6 +95,12 @@ elif [[ $1 == persist ]]; then
     run_preset "$preset" -R "$PERSIST_TESTS"
   done
   exit 0
+elif [[ $1 == group ]]; then
+  echo "== grouped-sweep gate (agreement + member faults under asan + tsan) =="
+  for preset in asan tsan; do
+    run_preset "$preset" -R "$GROUP_TESTS"
+  done
+  exit 0
 else
   presets=("$1")
 fi
@@ -94,7 +108,7 @@ fi
 for preset in "${presets[@]}"; do
   case "$preset" in
     asan|tsan|ubsan|release) ;;
-    *) echo "usage: $0 [asan|tsan|ubsan|release|faults|layout|compile|persist|serve]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|ubsan|release|faults|layout|compile|persist|serve|group]" >&2; exit 2 ;;
   esac
 done
 

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <deque>
 #include <limits>
+#include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "compile/matcher_program.h"
 #include "compile/program_cache.h"
+#include "compile/sweep_bank.h"
 #include "contain/homomorphism.h"
 #include "match/embedding.h"
 #include "pattern/canonical.h"
@@ -439,6 +444,240 @@ ContainmentResult ContainsImpl(const Tpq& p, const Tpq& q, Mode mode,
   return CanonicalContainment(p, qn, Mode::kWeak, pool, ctx, options);
 }
 
+/// One canonical-route member of a grouped sweep, after normalization (and,
+/// for strong mode, the Observation 2.3 relabelling) has been applied.
+struct SweepMember {
+  size_t slot = 0;          // index into the caller's members/results arrays
+  const Tpq* qn = nullptr;  // normalized evaluation-side pattern
+  EngineContext* ctx = nullptr;
+};
+
+/// Retires member `i` of a grouped sweep and maintains the early-retire
+/// counter: a retirement is "early" when at least one groupmate keeps
+/// sweeping without it (the payoff of the undecided mask).
+void RetireMember(std::vector<char>* undecided, size_t i, size_t* live,
+                  EngineStats* group_stats) {
+  (*undecided)[i] = 0;
+  --*live;
+  if (*live > 0) {
+    group_stats->group_members_retired_early.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
+/// Sequential grouped sweep: ONE builder/enumerator pass over the canonical
+/// models of p, each tree evaluated against every still-undecided member.
+/// Budget charges per live member are identical to the member's solo
+/// `SequentialSweep` (TreeCost then executor table bytes, in enumeration
+/// order), so exhaustion attribution survives grouping bit-for-bit; shared
+/// work (tree builds) is accounted once, on `group_ctx`.
+void GroupSequentialSweep(const Tpq& p,
+                          const std::vector<SweepMember>& members, Mode mode,
+                          LabelId bottom, size_t num_edges, int32_t bound,
+                          LabelPool* pool, const ContainmentOptions& options,
+                          EngineContext* group_ctx,
+                          std::vector<ContainmentResult>* results) {
+  EngineStats& gstats = group_ctx->stats();
+  SweepBank bank;
+  for (const SweepMember& m : members) {
+    bank.AddMember(m.qn, SweepProgram(*m.qn, mode, pool, m.ctx, options));
+  }
+  CanonicalTreeBuilder builder(p, bottom);
+  CanonicalLengthEnumerator lengths(num_edges, bound);
+  Tree scratch;
+  std::vector<char> undecided(members.size(), 1);
+  size_t live = members.size();
+  bool fresh = true;
+  do {
+    gstats.canonical_trees_enumerated.fetch_add(1, std::memory_order_relaxed);
+    const size_t first_changed = lengths.first_changed();
+    const bool suffix_only =
+        !fresh && options.incremental && first_changed < builder.num_spines();
+    if (suffix_only) {
+      builder.BuildSuffix(lengths.lengths(), first_changed, &scratch);
+      gstats.trees_rebuilt_from_spine.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      builder.BuildFull(lengths.lengths(), &scratch);
+    }
+    const NodeId stable_limit =
+        suffix_only ? builder.spine_start(first_changed) : 0;
+    int64_t evaluated = 0;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (!undecided[i]) continue;
+      const SweepMember& m = members[i];
+      ContainmentResult& r = (*results)[m.slot];
+      if (!m.ctx->budget().Charge(TreeCost(*m.qn, scratch)) ||
+          !bank.ChargeMember(i, scratch, &m.ctx->budget())) {
+        MarkExhausted(&r, m.ctx);
+        RetireMember(&undecided, i, &live, &gstats);
+        continue;
+      }
+      const bool matched =
+          bank.EvalMember(i, scratch, suffix_only, stable_limit,
+                          mode == Mode::kStrong, options.word_parallel,
+                          &m.ctx->stats());
+      ++evaluated;
+      if (!matched) {
+        r.contained = false;
+        // Copy, not move: groupmates keep sweeping on this scratch tree.
+        r.counterexample = scratch;
+        r.counterexample_lengths = lengths.lengths();
+        RetireMember(&undecided, i, &live, &gstats);
+      }
+    }
+    if (evaluated > 1) {
+      gstats.trees_shared_per_decision.fetch_add(evaluated - 1,
+                                                 std::memory_order_relaxed);
+    }
+    fresh = false;
+    if (live == 0) return;
+  } while (lengths.Next());
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (undecided[i]) (*results)[members[i].slot].contained = true;
+  }
+}
+
+/// Chunked-parallel grouped sweep: like `ParallelSweep`, but each chunk
+/// carries a whole bank of member executors and the stop conditions are per
+/// member (an atomic undecided mask).  A member's budget trip or first
+/// counterexample retires only that member; the sweep stops once every
+/// member is decided.
+void GroupParallelSweep(const Tpq& p, const std::vector<SweepMember>& members,
+                        Mode mode, LabelId bottom, size_t num_edges,
+                        int32_t bound, uint64_t total, uint64_t chunk,
+                        LabelPool* pool, const ContainmentOptions& options,
+                        EngineContext* group_ctx,
+                        std::vector<ContainmentResult>* results) {
+  EngineStats& gstats = group_ctx->stats();
+  const size_t n = members.size();
+  // One immutable program per member, shared by every chunk's bank.
+  std::vector<std::shared_ptr<const MatcherProgram>> programs(n);
+  for (size_t i = 0; i < n; ++i) {
+    programs[i] =
+        SweepProgram(*members[i].qn, mode, pool, members[i].ctx, options);
+  }
+  struct MemberState {
+    std::atomic<bool> undecided{true};
+  };
+  std::deque<MemberState> state(n);
+  std::atomic<int64_t> live{static_cast<int64_t>(n)};
+  // Retires member `i` (at most one caller wins the exchange) and returns
+  // whether this caller is the winner — the only thread allowed to write the
+  // member's result slot.
+  auto retire = [&](size_t i) {
+    if (!state[i].undecided.exchange(false, std::memory_order_acq_rel)) {
+      return false;
+    }
+    if (live.fetch_sub(1, std::memory_order_acq_rel) - 1 > 0) {
+      gstats.group_members_retired_early.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
+    return true;
+  };
+  const uint64_t num_chunks = (total + chunk - 1) / chunk;
+
+  group_ctx->pool().ParallelFor(
+      static_cast<int64_t>(num_chunks), [&](int64_t chunk_index) {
+        if (live.load(std::memory_order_relaxed) == 0) return;
+        const uint64_t begin = static_cast<uint64_t>(chunk_index) * chunk;
+        const uint64_t end = std::min(begin + chunk, total);
+        CanonicalLengthEnumerator lengths(num_edges, bound);
+        lengths.SeekTo(begin);
+        CanonicalTreeBuilder builder(p, bottom);
+        SweepBank bank;
+        for (size_t i = 0; i < n; ++i) {
+          bank.AddMember(members[i].qn, programs[i]);
+        }
+        Tree scratch;
+        bool fresh = true;
+        for (uint64_t t = begin; t < end; ++t) {
+          if (live.load(std::memory_order_relaxed) == 0) return;
+          gstats.canonical_trees_enumerated.fetch_add(
+              1, std::memory_order_relaxed);
+          const size_t first_changed = lengths.first_changed();
+          const bool suffix_only = !fresh && options.incremental &&
+                                   first_changed < builder.num_spines();
+          if (suffix_only) {
+            builder.BuildSuffix(lengths.lengths(), first_changed, &scratch);
+            gstats.trees_rebuilt_from_spine.fetch_add(
+                1, std::memory_order_relaxed);
+          } else {
+            builder.BuildFull(lengths.lengths(), &scratch);
+          }
+          const NodeId stable_limit =
+              suffix_only ? builder.spine_start(first_changed) : 0;
+          int64_t evaluated = 0;
+          for (size_t i = 0; i < n; ++i) {
+            if (!state[i].undecided.load(std::memory_order_relaxed)) continue;
+            const SweepMember& m = members[i];
+            if (!m.ctx->budget().Charge(TreeCost(*m.qn, scratch)) ||
+                !bank.ChargeMember(i, scratch, &m.ctx->budget())) {
+              if (retire(i)) MarkExhausted(&(*results)[m.slot], m.ctx);
+              continue;
+            }
+            const bool matched =
+                bank.EvalMember(i, scratch, suffix_only, stable_limit,
+                                mode == Mode::kStrong, options.word_parallel,
+                                &m.ctx->stats());
+            ++evaluated;
+            if (!matched && retire(i)) {
+              ContainmentResult& r = (*results)[m.slot];
+              r.contained = false;
+              r.counterexample = scratch;  // copy: this chunk keeps sweeping
+              r.counterexample_lengths = lengths.lengths();
+            }
+          }
+          if (evaluated > 1) {
+            gstats.trees_shared_per_decision.fetch_add(
+                evaluated - 1, std::memory_order_relaxed);
+          }
+          fresh = false;
+          if (t + 1 < end) lengths.Next();
+        }
+      });
+
+  // ParallelFor's return synchronizes with every worker; members still
+  // undecided matched every canonical model.
+  for (size_t i = 0; i < n; ++i) {
+    if (state[i].undecided.load(std::memory_order_relaxed)) {
+      (*results)[members[i].slot].contained = true;
+    }
+  }
+}
+
+/// Grouped twin of `CanonicalContainment` for members sharing one
+/// chain-length bound.  Same parallelization gate as the solo procedure
+/// (driven by `group_ctx`).
+void CanonicalContainmentGroup(const Tpq& p,
+                               const std::vector<SweepMember>& members,
+                               Mode mode, int32_t bound, LabelPool* pool,
+                               EngineContext* group_ctx,
+                               const ContainmentOptions& options,
+                               std::vector<ContainmentResult>* results) {
+  for (const SweepMember& m : members) {
+    (*results)[m.slot].algorithm = ContainmentAlgorithm::kCanonicalEnumeration;
+  }
+  LabelId bottom = pool->Fresh("_bot");
+  size_t num_edges = DescendantEdges(p).size();
+  std::optional<uint64_t> total =
+      CanonicalLengthEnumerator(num_edges, bound).TotalCountExact();
+  const uint64_t chunk =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::max<int64_t>(
+                                0, group_ctx->config().parallel_chunk)));
+  const uint64_t max_parallel_total =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) - chunk;
+  if (!options.sequential_sweep && group_ctx->threads() > 1 &&
+      total.has_value() &&
+      *total >= static_cast<uint64_t>(group_ctx->config().parallel_threshold) &&
+      *total <= max_parallel_total) {
+    GroupParallelSweep(p, members, mode, bottom, num_edges, bound, *total,
+                       chunk, pool, options, group_ctx, results);
+    return;
+  }
+  GroupSequentialSweep(p, members, mode, bottom, num_edges, bound, pool,
+                       options, group_ctx, results);
+}
+
 }  // namespace
 
 ContainmentResult CanonicalContainment(const Tpq& p, const Tpq& q, Mode mode,
@@ -489,6 +728,128 @@ ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
                            LabelPool* pool,
                            const ContainmentOptions& options) {
   return Contains(p, q, mode, pool, &EngineContext::Default(), options);
+}
+
+std::vector<ContainmentResult> ContainsGroup(
+    const Tpq& p, const std::vector<GroupMember>& members, Mode mode,
+    LabelPool* pool, EngineContext* group_ctx,
+    const ContainmentOptions& options) {
+  std::vector<ContainmentResult> results(members.size());
+  if (members.empty()) return results;
+  assert(!p.empty());
+  if (!options.grouped_sweep || members.size() == 1) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      results[i] =
+          Contains(p, *members[i].q, mode, pool, members[i].ctx, options);
+    }
+    return results;
+  }
+
+  // Weak-phase work list: normalization and (for strong mode) the
+  // Observation 2.3 root relabelling applied once for the whole group.
+  struct WeakItem {
+    size_t slot;
+    Tpq qn;
+    EngineContext* ctx;
+  };
+  std::vector<WeakItem> weak;
+  weak.reserve(members.size());
+  std::optional<Tpq> p_weak_storage;
+  const Tpq* pw = &p;
+  if (mode == Mode::kStrong) {
+    const LabelId fresh_root = pool->Fresh("_root");
+    p_weak_storage.emplace(WithRootLabel(p, fresh_root));
+    pw = &*p_weak_storage;
+    for (size_t i = 0; i < members.size(); ++i) {
+      const Tpq& q = *members[i].q;
+      assert(!q.empty());
+      if (!q.IsWildcard(0) && (p.IsWildcard(0) || p.Label(0) != q.Label(0))) {
+        // Strong containment fails outright (Observation 2.3): witness any
+        // canonical tree of p — the solo dispatcher's fast fail.
+        ContainmentResult& r = results[i];
+        r.contained = false;
+        r.counterexample = MinimalCanonicalTree(p, pool->Fresh("_bot"));
+        r.counterexample_lengths =
+            std::vector<int32_t>(DescendantEdges(p).size(), 0);
+        r.algorithm = ContainmentAlgorithm::kMinimalCanonical;
+        continue;
+      }
+      weak.push_back(
+          {i, Normalize(WithRootLabel(q, fresh_root)), members[i].ctx});
+    }
+  } else {
+    for (size_t i = 0; i < members.size(); ++i) {
+      assert(!members[i].q->empty());
+      weak.push_back({i, Normalize(*members[i].q), members[i].ctx});
+    }
+  }
+
+  // Route each member as the solo dispatcher would; only members landing on
+  // the general canonical procedure can share a sweep, and only with
+  // members of equal chain-length bound (the bound depends on q).
+  const Fragment fp = FragmentOf(*pw);
+  const bool p_canonical =
+      fp.descendant_edges && !IsPathQuery(*pw) && fp.child_edges;
+  std::vector<SweepMember> sweepable;
+  std::vector<int32_t> sweep_bounds;
+  for (WeakItem& w : weak) {
+    const Fragment fq = FragmentOf(w.qn);
+    const bool canonical_route =
+        options.force_canonical ||
+        (fq.wildcard && fq.child_edges && p_canonical);
+    if (!canonical_route) {
+      results[w.slot] =
+          ContainsImpl(*pw, w.qn, Mode::kWeak, pool, w.ctx, options);
+      continue;
+    }
+    // `weak` no longer grows here, so &w.qn stays valid below.
+    sweepable.push_back({w.slot, &w.qn, w.ctx});
+    sweep_bounds.push_back(CanonicalBound(w.qn, options.bound));
+  }
+
+  // Sub-partition the canonical members by bound; singleton partitions fall
+  // back to the solo procedure, larger ones share one enumeration.
+  std::vector<std::pair<int32_t, std::vector<SweepMember>>> partitions;
+  for (size_t i = 0; i < sweepable.size(); ++i) {
+    bool placed = false;
+    for (auto& part : partitions) {
+      if (part.first == sweep_bounds[i]) {
+        part.second.push_back(sweepable[i]);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) partitions.push_back({sweep_bounds[i], {sweepable[i]}});
+  }
+  EngineStats& gstats = group_ctx->stats();
+  for (auto& part : partitions) {
+    if (part.second.size() == 1) {
+      const SweepMember& m = part.second[0];
+      results[m.slot] =
+          CanonicalContainment(*pw, *m.qn, Mode::kWeak, pool, m.ctx, options);
+      continue;
+    }
+    gstats.sweep_groups_formed.fetch_add(1, std::memory_order_relaxed);
+    gstats.sweep_group_members.fetch_add(
+        static_cast<int64_t>(part.second.size()), std::memory_order_relaxed);
+    CanonicalContainmentGroup(*pw, part.second, Mode::kWeak, part.first, pool,
+                              group_ctx, options, &results);
+  }
+
+  if (mode == Mode::kStrong && !p.IsWildcard(0)) {
+    // Translate the weak-phase counterexamples back (see ContainsImpl).
+    for (const WeakItem& w : weak) {
+      if (results[w.slot].counterexample.has_value()) {
+        results[w.slot].counterexample->SetLabel(0, p.Label(0));
+      }
+    }
+  }
+
+  for (size_t i = 0; i < members.size(); ++i) {
+    members[i].ctx->stats().dispatch[static_cast<int>(results[i].algorithm)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  return results;
 }
 
 bool PathInTpqContained(const Tpq& p, const Tpq& q, LabelPool* pool) {

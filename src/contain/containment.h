@@ -112,6 +112,14 @@ struct ContainmentOptions {
   /// service owns one beside its verdict cache).  Null means: sweeps still
   /// compile per call, single-tree routes never do (no hotness evidence).
   ProgramCache* program_cache = nullptr;
+  /// If true (default) `ContainsGroup` — and the query-service batch
+  /// grouping and daemon coalescing window built on it — may decide
+  /// canonical-route members sharing the enumeration-side pattern over ONE
+  /// model enumeration (each canonical tree built once, every undecided
+  /// member's matcher run against it).  If false every member is decided by
+  /// an independent `Contains` call — the `--no-group-sweep` A/B twin.
+  /// Verdicts and per-member attribution are identical either way.
+  bool grouped_sweep = true;
 };
 
 /// Decides L(p) ⊆ L(q) (weak or strong languages per `mode`) under the
@@ -126,6 +134,34 @@ ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
 ContainmentResult Contains(const Tpq& p, const Tpq& q, Mode mode,
                            LabelPool* pool,
                            const ContainmentOptions& options = {});
+
+/// One member of a grouped containment decision: an evaluation-side pattern
+/// plus the context carrying its budget and counters.  Attribution is per
+/// member — budget charges (steps and table bytes are booked per
+/// evaluation), `ExhaustionReason` and witnesses land on the member's own
+/// context, so a faulted or shed member never poisons its groupmates.
+struct GroupMember {
+  const Tpq* q = nullptr;
+  EngineContext* ctx = nullptr;
+};
+
+/// Decides L(p) ⊆ L(q_i) for every member against ONE shared
+/// enumeration-side pattern p.  Members that the dispatcher routes to a
+/// fragment-specific P algorithm (or whose chain-length bound differs) are
+/// decided exactly as `Contains` would; the canonical-route members with
+/// equal bound are swept together — each canonical tree of p is built once
+/// and evaluated against every still-undecided member, and a member retires
+/// at its first counterexample or budget trip (the undecided mask).  Strong
+/// mode applies the Observation 2.3 root relabelling once for the whole
+/// group.  Shared work (tree builds, enumeration) is accounted on
+/// `group_ctx`; `group_ctx` also provides the thread pool for the chunked
+/// parallel sweep.  Results are indexed like `members`.  With
+/// `options.grouped_sweep` false this is exactly one `Contains` call per
+/// member (the A/B twin).
+std::vector<ContainmentResult> ContainsGroup(
+    const Tpq& p, const std::vector<GroupMember>& members, Mode mode,
+    LabelPool* pool, EngineContext* group_ctx,
+    const ContainmentOptions& options = {});
 
 /// The general canonical-model procedure (sound and complete for all
 /// fragments; exponential in the number of descendant edges of p).  With

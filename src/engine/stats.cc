@@ -38,6 +38,10 @@ void EngineStats::Reset() {
   lattice_stitch_hits.store(0, std::memory_order_relaxed);
   witness_borrow_refutes.store(0, std::memory_order_relaxed);
   snapshot_trees_mapped.store(0, std::memory_order_relaxed);
+  sweep_groups_formed.store(0, std::memory_order_relaxed);
+  sweep_group_members.store(0, std::memory_order_relaxed);
+  group_members_retired_early.store(0, std::memory_order_relaxed);
+  trees_shared_per_decision.store(0, std::memory_order_relaxed);
   programs_compiled.store(0, std::memory_order_relaxed);
   program_exec_hits.store(0, std::memory_order_relaxed);
   program_cache_evictions.store(0, std::memory_order_relaxed);
@@ -74,6 +78,10 @@ void EngineStats::MergeFrom(const EngineStats& other) {
   add(lattice_stitch_hits, other.lattice_stitch_hits);
   add(witness_borrow_refutes, other.witness_borrow_refutes);
   add(snapshot_trees_mapped, other.snapshot_trees_mapped);
+  add(sweep_groups_formed, other.sweep_groups_formed);
+  add(sweep_group_members, other.sweep_group_members);
+  add(group_members_retired_early, other.group_members_retired_early);
+  add(trees_shared_per_decision, other.trees_shared_per_decision);
   add(programs_compiled, other.programs_compiled);
   add(program_exec_hits, other.program_exec_hits);
   add(program_cache_evictions, other.program_cache_evictions);
@@ -150,6 +158,15 @@ std::string EngineStats::ToJson(const Budget& budget) const {
           {"lattice_stitch_hits", v(lattice_stitch_hits)},
           {"snapshot_trees_mapped", v(snapshot_trees_mapped)},
           {"witness_borrow_refutes", v(witness_borrow_refutes)},
+      },
+      &out);
+  out += ", \"group\": ";
+  AppendGroup(
+      {
+          {"group_members_retired_early", v(group_members_retired_early)},
+          {"sweep_group_members", v(sweep_group_members)},
+          {"sweep_groups_formed", v(sweep_groups_formed)},
+          {"trees_shared_per_decision", v(trees_shared_per_decision)},
       },
       &out);
   out += ", \"compile\": ";

@@ -90,6 +90,22 @@ struct EngineStats {
   /// (witness validations that skipped the canonical-tree rebuild).
   std::atomic<int64_t> snapshot_trees_mapped{0};
 
+  // Grouped canonical sweep (src/contain grouped loops + src/service
+  // batching + the daemon's coalescing window).
+  /// Shared sweeps formed: one per canonical-route group of >= 2 members
+  /// decided over a single enumeration of the shared pattern's models.
+  std::atomic<int64_t> sweep_groups_formed{0};
+  /// Members those shared sweeps carried (mean group size =
+  /// sweep_group_members / sweep_groups_formed).
+  std::atomic<int64_t> sweep_group_members{0};
+  /// Members retired (first counterexample or per-member budget trip) while
+  /// at least one groupmate kept sweeping — the undecided-mask payoff.
+  std::atomic<int64_t> group_members_retired_early{0};
+  /// Extra members each enumerated canonical tree served beyond the first
+  /// (a solo sweep scores 0; a group of k undecided members scores k-1 per
+  /// tree) — the amortization the grouping buys.
+  std::atomic<int64_t> trees_shared_per_decision{0};
+
   // Compiled matcher programs (src/compile).
   /// TPQs lowered into flat `MatcherProgram` bytecode by the pattern
   /// compiler (cache misses past the hotness threshold, plus the per-sweep
@@ -117,7 +133,8 @@ struct EngineStats {
   /// One-line JSON object with every counter plus the budget's resource
   /// readings (steps, tracked bytes and peak, exhaustion reason) so one
   /// dump describes the whole run.  Counters are grouped — `engine`, `cache`,
-  /// `compile`, `dispatch` — and sorted by name within each group, so dumps
+  /// `persist`, `group`, `compile`, `dispatch` — and sorted by name within
+  /// each group, so dumps
   /// diff stably across counter additions (bench reports rely on this).
   std::string ToJson(const Budget& budget) const;
 };

@@ -164,7 +164,8 @@ std::shared_ptr<const MatcherProgram> QueryService::PooledProgram(
 
 ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
                                           Mode mode, bool in_worker,
-                                          EngineContext* ctx) {
+                                          EngineContext* ctx,
+                                          PendingDecision* defer) {
   ContainmentOptions options = options_.containment;
   if (in_worker) options.sequential_sweep = true;
   // Share the program pool with the dispatcher: its sweeps publish compiled
@@ -436,23 +437,47 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
     if (!budget_ok) return ExhaustedResult(ctx);
   }
 
-  ContainmentResult result = tpc::Contains(*pp, *qq, mode, pool_, ctx,
-                                           options);
+  // Every fast-path layer passed: the pair needs the real dispatcher.
+  // Capture the decision state — the caller either dispatches right here or
+  // defers the pair into a grouped sweep with others sharing p.
+  PendingDecision local;
+  PendingDecision& d = defer != nullptr ? *defer : local;
+  d.active = true;
+  d.p = pp;
+  d.q = qq;
+  d.pm = std::move(pm);
+  d.qm = std::move(qm);
+  d.mode = mode;
+  d.key = key;
+  d.have_key = have_key;
+  d.q_probe_hash = q_probe_hash;
+  d.have_probe_hash = have_probe_hash;
+  d.options = options;
+  if (defer != nullptr) return ContainmentResult{};
+  return FinishDecision(
+      d, tpc::Contains(*d.p, *d.q, mode, pool_, ctx, options), ctx);
+}
+
+ContainmentResult QueryService::FinishDecision(const PendingDecision& d,
+                                               ContainmentResult result,
+                                               EngineContext* ctx) {
+  EngineStats& stats = ctx->stats();
   if (result.outcome == Outcome::kDecided) {
-    if (result.counterexample_lengths.has_value() && have_probe_hash) {
-      RecordProbe(ProbeKey{q_probe_hash, mode},
+    if (result.counterexample_lengths.has_value() && d.have_probe_hash) {
+      RecordProbe(ProbeKey{d.q_probe_hash, d.mode},
                   *result.counterexample_lengths);
     }
-    if (have_key) {
+    if (d.have_key) {
       VerdictEntry entry;
       entry.contained = result.contained;
       entry.algorithm = result.algorithm;
       entry.counterexample_lengths = result.counterexample_lengths;
-      stats.cache_evictions.fetch_add(cache_.Put(key, std::move(entry)),
+      stats.cache_evictions.fetch_add(cache_.Put(d.key, std::move(entry)),
                                       std::memory_order_relaxed);
       if (lattice_ != nullptr) {
-        lattice_->Record(*pp, pm->digest, *qq, qm->digest, mode, options.bound,
-                         key.pool_generation, result.contained,
+        lattice_->Record(*d.p, d.pm->digest, *d.q, d.qm->digest, d.mode,
+                         d.options.bound, d.key.pool_generation,
+                         result.contained,
                          result.counterexample_lengths.has_value()
                              ? &*result.counterexample_lengths
                              : nullptr);
@@ -462,6 +487,69 @@ ContainmentResult QueryService::DecideOne(const Tpq& p, const Tpq& q,
   // Exhausted results are deliberately never cached: a partial sweep's
   // verdict is not a verdict.
   return result;
+}
+
+void QueryService::DecideDeferred(std::vector<PendingRef>* refs,
+                                  EngineContext* group_ctx,
+                                  bool parallel_groups) {
+  // Group by (p identity, mode).  Buckets key on the enumeration-side
+  // pattern's canonical hash; within a bucket the representative pattern is
+  // compared structurally, so a hash collision degrades to a separate group
+  // (and, if singleton, a solo decision) — never to a wrong grouping.
+  struct Group {
+    Mode mode;
+    const Tpq* p;
+    std::vector<PendingRef> members;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<uint64_t, std::vector<size_t>> by_hash;
+  for (PendingRef& r : *refs) {
+    const uint64_t p_hash =
+        r.d->pm != nullptr ? r.d->pm->hash : CanonicalTpqHash(*r.d->p);
+    std::vector<size_t>& bucket = by_hash[p_hash];
+    bool placed = false;
+    for (size_t gi : bucket) {
+      Group& g = groups[gi];
+      if (g.mode == r.d->mode && *g.p == *r.d->p) {
+        g.members.push_back(r);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      bucket.push_back(groups.size());
+      groups.push_back(Group{r.d->mode, r.d->p, {r}});
+    }
+  }
+  auto decide_group = [this, group_ctx](Group& g) {
+    if (g.members.size() == 1) {
+      // Singleton: exactly the dispatch the non-deferred DecideOne makes.
+      PendingRef& r = g.members[0];
+      *r.result = FinishDecision(
+          *r.d,
+          tpc::Contains(*r.d->p, *r.d->q, r.d->mode, pool_, r.ctx,
+                        r.d->options),
+          r.ctx);
+      return;
+    }
+    std::vector<GroupMember> members;
+    members.reserve(g.members.size());
+    for (PendingRef& r : g.members) members.push_back({r.d->q, r.ctx});
+    std::vector<ContainmentResult> results = tpc::ContainsGroup(
+        *g.p, members, g.mode, pool_, group_ctx, g.members[0].d->options);
+    for (size_t i = 0; i < g.members.size(); ++i) {
+      *g.members[i].result = FinishDecision(
+          *g.members[i].d, std::move(results[i]), g.members[i].ctx);
+    }
+  };
+  if (parallel_groups && groups.size() > 1 && ctx_->threads() > 1) {
+    ctx_->pool().ParallelFor(static_cast<int64_t>(groups.size()),
+                             [&](int64_t gi) {
+                               decide_group(groups[static_cast<size_t>(gi)]);
+                             });
+  } else {
+    for (Group& g : groups) decide_group(g);
+  }
 }
 
 ContainmentResult QueryService::Contains(const Tpq& p, const Tpq& q,
@@ -475,6 +563,32 @@ ContainmentResult QueryService::ContainsFor(const Tpq& p, const Tpq& q,
   // in_worker: the caller is (by contract) one of many concurrent threads,
   // so sweeps must stay sequential exactly as in the batch fan-out.
   return DecideOne(p, q, mode, /*in_worker=*/true, request_ctx);
+}
+
+std::vector<ContainmentResult> QueryService::ContainsGroupFor(
+    const std::vector<GroupQuery>& queries) {
+  std::vector<ContainmentResult> results(queries.size());
+  if (queries.empty()) return results;
+  const bool grouped = options_.containment.grouped_sweep;
+  std::vector<PendingDecision> pending(queries.size());
+  std::vector<PendingRef> refs;
+  // Shared sweep work (tree builds, enumeration) is accounted on the first
+  // deferred member's context — the group's "leader" request.
+  EngineContext* group_ctx = nullptr;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const GroupQuery& gq = queries[i];
+    results[i] = DecideOne(*gq.p, *gq.q, gq.mode, /*in_worker=*/true, gq.ctx,
+                           grouped ? &pending[i] : nullptr);
+    if (pending[i].active) {
+      if (group_ctx == nullptr) group_ctx = gq.ctx;
+      refs.push_back({&pending[i], &results[i], gq.ctx});
+    }
+  }
+  // The caller is one worker thread: groups decide serially on it.
+  if (!refs.empty()) {
+    DecideDeferred(&refs, group_ctx, /*parallel_groups=*/false);
+  }
+  return results;
 }
 
 std::vector<ContainmentResult> QueryService::ContainsBatch(
@@ -520,20 +634,39 @@ std::vector<ContainmentResult> QueryService::ContainsBatch(
   ctx_->stats().batch_deduped.fetch_add(folded, std::memory_order_relaxed);
 
   std::vector<ContainmentResult> unique_results(representative.size());
-  if (ctx_->threads() > 1 && representative.size() > 1) {
+  // With grouping on, pairs the fast path cannot answer are deferred in
+  // stage 1 and decided in stage 2, where items sharing an
+  // enumeration-side pattern run one canonical-model sweep together.
+  const bool grouped = options_.containment.grouped_sweep;
+  std::vector<PendingDecision> pending(grouped ? representative.size() : 0);
+  const bool parallel = ctx_->threads() > 1 && representative.size() > 1;
+  if (parallel) {
     // Workers force sequential sweeps: ParallelFor must not reenter.
     ctx_->pool().ParallelFor(
         static_cast<int64_t>(representative.size()), [&](int64_t u) {
           const BatchItem& item = items[representative[static_cast<size_t>(u)]];
-          unique_results[static_cast<size_t>(u)] =
-              DecideOne(item.p, item.q, item.mode, /*in_worker=*/true, ctx_);
+          unique_results[static_cast<size_t>(u)] = DecideOne(
+              item.p, item.q, item.mode, /*in_worker=*/true, ctx_,
+              grouped ? &pending[static_cast<size_t>(u)] : nullptr);
         });
   } else {
     for (size_t u = 0; u < representative.size(); ++u) {
       const BatchItem& item = items[representative[u]];
       unique_results[u] = DecideOne(item.p, item.q, item.mode,
-                                    /*in_worker=*/false, ctx_);
+                                    /*in_worker=*/false, ctx_,
+                                    grouped ? &pending[u] : nullptr);
     }
+  }
+  if (grouped) {
+    std::vector<PendingRef> refs;
+    for (size_t u = 0; u < representative.size(); ++u) {
+      if (pending[u].active) {
+        refs.push_back({&pending[u], &unique_results[u], ctx_});
+      }
+    }
+    // Independent groups fan out only when stage 1 already forced
+    // sequential sweeps onto the deferred options.
+    if (!refs.empty()) DecideDeferred(&refs, ctx_, parallel);
   }
   for (size_t i = 0; i < items.size(); ++i) {
     results[i] = unique_results[owner[i]];

@@ -25,7 +25,12 @@
 //      serves all copies) and fans the residue out over the context's
 //      thread pool, with each worker forced onto sequential sweeps
 //      (`ContainmentOptions::sequential_sweep`) because `ParallelFor` does
-//      not reenter.
+//      not reenter.  Pairs that survive every fast-path layer are then
+//      *grouped* by (enumeration-side pattern, mode) and decided through
+//      `tpc::ContainsGroup`, which enumerates the shared pattern's
+//      canonical models once for the whole group
+//      (`ContainmentOptions::grouped_sweep`; `ContainsGroupFor` is the
+//      daemon-side entry for its coalescing window).
 //   5. *Pattern compilation* (src/compile/): hot minimized patterns are
 //      lowered to flat matcher programs pooled beside the verdict cache and
 //      shared with the dispatcher (`ContainmentOptions::program_cache`), so
@@ -123,6 +128,28 @@ class QueryService {
   ContainmentResult ContainsFor(const Tpq& p, const Tpq& q, Mode mode,
                                 EngineContext* request_ctx);
 
+  /// One member of a `ContainsGroupFor` call: a pair plus the per-request
+  /// context carrying its (already armed) budget.  `p`/`q` must stay alive
+  /// for the duration of the call.
+  struct GroupQuery {
+    const Tpq* p = nullptr;
+    const Tpq* q = nullptr;
+    Mode mode = Mode::kWeak;
+    EngineContext* ctx = nullptr;
+  };
+
+  /// `ContainsFor` over a coalesced group (the daemon's scheduler window).
+  /// Every member runs the full per-pair fast path on its own context;
+  /// members that all layers fail to answer are then grouped by
+  /// (enumeration-side pattern, mode) and decided through
+  /// `tpc::ContainsGroup` — one canonical-model enumeration for the whole
+  /// group, with per-member budget charges, exhaustion attribution,
+  /// witnesses and cache/lattice insertion exactly as if decided alone.
+  /// Results are indexed like `queries`.  Callable concurrently from many
+  /// worker threads under the same contract as `ContainsFor`.
+  std::vector<ContainmentResult> ContainsGroupFor(
+      const std::vector<GroupQuery>& queries);
+
   /// Decides every item: folds exact duplicates (counted in
   /// `EngineStats::batch_deduped`) and fans unique items out over the
   /// context's thread pool when `ctx->threads() > 1`.  Results are in item
@@ -180,11 +207,57 @@ class QueryService {
       const Tpq& pattern, Mode mode, const ContainmentOptions& options,
       EngineContext* ctx);
 
+  /// A pair the fast path could not answer, captured so the batch/group
+  /// layers can decide it together with others sharing its enumeration-side
+  /// pattern.  `p`/`q` point at the minimized patterns (kept alive by
+  /// `pm`/`qm`) or the caller's originals when the cache layer is off.
+  struct PendingDecision {
+    bool active = false;
+    const Tpq* p = nullptr;
+    const Tpq* q = nullptr;
+    std::shared_ptr<const MinimizedEntry> pm, qm;
+    Mode mode = Mode::kWeak;
+    VerdictKey key;
+    bool have_key = false;
+    uint64_t q_probe_hash = 0;
+    bool have_probe_hash = false;
+    ContainmentOptions options;
+  };
+
+  /// A deferred decision plus where its result goes and which context the
+  /// member's decision runs under.
+  struct PendingRef {
+    PendingDecision* d = nullptr;
+    ContainmentResult* result = nullptr;
+    EngineContext* ctx = nullptr;
+  };
+
   /// The full per-pair pipeline; `in_worker` forces sequential sweeps.
   /// `ctx` carries the budget/stats/scratch of this decision — the service's
   /// own context for Contains/ContainsBatch, the caller's for ContainsFor.
+  /// With a non-null `defer`, a pair that survives every fast-path layer is
+  /// *not* dispatched: `defer` is filled (active = true) and the returned
+  /// placeholder must be replaced by `DecideDeferred`/`FinishDecision`.
   ContainmentResult DecideOne(const Tpq& p, const Tpq& q, Mode mode,
-                              bool in_worker, EngineContext* ctx);
+                              bool in_worker, EngineContext* ctx,
+                              PendingDecision* defer = nullptr);
+
+  /// Post-dispatch bookkeeping of `DecideOne` (probe recording, verdict
+  /// cache insertion, lattice recording) for a decision produced out of
+  /// line; returns `result` unchanged.
+  ContainmentResult FinishDecision(const PendingDecision& d,
+                                   ContainmentResult result,
+                                   EngineContext* ctx);
+
+  /// Groups the deferred residue by (enumeration-side pattern, mode) —
+  /// hash-bucketed, guarded by structural equality so a hash collision
+  /// degrades to solo decisions — and decides each group through
+  /// `tpc::ContainsGroup` on `group_ctx`, finishing every member's result
+  /// in place.  `parallel_groups` fans independent groups out over the
+  /// service context's pool (only valid when the deferred options force
+  /// sequential sweeps).
+  void DecideDeferred(std::vector<PendingRef>* refs, EngineContext* group_ctx,
+                      bool parallel_groups);
 
   std::vector<std::vector<int32_t>> ProbesFor(const ProbeKey& key);
   void RecordProbe(const ProbeKey& key, const std::vector<int32_t>& lengths);

@@ -311,9 +311,14 @@ TEST(ServeFaultTest, AdmissionCapShedsWithRetryHint) {
   Client client;
   std::string error;
   ASSERT_TRUE(client.ConnectUnix(fx.sock_path, "capped", &error)) << error;
-  // 6 slow queries against an outstanding cap of 2: the tail is shed.
+  // 6 slow queries against an outstanding cap of 2: the tail is shed.  The
+  // shed count below assumes all 6 sends land before the single worker's
+  // first decision frees a slot, so this test uses a pattern one descendant
+  // edge deeper than SlowPattern (8^5 = 32768 trees per sweep): the client's
+  // 6 write syscalls must win a race against a multi-millisecond sweep, not
+  // a sub-millisecond one.
   for (uint64_t id = 1; id <= 6; ++id) {
-    const std::string p = SlowPattern(static_cast<int>(id));
+    const std::string p = "a//b//c//d//e//s" + std::to_string(id);
     ASSERT_TRUE(client.SendQuery(id, Mode::kWeak, p, p, &error)) << error;
   }
   int ok = 0, shed = 0;
